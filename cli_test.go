@@ -1,0 +1,111 @@
+package dart
+
+// CLI integration tests: build-and-run the dart command against a fixture
+// file, checking both human and JSON output modes end to end.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dart/internal/progs"
+)
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(progs.Section21), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/dart")
+	cmd.Args = append(cmd.Args, args...)
+	cmd.Args = append(cmd.Args, src)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("go run: %v\n%s%s", err, stdout.String(), stderr.String())
+	}
+	return stdout.String(), code
+}
+
+func TestCLIFindsBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, code := runCLI(t, "-top", "h", "-seed", "1")
+	if code != 1 {
+		t.Fatalf("exit code %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "BUG [abort]") || !strings.Contains(out, "d0.x:10") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, code := runCLI(t, "-top", "h", "-seed", "1", "-json")
+	if code != 1 {
+		t.Fatalf("exit code %d, output:\n%s", code, out)
+	}
+	var rep struct {
+		Mode string `json:"mode"`
+		Runs int    `json:"runs"`
+		Bugs []struct {
+			Kind   string           `json:"kind"`
+			Inputs map[string]int64 `json:"inputs"`
+		} `json:"bugs"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Mode != "directed" || len(rep.Bugs) != 1 || rep.Bugs[0].Kind != "abort" {
+		t.Errorf("report: %+v", rep)
+	}
+	if rep.Bugs[0].Inputs["d0.x"] != 10 {
+		t.Errorf("solved input missing: %+v", rep.Bugs[0].Inputs)
+	}
+}
+
+func TestCLIListAndIface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, code := runCLI(t, "-list")
+	if code != 0 || !strings.Contains(out, "h") || !strings.Contains(out, "f") {
+		t.Errorf("list output (code %d):\n%s", code, out)
+	}
+	out, code = runCLI(t, "-top", "h", "-iface")
+	if code != 0 || !strings.Contains(out, "toplevel h") {
+		t.Errorf("iface output (code %d):\n%s", code, out)
+	}
+}
+
+func TestCLINoBugExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "ok.mc")
+	if err := os.WriteFile(src, []byte(progs.Section24), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/dart", "-top", "f", src)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("expected success: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "all feasible execution paths explored") {
+		t.Errorf("output:\n%s", out)
+	}
+}

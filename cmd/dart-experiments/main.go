@@ -1,0 +1,365 @@
+// Command dart-experiments regenerates every table and figure of the
+// DART paper's evaluation (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	dart-experiments [-exp id] [-seed n]
+//
+// Experiment ids: e1 e2 e3 e4 e5 e6 e7 e7full e8 e9 e10 e11 a1 a2, or "all"
+// (default) for everything except the multi-minute e7full and e8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dart"
+	"dart/internal/minisip"
+	"dart/internal/progs"
+	"dart/internal/protocols"
+	"dart/internal/statesearch"
+)
+
+var seed = flag.Int64("seed", 1, "random seed for all experiments")
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e11, a1, a2, e7full, all)")
+	flag.Parse()
+
+	experiments := []struct {
+		id   string
+		name string
+		run  func()
+		slow bool
+	}{
+		{"e1", "Sec. 2.1 introductory example", e1, false},
+		{"e2", "Sec. 2.4 worked example (completeness)", e2, false},
+		{"e3", "Sec. 2.5 pointer-cast example", e3, false},
+		{"e4", "Sec. 2.5 foobar non-linear example", e4, false},
+		{"e5", "Sec. 4.1 AC-controller", e5, false},
+		{"e6", "Fig. 9 Needham-Schroeder, possibilistic intruder", e6, false},
+		{"e7", "Fig. 10 Needham-Schroeder, Dolev-Yao intruder (depths 1-3)", e7, false},
+		{"e7full", "Fig. 10 final row: full Lowe attack at depth 4 (paper: 18 min)", e7full, true},
+		{"e8", "Sec. 4.2 Lowe's fix (buggy vs correct)", e8, true},
+		{"e9", "Sec. 4.3 SIP library audit", e9, false},
+		{"e10", "Sec. 4.3 parser security vulnerability", e10, false},
+		{"e11", "Sec. 4.2 comparison: VeriSoft-style state-space search", e11, false},
+		{"a1", "ablation: branch-selection strategies", a1, false},
+		{"a2", "ablation: coverage, directed vs random", a2, false},
+	}
+
+	matched := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		if *exp == "all" && e.slow {
+			fmt.Printf("== %s: %s ==\n   (skipped by default; run with -exp %s)\n\n", e.id, e.name, e.id)
+			matched = true
+			continue
+		}
+		matched = true
+		fmt.Printf("== %s: %s ==\n", e.id, e.name)
+		start := time.Now()
+		e.run()
+		fmt.Printf("   [%.2fs]\n\n", time.Since(start).Seconds())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func compile(src string) *dart.Program {
+	prog, err := dart.Compile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(2)
+	}
+	return prog
+}
+
+func row(cols ...string) {
+	fmt.Printf("   %-34s %-22s %s\n", cols[0], cols[1], cols[2])
+}
+
+// e1: the h/f example. Directed search finds the abort within a couple of
+// runs; random testing has probability ~2^-32 per run.
+func e1() {
+	prog := compile(progs.Section21)
+	rep, _ := dart.Run(prog, dart.Options{Toplevel: "h", MaxRuns: 100, Seed: *seed, StopAtFirstBug: true})
+	rnd, _ := dart.RandomTest(prog, dart.Options{Toplevel: "h", MaxRuns: 100000, Seed: *seed})
+	row("search", "result", "runs")
+	row("directed", bugStr(rep), fmt.Sprint(rep.Runs))
+	row("random (100000-run budget)", bugStr(rnd), fmt.Sprint(rnd.Runs))
+	if b := rep.FirstBug(); b != nil {
+		fmt.Printf("   solved input vector: x=%d y=%d (constraint 2x = x+10)\n",
+			b.Inputs["d0.x"], b.Inputs["d0.y"])
+	}
+}
+
+// e2: Sec. 2.4 — the abort is unreachable and DART proves it.
+func e2() {
+	prog := compile(progs.Section24)
+	rep, _ := dart.Run(prog, dart.Options{Toplevel: "f", MaxRuns: 100, Seed: *seed})
+	row("program", "verdict", "runs (paper: 2)")
+	verdict := "INCOMPLETE"
+	if rep.Complete {
+		verdict = "all paths explored, no error"
+	}
+	row("Sec. 2.4 f", verdict, fmt.Sprint(rep.Runs))
+}
+
+// e3: the pointer-cast example; the abort is reachable through the
+// char*-aliased write, which dynamic analysis handles precisely.
+func e3() {
+	prog := compile(progs.Section25Cast)
+	rep, _ := dart.Run(prog, dart.Options{Toplevel: "bar", MaxRuns: 200, Seed: *seed})
+	abortFound := "abort NOT reached"
+	for _, b := range rep.Bugs {
+		if b.Kind == dart.Aborted {
+			abortFound = fmt.Sprintf("abort reached (a->c == 0 solved), run %d", b.Run)
+		}
+	}
+	row("program", "result", "runs")
+	row("Sec. 2.5 bar", abortFound, fmt.Sprint(rep.Runs))
+}
+
+// e4: foobar — non-linear branch, graceful degradation.
+func e4() {
+	row("variant", "reachable abort found", "completeness flag")
+	for _, v := range []struct{ name, src string }{
+		{"inline x*x*x", progs.Foobar},
+		{"library cube(x)", progs.FoobarLib},
+	} {
+		prog := compile(v.src)
+		found := "no"
+		var rep *dart.Report
+		for s := int64(1); s <= 8; s++ {
+			rep, _ = dart.Run(prog, dart.Options{Toplevel: "foobar", MaxRuns: 60, Seed: *seed + s})
+			for _, b := range rep.Bugs {
+				if b.Kind == dart.Aborted && b.Inputs["d0.y"] == 10 {
+					found = fmt.Sprintf("yes (x=%d, y=10)", b.Inputs["d0.x"])
+				}
+			}
+			if found != "no" {
+				break
+			}
+		}
+		row(v.name, found, fmt.Sprintf("all_linear=%v (cleared as expected)", rep.AllLinear))
+	}
+}
+
+// e5: AC-controller — Sec. 4.1's table.
+func e5() {
+	prog := compile(progs.ACController)
+	row("depth", "directed search", "random search")
+	for depth := 1; depth <= 2; depth++ {
+		rep, _ := dart.Run(prog, dart.Options{Toplevel: "ac_controller", Depth: depth, MaxRuns: 2000, Seed: *seed, StopAtFirstBug: true})
+		rnd, _ := dart.RandomTest(prog, dart.Options{Toplevel: "ac_controller", Depth: depth, MaxRuns: 100000, Seed: *seed})
+		paper := map[int]string{1: "paper: 6 runs, no error", 2: "paper: 7 runs, error"}[depth]
+		dir := fmt.Sprintf("%s in %d runs (%s)", bugStr(rep), rep.Runs, paper)
+		row(fmt.Sprint(depth), dir, bugStr(rnd)+fmt.Sprintf(" in %d runs", rnd.Runs))
+		if b := rep.FirstBug(); b != nil {
+			fmt.Printf("   trigger: messages (%d, %d)\n", b.Inputs["d0.message"], b.Inputs["d1.message"])
+		}
+	}
+}
+
+// e6: Fig. 9 — NS with the possibilistic intruder.
+func e6() {
+	prog := compile(protocols.Source(protocols.Possibilistic, protocols.NoFix))
+	row("depth", "error?", "iterations (paper)")
+	for depth := 1; depth <= 2; depth++ {
+		rep, _ := dart.Run(prog, dart.Options{
+			Toplevel: protocols.Toplevel, Depth: depth, MaxRuns: 50000, Seed: *seed, StopAtFirstBug: true,
+		})
+		paper := map[int]string{1: "69", 2: "664"}[depth]
+		row(fmt.Sprint(depth), bugStr(rep), fmt.Sprintf("%d (paper: %s)", rep.Runs, paper))
+	}
+	rnd, _ := dart.RandomTest(prog, dart.Options{Toplevel: protocols.Toplevel, Depth: 2, MaxRuns: 200000, Seed: *seed})
+	fmt.Printf("   random search at depth 2: %s after %d runs (paper: not found in hours)\n",
+		bugStr(rnd), rnd.Runs)
+}
+
+// e7: Fig. 10, depths 1-3 — exhaustive no-error sweeps.
+func e7() {
+	prog := compile(protocols.Source(protocols.DolevYao, protocols.NoFix))
+	row("depth", "error?", "iterations (paper)")
+	paper := map[int]string{1: "5", 2: "85", 3: "6260"}
+	for depth := 1; depth <= 3; depth++ {
+		rep, _ := dart.Run(prog, dart.Options{
+			Toplevel: protocols.Toplevel, Depth: depth, MaxRuns: 300000, Seed: *seed,
+		})
+		verdict := bugStr(rep)
+		if rep.Complete {
+			verdict += " (exhaustive)"
+		}
+		row(fmt.Sprint(depth), verdict, fmt.Sprintf("%d (paper: %s)", rep.Runs, paper[depth]))
+	}
+	fmt.Println("   depth 4 (the full Lowe attack) is experiment e7full")
+}
+
+// e7full: Fig. 10's final row.
+func e7full() {
+	prog := compile(protocols.Source(protocols.DolevYao, protocols.NoFix))
+	rep, _ := dart.Run(prog, dart.Options{
+		Toplevel: protocols.Toplevel, Depth: 4, MaxRuns: 3_000_000, Seed: *seed, StopAtFirstBug: true,
+	})
+	row("depth", "error?", "iterations (paper)")
+	row("4", bugStr(rep), fmt.Sprintf("%d (paper: 328459, 18 minutes)", rep.Runs))
+	if b := rep.FirstBug(); b != nil {
+		fmt.Println("   attack trace (the full Lowe attack):")
+		fmt.Printf("     1. schedule: A starts a session with I        (kind=%d, peer=%d)\n", b.Inputs["d0.kind"], b.Inputs["d0.n1"])
+		fmt.Printf("     2. I(A) -> B: {Na, A}Kb                       (kind=%d, n1=%d, n2=%d)\n", b.Inputs["d1.kind"], b.Inputs["d1.n1"], b.Inputs["d1.n2"])
+		fmt.Printf("     3. I -> A: replay {Na, Nb, B}Ka               (kind=%d, n1=%d, n2=%d)\n", b.Inputs["d2.kind"], b.Inputs["d2.n1"], b.Inputs["d2.n2"])
+		fmt.Printf("     4. I(A) -> B: {Nb}Kb  => B commits, violation (kind=%d, n1=%d)\n", b.Inputs["d3.kind"], b.Inputs["d3.n1"])
+	}
+}
+
+// e8: Lowe's fix — the buggy implementation is still attackable.
+func e8() {
+	row("variant", "attack found?", "iterations")
+	for _, fx := range []protocols.Fix{protocols.BuggyFix, protocols.CorrectFix} {
+		prog := compile(protocols.Source(protocols.DolevYao, fx))
+		rep, _ := dart.Run(prog, dart.Options{
+			Toplevel: protocols.Toplevel, Depth: 4, MaxRuns: 3_000_000, Seed: *seed, StopAtFirstBug: true,
+		})
+		row(fx.String(), bugStr(rep), fmt.Sprint(rep.Runs))
+	}
+}
+
+// e9: the SIP library audit (the oSIP experiment).
+func e9() {
+	prog, sem, err := minisip.Compile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, _ := minisip.Audit(prog, sem, *seed, 1000, false)
+	rnd, _ := minisip.Audit(prog, sem, *seed, 1000, true)
+	fmt.Printf("   directed: %d/%d functions crashed (%.0f%%) — paper: 65%% of ~600 oSIP functions\n",
+		res.CrashedFunctions, res.TotalFunctions, 100*res.Fraction())
+	fmt.Printf("   random:   %d/%d functions crashed (%.0f%%)\n",
+		rnd.CrashedFunctions, rnd.TotalFunctions, 100*rnd.Fraction())
+	var crashed, safe []string
+	for _, e := range res.Entries {
+		if e.Crashed {
+			crashed = append(crashed, fmt.Sprintf("%s(run %d)", e.Function, e.FirstCrashRun))
+		} else {
+			safe = append(safe, e.Function)
+		}
+	}
+	sort.Strings(safe)
+	fmt.Printf("   crashed: %s\n", strings.Join(crashed, " "))
+	fmt.Printf("   safe:    %s\n", strings.Join(safe, " "))
+}
+
+// e10: the parser vulnerability.
+func e10() {
+	prog, _, err := minisip.Compile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := &dart.Program{IR: prog}
+	rep, _ := dart.Run(p, dart.Options{Toplevel: "parse_packet", MaxRuns: 2000, Seed: *seed})
+	rnd, _ := dart.RandomTest(p, dart.Options{Toplevel: "parse_packet", MaxRuns: 2000, Seed: *seed})
+	fixed, _ := dart.Run(p, dart.Options{Toplevel: "parse_packet_fixed", MaxRuns: 2000, Seed: *seed})
+	row("parser", "directed", "random")
+	row("parse_packet (oSIP 2.0.9)", bugStr(rep), bugStr(rnd))
+	row("parse_packet_fixed (oSIP 2.2.0)", bugStr(fixed), "-")
+	for _, b := range rep.Bugs {
+		if b.Kind == dart.Crashed {
+			fmt.Printf("   attack packet: magic=0x%x first=%d len=%d (> alloca limit 65536)\n",
+				b.Inputs["d0.magic"], b.Inputs["d0.first"], b.Inputs["d0.len"])
+		}
+	}
+}
+
+// e11: the Sec. 4.2 comparison — a VeriSoft-style bounded state-space
+// search over the same protocol, with and without analyst knowledge.
+func e11() {
+	prog, err := dart.Compile(protocols.Source(protocols.DolevYao, protocols.NoFix))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	curated := [][]int64{
+		{0, 0, 3, 0, 0}, {0, 0, 2, 0, 0},
+		{1, 2, 101, 1, 0}, {1, 2, 303, 3, 0},
+		{2, 1, 101, 202, 2}, {2, 1, 303, 202, 2},
+		{3, 2, 202, 0, 0}, {3, 2, 303, 0, 0},
+	}
+	var generic [][]int64
+	for kind := int64(0); kind <= 3; kind++ {
+		for key := int64(1); key <= 3; key++ {
+			generic = append(generic, []int64{kind, key, 1, 2, 3})
+		}
+	}
+	row("environment model", "attack found?", "runs / states")
+	for _, v := range []struct {
+		name     string
+		alphabet [][]int64
+	}{{"curated alphabet (analyst knows nonces)", curated}, {"generic alphabet (no secrets)", generic}} {
+		res, err := statesearch.Search(prog.IR, statesearch.Options{
+			Toplevel: protocols.Toplevel, Alphabet: v.alphabet, MaxDepth: 4, MaxRuns: 200000,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		verdict := "no"
+		if res.Bug != nil {
+			verdict = "yes: " + fmt.Sprint(res.Bug.Sequence)
+		}
+		row(v.name, verdict, fmt.Sprintf("%d / %d", res.Runs, res.StatesSeen))
+	}
+	fmt.Println("   (DART derives the curated values from path constraints — no analyst needed;")
+	fmt.Println("    see -exp e7full for the corresponding directed search)")
+}
+
+// a1: strategies ablation on the AC-controller at depth 2.
+func a1() {
+	prog := compile(progs.ACController)
+	row("strategy", "runs to violation", "")
+	for _, s := range []dart.Strategy{dart.DFS, dart.BFS, dart.RandomBranch} {
+		rep, _ := dart.Run(prog, dart.Options{
+			Toplevel: "ac_controller", Depth: 2, MaxRuns: 5000, Seed: *seed,
+			Strategy: s, StopAtFirstBug: true,
+		})
+		result := fmt.Sprint(rep.Runs)
+		if rep.FirstBug() == nil {
+			result = "not found in " + fmt.Sprint(rep.Runs)
+		}
+		row(fmt.Sprint(s), result, "")
+	}
+}
+
+// a2: branch-coverage curve, directed vs random, on the filter program.
+func a2() {
+	prog := compile(progs.Filter)
+	row("budget (runs)", "directed coverage", "random coverage")
+	for _, budget := range []int{1, 2, 5, 10, 20, 50} {
+		rep, _ := dart.Run(prog, dart.Options{Toplevel: "entry", MaxRuns: budget, Seed: *seed})
+		rnd, _ := dart.RandomTest(prog, dart.Options{Toplevel: "entry", MaxRuns: budget, Seed: *seed})
+		row(fmt.Sprint(budget),
+			fmt.Sprintf("%d/%d", rep.Coverage.Covered(), rep.Coverage.Total()),
+			fmt.Sprintf("%d/%d", rnd.Coverage.Covered(), rnd.Coverage.Total()))
+	}
+}
+
+func bugStr(rep *dart.Report) string {
+	if b := rep.FirstBug(); b != nil {
+		return string(b.Kind.String()) + ": " + b.Msg
+	}
+	if rep.Complete {
+		return "no error"
+	}
+	return "no error found"
+}

@@ -1,0 +1,213 @@
+// Command dart tests a MiniC program with directed automated random
+// testing, exactly as the paper's tool does for C: point it at a source
+// file and a toplevel function, and it automatically extracts the
+// interface, generates the random test driver, and runs the directed
+// search.
+//
+// Usage:
+//
+//	dart [flags] program.mc
+//
+//	-top name      toplevel function under test (required unless -list)
+//	-depth n       calls to the toplevel function per run (default 1)
+//	-runs n        maximum number of executions (default 10000)
+//	-seed n        random seed (default 1)
+//	-strategy s    branch selection: dfs, bfs, random (default dfs)
+//	-random        pure random testing instead of the directed search
+//	-all-bugs      keep searching after the first bug
+//	-hangs         report step-budget exhaustion (non-termination)
+//	-list          list the functions that can serve as toplevel
+//	-iface         print the extracted interface and exit
+//	-dump-ir       print the compiled RAM-machine code and exit
+//	-json          emit the report as JSON
+//
+// Exit status: 0 when no bugs were found, 1 on bugs, 2 on usage or
+// compile errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dart"
+	"dart/internal/ir"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		top      = flag.String("top", "", "toplevel function under test")
+		depth    = flag.Int("depth", 1, "calls to the toplevel function per run")
+		runs     = flag.Int("runs", 10000, "maximum number of executions")
+		seed     = flag.Int64("seed", 1, "random seed")
+		strategy = flag.String("strategy", "dfs", "branch selection: dfs, bfs, random")
+		random   = flag.Bool("random", false, "pure random testing (baseline)")
+		allBugs  = flag.Bool("all-bugs", false, "keep searching after the first bug")
+		hangs    = flag.Bool("hangs", false, "report potential non-termination")
+		list     = flag.Bool("list", false, "list candidate toplevel functions")
+		ifaceF   = flag.Bool("iface", false, "print the extracted interface")
+		dumpIR   = flag.Bool("dump-ir", false, "print compiled RAM-machine code")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dart [flags] program.mc")
+		flag.PrintDefaults()
+		return 2
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		return 2
+	}
+	prog, err := dart.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		return 2
+	}
+
+	if *list {
+		for _, fn := range dart.Functions(prog) {
+			fmt.Println(fn)
+		}
+		return 0
+	}
+	if *dumpIR {
+		fmt.Print(ir.DisasmProg(prog.IR))
+		return 0
+	}
+	if *top == "" {
+		fmt.Fprintln(os.Stderr, "dart: -top is required (use -list to see candidates)")
+		return 2
+	}
+	if *ifaceF {
+		in, err := dart.ExtractInterface(prog, *top)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
+		fmt.Print(in.String())
+		return 0
+	}
+
+	var strat dart.Strategy
+	switch *strategy {
+	case "dfs":
+		strat = dart.DFS
+	case "bfs":
+		strat = dart.BFS
+	case "random":
+		strat = dart.RandomBranch
+	default:
+		fmt.Fprintf(os.Stderr, "dart: unknown strategy %q\n", *strategy)
+		return 2
+	}
+
+	opts := dart.Options{
+		Toplevel:        *top,
+		Depth:           *depth,
+		MaxRuns:         *runs,
+		Seed:            *seed,
+		Strategy:        strat,
+		StopAtFirstBug:  !*allBugs,
+		ReportStepLimit: *hangs,
+	}
+	var rep *dart.Report
+	if *random {
+		rep, err = dart.RandomTest(prog, opts)
+	} else {
+		rep, err = dart.Run(prog, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		return emitJSON(rep, *random)
+	}
+	mode := "directed"
+	if *random {
+		mode = "random"
+	}
+	fmt.Printf("%s search: %d runs, %d instructions, branch coverage %d/%d\n",
+		mode, rep.Runs, rep.Steps, rep.Coverage.Covered(), rep.Coverage.Total())
+	if rep.Complete {
+		fmt.Println("all feasible execution paths explored; no errors are reachable")
+	} else if !*random {
+		fmt.Printf("search incomplete (all_linear=%v all_locs_definite=%v restarts=%d)\n",
+			rep.AllLinear, rep.AllLocsDefinite, rep.Restarts)
+	}
+	for _, b := range rep.Bugs {
+		fmt.Printf("BUG %v\n", b)
+		fmt.Printf("    inputs: %v\n", b.Inputs)
+	}
+	if len(rep.Bugs) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonReport is the machine-readable report shape.
+type jsonReport struct {
+	Mode            string    `json:"mode"`
+	Runs            int       `json:"runs"`
+	Steps           int64     `json:"instructions"`
+	Complete        bool      `json:"complete"`
+	AllLinear       bool      `json:"all_linear"`
+	AllLocsDefinite bool      `json:"all_locs_definite"`
+	CoverageCovered int       `json:"branch_directions_covered"`
+	CoverageTotal   int       `json:"branch_directions_total"`
+	Bugs            []jsonBug `json:"bugs"`
+}
+
+type jsonBug struct {
+	Kind   string           `json:"kind"`
+	Msg    string           `json:"message"`
+	Pos    string           `json:"position"`
+	Run    int              `json:"run"`
+	Inputs map[string]int64 `json:"inputs"`
+}
+
+func emitJSON(rep *dart.Report, random bool) int {
+	mode := "directed"
+	if random {
+		mode = "random"
+	}
+	out := jsonReport{
+		Mode:            mode,
+		Runs:            rep.Runs,
+		Steps:           rep.Steps,
+		Complete:        rep.Complete,
+		AllLinear:       rep.AllLinear,
+		AllLocsDefinite: rep.AllLocsDefinite,
+		CoverageCovered: rep.Coverage.Covered(),
+		CoverageTotal:   rep.Coverage.Total(),
+		Bugs:            []jsonBug{},
+	}
+	for _, b := range rep.Bugs {
+		out.Bugs = append(out.Bugs, jsonBug{
+			Kind:   b.Kind.String(),
+			Msg:    b.Msg,
+			Pos:    b.Pos.String(),
+			Run:    b.Run,
+			Inputs: b.Inputs,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		return 2
+	}
+	if len(out.Bugs) > 0 {
+		return 1
+	}
+	return 0
+}

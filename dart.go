@@ -1,0 +1,162 @@
+// Package dart is a Go implementation of DART — Directed Automated
+// Random Testing (Godefroid, Klarlund, Sen; PLDI 2005) — for programs
+// written in MiniC, a C subset with pointers, structs, arrays, and
+// external interfaces.
+//
+// DART tests a program with no hand-written harness by combining three
+// techniques:
+//
+//  1. interface extraction: the program's inputs are the arguments of a
+//     chosen toplevel function, its extern variables, and the return
+//     values of its extern functions (Interface);
+//  2. an automatically generated random test driver that initializes
+//     every input (pointers become NULL or fresh heap objects with
+//     probability 1/2 each, recursively); and
+//  3. a directed search: each run executes concretely and symbolically
+//     at once, collecting a path constraint over the inputs; negating a
+//     branch predicate and solving yields inputs that steer the next run
+//     down a new path, sweeping the program's execution tree.
+//
+// Basic use:
+//
+//	prog, err := dart.Compile(src)
+//	rep, err := dart.Run(prog, dart.Options{Toplevel: "h"})
+//	if bug := rep.FirstBug(); bug != nil { ... }
+//
+// Run reports program crashes (segmentation faults, division by zero),
+// abort() reachability and assertion violations, and optionally
+// non-termination (step-budget exhaustion).  If the search terminates
+// with Report.Complete, every feasible execution path was exercised and
+// the program is error-free for the checked classes (Theorem 1 of the
+// paper).  RandomTest provides the pure random-testing baseline the
+// paper compares against.
+package dart
+
+import (
+	"fmt"
+
+	"dart/internal/concolic"
+	"dart/internal/iface"
+	"dart/internal/ir"
+	"dart/internal/machine"
+	"dart/internal/parser"
+	"dart/internal/sema"
+	"dart/internal/types"
+)
+
+// Program is a compiled MiniC program ready for testing.
+type Program struct {
+	IR  *ir.Prog
+	Sem *sema.Program
+}
+
+// Options configures a search; see the field documentation in the
+// concolic package.
+type Options = concolic.Options
+
+// Report summarizes a search.
+type Report = concolic.Report
+
+// Bug is one distinct error found.
+type Bug = concolic.Bug
+
+// Interface is the extracted external interface of a program.
+type Interface = iface.Interface
+
+// Strategy selects the directed search's branch-selection order.
+type Strategy = concolic.Strategy
+
+// Search strategies.
+const (
+	DFS          = concolic.DFS
+	BFS          = concolic.BFS
+	RandomBranch = concolic.RandomBranch
+)
+
+// Outcome re-exports the run outcome classification for bug kinds.
+type Outcome = machine.Outcome
+
+// Bug kinds.
+const (
+	Aborted   = machine.Aborted
+	Crashed   = machine.Crashed
+	StepLimit = machine.StepLimit
+)
+
+// CompileConfig adjusts compilation.
+type CompileConfig struct {
+	// DisableOptimizer skips the IR optimizer (constant folding, branch
+	// folding, jump threading, dead-code removal); useful as an ablation
+	// or when debugging lowered code.
+	DisableOptimizer bool
+	// Lib overrides the library (black-box) function signatures; nil
+	// selects the standard library.
+	Lib map[string]*types.Func
+}
+
+// Compile parses, type-checks, and lowers a MiniC translation unit.  The
+// standard library (abs, min, max, mix, cube, alloca, memset, memcpy,
+// strlen, strcmp) is available to the program as black-box functions,
+// and the IR optimizer runs by default.
+func Compile(src string) (*Program, error) {
+	return CompileWith(src, CompileConfig{})
+}
+
+// CompileWith is Compile with explicit configuration.
+func CompileWith(src string, cfg CompileConfig) (*Program, error) {
+	file, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	lib := cfg.Lib
+	if lib == nil {
+		lib = machine.StdLibSigs()
+	}
+	sem, err := sema.Check(file, lib)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	prog, err := ir.Compile(sem)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	if !cfg.DisableOptimizer {
+		ir.Optimize(prog)
+	}
+	return &Program{IR: prog, Sem: sem}, nil
+}
+
+// Run performs DART's directed search on the program.
+func Run(p *Program, opts Options) (*Report, error) {
+	return concolic.Run(p.IR, opts)
+}
+
+// RandomTest performs pure random testing (the baseline of the paper's
+// evaluation tables).
+func RandomTest(p *Program, opts Options) (*Report, error) {
+	return concolic.RandomTest(p.IR, opts)
+}
+
+// Replay executes the program once, concretely, on a recorded input
+// vector — typically a Bug's Inputs.  It returns nil when the run
+// terminates normally, or the error the inputs reproduce.  Every bug
+// reported by Run replays to the same error (the paper's Theorem 1(a):
+// errors found by DART are sound).
+func Replay(p *Program, opts Options, inputs map[string]int64) (*machine.RunError, error) {
+	return concolic.Replay(p.IR, opts, inputs)
+}
+
+// RunError describes how a replayed execution terminated abnormally.
+type RunError = machine.RunError
+
+// ExtractInterface returns the program's external interface for the
+// given toplevel function (the paper's technique 1).
+func ExtractInterface(p *Program, toplevel string) (*Interface, error) {
+	return iface.Extract(p.Sem, toplevel)
+}
+
+// Functions lists every defined function, i.e. every valid toplevel
+// choice; a whole-library audit (the oSIP experiment) iterates over it.
+func Functions(p *Program) []string {
+	return iface.Candidates(p.Sem)
+}

@@ -1,0 +1,68 @@
+// Auditing a SIP library function-by-function (the paper's Sec. 4.3 oSIP
+// experiment): every externally visible function becomes the toplevel in
+// turn, with a 1000-run budget, and crashes are tallied.  The paper found
+// ways to crash 65% of oSIP's ~600 functions this way — almost all by
+// passing NULL where the function expected a valid pointer — plus a
+// remotely triggerable parser crash through an unchecked alloca().
+//
+// Run with:
+//
+//	go run ./examples/sipaudit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dart"
+	"dart/internal/minisip"
+)
+
+func main() {
+	prog, sem, err := minisip.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := minisip.Audit(prog, sem, 1, 1000, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audited %d externally visible functions, 1000-run budget each\n", res.TotalFunctions)
+	fmt.Printf("crashed: %d (%.0f%%)   [paper: 65%% of ~600 oSIP functions]\n\n",
+		res.CrashedFunctions, 100*res.Fraction())
+	fmt.Printf("%-24s %-10s %s\n", "function", "crashed", "first crashing run")
+	for _, e := range res.Entries {
+		mark, first := "-", "-"
+		if e.Crashed {
+			mark = "CRASH"
+			first = fmt.Sprint(e.FirstCrashRun)
+		}
+		fmt.Printf("%-24s %-10s %s\n", e.Function, mark, first)
+	}
+
+	// The security vulnerability: the parser copies packets into
+	// alloca()d stack space without checking for allocation failure, so
+	// an oversized packet that passes the syntactic filters crashes it.
+	fmt.Println("\n--- parser vulnerability (unchecked alloca) ---")
+	p := &dart.Program{IR: prog}
+	rep, err := dart.Run(p, dart.Options{Toplevel: "parse_packet", MaxRuns: 2000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range rep.Bugs {
+		if b.Kind == dart.Crashed {
+			fmt.Printf("found: %s\n", b.Msg)
+			fmt.Printf("attack packet: magic=0x%x first-byte=%d length=%d cells\n",
+				b.Inputs["d0.magic"], b.Inputs["d0.first"], b.Inputs["d0.len"])
+			fmt.Println("(the filters demand correct framing, no NUL/'|' bytes, and a")
+			fmt.Println(" minimum size; the crash additionally needs length > the 65536-cell")
+			fmt.Println(" stack limit — the analogue of the paper's >2.5 MB SIP message)")
+		}
+	}
+	fixed, err := dart.Run(p, dart.Options{Toplevel: "parse_packet_fixed", MaxRuns: 2000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parse_packet_fixed (the oSIP 2.2.0 repair): %d bugs found\n", len(fixed.Bugs))
+}

@@ -1,0 +1,403 @@
+// Package ast defines the abstract syntax tree for MiniC programs.
+//
+// Expression nodes carry a T field that the sema package fills in with the
+// resolved type; the parser leaves it nil.
+package ast
+
+import (
+	"dart/internal/token"
+	"dart/internal/types"
+)
+
+// Node is the common interface of all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------- types
+
+// TypeSpec is the syntactic form of a type.
+type TypeSpec interface {
+	Node
+	typeSpec()
+}
+
+// BasicSpec names a built-in type (int, char, long, unsigned, void).
+type BasicSpec struct {
+	Kind   types.BasicKind
+	TokPos token.Pos
+}
+
+// PointerSpec is "T*".
+type PointerSpec struct {
+	Elem   TypeSpec
+	TokPos token.Pos
+}
+
+// StructSpec is "struct Name".
+type StructSpec struct {
+	Name   string
+	TokPos token.Pos
+}
+
+// ArraySpec is "T[N]"; Len is a constant expression.
+type ArraySpec struct {
+	Elem   TypeSpec
+	Len    Expr
+	TokPos token.Pos
+}
+
+func (s *BasicSpec) Pos() token.Pos   { return s.TokPos }
+func (s *PointerSpec) Pos() token.Pos { return s.TokPos }
+func (s *StructSpec) Pos() token.Pos  { return s.TokPos }
+func (s *ArraySpec) Pos() token.Pos   { return s.TokPos }
+
+func (*BasicSpec) typeSpec()   {}
+func (*PointerSpec) typeSpec() {}
+func (*StructSpec) typeSpec()  {}
+func (*ArraySpec) typeSpec()   {}
+
+// ---------------------------------------------------------------- exprs
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	Type() types.Type
+	expr()
+}
+
+// typed is embedded in every expression to hold its resolved type.
+type typed struct {
+	T types.Type
+}
+
+// Type returns the resolved type (nil before sema has run).
+func (t *typed) Type() types.Type { return t.T }
+
+// SetType records the resolved type; used by sema.
+func (t *typed) SetType(ty types.Type) { t.T = ty }
+
+// Typed is satisfied by all expression nodes; sema uses it to annotate.
+type Typed interface{ SetType(types.Type) }
+
+// Ident is a reference to a named variable or function.
+type Ident struct {
+	typed
+	Name   string
+	TokPos token.Pos
+}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	typed
+	Value  int64
+	TokPos token.Pos
+}
+
+// StringLit is a string literal; MiniC only allows it as the message
+// argument of assert/abort-style calls.
+type StringLit struct {
+	typed
+	Value  string
+	TokPos token.Pos
+}
+
+// NullLit is the NULL constant.
+type NullLit struct {
+	typed
+	TokPos token.Pos
+}
+
+// Unary is a prefix operator: - ! ~ * & ++ --.
+type Unary struct {
+	typed
+	Op     token.Kind
+	X      Expr
+	TokPos token.Pos
+}
+
+// Postfix is a postfix ++ or --.
+type Postfix struct {
+	typed
+	Op     token.Kind
+	X      Expr
+	TokPos token.Pos
+}
+
+// Binary is an infix binary operation (arithmetic, comparison, logical,
+// bitwise).
+type Binary struct {
+	typed
+	Op     token.Kind
+	X, Y   Expr
+	TokPos token.Pos
+}
+
+// Assign is an assignment expression: lhs = rhs, lhs += rhs, etc.
+type Assign struct {
+	typed
+	Op     token.Kind // ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ
+	Lhs    Expr
+	Rhs    Expr
+	TokPos token.Pos
+}
+
+// Cond is the ternary conditional e ? a : b.
+type Cond struct {
+	typed
+	C, Then, Else Expr
+	TokPos        token.Pos
+}
+
+// Call is a function call.
+type Call struct {
+	typed
+	Fun    string
+	Args   []Expr
+	TokPos token.Pos
+}
+
+// Index is array/pointer subscripting a[i].
+type Index struct {
+	typed
+	X, I   Expr
+	TokPos token.Pos
+}
+
+// Field selects a struct member: X.Name or X->Name (Arrow).
+type Field struct {
+	typed
+	X      Expr
+	Name   string
+	Arrow  bool
+	TokPos token.Pos
+}
+
+// Cast is an explicit type conversion (T)x.
+type Cast struct {
+	typed
+	To     TypeSpec
+	X      Expr
+	TokPos token.Pos
+}
+
+// SizeofType is sizeof(T).  Resolved is filled in by sema with the
+// operand type so later phases can compute the size.
+type SizeofType struct {
+	typed
+	Of       TypeSpec
+	Resolved types.Type
+	TokPos   token.Pos
+}
+
+// SizeofExpr is sizeof(expr).
+type SizeofExpr struct {
+	typed
+	X      Expr
+	TokPos token.Pos
+}
+
+func (e *Ident) Pos() token.Pos      { return e.TokPos }
+func (e *IntLit) Pos() token.Pos     { return e.TokPos }
+func (e *StringLit) Pos() token.Pos  { return e.TokPos }
+func (e *NullLit) Pos() token.Pos    { return e.TokPos }
+func (e *Unary) Pos() token.Pos      { return e.TokPos }
+func (e *Postfix) Pos() token.Pos    { return e.TokPos }
+func (e *Binary) Pos() token.Pos     { return e.TokPos }
+func (e *Assign) Pos() token.Pos     { return e.TokPos }
+func (e *Cond) Pos() token.Pos       { return e.TokPos }
+func (e *Call) Pos() token.Pos       { return e.TokPos }
+func (e *Index) Pos() token.Pos      { return e.TokPos }
+func (e *Field) Pos() token.Pos      { return e.TokPos }
+func (e *Cast) Pos() token.Pos       { return e.TokPos }
+func (e *SizeofType) Pos() token.Pos { return e.TokPos }
+func (e *SizeofExpr) Pos() token.Pos { return e.TokPos }
+
+func (*Ident) expr()      {}
+func (*IntLit) expr()     {}
+func (*StringLit) expr()  {}
+func (*NullLit) expr()    {}
+func (*Unary) expr()      {}
+func (*Postfix) expr()    {}
+func (*Binary) expr()     {}
+func (*Assign) expr()     {}
+func (*Cond) expr()       {}
+func (*Call) expr()       {}
+func (*Index) expr()      {}
+func (*Field) expr()      {}
+func (*Cast) expr()       {}
+func (*SizeofType) expr() {}
+func (*SizeofExpr) expr() {}
+
+// ---------------------------------------------------------------- stmts
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is { ... }.
+type Block struct {
+	Stmts  []Stmt
+	TokPos token.Pos
+}
+
+// DeclStmt declares one local variable, optionally initialized.
+type DeclStmt struct {
+	Name   string
+	Spec   TypeSpec
+	Init   Expr // may be nil
+	TokPos token.Pos
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X      Expr
+	TokPos token.Pos
+}
+
+// If is if (Cond) Then [else Else].
+type If struct {
+	Cond   Expr
+	Then   Stmt
+	Else   Stmt // may be nil
+	TokPos token.Pos
+}
+
+// While is while (Cond) Body.
+type While struct {
+	Cond   Expr
+	Body   Stmt
+	TokPos token.Pos
+}
+
+// DoWhile is do Body while (Cond);.
+type DoWhile struct {
+	Body   Stmt
+	Cond   Expr
+	TokPos token.Pos
+}
+
+// For is for (Init; Cond; Post) Body; any part may be nil.
+type For struct {
+	Init   Stmt // DeclStmt or ExprStmt
+	Cond   Expr
+	Post   Expr
+	Body   Stmt
+	TokPos token.Pos
+}
+
+// Switch is a C switch statement.  Cases execute with C fallthrough
+// semantics; break leaves the switch.
+type Switch struct {
+	Tag    Expr
+	Cases  []*Case
+	TokPos token.Pos
+}
+
+// Case is one "case K:" or "default:" arm with its statements.
+type Case struct {
+	// Value is the constant case label; nil for default.
+	Value  Expr
+	Body   []Stmt
+	TokPos token.Pos
+}
+
+// Return is return [expr];.
+type Return struct {
+	X      Expr // may be nil
+	TokPos token.Pos
+}
+
+// Break is break;.
+type Break struct{ TokPos token.Pos }
+
+// Continue is continue;.
+type Continue struct{ TokPos token.Pos }
+
+// Empty is a bare semicolon.
+type Empty struct{ TokPos token.Pos }
+
+func (s *Block) Pos() token.Pos    { return s.TokPos }
+func (s *DeclStmt) Pos() token.Pos { return s.TokPos }
+func (s *ExprStmt) Pos() token.Pos { return s.TokPos }
+func (s *If) Pos() token.Pos       { return s.TokPos }
+func (s *While) Pos() token.Pos    { return s.TokPos }
+func (s *DoWhile) Pos() token.Pos  { return s.TokPos }
+func (s *For) Pos() token.Pos      { return s.TokPos }
+func (s *Switch) Pos() token.Pos   { return s.TokPos }
+func (s *Return) Pos() token.Pos   { return s.TokPos }
+func (s *Break) Pos() token.Pos    { return s.TokPos }
+func (s *Continue) Pos() token.Pos { return s.TokPos }
+func (s *Empty) Pos() token.Pos    { return s.TokPos }
+
+func (*Block) stmt()    {}
+func (*DeclStmt) stmt() {}
+func (*ExprStmt) stmt() {}
+func (*If) stmt()       {}
+func (*While) stmt()    {}
+func (*DoWhile) stmt()  {}
+func (*For) stmt()      {}
+func (*Switch) stmt()   {}
+func (*Return) stmt()   {}
+func (*Break) stmt()    {}
+func (*Continue) stmt() {}
+func (*Empty) stmt()    {}
+
+// ---------------------------------------------------------------- decls
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	decl()
+}
+
+// StructDecl defines struct Name { fields... }.
+type StructDecl struct {
+	Name   string
+	Fields []Param
+	TokPos token.Pos
+}
+
+// Param is a named, typed slot: a function parameter or a struct field.
+type Param struct {
+	Name string
+	Spec TypeSpec
+}
+
+// VarDecl declares a global variable.  Extern globals (or globals without
+// an initializer when treated loosely) form part of the program's external
+// interface per Sec. 3.1.
+type VarDecl struct {
+	Name   string
+	Spec   TypeSpec
+	Init   Expr // may be nil
+	Extern bool
+	TokPos token.Pos
+}
+
+// FuncDecl declares or defines a function.  A nil Body with Extern set is
+// an external function (environment-controlled, Sec. 3.1); a nil Body
+// without Extern is a prototype for a function defined later in the file.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Result TypeSpec
+	Body   *Block
+	Extern bool
+	TokPos token.Pos
+}
+
+func (d *StructDecl) Pos() token.Pos { return d.TokPos }
+func (d *VarDecl) Pos() token.Pos    { return d.TokPos }
+func (d *FuncDecl) Pos() token.Pos   { return d.TokPos }
+
+func (*StructDecl) decl() {}
+func (*VarDecl) decl()    {}
+func (*FuncDecl) decl()   {}
+
+// File is a parsed MiniC translation unit.
+type File struct {
+	Decls []Decl
+}

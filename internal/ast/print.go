@@ -1,0 +1,310 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"dart/internal/token"
+	"dart/internal/types"
+)
+
+// Print renders the file back to MiniC-like source, normalizing layout.
+// It is used by golden tests and the dart CLI's -dump-ast mode.
+func Print(f *File) string {
+	var p printer
+	for i, d := range f.Decls {
+		if i > 0 {
+			p.buf.WriteString("\n")
+		}
+		p.decl(d)
+	}
+	return p.buf.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var p printer
+	p.expr(e)
+	return p.buf.String()
+}
+
+// PrintStmt renders a single statement at indent 0.
+func PrintStmt(s Stmt) string {
+	var p printer
+	p.stmt(s)
+	return p.buf.String()
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (p *printer) line(s string) {
+	p.buf.WriteString(strings.Repeat("    ", p.indent))
+	p.buf.WriteString(s)
+	p.buf.WriteString("\n")
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *StructDecl:
+		p.line(fmt.Sprintf("struct %s {", d.Name))
+		p.indent++
+		for _, f := range d.Fields {
+			p.line(declString(f.Spec, f.Name) + ";")
+		}
+		p.indent--
+		p.line("};")
+	case *VarDecl:
+		s := declString(d.Spec, d.Name)
+		if d.Extern {
+			s = "extern " + s
+		}
+		if d.Init != nil {
+			s += " = " + PrintExpr(d.Init)
+		}
+		p.line(s + ";")
+	case *FuncDecl:
+		var params []string
+		for _, prm := range d.Params {
+			params = append(params, declString(prm.Spec, prm.Name))
+		}
+		sig := fmt.Sprintf("%s(%s)", declString(d.Result, d.Name), strings.Join(params, ", "))
+		if d.Extern {
+			p.line("extern " + sig + ";")
+			return
+		}
+		if d.Body == nil {
+			p.line(sig + ";")
+			return
+		}
+		p.line(sig + " {")
+		p.indent++
+		for _, s := range d.Body.Stmts {
+			p.stmt(s)
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+// declString renders a declaration of name with the given type spec using
+// C-ish syntax (arrays as suffix).
+func declString(spec TypeSpec, name string) string {
+	base, suffix := splitSpec(spec)
+	if name == "" {
+		return base + suffix
+	}
+	return base + " " + name + suffix
+}
+
+func splitSpec(spec TypeSpec) (base, suffix string) {
+	switch s := spec.(type) {
+	case *BasicSpec:
+		return basicName(s.Kind), ""
+	case *StructSpec:
+		return "struct " + s.Name, ""
+	case *PointerSpec:
+		b, suf := splitSpec(s.Elem)
+		return b + "*", suf
+	case *ArraySpec:
+		b, suf := splitSpec(s.Elem)
+		return b, fmt.Sprintf("[%s]%s", PrintExpr(s.Len), suf)
+	}
+	return "?", ""
+}
+
+func basicName(k types.BasicKind) string {
+	switch k {
+	case types.Void:
+		return "void"
+	case types.Int:
+		return "int"
+	case types.Char:
+		return "char"
+	case types.Long:
+		return "long"
+	case types.UInt:
+		return "unsigned"
+	}
+	return "?"
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, inner := range s.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *DeclStmt:
+		str := declString(s.Spec, s.Name)
+		if s.Init != nil {
+			str += " = " + PrintExpr(s.Init)
+		}
+		p.line(str + ";")
+	case *ExprStmt:
+		p.line(PrintExpr(s.X) + ";")
+	case *If:
+		p.line("if (" + PrintExpr(s.Cond) + ")")
+		p.indent++
+		p.stmt(s.Then)
+		p.indent--
+		if s.Else != nil {
+			p.line("else")
+			p.indent++
+			p.stmt(s.Else)
+			p.indent--
+		}
+	case *While:
+		p.line("while (" + PrintExpr(s.Cond) + ")")
+		p.indent++
+		p.stmt(s.Body)
+		p.indent--
+	case *DoWhile:
+		p.line("do")
+		p.indent++
+		p.stmt(s.Body)
+		p.indent--
+		p.line("while (" + PrintExpr(s.Cond) + ");")
+	case *For:
+		init, cond, post := "", "", ""
+		switch is := s.Init.(type) {
+		case *DeclStmt:
+			init = declString(is.Spec, is.Name)
+			if is.Init != nil {
+				init += " = " + PrintExpr(is.Init)
+			}
+		case *ExprStmt:
+			init = PrintExpr(is.X)
+		}
+		if s.Cond != nil {
+			cond = PrintExpr(s.Cond)
+		}
+		if s.Post != nil {
+			post = PrintExpr(s.Post)
+		}
+		p.line(fmt.Sprintf("for (%s; %s; %s)", init, cond, post))
+		p.indent++
+		p.stmt(s.Body)
+		p.indent--
+	case *Switch:
+		p.line("switch (" + PrintExpr(s.Tag) + ") {")
+		for _, cs := range s.Cases {
+			if cs.Value == nil {
+				p.line("default:")
+			} else {
+				p.line("case " + PrintExpr(cs.Value) + ":")
+			}
+			p.indent++
+			for _, inner := range cs.Body {
+				p.stmt(inner)
+			}
+			p.indent--
+		}
+		p.line("}")
+	case *Return:
+		if s.X == nil {
+			p.line("return;")
+		} else {
+			p.line("return " + PrintExpr(s.X) + ";")
+		}
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	case *Empty:
+		p.line(";")
+	}
+}
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *Ident:
+		p.buf.WriteString(e.Name)
+	case *IntLit:
+		fmt.Fprintf(&p.buf, "%d", e.Value)
+	case *StringLit:
+		fmt.Fprintf(&p.buf, "%q", e.Value)
+	case *NullLit:
+		p.buf.WriteString("NULL")
+	case *Unary:
+		p.buf.WriteString(unaryName(e.Op))
+		p.paren(e.X)
+	case *Postfix:
+		p.paren(e.X)
+		p.buf.WriteString(e.Op.String())
+	case *Binary:
+		p.paren(e.X)
+		p.buf.WriteString(" " + e.Op.String() + " ")
+		p.paren(e.Y)
+	case *Assign:
+		p.expr(e.Lhs)
+		p.buf.WriteString(" " + e.Op.String() + " ")
+		p.expr(e.Rhs)
+	case *Cond:
+		p.paren(e.C)
+		p.buf.WriteString(" ? ")
+		p.paren(e.Then)
+		p.buf.WriteString(" : ")
+		p.paren(e.Else)
+	case *Call:
+		p.buf.WriteString(e.Fun + "(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.buf.WriteString(", ")
+			}
+			p.expr(a)
+		}
+		p.buf.WriteString(")")
+	case *Index:
+		p.paren(e.X)
+		p.buf.WriteString("[")
+		p.expr(e.I)
+		p.buf.WriteString("]")
+	case *Field:
+		p.paren(e.X)
+		if e.Arrow {
+			p.buf.WriteString("->")
+		} else {
+			p.buf.WriteString(".")
+		}
+		p.buf.WriteString(e.Name)
+	case *Cast:
+		p.buf.WriteString("(" + declString(e.To, "") + ")")
+		p.paren(e.X)
+	case *SizeofType:
+		p.buf.WriteString("sizeof(" + declString(e.Of, "") + ")")
+	case *SizeofExpr:
+		p.buf.WriteString("sizeof(")
+		p.expr(e.X)
+		p.buf.WriteString(")")
+	}
+}
+
+// paren prints sub-expressions with parentheses when they are compound,
+// keeping the output unambiguous without tracking precedence.
+func (p *printer) paren(e Expr) {
+	switch e.(type) {
+	case *Ident, *IntLit, *StringLit, *NullLit, *Call, *Index, *Field, *SizeofType, *SizeofExpr:
+		p.expr(e)
+	default:
+		p.buf.WriteString("(")
+		p.expr(e)
+		p.buf.WriteString(")")
+	}
+}
+
+func unaryName(op token.Kind) string {
+	switch op {
+	case token.INC:
+		return "++"
+	case token.DEC:
+		return "--"
+	}
+	return op.String()
+}

@@ -1,0 +1,114 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/token"
+	"dart/internal/types"
+)
+
+func TestPrintDecls(t *testing.T) {
+	f := &File{Decls: []Decl{
+		&StructDecl{Name: "pair", Fields: []Param{
+			{Name: "a", Spec: &BasicSpec{Kind: types.Int}},
+			{Name: "b", Spec: &PointerSpec{Elem: &BasicSpec{Kind: types.Char}}},
+		}},
+		&VarDecl{Name: "g", Spec: &BasicSpec{Kind: types.Int}, Init: &IntLit{Value: 3}},
+		&VarDecl{Name: "env", Spec: &BasicSpec{Kind: types.Int}, Extern: true},
+		&VarDecl{Name: "buf", Spec: &ArraySpec{
+			Elem: &BasicSpec{Kind: types.Char},
+			Len:  &IntLit{Value: 16},
+		}},
+		&FuncDecl{Name: "get", Result: &BasicSpec{Kind: types.Int}, Extern: true},
+	}}
+	out := Print(f)
+	for _, want := range []string{
+		"struct pair {",
+		"int a;",
+		"char* b;",
+		"int g = 3;",
+		"extern int env;",
+		"char buf[16];",
+		"extern int get();",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintStmts(t *testing.T) {
+	pos := token.Pos{}
+	_ = pos
+	body := &Block{Stmts: []Stmt{
+		&DeclStmt{Name: "x", Spec: &BasicSpec{Kind: types.Int}, Init: &IntLit{Value: 0}},
+		&While{
+			Cond: &Binary{Op: token.LT, X: &Ident{Name: "x"}, Y: &IntLit{Value: 5}},
+			Body: &ExprStmt{X: &Unary{Op: token.INC, X: &Ident{Name: "x"}}},
+		},
+		&DoWhile{
+			Body: &Empty{},
+			Cond: &IntLit{Value: 0},
+		},
+		&Return{X: &Ident{Name: "x"}},
+		&Break{},
+		&Continue{},
+	}}
+	f := &File{Decls: []Decl{
+		&FuncDecl{Name: "fn", Result: &BasicSpec{Kind: types.Int}, Body: body},
+	}}
+	out := Print(f)
+	for _, want := range []string{
+		"int fn() {",
+		"int x = 0;",
+		"while (x < 5)",
+		"++x;",
+		"do",
+		"while (0);",
+		"return x;",
+		"break;",
+		"continue;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintExprForms(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&NullLit{}, "NULL"},
+		{&StringLit{Value: "hi"}, `"hi"`},
+		{&Cond{C: &Ident{Name: "a"}, Then: &IntLit{Value: 1}, Else: &IntLit{Value: 2}}, "a ? 1 : 2"},
+		{&Index{X: &Ident{Name: "a"}, I: &IntLit{Value: 0}}, "a[0]"},
+		{&Field{X: &Ident{Name: "p"}, Name: "f", Arrow: true}, "p->f"},
+		{&Field{X: &Ident{Name: "s"}, Name: "f"}, "s.f"},
+		{&Cast{To: &PointerSpec{Elem: &BasicSpec{Kind: types.Char}}, X: &Ident{Name: "p"}}, "(char*)p"},
+		{&SizeofExpr{X: &Ident{Name: "x"}}, "sizeof(x)"},
+		{&Call{Fun: "g", Args: []Expr{&IntLit{Value: 1}, &IntLit{Value: 2}}}, "g(1, 2)"},
+		{&Assign{Op: token.PLUSEQ, Lhs: &Ident{Name: "x"}, Rhs: &IntLit{Value: 2}}, "x += 2"},
+		{&Postfix{Op: token.DEC, X: &Ident{Name: "x"}}, "x--"},
+	}
+	for _, c := range cases {
+		if got := PrintExpr(c.e); got != c.want {
+			t.Errorf("PrintExpr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintForHeader(t *testing.T) {
+	loop := &For{
+		Init: &DeclStmt{Name: "i", Spec: &BasicSpec{Kind: types.Int}, Init: &IntLit{Value: 0}},
+		Cond: &Binary{Op: token.LT, X: &Ident{Name: "i"}, Y: &IntLit{Value: 3}},
+		Post: &Unary{Op: token.INC, X: &Ident{Name: "i"}},
+		Body: &Block{},
+	}
+	out := PrintStmt(loop)
+	if !strings.Contains(out, "for (int i = 0; i < 3; ++i)") {
+		t.Errorf("for header: %s", out)
+	}
+}

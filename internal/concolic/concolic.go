@@ -1,0 +1,327 @@
+// Package concolic implements DART's directed search: the run_DART
+// driver of Fig. 2, the stack bookkeeping of Fig. 4, and the
+// solve_path_constraint procedure of Fig. 5.
+//
+// The engine repeatedly executes the program under test on the machine
+// (concrete + symbolic), records the branch sequence, and after each run
+// negates the deepest (or, per strategy, another) unexplored branch
+// predicate, solving the path-constraint prefix for the next input
+// vector.  Inputs not involved in the constraint keep their previous
+// values (IM + IM').  Mispredicted executions clear forcing_ok and
+// restart the search from a fresh random input vector; non-linear
+// expressions and input-dependent dereferences clear the completeness
+// flags, in which case exhausting the search space no longer proves full
+// path coverage.
+package concolic
+
+import (
+	"errors"
+	"fmt"
+
+	"dart/internal/coverage"
+	"dart/internal/ir"
+	"dart/internal/machine"
+	"dart/internal/rng"
+	"dart/internal/solver"
+	"dart/internal/symbolic"
+	"dart/internal/token"
+)
+
+// Strategy selects which unexplored branch to force next (the paper's
+// footnote 4: depth-first by default, but the next branch "could be
+// selected using a different strategy, e.g., randomly or in a
+// breadth-first manner").
+type Strategy int
+
+// Strategies.
+const (
+	DFS Strategy = iota
+	BFS
+	RandomBranch
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DFS:
+		return "dfs"
+	case BFS:
+		return "bfs"
+	case RandomBranch:
+		return "random-branch"
+	}
+	return "unknown"
+}
+
+// Options configures a directed search.
+type Options struct {
+	// Toplevel is the function under test (its arguments are inputs).
+	Toplevel string
+	// Depth is how many times the toplevel function is called per run
+	// with fresh inputs (the paper's depth parameter). Default 1.
+	Depth int
+	// MaxRuns bounds the number of program executions. Default 10000.
+	MaxRuns int
+	// MaxSteps bounds each execution (non-termination watchdog).
+	MaxSteps int64
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+	// Strategy picks the branch-selection order. Default DFS.
+	Strategy Strategy
+	// StopAtFirstBug ends the search at the first error, like the
+	// paper's exit(); otherwise the search continues and collects every
+	// distinct bug it can reach.
+	StopAtFirstBug bool
+	// ReportStepLimit treats step-budget exhaustion as a bug (the
+	// paper's non-termination detection). Default false.
+	ReportStepLimit bool
+	// DisableShapeSearch turns off the systematic exploration of pointer
+	// input shapes (Decision records); shapes are then chosen by random
+	// coin toss only, exactly as in the paper's random_init.
+	DisableShapeSearch bool
+	// MaxShapeDepth caps how deep the shape search may grow recursive
+	// inputs (counted in pointer indirections); deeper shapes still
+	// occur randomly but are not forced. Default 6.
+	MaxShapeDepth int
+	// MaxFrontier bounds the pending-flip work list of the BFS and
+	// RandomBranch strategies (the DFS strategy uses the paper's O(depth)
+	// stack and ignores it). Default 32768.
+	MaxFrontier int
+	// LibImpls supplies library black boxes (defaults to machine.StdLibImpls).
+	LibImpls map[string]machine.LibImpl
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Depth <= 0 {
+		out.Depth = 1
+	}
+	if out.MaxRuns <= 0 {
+		out.MaxRuns = 10000
+	}
+	if out.MaxSteps <= 0 {
+		out.MaxSteps = machine.DefaultMaxSteps
+	}
+	if out.LibImpls == nil {
+		out.LibImpls = machine.StdLibImpls()
+	}
+	if out.MaxShapeDepth <= 0 {
+		out.MaxShapeDepth = 6
+	}
+	if out.MaxFrontier <= 0 {
+		out.MaxFrontier = 1 << 15
+	}
+	return out
+}
+
+// Bug is one distinct error found during the search.
+type Bug struct {
+	Kind machine.Outcome // Aborted, Crashed, or StepLimit
+	Msg  string
+	Pos  token.Pos
+	// Run is the 1-based run index that first exposed the bug.
+	Run int
+	// Inputs is the input vector that triggers the bug: input key to
+	// concrete value (pointer inputs: 0 = NULL, 1 = allocated).
+	Inputs map[string]int64
+}
+
+func (b Bug) String() string {
+	return fmt.Sprintf("[%s] %s at %s (run %d)", b.Kind, b.Msg, b.Pos, b.Run)
+}
+
+// Report summarizes a directed search.
+type Report struct {
+	// Runs is the number of program executions performed.
+	Runs int
+	// Bugs are the distinct errors found, in discovery order.
+	Bugs []Bug
+	// Complete is true when the search exhausted every feasible path
+	// with all completeness flags intact: by Theorem 1(b), the program
+	// has no reachable abort (modulo the checked error classes).
+	Complete bool
+	// AllLinear / AllLocsDefinite are the accumulated completeness flags.
+	AllLinear       bool
+	AllLocsDefinite bool
+	// Restarts counts fresh random restarts forced by mispredictions.
+	Restarts int
+	// Steps is the total instruction count across runs.
+	Steps int64
+	// Coverage accumulates branch coverage over all runs.
+	Coverage *coverage.Set
+	// SolverCalls and SolverFailures count constraint-solving activity.
+	SolverCalls    int
+	SolverFailures int
+}
+
+// FirstBug returns the first bug or nil.
+func (r *Report) FirstBug() *Bug {
+	if len(r.Bugs) == 0 {
+		return nil
+	}
+	return &r.Bugs[0]
+}
+
+// stackEntry is the paper's (branch, done) record.
+type stackEntry struct {
+	branch bool
+	done   bool
+}
+
+// varInfo describes a registered input variable.
+type varInfo struct {
+	key  string
+	meta solver.VarMeta
+}
+
+// engine is the state of one directed search.
+type engine struct {
+	prog *ir.Prog
+	opts Options
+	rand *rng.R
+
+	// Input registry: stable across runs.
+	varByKey map[string]symbolic.Var
+	vars     []varInfo
+
+	// im is the current input vector (key -> value/decision).
+	im map[string]int64
+
+	// Per-run state.
+	stack      []stackEntry
+	k          int
+	forcingOK  bool
+	mispredict bool
+
+	report *Report
+}
+
+var errMispredicted = errors.New("execution diverged from predicted branch")
+
+// Run performs the directed search over prog.
+func Run(prog *ir.Prog, opts Options) (*Report, error) {
+	o := opts.withDefaults()
+	if _, ok := prog.Lookup(o.Toplevel); !ok {
+		return nil, fmt.Errorf("concolic: toplevel function %q is not defined in the program", o.Toplevel)
+	}
+	e := &engine{
+		prog:     prog,
+		opts:     o,
+		rand:     rng.New(o.Seed),
+		varByKey: map[string]symbolic.Var{},
+		im:       map[string]int64{},
+		report: &Report{
+			AllLinear:       true,
+			AllLocsDefinite: true,
+			Coverage:        coverage.New(prog.NumSites),
+		},
+	}
+	if o.Strategy == DFS {
+		e.search()
+	} else {
+		// Non-depth-first flip orders are unsound with the single-stack
+		// bookkeeping (flipping a shallow entry abandons the pending
+		// subtree of the original branch), so they run on the
+		// generational frontier engine instead; see frontier.go.
+		e.runFrontier()
+	}
+	return e.report, nil
+}
+
+// search is run_DART (Fig. 2).
+func (e *engine) search() {
+	seenBugs := map[string]bool{}
+
+	for e.report.Runs < e.opts.MaxRuns {
+		// Outer repeat: fresh random input vector, empty stack.
+		e.stack = nil
+		e.im = map[string]int64{}
+		if e.report.Runs > 0 {
+			e.report.Restarts++
+		}
+
+		directed, restart := true, false
+		for directed && !restart && e.report.Runs < e.opts.MaxRuns {
+			m, rerr := e.oneRun()
+			if m == nil {
+				return // internal failure; report what we have
+			}
+			e.report.Runs++
+			e.report.Steps += m.Steps()
+			if !m.AllLinear() {
+				e.report.AllLinear = false
+			}
+			if !m.AllLocsDefinite() {
+				e.report.AllLocsDefinite = false
+			}
+			for _, rec := range m.Branches {
+				if rec.Site >= 0 {
+					e.report.Coverage.Record(rec.Site, rec.Taken)
+				}
+			}
+
+			if e.mispredict {
+				// Fig. 4 raised: forcing_ok was cleared.  Restart the
+				// outer loop with fresh random inputs.
+				e.forcingOK = true
+				restart = true
+				continue
+			}
+
+			if rerr != nil && rerr.Outcome != machine.HaltOK {
+				isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
+					(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
+				if isBug {
+					sig := fmt.Sprintf("%s|%s|%s", rerr.Outcome, rerr.Msg, rerr.Pos)
+					if !seenBugs[sig] {
+						seenBugs[sig] = true
+						e.report.Bugs = append(e.report.Bugs, Bug{
+							Kind:   rerr.Outcome,
+							Msg:    rerr.Msg,
+							Pos:    rerr.Pos,
+							Run:    e.report.Runs,
+							Inputs: copyIM(e.im),
+						})
+					}
+					if e.opts.StopAtFirstBug {
+						return
+					}
+				}
+				if rerr.Outcome == machine.StepLimit && !e.opts.ReportStepLimit {
+					// A non-terminating path cannot be extended reliably;
+					// restart from fresh randoms.
+					restart = true
+					continue
+				}
+			}
+
+			// Fig. 5: pick the next branch to force and solve for inputs.
+			directed = e.solveNext(m.Branches)
+		}
+
+		if restart {
+			continue
+		}
+		if !directed {
+			// Directed search exhausted the tree.  With all flags intact
+			// and no abnormal run cutting a path short, this is Theorem
+			// 1(b): every feasible path was exercised.  A crashed or
+			// aborted run truncates its path before later conditionals,
+			// so completeness cannot be claimed once a bug was found.
+			if e.report.AllLinear && e.report.AllLocsDefinite && len(e.report.Bugs) == 0 {
+				e.report.Complete = true
+				return
+			}
+			// Otherwise the paper's outer loop continues forever with
+			// fresh randoms; MaxRuns bounds us.
+			continue
+		}
+	}
+}
+
+func copyIM(im map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(im))
+	for k, v := range im {
+		out[k] = v
+	}
+	return out
+}

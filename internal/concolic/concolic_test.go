@@ -1,0 +1,539 @@
+package concolic
+
+import (
+	"testing"
+
+	"dart/internal/ir"
+	"dart/internal/machine"
+	"dart/internal/parser"
+	"dart/internal/sema"
+)
+
+func compile(t *testing.T, src string) *ir.Prog {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sem, err := sema.Check(f, machine.StdLibSigs())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := ir.Compile(sem)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+const maze = `
+int explore(int a, int b, int c) {
+    if (a == 11) {
+        if (b == 22) {
+            if (c == 33) {
+                abort();
+            }
+        }
+    }
+    return 0;
+}
+`
+
+func TestDirectedFindsNestedEqualities(t *testing.T) {
+	prog := compile(t, maze)
+	rep, err := Run(prog, Options{Toplevel: "explore", MaxRuns: 20, Seed: 1, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("not found in %d runs", rep.Runs)
+	}
+	if bug.Inputs["d0.a"] != 11 || bug.Inputs["d0.b"] != 22 || bug.Inputs["d0.c"] != 33 {
+		t.Errorf("inputs %v", bug.Inputs)
+	}
+	// DFS reaches it in exactly 4 runs: initial + one flip per equality.
+	if rep.Runs != 4 {
+		t.Errorf("runs = %d, want 4 under DFS", rep.Runs)
+	}
+}
+
+func TestRandomTestMissesNestedEqualities(t *testing.T) {
+	prog := compile(t, maze)
+	rep, err := RandomTest(prog, Options{Toplevel: "explore", MaxRuns: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) != 0 {
+		t.Errorf("random testing found the 2^-96 bug?! %v", rep.Bugs)
+	}
+	if rep.Runs != 5000 {
+		t.Errorf("runs = %d", rep.Runs)
+	}
+}
+
+func TestAllStrategiesFindTheBug(t *testing.T) {
+	prog := compile(t, maze)
+	for _, s := range []Strategy{DFS, BFS, RandomBranch} {
+		rep, err := Run(prog, Options{Toplevel: "explore", MaxRuns: 200, Seed: 3, Strategy: s, StopAtFirstBug: true})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if rep.FirstBug() == nil {
+			t.Errorf("strategy %v missed the bug in %d runs", s, rep.Runs)
+		}
+	}
+}
+
+func TestDeterministicAcrossRepeats(t *testing.T) {
+	prog := compile(t, maze)
+	first, err := Run(prog, Options{Toplevel: "explore", MaxRuns: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(prog, Options{Toplevel: "explore", MaxRuns: 50, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Runs != first.Runs || len(again.Bugs) != len(first.Bugs) ||
+			again.SolverCalls != first.SolverCalls || again.Steps != first.Steps {
+			t.Fatalf("repeat %d diverged: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+func TestSeedsExploreDifferently(t *testing.T) {
+	prog := compile(t, `
+int f(int a) {
+    if (a > 0) return 1;
+    return 0;
+}
+`)
+	// Different seeds start from different random inputs; both must
+	// still complete the two-path tree.
+	for seed := int64(1); seed <= 5; seed++ {
+		rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Complete || rep.Runs != 2 {
+			t.Errorf("seed %d: runs=%d complete=%v", seed, rep.Runs, rep.Complete)
+		}
+		if rep.Coverage.Covered() != 2 {
+			t.Errorf("seed %d: coverage %d/2", seed, rep.Coverage.Covered())
+		}
+	}
+}
+
+func TestCompletenessOnLoops(t *testing.T) {
+	// A bounded loop over an input: the tree is finite and must be swept.
+	prog := compile(t, `
+int f(int n) {
+    int i;
+    int s = 0;
+    if (n < 0) return -1;
+    if (n > 4) return -2;
+    for (i = 0; i < n; i++) s += i;
+    return s;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("bounded loop tree not exhausted in %d runs", rep.Runs)
+	}
+	// Paths: n<0, n>4, and n = 0..4 — eight runs give full branch cover.
+	if rep.Coverage.Fraction() != 1.0 {
+		t.Errorf("coverage %.2f, want 1.0", rep.Coverage.Fraction())
+	}
+}
+
+func TestIMPreservedAcrossFlips(t *testing.T) {
+	// Flipping the b-branch must preserve the solved value of a
+	// (IM + IM' semantics): otherwise the a == 1234 prefix breaks and
+	// the run mispredicts.
+	prog := compile(t, `
+int f(int a, int b) {
+    if (a == 1234) {
+        if (b == 5678) {
+            abort();
+        }
+    }
+    return 0;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 10, Seed: 9, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstBug() == nil {
+		t.Fatalf("not found in %d runs", rep.Runs)
+	}
+	if rep.Restarts != 0 {
+		t.Errorf("IM preservation failed: %d restarts (mispredictions)", rep.Restarts)
+	}
+}
+
+func TestMaxRunsRespected(t *testing.T) {
+	// An unsweepable tree (non-linear) must stop at MaxRuns.
+	prog := compile(t, `
+int f(int x, int y) {
+    if (x * y == 1000000) abort();
+    return 0;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 37, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs > 37 {
+		t.Errorf("runs = %d exceeds MaxRuns", rep.Runs)
+	}
+	if rep.Complete {
+		t.Error("non-linear program claimed complete")
+	}
+}
+
+func TestStepLimitReporting(t *testing.T) {
+	prog := compile(t, `
+int f(int n) {
+    if (n == 7) {
+        while (1) { }
+    }
+    return 0;
+}
+`)
+	// Without ReportStepLimit, the hang is skipped but not reported.
+	rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 30, Seed: 1, MaxSteps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) != 0 {
+		t.Errorf("unexpected bugs %v", rep.Bugs)
+	}
+	// With it, the non-termination is a finding (the paper's watchdog).
+	rep2, err := Run(prog, Options{Toplevel: "f", MaxRuns: 30, Seed: 1, MaxSteps: 5000, ReportStepLimit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range rep2.Bugs {
+		if b.Kind == machine.StepLimit {
+			found = true
+			if b.Inputs["d0.n"] != 7 {
+				t.Errorf("hang requires n == 7, inputs %v", b.Inputs)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("non-termination not reported: %v", rep2.Bugs)
+	}
+}
+
+func TestMultipleDistinctBugs(t *testing.T) {
+	prog := compile(t, `
+int f(int a) {
+    if (a == 100) abort();
+    if (a == 200) {
+        int x = 1 / (a - 200);
+        return x;
+    }
+    return 0;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[machine.Outcome]int{}
+	for _, b := range rep.Bugs {
+		kinds[b.Kind]++
+	}
+	if kinds[machine.Aborted] != 1 || kinds[machine.Crashed] != 1 {
+		t.Errorf("bugs: %v", rep.Bugs)
+	}
+}
+
+func TestBugsDeduplicated(t *testing.T) {
+	// Many inputs reach the same abort; it must be reported once.
+	prog := compile(t, `
+int f(int a) {
+    if (a > 1000) abort();
+    return 0;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) != 1 {
+		t.Errorf("bugs = %d, want 1 (deduplicated)", len(rep.Bugs))
+	}
+}
+
+func TestUnknownToplevel(t *testing.T) {
+	prog := compile(t, "int f() { return 0; }")
+	if _, err := Run(prog, Options{Toplevel: "missing"}); err == nil {
+		t.Error("Run accepted a missing toplevel")
+	}
+	if _, err := RandomTest(prog, Options{Toplevel: "missing"}); err == nil {
+		t.Error("RandomTest accepted a missing toplevel")
+	}
+}
+
+func TestShapeSearchAblation(t *testing.T) {
+	// Straight-line pointer code: with shape search the NULL shape is
+	// forced systematically; without it, discovery is coin-flip only.
+	prog := compile(t, `
+struct s { int v; };
+int f(struct s *p) {
+    p->v = 1;
+    return 0;
+}
+`)
+	with, err := Run(prog, Options{Toplevel: "f", MaxRuns: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Bugs) != 1 {
+		t.Errorf("shape search should find the NULL crash: %v", with.Bugs)
+	}
+
+	// Without shape search, a seed whose first coin lands on "allocate"
+	// terminates believing the single path is everything (the 2005
+	// behaviour).  Across several seeds roughly half find the crash.
+	found := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		rep, err := Run(prog, Options{
+			Toplevel: "f", MaxRuns: 1, Seed: seed, DisableShapeSearch: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Bugs) > 0 {
+			found++
+		}
+	}
+	if found == 0 || found == 10 {
+		t.Errorf("coin-flip discovery found %d/10; expected a mix", found)
+	}
+}
+
+func TestShapeDepthCap(t *testing.T) {
+	// An unbounded recursive shape: the cap keeps the directed search
+	// finite. Walking the list branches on each node, so without the cap
+	// the tree is infinite.
+	prog := compile(t, `
+struct node { int v; struct node *next; };
+int walk(struct node *n) {
+    int k = 0;
+    while (n != NULL) {
+        k++;
+        n = n->next;
+    }
+    return k;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "walk", MaxRuns: 500, Seed: 1, MaxShapeDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs >= 500 {
+		t.Errorf("shape-capped search did not converge (%d runs)", rep.Runs)
+	}
+}
+
+func TestExternGlobalSolved(t *testing.T) {
+	prog := compile(t, `
+extern int mode;
+int f() {
+    if (mode == 4242) abort();
+    return 0;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 10, Seed: 1, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil || bug.Inputs["g:mode"] != 4242 {
+		t.Errorf("bug %v", bug)
+	}
+}
+
+func TestDepthInputsIndependent(t *testing.T) {
+	// Each depth iteration gets fresh inputs; the bug needs different
+	// values at each call.
+	prog := compile(t, `
+int state = 0;
+void step(int m) {
+    if (state == 0 && m == 10) { state = 1; return; }
+    if (state == 1 && m == 20) abort();
+    state = 0;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "step", Depth: 2, MaxRuns: 100, Seed: 1, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("not found in %d runs", rep.Runs)
+	}
+	if bug.Inputs["d0.m"] != 10 || bug.Inputs["d1.m"] != 20 {
+		t.Errorf("inputs %v", bug.Inputs)
+	}
+}
+
+func TestCoverageMonotoneDirectedVsRandom(t *testing.T) {
+	src := `
+int f(int a, int b) {
+    if (a == 77001) {
+        if (b == 1002) return 1;
+        return 2;
+    }
+    if (a < -2000000) return 3;
+    return 0;
+}
+`
+	prog := compile(t, src)
+	directed, err := Run(prog, Options{Toplevel: "f", MaxRuns: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomTest(prog, Options{Toplevel: "f", MaxRuns: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if directed.Coverage.Covered() <= random.Coverage.Covered() {
+		t.Errorf("directed coverage %d should beat random %d on equality-guarded code",
+			directed.Coverage.Covered(), random.Coverage.Covered())
+	}
+	if !directed.Complete {
+		t.Error("directed search should exhaust this tree")
+	}
+}
+
+func TestFrontierCompleteness(t *testing.T) {
+	// Every strategy must exhaust a finite linear tree and agree there
+	// is no bug; the frontier engine's generational rule guarantees each
+	// path is attempted exactly once for any pop order.
+	prog := compile(t, `
+int f(int a, int b) {
+    if (a > 0) {
+        if (b == 3) return 1;
+        return 2;
+    }
+    if (b < -10) return 3;
+    return 4;
+}
+`)
+	for _, s := range []Strategy{DFS, BFS, RandomBranch} {
+		rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 100, Seed: 4, Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !rep.Complete {
+			t.Errorf("%v: finite tree not exhausted (%d runs)", s, rep.Runs)
+		}
+		if rep.Coverage.Fraction() != 1.0 {
+			t.Errorf("%v: coverage %.2f", s, rep.Coverage.Fraction())
+		}
+	}
+}
+
+func TestFrontierDoesNotAbandonSubtrees(t *testing.T) {
+	// Regression: the single-stack engine with shallow-first flipping
+	// used to claim completeness while the abort under the *original*
+	// first branch was never explored.  The frontier engine must find it
+	// under every strategy.
+	prog := compile(t, `
+int state1 = 0;
+void step(int m) {
+    if (m == 0) { state1 = 0; return; }
+    if (m == 3) {
+        if (state1 == 1) abort();
+        state1 = 1;
+    }
+}
+`)
+	for _, s := range []Strategy{DFS, BFS, RandomBranch} {
+		rep, err := Run(prog, Options{
+			Toplevel: "step", Depth: 2, MaxRuns: 2000, Seed: 1,
+			Strategy: s, StopAtFirstBug: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if rep.FirstBug() == nil {
+			t.Errorf("%v: abort (m1=3, m2=3) not found in %d runs", s, rep.Runs)
+		}
+	}
+}
+
+func TestFrontierStopsAtMaxRuns(t *testing.T) {
+	prog := compile(t, `
+int f(int x, int y) {
+    if (x * y == 123456789) abort();
+    return 0;
+}
+`)
+	for _, s := range []Strategy{BFS, RandomBranch} {
+		rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 25, Seed: 1, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Runs > 25 {
+			t.Errorf("%v: %d runs exceeds budget", s, rep.Runs)
+		}
+		if rep.Complete {
+			t.Errorf("%v: non-linear program claimed complete", s)
+		}
+	}
+}
+
+func TestSwitchDispatchSolved(t *testing.T) {
+	// Each case label is one equality branch site; the directed search
+	// must reach the abort buried behind a two-level switch dispatch.
+	prog := compile(t, `
+int route(int cmd, int sub) {
+    switch (cmd) {
+    case 1001:
+        switch (sub) {
+        case 42:
+            abort();
+        case 43:
+            return 2;
+        }
+        return 1;
+    case 2002:
+        return 3;
+    default:
+        return 0;
+    }
+    return -1;
+}
+`)
+	rep, err := Run(prog, Options{Toplevel: "route", MaxRuns: 50, Seed: 1, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("switch-guarded abort not found in %d runs", rep.Runs)
+	}
+	if bug.Inputs["d0.cmd"] != 1001 || bug.Inputs["d0.sub"] != 42 {
+		t.Errorf("inputs %v", bug.Inputs)
+	}
+	// And the whole dispatch tree is sweepable.
+	full, err := Run(prog, Options{Toplevel: "route", MaxRuns: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Coverage.Fraction() != 1.0 {
+		t.Errorf("switch coverage %.2f", full.Coverage.Fraction())
+	}
+}

@@ -1,0 +1,263 @@
+package concolic
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dart/internal/machine"
+	"dart/internal/solver"
+	"dart/internal/symbolic"
+	"dart/internal/types"
+)
+
+// oneRun executes the generated test driver once: extern globals are
+// initialized as inputs, then the toplevel function is called Depth times
+// with fresh inputs per call (Fig. 7).  The returned machine carries the
+// branch records and completeness flags of the run.
+func (e *engine) oneRun() (*machine.Machine, *machine.RunError) {
+	e.k = 0
+	e.mispredict = false
+	e.forcingOK = true
+
+	m, err := machine.New(machine.Config{
+		Prog:        e.prog,
+		Inputs:      e,
+		OnBranch:    e.onBranch,
+		LibImpls:    e.opts.LibImpls,
+		MaxSteps:    e.opts.MaxSteps,
+		ShapeSearch: !e.opts.DisableShapeSearch,
+	})
+	if err != nil {
+		return nil, nil
+	}
+
+	fn, _ := e.prog.Lookup(e.opts.Toplevel)
+	for d := 0; d < e.opts.Depth; d++ {
+		args := make([]machine.Value, len(fn.Params))
+		for i, p := range fn.Params {
+			name := p.Name
+			if name == "" {
+				name = fmt.Sprintf("arg%d", i)
+			}
+			key := fmt.Sprintf("d%d.%s", d, name)
+			cell, aerr := m.Mem().Alloc(1)
+			if aerr != nil {
+				return m, &machine.RunError{Outcome: machine.Crashed, Msg: aerr.Error()}
+			}
+			if ierr := m.RandomInit(cell, p.Type, key); ierr != nil {
+				return m, &machine.RunError{Outcome: machine.Crashed, Msg: ierr.Error()}
+			}
+			v, verr := m.ArgValue(cell)
+			if verr != nil {
+				return m, &machine.RunError{Outcome: machine.Crashed, Msg: verr.Error()}
+			}
+			args[i] = v
+		}
+		if _, rerr := m.RunCall(e.opts.Toplevel, args); rerr != nil {
+			return m, rerr
+		}
+	}
+	return m, nil
+}
+
+// onBranch is compare_and_update_stack (Fig. 4).
+func (e *engine) onBranch(rec machine.BranchRec) error {
+	k := e.k
+	e.k++
+	if k < len(e.stack) {
+		if e.stack[k].branch != rec.Taken {
+			// The prediction was not fulfilled: clear forcing_ok and
+			// raise, restarting with fresh random inputs.
+			e.forcingOK = false
+			e.mispredict = true
+			return errMispredicted
+		}
+		if k == len(e.stack)-1 {
+			// Both branches of the flipped conditional have now executed
+			// with this history.
+			e.stack[k].done = true
+		}
+		return nil
+	}
+	// New conditional beyond the predicted prefix: append (branch, 0);
+	// conditions outside the theory can never be flipped, so their
+	// entries are born done.  Decision records that would *grow* a
+	// recursive input beyond the shape-depth cap are also born done —
+	// the infinite input tree of a recursive type is searched only to
+	// bounded depth.
+	done := !rec.HasPred
+	if rec.Decision && !done && !rec.Taken && e.decisionDepth(rec) >= e.opts.MaxShapeDepth {
+		done = true
+	}
+	e.stack = append(e.stack, stackEntry{branch: rec.Taken, done: done})
+	return nil
+}
+
+// decisionDepth counts the pointer indirections of the input behind a
+// Decision record.
+func (e *engine) decisionDepth(rec machine.BranchRec) int {
+	vs := rec.Pred.L.Vars()
+	if len(vs) != 1 {
+		return 0
+	}
+	return strings.Count(e.vars[vs[0]].key, ".*")
+}
+
+// solveNext is solve_path_constraint (Fig. 5): choose an unexplored
+// branch, negate its predicate, and solve the path-constraint prefix.
+// It returns false when the directed search is over.
+func (e *engine) solveNext(branches []machine.BranchRec) bool {
+	ktry := e.k
+	if ktry > len(e.stack) {
+		ktry = len(e.stack)
+	}
+	if ktry > len(branches) {
+		ktry = len(branches)
+	}
+
+	for {
+		j := e.pickBranch(branches, ktry)
+		if j < 0 {
+			return false
+		}
+		// Path constraint prefix: predicates of conditionals before j,
+		// plus the negation of j's predicate.
+		var pc []symbolic.Pred
+		for i := 0; i < j; i++ {
+			if branches[i].HasPred {
+				pc = append(pc, branches[i].Pred)
+			}
+		}
+		pc = append(pc, branches[j].Pred.Negate())
+
+		e.report.SolverCalls++
+		sol, ok := solver.Solve(pc, e.meta, e.hint())
+		if !ok {
+			// Infeasible (or beyond the solver): this branch can never
+			// flip under its fixed prefix; mark it done and keep looking,
+			// which is Fig. 5's recursive call with a smaller ktry.
+			e.report.SolverFailures++
+			e.stack[j].done = true
+			continue
+		}
+
+		// Truncate the stack to [0..j] and predict the flipped branch.
+		e.stack = e.stack[:j+1]
+		e.stack[j].branch = !branches[j].Taken
+
+		// IM + IM': inputs not involved keep their previous values.
+		for v, val := range sol {
+			e.im[e.vars[v].key] = val
+		}
+		return true
+	}
+}
+
+// pickBranch selects the next not-done branch index below ktry according
+// to the strategy.
+func (e *engine) pickBranch(branches []machine.BranchRec, ktry int) int {
+	var candidates []int
+	for j := 0; j < ktry; j++ {
+		if !e.stack[j].done && branches[j].HasPred {
+			candidates = append(candidates, j)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	switch e.opts.Strategy {
+	case BFS:
+		return candidates[0]
+	case RandomBranch:
+		return candidates[e.rand.Intn(int64(len(candidates)))]
+	default: // DFS: deepest first, the paper's exposition order
+		return candidates[len(candidates)-1]
+	}
+}
+
+// hint exposes the current input vector as a variable assignment, used to
+// preserve don't-care inputs and to bias disequality splits.
+func (e *engine) hint() map[symbolic.Var]int64 {
+	h := make(map[symbolic.Var]int64, len(e.vars))
+	for i := range e.vars {
+		if v, ok := e.im[e.vars[i].key]; ok {
+			h[symbolic.Var(i)] = v
+		}
+	}
+	return h
+}
+
+// meta returns the solver domain of a variable.
+func (e *engine) meta(v symbolic.Var) solver.VarMeta {
+	return e.vars[v].meta
+}
+
+// ---------------------------------------------------------------- inputs
+// engine implements machine.InputSource: the generated test driver's
+// random initialization, overridden by the solved input vector IM.
+
+// ScalarInput returns IM[key], drawing (and recording) random bits on
+// first use, per Fig. 8's random_bits(sizeof(type)).
+func (e *engine) ScalarInput(key string, b *types.Basic) int64 {
+	if v, ok := e.im[key]; ok {
+		return v
+	}
+	v := types.Truncate(b, e.rand.Bits(b.Bits()))
+	e.im[key] = v
+	return v
+}
+
+// PointerInput returns the NULL-vs-allocate decision for a pointer input,
+// tossing (and recording) a fair coin on first use.
+func (e *engine) PointerInput(key string) bool {
+	if v, ok := e.im[key]; ok {
+		return v != 0
+	}
+	var d int64
+	if e.rand.Coin() {
+		d = 1
+	}
+	e.im[key] = d
+	return d != 0
+}
+
+// IsPointerVar reports whether v identifies a pointer input.
+func (e *engine) IsPointerVar(v symbolic.Var) bool {
+	return int(v) < len(e.vars) && e.vars[v].meta.Kind == symbolic.PointerVar
+}
+
+// VarOf registers (or recalls) the symbolic variable for input key.
+func (e *engine) VarOf(key string, kind symbolic.VarKind, b *types.Basic) (symbolic.Var, bool) {
+	if v, ok := e.varByKey[key]; ok {
+		return v, true
+	}
+	v := symbolic.Var(len(e.vars))
+	e.varByKey[key] = v
+	e.vars = append(e.vars, varInfo{key: key, meta: domainOf(kind, b)})
+	return v, true
+}
+
+// domainOf maps a C type to the solver's variable domain.  Long inputs
+// are restricted to ±2^40 so Fourier–Motzkin coefficient products stay
+// within int64; the restriction is only visible as solver incompleteness
+// on constraints needing >2^40 magnitudes.
+func domainOf(kind symbolic.VarKind, b *types.Basic) solver.VarMeta {
+	m := solver.VarMeta{Kind: kind}
+	if kind == symbolic.PointerVar {
+		return m
+	}
+	switch {
+	case b == nil:
+		m.Lo, m.Hi = math.MinInt32, math.MaxInt32
+	case b.Kind == types.Char:
+		m.Lo, m.Hi = math.MinInt8, math.MaxInt8
+	case b.Kind == types.UInt:
+		m.Lo, m.Hi = 0, math.MaxUint32
+	case b.Kind == types.Long:
+		m.Lo, m.Hi = -(1 << 40), 1<<40
+	default:
+		m.Lo, m.Hi = math.MinInt32, math.MaxInt32
+	}
+	return m
+}

@@ -1,0 +1,220 @@
+package concolic
+
+import (
+	"dart/internal/machine"
+	"dart/internal/solver"
+	"dart/internal/symbolic"
+)
+
+// The frontier engine implements the alternative branch-selection orders
+// of the paper's footnote 4 ("the next branch to be forced could be
+// selected using a different strategy, e.g., randomly or in a
+// breadth-first manner").
+//
+// The single-stack bookkeeping of Figs. 4-5 is only exhaustive when the
+// *deepest* unexplored branch is flipped first: flipping a shallow entry
+// truncates the stack and silently abandons the unexplored subtree of
+// the original branch.  The frontier engine therefore keeps a work list
+// of pending flips instead.  Each executed path enqueues one child per
+// flippable conditional at index >= the path's own lower bound, and a
+// child's bound is its flip index + 1 — the "generational search" rule
+// (later popularized by SAGE) under which every feasible path is
+// attempted exactly once regardless of pop order.  BFS pops the
+// shallowest pending flip, RandomBranch a uniformly random one.
+
+// frontierItem is one pending flip: re-execute the recorded prefix with
+// the flip's predicate negated, then extend.
+type frontierItem struct {
+	// prefix is the expected branch outcome sequence up to and not
+	// including the flipped conditional (shared backing across children
+	// of one run).
+	prefix []bool
+	// preds are the prefix's path-constraint predicates (shared).
+	preds []symbolic.Pred
+	// flip is the negated predicate of the flipped conditional.
+	flip symbolic.Pred
+	// flipTaken is the branch outcome the flipped conditional must now
+	// show (the negation of what was observed).
+	flipTaken bool
+	// bound is the child generation's lower flip index.
+	bound int
+	// im is the input vector that drove the parent run.
+	im map[string]int64
+	// depth is the flip index (for BFS ordering).
+	depth int
+}
+
+// runFrontier drives the frontier search. It reuses the engine's input
+// registry, machine construction, and report accounting.
+func (e *engine) runFrontier() {
+	seenBugs := map[string]bool{}
+	var queue []frontierItem
+	dropped := false
+
+	// reportRun accounts one finished run and returns false when the
+	// search must stop.
+	reportRun := func(m *machine.Machine, rerr *machine.RunError) bool {
+		e.report.Runs++
+		e.report.Steps += m.Steps()
+		if !m.AllLinear() {
+			e.report.AllLinear = false
+		}
+		if !m.AllLocsDefinite() {
+			e.report.AllLocsDefinite = false
+		}
+		for _, rec := range m.Branches {
+			if rec.Site >= 0 {
+				e.report.Coverage.Record(rec.Site, rec.Taken)
+			}
+		}
+		if rerr != nil && rerr.Outcome != machine.HaltOK && !e.mispredict {
+			isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
+				(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
+			if isBug {
+				sig := rerr.Outcome.String() + "|" + rerr.Msg + "|" + rerr.Pos.String()
+				if !seenBugs[sig] {
+					seenBugs[sig] = true
+					e.report.Bugs = append(e.report.Bugs, Bug{
+						Kind:   rerr.Outcome,
+						Msg:    rerr.Msg,
+						Pos:    rerr.Pos,
+						Run:    e.report.Runs,
+						Inputs: copyIM(e.im),
+					})
+				}
+				if e.opts.StopAtFirstBug {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// expand enqueues the children of a finished run.
+	expand := func(branches []machine.BranchRec, bound int) {
+		// Shared backing for all children of this run.
+		outcomes := make([]bool, len(branches))
+		var preds []symbolic.Pred
+		// predsBefore[i] = number of predicates among branches[0..i).
+		predsBefore := make([]int, len(branches)+1)
+		for i, rec := range branches {
+			outcomes[i] = rec.Taken
+			predsBefore[i] = len(preds)
+			if rec.HasPred {
+				preds = append(preds, rec.Pred)
+			}
+		}
+		predsBefore[len(branches)] = len(preds)
+		im := copyIM(e.im)
+		for j := bound; j < len(branches); j++ {
+			rec := branches[j]
+			if !rec.HasPred {
+				continue
+			}
+			if rec.Decision && !rec.Taken && e.decisionDepth(rec) >= e.opts.MaxShapeDepth {
+				continue // shape-depth cap
+			}
+			queue = append(queue, frontierItem{
+				prefix:    outcomes[:j],
+				preds:     preds[:predsBefore[j]:predsBefore[j]],
+				flip:      rec.Pred.Negate(),
+				flipTaken: !rec.Taken,
+				bound:     j + 1,
+				im:        im,
+				depth:     j,
+			})
+		}
+		if len(queue) > e.opts.MaxFrontier {
+			// Drop the deepest pending flips; completeness is lost.
+			dropped = true
+			queue = queue[:e.opts.MaxFrontier]
+		}
+	}
+
+	// Root run: fresh random inputs, no prediction.
+	for e.report.Runs < e.opts.MaxRuns {
+		e.stack = nil
+		e.im = map[string]int64{}
+		if e.report.Runs > 0 {
+			e.report.Restarts++
+		}
+		m, rerr := e.oneRun()
+		if m == nil {
+			return
+		}
+		if !reportRun(m, rerr) {
+			return
+		}
+		if !e.mispredict {
+			expand(m.Branches, 0)
+			break
+		}
+		// A root run cannot mispredict (empty prediction); defensive.
+	}
+
+	for len(queue) > 0 && e.report.Runs < e.opts.MaxRuns {
+		item := e.popItem(&queue)
+
+		// Solve the item's path constraint lazily at pop time.
+		pc := append(append([]symbolic.Pred{}, item.preds...), item.flip)
+		e.report.SolverCalls++
+		e.im = copyIM(item.im)
+		sol, ok := solver.Solve(pc, e.meta, e.hint())
+		if !ok {
+			e.report.SolverFailures++
+			continue
+		}
+		for v, val := range sol {
+			e.im[e.vars[v].key] = val
+		}
+
+		// Predict the prefix plus the flipped branch.
+		e.stack = make([]stackEntry, 0, len(item.prefix)+1)
+		for _, b := range item.prefix {
+			e.stack = append(e.stack, stackEntry{branch: b, done: true})
+		}
+		e.stack = append(e.stack, stackEntry{branch: item.flipTaken, done: true})
+
+		m, rerr := e.oneRun()
+		if m == nil {
+			return
+		}
+		if !reportRun(m, rerr) {
+			return
+		}
+		if e.mispredict {
+			continue // an imprecise prefix; the item is abandoned
+		}
+		expand(m.Branches, item.bound)
+	}
+
+	if len(queue) == 0 && !dropped &&
+		e.report.AllLinear && e.report.AllLocsDefinite &&
+		len(e.report.Bugs) == 0 && e.report.Runs < e.opts.MaxRuns {
+		e.report.Complete = true
+	}
+}
+
+// popItem removes and returns the next item per the strategy.
+func (e *engine) popItem(queue *[]frontierItem) frontierItem {
+	q := *queue
+	idx := 0
+	switch e.opts.Strategy {
+	case BFS:
+		// Shallowest flip first.
+		for i := 1; i < len(q); i++ {
+			if q[i].depth < q[idx].depth {
+				idx = i
+			}
+		}
+	case RandomBranch:
+		idx = int(e.rand.Intn(int64(len(q))))
+	default:
+		// LIFO (newest first): depth-first frontier order.
+		idx = len(q) - 1
+	}
+	item := q[idx]
+	q[idx] = q[len(q)-1]
+	*queue = q[:len(q)-1]
+	return item
+}

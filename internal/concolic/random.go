@@ -1,0 +1,116 @@
+package concolic
+
+import (
+	"fmt"
+
+	"dart/internal/coverage"
+	"dart/internal/ir"
+	"dart/internal/machine"
+	"dart/internal/rng"
+	"dart/internal/symbolic"
+	"dart/internal/types"
+)
+
+// randomSource is a pure random input stream: the baseline DART is
+// compared against.  It records nothing and tracks no symbolic state.
+type randomSource struct {
+	rand *rng.R
+}
+
+func (r *randomSource) ScalarInput(_ string, b *types.Basic) int64 {
+	return types.Truncate(b, r.rand.Bits(b.Bits()))
+}
+
+func (r *randomSource) PointerInput(string) bool { return r.rand.Coin() }
+
+func (r *randomSource) VarOf(string, symbolic.VarKind, *types.Basic) (symbolic.Var, bool) {
+	return 0, false
+}
+
+func (r *randomSource) IsPointerVar(symbolic.Var) bool { return false }
+
+// RandomTest performs pure random testing of the toplevel function: the
+// same generated driver as the directed search, but every run draws fresh
+// random inputs and no constraints are collected.  It is the "random
+// search" column of the paper's tables.
+func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
+	o := opts.withDefaults()
+	fn, ok := prog.Lookup(o.Toplevel)
+	if !ok {
+		return nil, fmt.Errorf("concolic: toplevel function %q is not defined in the program", o.Toplevel)
+	}
+	rand := rng.New(o.Seed)
+	report := &Report{
+		AllLinear:       true,
+		AllLocsDefinite: true,
+		Coverage:        coverage.New(prog.NumSites),
+	}
+	seenBugs := map[string]bool{}
+
+	for report.Runs < o.MaxRuns {
+		src := &randomSource{rand: rand.Fork()}
+		m, err := machine.New(machine.Config{
+			Prog:     prog,
+			Inputs:   src,
+			LibImpls: o.LibImpls,
+			MaxSteps: o.MaxSteps,
+		})
+		if err != nil {
+			return report, err
+		}
+		report.Runs++
+
+		var rerr *machine.RunError
+	depthLoop:
+		for d := 0; d < o.Depth; d++ {
+			args := make([]machine.Value, len(fn.Params))
+			for i, p := range fn.Params {
+				cell, aerr := m.Mem().Alloc(1)
+				if aerr != nil {
+					rerr = &machine.RunError{Outcome: machine.Crashed, Msg: aerr.Error()}
+					break depthLoop
+				}
+				key := fmt.Sprintf("d%d.arg%d", d, i)
+				if ierr := m.RandomInit(cell, p.Type, key); ierr != nil {
+					rerr = &machine.RunError{Outcome: machine.Crashed, Msg: ierr.Error()}
+					break depthLoop
+				}
+				v, verr := m.ArgValue(cell)
+				if verr != nil {
+					rerr = &machine.RunError{Outcome: machine.Crashed, Msg: verr.Error()}
+					break depthLoop
+				}
+				args[i] = v
+			}
+			if _, rerr = m.RunCall(o.Toplevel, args); rerr != nil {
+				break depthLoop
+			}
+		}
+
+		report.Steps += m.Steps()
+		for _, rec := range m.Branches {
+			report.Coverage.Record(rec.Site, rec.Taken)
+		}
+
+		if rerr != nil && rerr.Outcome != machine.HaltOK {
+			isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
+				(rerr.Outcome == machine.StepLimit && o.ReportStepLimit)
+			if isBug {
+				sig := fmt.Sprintf("%s|%s|%s", rerr.Outcome, rerr.Msg, rerr.Pos)
+				if !seenBugs[sig] {
+					seenBugs[sig] = true
+					report.Bugs = append(report.Bugs, Bug{
+						Kind: rerr.Outcome,
+						Msg:  rerr.Msg,
+						Pos:  rerr.Pos,
+						Run:  report.Runs,
+					})
+				}
+				if o.StopAtFirstBug {
+					return report, nil
+				}
+			}
+		}
+	}
+	return report, nil
+}

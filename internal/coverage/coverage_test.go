@@ -1,0 +1,47 @@
+package coverage
+
+import "testing"
+
+func TestEmpty(t *testing.T) {
+	s := New(0)
+	if s.Covered() != 0 || s.Total() != 0 || s.Fraction() != 0 {
+		t.Fatalf("empty set: covered=%d total=%d frac=%f", s.Covered(), s.Total(), s.Fraction())
+	}
+}
+
+func TestRecord(t *testing.T) {
+	s := New(3)
+	s.Record(0, true)
+	s.Record(0, true) // duplicate: no double counting
+	s.Record(1, false)
+	if s.Covered() != 2 {
+		t.Errorf("covered = %d, want 2", s.Covered())
+	}
+	if s.Total() != 6 {
+		t.Errorf("total = %d, want 6", s.Total())
+	}
+	if s.SitesTouched() != 2 {
+		t.Errorf("sites touched = %d, want 2", s.SitesTouched())
+	}
+	s.Record(0, false)
+	if s.Covered() != 3 {
+		t.Errorf("both directions of site 0 should count: %d", s.Covered())
+	}
+	if s.SitesTouched() != 2 {
+		t.Errorf("sites touched = %d, want 2", s.SitesTouched())
+	}
+}
+
+func TestFraction(t *testing.T) {
+	s := New(2)
+	s.Record(0, true)
+	s.Record(0, false)
+	if f := s.Fraction(); f != 0.5 {
+		t.Errorf("fraction = %f, want 0.5", f)
+	}
+	s.Record(1, true)
+	s.Record(1, false)
+	if f := s.Fraction(); f != 1.0 {
+		t.Errorf("fraction = %f, want 1.0", f)
+	}
+}

@@ -1,0 +1,139 @@
+// Package iface implements DART's first technique (Sec. 3.1): automated
+// extraction of a program's external interface by static inspection of
+// the parsed source.
+//
+// The external interface of a MiniC program consists of its external
+// (extern) variables, its external (extern, undefined) functions, and the
+// arguments of a user-chosen toplevel function.  Inputs are the memory
+// locations initialized through this interface at runtime, which handles
+// dynamic data (lists, trees) uniformly: a pointer input of recursive
+// type describes an unbounded family of concrete input shapes.
+package iface
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dart/internal/sema"
+	"dart/internal/types"
+)
+
+// Input describes one interface entry point.
+type Input struct {
+	// Name is the variable or parameter name.
+	Name string
+	// Type is the declared type.
+	Type types.Type
+	// Shape is a human-readable sketch of the input tree this entry
+	// generates (pointers show their pointee recursively, cut at
+	// recursive back-edges).
+	Shape string
+}
+
+// Interface is the extracted external interface for one toplevel choice.
+type Interface struct {
+	// Toplevel is the function under test.
+	Toplevel string
+	// Params are the toplevel function's arguments.
+	Params []Input
+	// ExternVars are environment-controlled global variables.
+	ExternVars []Input
+	// ExternFuncs are environment-controlled functions with their result
+	// types; every call site yields a fresh input.
+	ExternFuncs []Input
+	// Candidates lists every defined function, i.e. every possible
+	// toplevel choice (the oSIP experiment iterates over all of them).
+	Candidates []string
+}
+
+// Extract computes the interface of prog for the given toplevel function.
+func Extract(prog *sema.Program, toplevel string) (*Interface, error) {
+	fn, ok := prog.Funcs[toplevel]
+	if !ok {
+		return nil, fmt.Errorf("iface: no function named %q", toplevel)
+	}
+	if fn.Extern {
+		return nil, fmt.Errorf("iface: %q is an external function and cannot be the toplevel", toplevel)
+	}
+
+	out := &Interface{Toplevel: toplevel}
+	for _, p := range fn.Params {
+		out.Params = append(out.Params, Input{Name: p.Name, Type: p.Type, Shape: shape(p.Type, nil)})
+	}
+	for _, g := range prog.Globals {
+		if g.Extern {
+			out.ExternVars = append(out.ExternVars, Input{Name: g.Name, Type: g.Type, Shape: shape(g.Type, nil)})
+		}
+	}
+	for _, name := range prog.FuncOrder {
+		f := prog.Funcs[name]
+		if f.Extern {
+			out.ExternFuncs = append(out.ExternFuncs, Input{Name: name, Type: f.Sig.Result, Shape: shape(f.Sig.Result, nil)})
+		}
+	}
+	for _, name := range prog.FuncOrder {
+		if !prog.Funcs[name].Extern {
+			out.Candidates = append(out.Candidates, name)
+		}
+	}
+	sort.Strings(out.Candidates)
+	return out, nil
+}
+
+// Candidates returns every defined (non-extern) function of the program,
+// the set a whole-library audit iterates over.
+func Candidates(prog *sema.Program) []string {
+	var out []string
+	for _, name := range prog.FuncOrder {
+		if !prog.Funcs[name].Extern {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shape renders the input tree of a type; visited guards recursion.
+func shape(t types.Type, visited []*types.Struct) string {
+	switch t := t.(type) {
+	case *types.Basic:
+		return t.String()
+	case *types.Pointer:
+		if types.IsVoid(t.Elem) {
+			return "void*"
+		}
+		return "ptr(NULL | new " + shape(t.Elem, visited) + ")"
+	case *types.Struct:
+		for _, v := range visited {
+			if v == t {
+				return t.String() + "{...}" // recursive back-edge
+			}
+		}
+		visited = append(visited, t)
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.Name + ": " + shape(f.Type, visited)
+		}
+		return t.String() + "{" + strings.Join(parts, ", ") + "}"
+	case *types.Array:
+		return fmt.Sprintf("%s x %d", shape(t.Elem, visited), t.Len)
+	}
+	return t.String()
+}
+
+// String renders the interface report.
+func (i *Interface) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "toplevel %s\n", i.Toplevel)
+	for _, p := range i.Params {
+		fmt.Fprintf(&b, "  param  %-12s %s\n", p.Name, p.Shape)
+	}
+	for _, v := range i.ExternVars {
+		fmt.Fprintf(&b, "  extvar %-12s %s\n", v.Name, v.Shape)
+	}
+	for _, f := range i.ExternFuncs {
+		fmt.Fprintf(&b, "  extfun %-12s returns %s\n", f.Name, f.Shape)
+	}
+	return b.String()
+}

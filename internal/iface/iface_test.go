@@ -1,0 +1,116 @@
+package iface
+
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/parser"
+	"dart/internal/sema"
+	"dart/internal/types"
+)
+
+func checked(t *testing.T, src string) *sema.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := sema.Check(f, nil)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+const demo = `
+struct node { int v; struct node *next; };
+extern int env_mode;
+extern int read_msg();
+extern char *fetch();
+int helper(int x) { return x; }
+int top(int a, struct node *list) { return helper(a); }
+`
+
+func TestExtract(t *testing.T) {
+	p := checked(t, demo)
+	i, err := Extract(p, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Toplevel != "top" {
+		t.Errorf("toplevel %q", i.Toplevel)
+	}
+	if len(i.Params) != 2 || i.Params[0].Name != "a" || i.Params[1].Name != "list" {
+		t.Errorf("params: %+v", i.Params)
+	}
+	if len(i.ExternVars) != 1 || i.ExternVars[0].Name != "env_mode" {
+		t.Errorf("extern vars: %+v", i.ExternVars)
+	}
+	if len(i.ExternFuncs) != 2 {
+		t.Errorf("extern funcs: %+v", i.ExternFuncs)
+	}
+	if len(i.Candidates) != 2 { // helper, top
+		t.Errorf("candidates: %v", i.Candidates)
+	}
+}
+
+func TestRecursiveShape(t *testing.T) {
+	p := checked(t, demo)
+	i, _ := Extract(p, "top")
+	shape := i.Params[1].Shape
+	if !strings.Contains(shape, "ptr(NULL | new struct node") {
+		t.Errorf("shape %q should describe the pointer alternatives", shape)
+	}
+	if !strings.Contains(shape, "{...}") {
+		t.Errorf("shape %q should cut the recursive back-edge", shape)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	p := checked(t, demo)
+	if _, err := Extract(p, "nosuch"); err == nil {
+		t.Error("extracting a missing toplevel should fail")
+	}
+	if _, err := Extract(p, "read_msg"); err == nil {
+		t.Error("an external function cannot be the toplevel")
+	}
+}
+
+func TestCandidatesSorted(t *testing.T) {
+	p := checked(t, `
+int zebra() { return 0; }
+int alpha() { return 0; }
+extern int env();
+int middle() { return 0; }
+`)
+	got := Candidates(p)
+	want := []string{"alpha", "middle", "zebra"}
+	if len(got) != len(want) {
+		t.Fatalf("candidates: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("candidates[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	p := checked(t, demo)
+	i, _ := Extract(p, "top")
+	report := i.String()
+	for _, frag := range []string{"toplevel top", "param", "extvar env_mode", "extfun read_msg"} {
+		if !strings.Contains(report, frag) {
+			t.Errorf("report lacks %q:\n%s", frag, report)
+		}
+	}
+}
+
+func TestVoidPointerShape(t *testing.T) {
+	p := checked(t, "int f(void *h) { return 0; }")
+	i, _ := Extract(p, "f")
+	if i.Params[0].Shape != "void*" {
+		t.Errorf("void* shape: %q", i.Params[0].Shape)
+	}
+	_ = types.VoidType
+}

@@ -1,0 +1,731 @@
+package ir
+
+import (
+	"fmt"
+
+	"dart/internal/ast"
+	"dart/internal/sema"
+	"dart/internal/token"
+	"dart/internal/types"
+)
+
+// CompileError is an internal lowering failure. Programs that pass sema
+// should never trigger one; it exists to fail loudly instead of producing
+// wrong code.
+type CompileError struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *CompileError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Compile lowers a checked program to RAM-machine code.
+func Compile(p *sema.Program) (*Prog, error) {
+	out := &Prog{
+		Funcs:   map[string]*Func{},
+		Externs: map[string]*ExternFunc{},
+		Structs: p.Structs,
+		Lib:     p.Lib,
+	}
+	off := int64(0)
+	for _, g := range p.Globals {
+		out.Globals = append(out.Globals, Global{
+			Name:    g.Name,
+			Type:    g.Type,
+			Off:     off,
+			Extern:  g.Extern,
+			Init:    g.InitVal,
+			HasInit: g.HasInit,
+		})
+		off += g.Type.Size()
+	}
+	out.GlobalSize = off
+
+	var err error
+	for _, name := range p.FuncOrder {
+		fn := p.Funcs[name]
+		if fn.Extern {
+			out.Externs[name] = &ExternFunc{Name: name, Result: fn.Sig.Result}
+			continue
+		}
+		c := &fnCompiler{prog: p, out: out, fn: fn, tempNext: fn.FrameSize}
+		f, cerr := c.compile()
+		if cerr != nil && err == nil {
+			err = cerr
+		}
+		out.Funcs[name] = f
+		out.FuncOrder = append(out.FuncOrder, name)
+	}
+	return out, err
+}
+
+type fnCompiler struct {
+	prog *sema.Program
+	out  *Prog
+	fn   *sema.Function
+
+	code     []Instr
+	labels   []int // label id -> instr index (-1 while unbound)
+	tempNext int64
+	err      error
+
+	// Loop context stacks for break/continue.
+	breakLbl    []int
+	continueLbl []int
+}
+
+func (c *fnCompiler) fail(pos token.Pos, format string, args ...any) {
+	if c.err == nil {
+		c.err = &CompileError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (c *fnCompiler) emit(i Instr) { c.code = append(c.code, i) }
+
+func (c *fnCompiler) newLabel() int {
+	c.labels = append(c.labels, -1)
+	return len(c.labels) - 1
+}
+
+func (c *fnCompiler) bind(l int) { c.labels[l] = len(c.code) }
+
+func (c *fnCompiler) temp() int64 {
+	t := c.tempNext
+	c.tempNext++
+	return t
+}
+
+// newSite allocates a program-unique branch site id.
+func (c *fnCompiler) newSite() int {
+	s := c.out.NumSites
+	c.out.NumSites++
+	return s
+}
+
+func (c *fnCompiler) compile() (*Func, error) {
+	var params []Param
+	for _, p := range c.fn.Params {
+		params = append(params, Param{Name: p.Name, Type: p.Type, Slot: p.Index})
+	}
+	c.stmt(c.fn.Decl.Body)
+	// Implicit return at the end of the body.
+	if types.IsVoid(c.fn.Sig.Result) {
+		c.emit(&Ret{})
+	} else {
+		// C permits falling off the end; the value is unspecified — use 0.
+		c.emit(&Ret{Val: &Const{V: 0}})
+	}
+	// Resolve label ids to instruction indices.
+	for i, ins := range c.code {
+		switch ins := ins.(type) {
+		case *IfGoto:
+			c.code[i] = &IfGoto{Cond: ins.Cond, Target: c.labels[ins.Target], Site: ins.Site, Pos: ins.Pos}
+		case *Goto:
+			c.code[i] = &Goto{Target: c.labels[ins.Target]}
+		}
+	}
+	f := &Func{
+		Name:      c.fn.Name,
+		Params:    params,
+		Result:    c.fn.Sig.Result,
+		FrameSize: c.tempNext,
+		Code:      c.code,
+	}
+	return f, c.err
+}
+
+// ---------------------------------------------------------------- stmts
+
+func (c *fnCompiler) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, inner := range s.Stmts {
+			c.stmt(inner)
+		}
+	case *ast.DeclStmt:
+		if s.Init == nil {
+			return
+		}
+		obj := c.prog.DeclObjs[s]
+		c.assignTo(&FrameAddr{Slot: obj.Index}, obj.Type, s.Init, s.TokPos)
+	case *ast.ExprStmt:
+		c.exprForEffect(s.X)
+	case *ast.If:
+		thenL, elseL, endL := c.newLabel(), c.newLabel(), c.newLabel()
+		c.cond(s.Cond, thenL, elseL)
+		c.bind(thenL)
+		c.stmt(s.Then)
+		c.emit(&Goto{Target: endL})
+		c.bind(elseL)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+		c.bind(endL)
+	case *ast.While:
+		loopL, bodyL, endL := c.newLabel(), c.newLabel(), c.newLabel()
+		c.bind(loopL)
+		c.cond(s.Cond, bodyL, endL)
+		c.bind(bodyL)
+		c.pushLoop(endL, loopL)
+		c.stmt(s.Body)
+		c.popLoop()
+		c.emit(&Goto{Target: loopL})
+		c.bind(endL)
+	case *ast.DoWhile:
+		bodyL, condL, endL := c.newLabel(), c.newLabel(), c.newLabel()
+		c.bind(bodyL)
+		c.pushLoop(endL, condL)
+		c.stmt(s.Body)
+		c.popLoop()
+		c.bind(condL)
+		c.cond(s.Cond, bodyL, endL)
+		c.bind(endL)
+	case *ast.For:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		loopL, bodyL, postL, endL := c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel()
+		c.bind(loopL)
+		if s.Cond != nil {
+			c.cond(s.Cond, bodyL, endL)
+		}
+		c.bind(bodyL)
+		c.pushLoop(endL, postL)
+		c.stmt(s.Body)
+		c.popLoop()
+		c.bind(postL)
+		if s.Post != nil {
+			c.exprForEffect(s.Post)
+		}
+		c.emit(&Goto{Target: loopL})
+		c.bind(endL)
+	case *ast.Switch:
+		c.switchStmt(s)
+	case *ast.Return:
+		if s.X == nil {
+			c.emit(&Ret{Pos: s.TokPos})
+			return
+		}
+		v := c.expr(s.X)
+		c.emit(&Ret{Val: v, Pos: s.TokPos})
+	case *ast.Break:
+		c.emit(&Goto{Target: c.breakLbl[len(c.breakLbl)-1]})
+	case *ast.Continue:
+		c.emit(&Goto{Target: c.continueLbl[len(c.continueLbl)-1]})
+	case *ast.Empty:
+	default:
+		c.fail(s.Pos(), "cannot compile statement %T", s)
+	}
+}
+
+// switchStmt lowers a C switch: the tag is evaluated once into a
+// temporary, each case label becomes one equality conditional (its own
+// branch site, so the directed search solves tag == K per case), bodies
+// run with fallthrough, and break jumps past the switch.
+func (c *fnCompiler) switchStmt(s *ast.Switch) {
+	tagTmp := &FrameAddr{Slot: c.temp()}
+	c.emit(&Assign{Dst: tagTmp, Src: c.expr(s.Tag), Pos: s.TokPos})
+	tag := &Load{Addr: tagTmp}
+
+	endL := c.newLabel()
+	bodyL := make([]int, len(s.Cases))
+	defaultIdx := -1
+	for i, cs := range s.Cases {
+		bodyL[i] = c.newLabel()
+		if cs.Value == nil {
+			defaultIdx = i
+		}
+	}
+	// Dispatch chain.
+	for i, cs := range s.Cases {
+		if cs.Value == nil {
+			continue
+		}
+		cond := &Bin{Op: Eq, A: tag, B: c.expr(cs.Value)}
+		c.emit(&IfGoto{Cond: cond, Target: bodyL[i], Site: c.newSite(), Pos: cs.TokPos})
+	}
+	if defaultIdx >= 0 {
+		c.emit(&Goto{Target: bodyL[defaultIdx]})
+	} else {
+		c.emit(&Goto{Target: endL})
+	}
+	// Bodies, in source order, with C fallthrough; break leaves the
+	// switch but continue still binds to the enclosing loop.
+	c.breakLbl = append(c.breakLbl, endL)
+	for i, cs := range s.Cases {
+		c.bind(bodyL[i])
+		for _, inner := range cs.Body {
+			c.stmt(inner)
+		}
+	}
+	c.breakLbl = c.breakLbl[:len(c.breakLbl)-1]
+	c.bind(endL)
+}
+
+func (c *fnCompiler) pushLoop(brk, cont int) {
+	c.breakLbl = append(c.breakLbl, brk)
+	c.continueLbl = append(c.continueLbl, cont)
+}
+
+func (c *fnCompiler) popLoop() {
+	c.breakLbl = c.breakLbl[:len(c.breakLbl)-1]
+	c.continueLbl = c.continueLbl[:len(c.continueLbl)-1]
+}
+
+// assignTo stores the value of src through the address expression dst,
+// handling whole-struct copies cell by cell.
+func (c *fnCompiler) assignTo(dst Expr, dstTy types.Type, src ast.Expr, pos token.Pos) {
+	if st, ok := dstTy.(*types.Struct); ok {
+		srcAddr := c.addr(src)
+		for i := int64(0); i < st.Size(); i++ {
+			c.emit(&Assign{
+				Dst: addOff(dst, i),
+				Src: &Load{Addr: addOff(srcAddr, i)},
+				Pos: pos,
+			})
+		}
+		return
+	}
+	v := c.expr(src)
+	c.emit(&Assign{Dst: dst, Src: v, StoreTy: storeTy(dstTy), Pos: pos})
+}
+
+// storeTy returns the truncation type for stores into a location of type
+// t: char and int cells wrap, pointers and longs do not.
+func storeTy(t types.Type) *types.Basic {
+	if b, ok := t.(*types.Basic); ok {
+		return b
+	}
+	return nil
+}
+
+// addOff builds addr + k, folding constants.
+func addOff(addr Expr, k int64) Expr {
+	if k == 0 {
+		return addr
+	}
+	switch a := addr.(type) {
+	case *Const:
+		return &Const{V: a.V + k}
+	case *FrameAddr:
+		return &FrameAddr{Slot: a.Slot + k}
+	case *GlobalAddr:
+		return &GlobalAddr{Off: a.Off + k}
+	}
+	return &Bin{Op: Add, A: addr, B: &Const{V: k}}
+}
+
+// ---------------------------------------------------------------- conds
+
+// cond compiles e as a branching condition: control transfers to thenL
+// when e is true and elseL otherwise.  Short-circuit operators become
+// separate conditionals, so each source-level atomic condition is exactly
+// one DART branch site.
+func (c *fnCompiler) cond(e ast.Expr, thenL, elseL int) {
+	switch x := e.(type) {
+	case *ast.Binary:
+		switch x.Op {
+		case token.LAND:
+			midL := c.newLabel()
+			c.cond(x.X, midL, elseL)
+			c.bind(midL)
+			c.cond(x.Y, thenL, elseL)
+			return
+		case token.LOR:
+			midL := c.newLabel()
+			c.cond(x.X, thenL, midL)
+			c.bind(midL)
+			c.cond(x.Y, thenL, elseL)
+			return
+		}
+	case *ast.Unary:
+		if x.Op == token.NOT {
+			c.cond(x.X, elseL, thenL)
+			return
+		}
+	}
+	v := c.expr(e)
+	c.emit(&IfGoto{Cond: v, Target: thenL, Site: c.newSite(), Pos: e.Pos()})
+	c.emit(&Goto{Target: elseL})
+}
+
+// ---------------------------------------------------------------- exprs
+
+// exprForEffect compiles e, discarding its value.
+func (c *fnCompiler) exprForEffect(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Call:
+		c.call(x, false)
+		return
+	case *ast.Assign, *ast.Postfix:
+		c.expr(e)
+		return
+	case *ast.Unary:
+		if x.Op == token.INC || x.Op == token.DEC {
+			c.expr(e)
+			return
+		}
+	}
+	// Pure expression in statement position: evaluate anyway so that
+	// faults (NULL dereference, division by zero) still occur, matching C.
+	v := c.expr(e)
+	if _, isConst := v.(*Const); !isConst {
+		t := c.temp()
+		c.emit(&Assign{Dst: &FrameAddr{Slot: t}, Src: v, Pos: e.Pos()})
+	}
+}
+
+// expr compiles e to a side-effect-free value expression, emitting
+// instructions for any embedded side effects.
+func (c *fnCompiler) expr(e ast.Expr) Expr {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return &Const{V: x.Value}
+	case *ast.NullLit:
+		return &Const{V: 0}
+	case *ast.StringLit:
+		// Only reachable for assert messages, which the call lowering
+		// consumes; anything else was rejected by sema.
+		return &Const{V: 0}
+	case *ast.Ident:
+		obj := c.prog.Uses[x]
+		if obj == nil {
+			c.fail(x.TokPos, "unresolved identifier %s", x.Name)
+			return &Const{V: 0}
+		}
+		a := c.objAddr(obj)
+		if _, isArr := obj.Type.(*types.Array); isArr {
+			return a // arrays decay to their address
+		}
+		return &Load{Addr: a}
+	case *ast.Unary:
+		return c.unary(x)
+	case *ast.Postfix:
+		a := c.addr(x.X)
+		t := c.temp()
+		old := &FrameAddr{Slot: t}
+		c.emit(&Assign{Dst: old, Src: &Load{Addr: a}, Pos: x.TokPos})
+		c.emit(&Assign{
+			Dst:     a,
+			Src:     c.incDec(x.Op, &Load{Addr: old}, x.X.Type(), x.TokPos),
+			StoreTy: storeTy(decayed(x.X.Type())),
+			Pos:     x.TokPos,
+		})
+		return &Load{Addr: old}
+	case *ast.Binary:
+		return c.binary(x)
+	case *ast.Assign:
+		return c.assignExpr(x)
+	case *ast.Cond:
+		t := c.temp()
+		dst := &FrameAddr{Slot: t}
+		thenL, elseL, endL := c.newLabel(), c.newLabel(), c.newLabel()
+		c.cond(x.C, thenL, elseL)
+		c.bind(thenL)
+		c.emit(&Assign{Dst: dst, Src: c.expr(x.Then), Pos: x.TokPos})
+		c.emit(&Goto{Target: endL})
+		c.bind(elseL)
+		c.emit(&Assign{Dst: dst, Src: c.expr(x.Else), Pos: x.TokPos})
+		c.bind(endL)
+		return &Load{Addr: dst}
+	case *ast.Call:
+		return c.call(x, true)
+	case *ast.Index, *ast.Field:
+		a := c.addr(e)
+		if _, isArr := e.Type().(*types.Array); isArr {
+			return a
+		}
+		if _, isStruct := e.Type().(*types.Struct); isStruct {
+			return a // struct rvalues are handled by assignTo via addr
+		}
+		return &Load{Addr: a}
+	case *ast.Cast:
+		v := c.expr(x.X)
+		if b, ok := x.Type().(*types.Basic); ok && b.Kind != types.Void {
+			return &Un{Op: Conv, A: v, Ty: b}
+		}
+		return v
+	case *ast.SizeofType:
+		return &Const{V: x.Resolved.Size()}
+	case *ast.SizeofExpr:
+		return &Const{V: x.X.Type().Size()}
+	}
+	c.fail(e.Pos(), "cannot compile expression %T", e)
+	return &Const{V: 0}
+}
+
+func decayed(t types.Type) types.Type {
+	if a, ok := t.(*types.Array); ok {
+		return &types.Pointer{Elem: a.Elem}
+	}
+	return t
+}
+
+// incDec builds v+1 or v-1 with pointer scaling.
+func (c *fnCompiler) incDec(op token.Kind, v Expr, t types.Type, pos token.Pos) Expr {
+	step := int64(1)
+	if p, ok := decayed(t).(*types.Pointer); ok {
+		step = p.Elem.Size()
+	}
+	o := Add
+	if op == token.DEC {
+		o = Sub
+	}
+	var ty *types.Basic
+	if b, ok := decayed(t).(*types.Basic); ok {
+		ty = b
+	}
+	return &Bin{Op: o, A: v, B: &Const{V: step}, Ty: ty}
+}
+
+func (c *fnCompiler) unary(x *ast.Unary) Expr {
+	switch x.Op {
+	case token.MINUS:
+		return &Un{Op: Neg, A: c.expr(x.X), Ty: basicOf(x.Type())}
+	case token.TILDE:
+		return &Un{Op: Compl, A: c.expr(x.X), Ty: basicOf(x.Type())}
+	case token.NOT:
+		return &Un{Op: Not, A: c.expr(x.X)}
+	case token.STAR:
+		return &Load{Addr: c.expr(x.X)}
+	case token.AMP:
+		return c.addr(x.X)
+	case token.INC, token.DEC:
+		a := c.addr(x.X)
+		c.emit(&Assign{
+			Dst:     a,
+			Src:     c.incDec(x.Op, &Load{Addr: a}, x.X.Type(), x.TokPos),
+			StoreTy: storeTy(decayed(x.X.Type())),
+			Pos:     x.TokPos,
+		})
+		return &Load{Addr: a}
+	}
+	c.fail(x.TokPos, "cannot compile unary %s", x.Op)
+	return &Const{V: 0}
+}
+
+func basicOf(t types.Type) *types.Basic {
+	b, _ := t.(*types.Basic)
+	return b
+}
+
+var binOps = map[token.Kind]Op{
+	token.PLUS: Add, token.MINUS: Sub, token.STAR: Mul,
+	token.SLASH: Div, token.PERCENT: Mod,
+	token.AMP: And, token.PIPE: Or, token.CARET: Xor,
+	token.SHL: Shl, token.SHR: Shr,
+	token.EQ: Eq, token.NEQ: Ne, token.LT: Lt, token.GT: Gt,
+	token.LEQ: Le, token.GEQ: Ge,
+}
+
+func (c *fnCompiler) binary(x *ast.Binary) Expr {
+	switch x.Op {
+	case token.LAND, token.LOR:
+		// Value context: materialize 0/1 through branches, preserving
+		// one branch site per atomic condition.
+		t := c.temp()
+		dst := &FrameAddr{Slot: t}
+		thenL, elseL, endL := c.newLabel(), c.newLabel(), c.newLabel()
+		c.cond(x, thenL, elseL)
+		c.bind(thenL)
+		c.emit(&Assign{Dst: dst, Src: &Const{V: 1}, Pos: x.TokPos})
+		c.emit(&Goto{Target: endL})
+		c.bind(elseL)
+		c.emit(&Assign{Dst: dst, Src: &Const{V: 0}, Pos: x.TokPos})
+		c.bind(endL)
+		return &Load{Addr: dst}
+	}
+	op, ok := binOps[x.Op]
+	if !ok {
+		c.fail(x.TokPos, "cannot compile binary %s", x.Op)
+		return &Const{V: 0}
+	}
+	a := c.expr(x.X)
+	b := c.expr(x.Y)
+	xt, yt := decayed(x.X.Type()), decayed(x.Y.Type())
+	// Pointer arithmetic scales the integer operand by the element size.
+	if op == Add || op == Sub {
+		if p, isP := xt.(*types.Pointer); isP && types.IsInteger(yt) {
+			return &Bin{Op: op, A: a, B: scale(b, p.Elem.Size())}
+		}
+		if p, isP := yt.(*types.Pointer); isP && types.IsInteger(xt) && op == Add {
+			return &Bin{Op: op, A: scale(a, p.Elem.Size()), B: b}
+		}
+		if px, isPX := xt.(*types.Pointer); isPX && types.IsPointer(yt) && op == Sub {
+			diff := &Bin{Op: Sub, A: a, B: b}
+			if sz := px.Elem.Size(); sz > 1 {
+				return &Bin{Op: Div, A: diff, B: &Const{V: sz}}
+			}
+			return diff
+		}
+	}
+	return &Bin{Op: op, A: a, B: b, Ty: basicOf(x.Type())}
+}
+
+func scale(e Expr, size int64) Expr {
+	if size == 1 {
+		return e
+	}
+	if k, ok := e.(*Const); ok {
+		return &Const{V: k.V * size}
+	}
+	return &Bin{Op: Mul, A: e, B: &Const{V: size}}
+}
+
+func (c *fnCompiler) assignExpr(x *ast.Assign) Expr {
+	dst := c.addr(x.Lhs)
+	lt := decayed(x.Lhs.Type())
+	if x.Op == token.ASSIGN {
+		if _, isStruct := x.Lhs.Type().(*types.Struct); isStruct {
+			c.assignTo(dst, x.Lhs.Type(), x.Rhs, x.TokPos)
+			return dst
+		}
+		v := c.expr(x.Rhs)
+		c.emit(&Assign{Dst: dst, Src: v, StoreTy: storeTy(lt), Pos: x.TokPos})
+		return &Load{Addr: dst}
+	}
+	// Compound assignment: lhs = lhs op rhs, with pointer scaling on +=/-=.
+	var op Op
+	switch x.Op {
+	case token.PLUSEQ:
+		op = Add
+	case token.MINUSEQ:
+		op = Sub
+	case token.STAREQ:
+		op = Mul
+	case token.SLASHEQ:
+		op = Div
+	default:
+		c.fail(x.TokPos, "cannot compile assignment %s", x.Op)
+		return &Const{V: 0}
+	}
+	rhs := c.expr(x.Rhs)
+	if p, isP := lt.(*types.Pointer); isP && (op == Add || op == Sub) {
+		rhs = scale(rhs, p.Elem.Size())
+	}
+	c.emit(&Assign{
+		Dst:     dst,
+		Src:     &Bin{Op: op, A: &Load{Addr: dst}, B: rhs, Ty: basicOf(lt)},
+		StoreTy: storeTy(lt),
+		Pos:     x.TokPos,
+	})
+	return &Load{Addr: dst}
+}
+
+// ---------------------------------------------------------------- calls
+
+// call compiles a function call.  When wantValue is true the result is a
+// Load of the temporary that received the return value.
+func (c *fnCompiler) call(x *ast.Call, wantValue bool) Expr {
+	switch x.Fun {
+	case "abort":
+		c.emit(&Abort{Msg: "abort() called", Pos: x.TokPos})
+		return &Const{V: 0}
+	case "halt":
+		c.emit(&Halt{})
+		return &Const{V: 0}
+	case "assert":
+		msg := "assertion violated"
+		if len(x.Args) == 2 {
+			if s, ok := x.Args[1].(*ast.StringLit); ok {
+				msg = "assertion violated: " + s.Value
+			}
+		}
+		okL, failL := c.newLabel(), c.newLabel()
+		c.cond(x.Args[0], okL, failL)
+		c.bind(failL)
+		c.emit(&Abort{Msg: msg, Pos: x.TokPos})
+		c.bind(okL)
+		return &Const{V: 0}
+	case "malloc":
+		size := c.expr(x.Args[0])
+		t := c.temp()
+		dst := &FrameAddr{Slot: t}
+		c.emit(&Alloc{Dst: dst, Size: size, Pos: x.TokPos})
+		return &Load{Addr: dst}
+	case "free":
+		p := c.expr(x.Args[0])
+		c.emit(&Free{Ptr: p, Pos: x.TokPos})
+		return &Const{V: 0}
+	}
+
+	var args []Expr
+	for _, a := range x.Args {
+		args = append(args, c.expr(a))
+	}
+	var dst Expr
+	needsDst := wantValue && !types.IsVoid(x.Type())
+	if needsDst {
+		dst = &FrameAddr{Slot: c.temp()}
+	}
+	if fn, ok := c.prog.Funcs[x.Fun]; ok {
+		if fn.Extern {
+			c.emit(&CallExt{Fn: x.Fun, Result: fn.Sig.Result, Dst: dst, Pos: x.TokPos})
+		} else {
+			c.emit(&Call{Fn: x.Fun, Args: args, Dst: dst, Pos: x.TokPos})
+		}
+	} else if _, ok := c.prog.Lib[x.Fun]; ok {
+		c.emit(&CallLib{Fn: x.Fun, Args: args, Dst: dst, Pos: x.TokPos})
+	} else {
+		c.fail(x.TokPos, "call to unknown function %s", x.Fun)
+	}
+	if needsDst {
+		return &Load{Addr: dst}
+	}
+	return &Const{V: 0}
+}
+
+// ---------------------------------------------------------------- addrs
+
+// objAddr returns the address expression of a resolved object.
+func (c *fnCompiler) objAddr(obj *sema.Object) Expr {
+	if obj.Kind == sema.GlobalObj {
+		g := c.out.Globals[obj.Index]
+		return &GlobalAddr{Off: g.Off}
+	}
+	return &FrameAddr{Slot: obj.Index}
+}
+
+// addr compiles an lvalue (or array/struct expression) to its address.
+func (c *fnCompiler) addr(e ast.Expr) Expr {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := c.prog.Uses[x]
+		if obj == nil {
+			c.fail(x.TokPos, "unresolved identifier %s", x.Name)
+			return &Const{V: 0}
+		}
+		return c.objAddr(obj)
+	case *ast.Unary:
+		if x.Op == token.STAR {
+			return c.expr(x.X)
+		}
+	case *ast.Index:
+		var base Expr
+		if _, isArr := x.X.Type().(*types.Array); isArr {
+			base = c.addr(x.X)
+		} else {
+			base = c.expr(x.X)
+		}
+		elemSize := decayed(x.X.Type()).(*types.Pointer).Elem.Size()
+		idx := c.expr(x.I)
+		return &Bin{Op: Add, A: base, B: scale(idx, elemSize)}
+	case *ast.Field:
+		var base Expr
+		var st *types.Struct
+		if x.Arrow {
+			base = c.expr(x.X)
+			st = decayed(x.X.Type()).(*types.Pointer).Elem.(*types.Struct)
+		} else {
+			base = c.addr(x.X)
+			st = x.X.Type().(*types.Struct)
+		}
+		f, _ := st.FieldByName(x.Name)
+		return addOff(base, f.Offset)
+	case *ast.Cast:
+		// Address of a cast lvalue: not an lvalue in C, but the address
+		// path is also used for struct rvalues; fall through to error.
+	}
+	c.fail(e.Pos(), "expression %T is not addressable", e)
+	return &Const{V: 0}
+}

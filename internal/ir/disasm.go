@@ -1,0 +1,98 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a function's code as readable assembly-like text.
+func Disasm(f *Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (frame=%d)\n", f.Name, f.FrameSize)
+	for i, ins := range f.Code {
+		fmt.Fprintf(&b, "%4d: %s\n", i, InstrString(ins))
+	}
+	return b.String()
+}
+
+// DisasmProg renders every function in the program.
+func DisasmProg(p *Prog) string {
+	var b strings.Builder
+	for _, name := range p.FuncOrder {
+		b.WriteString(Disasm(p.Funcs[name]))
+	}
+	return b.String()
+}
+
+// InstrString renders one instruction.
+func InstrString(ins Instr) string {
+	switch ins := ins.(type) {
+	case *Assign:
+		suffix := ""
+		if ins.StoreTy != nil {
+			suffix = "." + ins.StoreTy.String()
+		}
+		return fmt.Sprintf("store%s [%s] <- %s", suffix, ExprString(ins.Dst), ExprString(ins.Src))
+	case *IfGoto:
+		return fmt.Sprintf("if %s goto %d  ; site %d", ExprString(ins.Cond), ins.Target, ins.Site)
+	case *Goto:
+		return fmt.Sprintf("goto %d", ins.Target)
+	case *Call:
+		return fmt.Sprintf("call %s(%s) -> %s", ins.Fn, exprList(ins.Args), dstString(ins.Dst))
+	case *CallExt:
+		return fmt.Sprintf("callext %s() -> %s", ins.Fn, dstString(ins.Dst))
+	case *CallLib:
+		return fmt.Sprintf("calllib %s(%s) -> %s", ins.Fn, exprList(ins.Args), dstString(ins.Dst))
+	case *Ret:
+		if ins.Val == nil {
+			return "ret"
+		}
+		return "ret " + ExprString(ins.Val)
+	case *Alloc:
+		return fmt.Sprintf("alloc [%s] <- new(%s)", ExprString(ins.Dst), ExprString(ins.Size))
+	case *Free:
+		return "free " + ExprString(ins.Ptr)
+	case *Abort:
+		return fmt.Sprintf("abort %q", ins.Msg)
+	case *Halt:
+		return "halt"
+	}
+	return fmt.Sprintf("?%T", ins)
+}
+
+func dstString(e Expr) string {
+	if e == nil {
+		return "_"
+	}
+	return "[" + ExprString(e) + "]"
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders one IR expression.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *Const:
+		return fmt.Sprintf("%d", e.V)
+	case *FrameAddr:
+		return fmt.Sprintf("fp+%d", e.Slot)
+	case *GlobalAddr:
+		return fmt.Sprintf("gp+%d", e.Off)
+	case *Load:
+		return "M[" + ExprString(e.Addr) + "]"
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.A), e.Op, ExprString(e.B))
+	case *Un:
+		if e.Op == Conv {
+			return fmt.Sprintf("(%s)%s", e.Ty, ExprString(e.A))
+		}
+		return fmt.Sprintf("%s(%s)", e.Op, ExprString(e.A))
+	}
+	return fmt.Sprintf("?%T", e)
+}

@@ -1,0 +1,271 @@
+// Package ir defines the RAM-machine intermediate representation of
+// Sec. 2.2 of the DART paper and the compiler from checked MiniC to it.
+//
+// A compiled function is a flat list of labeled statements.  Following the
+// paper, the only statement forms that matter to the concolic engine are
+// assignments (m <- e) and conditionals (if (e) then goto l'); the
+// remaining forms (calls, returns, allocation, abort, halt) are the
+// machine plumbing the paper leaves implicit.  Expressions are
+// side-effect-free trees; the frontend flattens side effects and lowers
+// short-circuit operators to control flow, so every source-level
+// condition becomes exactly one IfGoto whose outcome DART records on its
+// branch stack.
+package ir
+
+import (
+	"dart/internal/token"
+	"dart/internal/types"
+)
+
+// Op enumerates IR operators.
+type Op int
+
+// Binary and unary operators.
+const (
+	Add Op = iota
+	Sub
+	Mul
+	Div
+	Mod
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Neg   // arithmetic negation
+	Not   // logical negation (x == 0)
+	Compl // bitwise complement
+	Conv  // value conversion to Ty's width (explicit casts)
+)
+
+var opNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Mod: "%",
+	And: "&", Or: "|", Xor: "^", Shl: "<<", Shr: ">>",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Neg: "neg", Not: "!", Compl: "~", Conv: "conv",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// IsComparison reports whether the operator yields a 0/1 truth value.
+func (o Op) IsComparison() bool { return o >= Eq && o <= Ge }
+
+// Negate returns the complementary comparison.
+func (o Op) Negate() Op {
+	switch o {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	}
+	panic("ir: Negate of non-comparison " + o.String())
+}
+
+// ---------------------------------------------------------------- exprs
+
+// Expr is a side-effect-free IR expression.
+type Expr interface{ expr() }
+
+// Const is an integer constant (also used for absolute addresses).
+type Const struct{ V int64 }
+
+// FrameAddr evaluates to the address of the current frame's slot:
+// frameBase + Slot.  It is an address value, not a load.
+type FrameAddr struct{ Slot int64 }
+
+// GlobalAddr evaluates to the address of a global cell: globalBase + Off.
+type GlobalAddr struct{ Off int64 }
+
+// Load reads the memory cell at Addr.
+type Load struct{ Addr Expr }
+
+// Bin applies a binary operator.  Ty, when non-nil, gives the basic type
+// whose width the result is wrapped to (C modular arithmetic); a nil Ty
+// means full 64-bit evaluation (address arithmetic).
+type Bin struct {
+	Op   Op
+	A, B Expr
+	Ty   *types.Basic
+}
+
+// Un applies a unary operator, with the same wrapping convention.
+type Un struct {
+	Op Op
+	A  Expr
+	Ty *types.Basic
+}
+
+func (*Const) expr()      {}
+func (*FrameAddr) expr()  {}
+func (*GlobalAddr) expr() {}
+func (*Load) expr()       {}
+func (*Bin) expr()        {}
+func (*Un) expr()         {}
+
+// ---------------------------------------------------------------- instrs
+
+// Instr is a RAM-machine statement.
+type Instr interface{ instr() }
+
+// Assign stores Src into the cell addressed by Dst, truncating the stored
+// value to StoreTy's width when StoreTy is non-nil (char/int stores).
+type Assign struct {
+	Dst     Expr
+	Src     Expr
+	StoreTy *types.Basic
+	Pos     token.Pos
+}
+
+// IfGoto jumps to Target when Cond is non-zero; execution otherwise falls
+// through.  Site is the program-unique branch site identifier used by the
+// branch-coverage accounting and the directed search's stack records.
+type IfGoto struct {
+	Cond   Expr
+	Target int
+	Site   int
+	Pos    token.Pos
+}
+
+// Goto is an unconditional jump.
+type Goto struct{ Target int }
+
+// Call invokes a program function.  Args are evaluated in the caller's
+// frame; the scalar result, if the callee returns one and Dst is non-nil,
+// is stored through Dst (always a FrameAddr temporary).
+type Call struct {
+	Fn   string
+	Args []Expr
+	Dst  Expr // nil for void calls or discarded results
+	Pos  token.Pos
+}
+
+// CallExt invokes an external (environment-controlled) function: the
+// machine produces a fresh program input of the result type (Sec. 3.2's
+// simulated external functions).
+type CallExt struct {
+	Fn     string
+	Result types.Type
+	Dst    Expr // nil when the result is discarded
+	Pos    token.Pos
+}
+
+// CallLib invokes a host-implemented library function: a deterministic
+// black box executed concretely (Sec. 3.1, "library functions").
+type CallLib struct {
+	Fn   string
+	Args []Expr
+	Dst  Expr
+	Pos  token.Pos
+}
+
+// Ret returns from the current function with an optional value.
+type Ret struct {
+	Val Expr // nil for void returns
+	Pos token.Pos
+}
+
+// Alloc implements malloc: a fresh heap region of Size cells; its address
+// is stored through Dst.
+type Alloc struct {
+	Dst  Expr
+	Size Expr
+	Pos  token.Pos
+}
+
+// Free releases a heap region (advisory; the machine checks double-free).
+type Free struct {
+	Ptr Expr
+	Pos token.Pos
+}
+
+// Abort terminates execution with a program error (the paper's abort).
+type Abort struct {
+	Msg string
+	Pos token.Pos
+}
+
+// Halt terminates execution normally.
+type Halt struct{}
+
+func (*Assign) instr()  {}
+func (*IfGoto) instr()  {}
+func (*Goto) instr()    {}
+func (*Call) instr()    {}
+func (*CallExt) instr() {}
+func (*CallLib) instr() {}
+func (*Ret) instr()     {}
+func (*Alloc) instr()   {}
+func (*Free) instr()    {}
+func (*Abort) instr()   {}
+func (*Halt) instr()    {}
+
+// ---------------------------------------------------------------- prog
+
+// Param describes one function parameter's frame slot.
+type Param struct {
+	Name string
+	Type types.Type
+	Slot int64
+}
+
+// Func is a compiled function.
+type Func struct {
+	Name   string
+	Params []Param
+	Result types.Type
+	// FrameSize is the number of frame cells including compiler temps.
+	FrameSize int64
+	Code      []Instr
+}
+
+// ExternFunc describes an external (environment) function interface.
+type ExternFunc struct {
+	Name   string
+	Result types.Type
+}
+
+// Global describes one global variable's storage.
+type Global struct {
+	Name   string
+	Type   types.Type
+	Off    int64 // cell offset within the global region
+	Extern bool  // environment-controlled (program input)
+	Init   int64 // constant initial value for scalar globals
+	// HasInit distinguishes "= 0" from "uninitialized".
+	HasInit bool
+}
+
+// Prog is a compiled MiniC program.
+type Prog struct {
+	Funcs      map[string]*Func
+	FuncOrder  []string
+	Externs    map[string]*ExternFunc
+	Globals    []Global
+	GlobalSize int64
+	// NumSites is the total number of conditional branch sites.
+	NumSites int
+	// Structs preserves layout info for the random initializer.
+	Structs map[string]*types.Struct
+	// Lib records the library functions the program references.
+	Lib map[string]*types.Func
+}
+
+// Lookup returns the named function.
+func (p *Prog) Lookup(name string) (*Func, bool) {
+	f, ok := p.Funcs[name]
+	return f, ok
+}

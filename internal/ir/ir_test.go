@@ -1,0 +1,285 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/parser"
+	"dart/internal/sema"
+	"dart/internal/types"
+)
+
+func compile(t *testing.T, src string) *Prog {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lib := map[string]*types.Func{
+		"mix": {Params: []types.Type{types.IntType, types.IntType}, Result: types.IntType},
+	}
+	sem, err := sema.Check(f, lib)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := Compile(sem)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func disasm(t *testing.T, src, fn string) string {
+	t.Helper()
+	prog := compile(t, src)
+	f, ok := prog.Lookup(fn)
+	if !ok {
+		t.Fatalf("function %s not compiled", fn)
+	}
+	return Disasm(f)
+}
+
+func countInstr[T Instr](f *Func) int {
+	n := 0
+	for _, ins := range f.Code {
+		if _, ok := ins.(T); ok {
+			n++
+		}
+	}
+	return n
+}
+
+func TestShortCircuitLowering(t *testing.T) {
+	// Each atomic condition of && / || must become its own IfGoto so the
+	// directed search records one stack entry per condition (Sec. 2.5).
+	prog := compile(t, `
+int f(int a, int b, int c) {
+    if (a > 0 && b == 10) return 1;
+    if (a < 0 || c != 2) return 2;
+    return 3;
+}
+`)
+	f, _ := prog.Lookup("f")
+	if got := countInstr[*IfGoto](f); got != 4 {
+		t.Errorf("IfGoto count = %d, want 4 (one per atomic condition)\n%s", got, Disasm(f))
+	}
+}
+
+func TestLogicalValueLowering(t *testing.T) {
+	// && in value position still branches (no bitwise evaluation).
+	prog := compile(t, `int f(int a, int b) { int x = a && b; return x; }`)
+	f, _ := prog.Lookup("f")
+	if got := countInstr[*IfGoto](f); got != 2 {
+		t.Errorf("IfGoto count = %d, want 2\n%s", got, Disasm(f))
+	}
+}
+
+func TestBranchSitesUnique(t *testing.T) {
+	prog := compile(t, `
+int f(int a) { if (a) return 1; if (a > 2) return 2; return 0; }
+int g(int b) { while (b > 0) b--; return b; }
+`)
+	seen := map[int]bool{}
+	total := 0
+	for _, name := range prog.FuncOrder {
+		for _, ins := range prog.Funcs[name].Code {
+			if br, ok := ins.(*IfGoto); ok {
+				if seen[br.Site] {
+					t.Errorf("site %d reused", br.Site)
+				}
+				seen[br.Site] = true
+				total++
+			}
+		}
+	}
+	if total != prog.NumSites {
+		t.Errorf("NumSites = %d, emitted %d", prog.NumSites, total)
+	}
+}
+
+func TestPointerArithmeticScaling(t *testing.T) {
+	// p + i over a struct of size 3 must scale i by 3.
+	out := disasm(t, `
+struct s { int a; int b; int c; };
+struct s *f(struct s *p, int i) { return p + i; }
+`, "f")
+	if !strings.Contains(out, "* 3") {
+		t.Errorf("no scaling by element size:\n%s", out)
+	}
+}
+
+func TestPointerDifferenceDividesBySize(t *testing.T) {
+	out := disasm(t, `
+struct s { int a; int b; };
+int f(struct s *p, struct s *q) { return p - q; }
+`, "f")
+	if !strings.Contains(out, "/ 2") {
+		t.Errorf("pointer difference not divided by element size:\n%s", out)
+	}
+}
+
+func TestFieldOffsets(t *testing.T) {
+	// a->c at offset 1 compiles to an address +1 (the Sec. 2.5 layout).
+	out := disasm(t, `
+struct foo { int i; char c; };
+int f(struct foo *a) { return a->c; }
+`, "f")
+	if !strings.Contains(out, "+ 1") {
+		t.Errorf("field offset not applied:\n%s", out)
+	}
+}
+
+func TestGlobalLayout(t *testing.T) {
+	prog := compile(t, `
+int a = 7;
+int arr[3];
+extern int e;
+char c;
+`)
+	if prog.GlobalSize != 1+3+1+1 {
+		t.Errorf("global size = %d", prog.GlobalSize)
+	}
+	offs := map[string]int64{}
+	for _, g := range prog.Globals {
+		offs[g.Name] = g.Off
+	}
+	if offs["a"] != 0 || offs["arr"] != 1 || offs["e"] != 4 || offs["c"] != 5 {
+		t.Errorf("offsets: %v", offs)
+	}
+	if !prog.Globals[0].HasInit || prog.Globals[0].Init != 7 {
+		t.Error("initializer lost")
+	}
+	if !prog.Globals[2].Extern {
+		t.Error("extern flag lost")
+	}
+}
+
+func TestCallKinds(t *testing.T) {
+	prog := compile(t, `
+extern int env();
+int helper(int x) { return x; }
+int f() { return helper(env()) + mix(1, 2); }
+`)
+	f, _ := prog.Lookup("f")
+	if countInstr[*Call](f) != 1 {
+		t.Errorf("program call count wrong\n%s", Disasm(f))
+	}
+	if countInstr[*CallExt](f) != 1 {
+		t.Errorf("external call count wrong\n%s", Disasm(f))
+	}
+	if countInstr[*CallLib](f) != 1 {
+		t.Errorf("library call count wrong\n%s", Disasm(f))
+	}
+	if _, ok := prog.Externs["env"]; !ok {
+		t.Error("extern function not registered")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	prog := compile(t, `
+int f(int n) {
+    char *p = malloc(n);
+    if (p == NULL) abort();
+    free(p);
+    assert(n > 0, "positive");
+    halt();
+    return 0;
+}
+`)
+	f, _ := prog.Lookup("f")
+	if countInstr[*Alloc](f) != 1 || countInstr[*Free](f) != 1 ||
+		countInstr[*Halt](f) != 1 {
+		t.Errorf("builtin lowering wrong:\n%s", Disasm(f))
+	}
+	// abort() plus the assert failure arm.
+	if countInstr[*Abort](f) != 2 {
+		t.Errorf("abort count:\n%s", Disasm(f))
+	}
+}
+
+func TestStructCopy(t *testing.T) {
+	prog := compile(t, `
+struct pair { int a; int b; };
+int f(struct pair *p, struct pair *q) {
+    *p = *q;
+    return p->a;
+}
+`)
+	f, _ := prog.Lookup("f")
+	if got := countInstr[*Assign](f); got < 2 {
+		t.Errorf("struct copy should expand to per-cell stores, got %d assigns\n%s", got, Disasm(f))
+	}
+}
+
+func TestCharStoreTruncates(t *testing.T) {
+	out := disasm(t, `int f(char *p) { *p = 300; return 0; }`, "f")
+	if !strings.Contains(out, "store.char") {
+		t.Errorf("char store lacks truncation:\n%s", out)
+	}
+}
+
+func TestLabelsResolved(t *testing.T) {
+	prog := compile(t, `
+int f(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s += i;
+    }
+    do { s--; } while (s > 100);
+    return s;
+}
+`)
+	f, _ := prog.Lookup("f")
+	for pc, ins := range f.Code {
+		var target int
+		switch ins := ins.(type) {
+		case *Goto:
+			target = ins.Target
+		case *IfGoto:
+			target = ins.Target
+		default:
+			continue
+		}
+		if target < 0 || target >= len(f.Code) {
+			t.Errorf("instruction %d jumps out of range to %d", pc, target)
+		}
+	}
+}
+
+func TestTernaryLowering(t *testing.T) {
+	prog := compile(t, `int f(int a) { return a > 0 ? a : -a; }`)
+	f, _ := prog.Lookup("f")
+	if countInstr[*IfGoto](f) != 1 {
+		t.Errorf("ternary should branch once:\n%s", Disasm(f))
+	}
+}
+
+func TestFrameIncludesTemps(t *testing.T) {
+	prog := compile(t, `
+int g(int x) { return x; }
+int f(int a) { return g(a) + g(a + 1); }
+`)
+	f, _ := prog.Lookup("f")
+	// One param slot plus at least two call-result temporaries.
+	if f.FrameSize < 3 {
+		t.Errorf("frame size = %d, want >= 3", f.FrameSize)
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	pairs := map[Op]Op{Eq: Ne, Ne: Eq, Lt: Ge, Le: Gt, Gt: Le, Ge: Lt}
+	for op, want := range pairs {
+		if op.Negate() != want {
+			t.Errorf("%v.Negate() = %v", op, op.Negate())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Negate of non-comparison should panic")
+		}
+	}()
+	Add.Negate()
+}

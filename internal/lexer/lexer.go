@@ -1,0 +1,332 @@
+// Package lexer tokenizes MiniC source code.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+
+	"dart/internal/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans MiniC source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// skipSpaceAndComments consumes whitespace, // line comments, /* block
+// comments, and # preprocessor-style lines (which MiniC treats as comments
+// so that C sources with #include lines still lex).
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '#' && l.col == 1:
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+
+	switch {
+	case isLetter(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if kw, ok := token.Keywords[word]; ok {
+			return token.Token{Kind: kw, Lit: word, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Lit: word, Pos: pos}
+
+	case isDigit(c):
+		start := l.off - 1
+		if c == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+			l.advance()
+			for l.off < len(l.src) && isHex(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		lit := l.src[start:l.off]
+		if _, err := strconv.ParseInt(lit, 0, 64); err != nil {
+			l.errorf(pos, "invalid integer literal %q", lit)
+			return token.Token{Kind: token.ILLEGAL, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.INT, Lit: lit, Pos: pos}
+
+	case c == '\'':
+		return l.charLiteral(pos)
+
+	case c == '"':
+		return l.stringLiteral(pos)
+	}
+
+	two := func(next byte, withKind, withoutKind token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: withKind, Pos: pos}
+		}
+		return token.Token{Kind: withoutKind, Pos: pos}
+	}
+
+	switch c {
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.INC, Pos: pos}
+		}
+		return two('=', token.PLUSEQ, token.PLUS)
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			return token.Token{Kind: token.DEC, Pos: pos}
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.ARROW, Pos: pos}
+		}
+		return two('=', token.MINUSEQ, token.MINUS)
+	case '*':
+		return two('=', token.STAREQ, token.STAR)
+	case '/':
+		return two('=', token.SLASHEQ, token.SLASH)
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '&':
+		return two('&', token.LAND, token.AMP)
+	case '|':
+		return two('|', token.LOR, token.PIPE)
+	case '^':
+		return token.Token{Kind: token.CARET, Pos: pos}
+	case '~':
+		return token.Token{Kind: token.TILDE, Pos: pos}
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: pos}
+		}
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: pos}
+		}
+		return two('=', token.GEQ, token.GT)
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: pos}
+	case '?':
+		return token.Token{Kind: token.QUESTION, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	}
+
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// charLiteral scans a character constant; the opening quote is consumed.
+// The token carries the numeric value of the character as its literal.
+func (l *Lexer) charLiteral(pos token.Pos) token.Token {
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	}
+	var v int64
+	c := l.advance()
+	if c == '\\' {
+		if l.off >= len(l.src) {
+			l.errorf(pos, "unterminated character literal")
+			return token.Token{Kind: token.ILLEGAL, Pos: pos}
+		}
+		e := l.advance()
+		switch e {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		case '"':
+			v = '"'
+		default:
+			l.errorf(pos, "unknown escape \\%c", e)
+		}
+	} else {
+		v = int64(c)
+	}
+	if l.off >= len(l.src) || l.advance() != '\'' {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: strconv.FormatInt(v, 10), Pos: pos}
+}
+
+// stringLiteral scans a double-quoted string; the opening quote is consumed.
+func (l *Lexer) stringLiteral(pos token.Pos) token.Token {
+	var buf []byte
+	for {
+		if l.off >= len(l.src) {
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Pos: pos}
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' && l.off < len(l.src) {
+			e := l.advance()
+			switch e {
+			case 'n':
+				c = '\n'
+			case 't':
+				c = '\t'
+			case '\\', '"', '\'':
+				c = e
+			case '0':
+				c = 0
+			default:
+				l.errorf(pos, "unknown escape \\%c in string", e)
+				c = e
+			}
+		}
+		buf = append(buf, c)
+	}
+	return token.Token{Kind: token.STRING, Lit: string(buf), Pos: pos}
+}
+
+// All scans the entire source and returns every token including the
+// trailing EOF. It is primarily a testing convenience.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

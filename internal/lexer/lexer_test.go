@@ -1,0 +1,166 @@
+package lexer
+
+import (
+	"testing"
+
+	"dart/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	l := New(src)
+	var out []token.Kind
+	for {
+		t := l.Next()
+		if t.Kind == token.EOF {
+			return out
+		}
+		out = append(out, t.Kind)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[string][]token.Kind{
+		"+ - * / %":    {token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT},
+		"== != < <= >": {token.EQ, token.NEQ, token.LT, token.LEQ, token.GT},
+		">= && || !":   {token.GEQ, token.LAND, token.LOR, token.NOT},
+		"& | ^ ~":      {token.AMP, token.PIPE, token.CARET, token.TILDE},
+		"<< >>":        {token.SHL, token.SHR},
+		"-> . ++ --":   {token.ARROW, token.DOT, token.INC, token.DEC},
+		"+= -= *= /=":  {token.PLUSEQ, token.MINUSEQ, token.STAREQ, token.SLASHEQ},
+		"= ?:":         {token.ASSIGN, token.QUESTION, token.COLON},
+		"(){}[],;":     {token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE, token.LBRACKET, token.RBRACKET, token.COMMA, token.SEMICOLON},
+	}
+	for src, want := range cases {
+		got := kinds(src)
+		if len(got) != len(want) {
+			t.Fatalf("%q: got %v, want %v", src, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%q token %d: got %v, want %v", src, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	l := New("int x while whiley structfoo struct NULL nullish")
+	want := []struct {
+		kind token.Kind
+		lit  string
+	}{
+		{token.KwInt, "int"},
+		{token.IDENT, "x"},
+		{token.KwWhile, "while"},
+		{token.IDENT, "whiley"},
+		{token.IDENT, "structfoo"},
+		{token.KwStruct, "struct"},
+		{token.KwNull, "NULL"},
+		{token.IDENT, "nullish"},
+	}
+	for i, w := range want {
+		got := l.Next()
+		if got.Kind != w.kind || got.Lit != w.lit {
+			t.Errorf("token %d: got %v %q, want %v %q", i, got.Kind, got.Lit, w.kind, w.lit)
+		}
+	}
+}
+
+func TestIntegerLiterals(t *testing.T) {
+	cases := map[string]string{
+		"0":      "0",
+		"12345":  "12345",
+		"0x1f":   "0x1f",
+		"0X00FF": "0X00FF",
+	}
+	for src, lit := range cases {
+		l := New(src)
+		tok := l.Next()
+		if tok.Kind != token.INT || tok.Lit != lit {
+			t.Errorf("%q: got %v %q", src, tok.Kind, tok.Lit)
+		}
+		if len(l.Errors()) != 0 {
+			t.Errorf("%q: unexpected errors %v", src, l.Errors())
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	cases := map[string]string{
+		"'a'":   "97",
+		"'0'":   "48",
+		"'\\n'": "10",
+		"'\\t'": "9",
+		"'\\0'": "0",
+		"'\\''": "39",
+		"'|'":   "124",
+	}
+	for src, want := range cases {
+		l := New(src)
+		tok := l.Next()
+		if tok.Kind != token.INT || tok.Lit != want {
+			t.Errorf("%q: got %v %q, want INT %q", src, tok.Kind, tok.Lit, want)
+		}
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	l := New(`"hello\nworld"`)
+	tok := l.Next()
+	if tok.Kind != token.STRING || tok.Lit != "hello\nworld" {
+		t.Errorf("got %v %q", tok.Kind, tok.Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+#include <stdio.h>
+int /* block
+spanning lines */ x;
+`
+	got := kinds(src)
+	want := []token.Kind{token.KwInt, token.IDENT, token.SEMICOLON}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("int\n  foo")
+	a := l.Next()
+	b := l.Next()
+	if a.Pos.Line != 1 || a.Pos.Col != 1 {
+		t.Errorf("int at %v", a.Pos)
+	}
+	if b.Pos.Line != 2 || b.Pos.Col != 3 {
+		t.Errorf("foo at %v, want 2:3", b.Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{"@", "'ab'", "'", `"unterminated`, "/* unterminated"}
+	for _, src := range cases {
+		l := New(src)
+		l.All()
+		if len(l.Errors()) == 0 {
+			t.Errorf("%q: expected a lexical error", src)
+		}
+	}
+}
+
+func TestAllIncludesEOF(t *testing.T) {
+	toks := New("x").All()
+	if len(toks) != 2 || toks[1].Kind != token.EOF {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestEOFStable(t *testing.T) {
+	l := New("")
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %v", i, tok)
+		}
+	}
+}

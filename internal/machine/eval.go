@@ -1,0 +1,289 @@
+package machine
+
+import (
+	"errors"
+
+	"dart/internal/ir"
+	"dart/internal/symbolic"
+	"dart/internal/types"
+)
+
+var errDivZero = errors.New("division by zero")
+
+// evalConcrete is the paper's evaluate_concrete(e, M): standard RAM-
+// machine expression evaluation with C's wrapping integer semantics.
+func (m *Machine) evalConcrete(e ir.Expr, frame int64) (int64, error) {
+	switch e := e.(type) {
+	case *ir.Const:
+		return e.V, nil
+	case *ir.FrameAddr:
+		return frame + e.Slot, nil
+	case *ir.GlobalAddr:
+		return m.globalBase + e.Off, nil
+	case *ir.Load:
+		addr, err := m.evalConcrete(e.Addr, frame)
+		if err != nil {
+			return 0, err
+		}
+		v, err := m.mem.Load(addr)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.noteDecision(addr, v); err != nil {
+			return 0, err
+		}
+		return v, nil
+	case *ir.Un:
+		a, err := m.evalConcrete(e.A, frame)
+		if err != nil {
+			return 0, err
+		}
+		var v int64
+		switch e.Op {
+		case ir.Neg:
+			v = -a
+		case ir.Not:
+			if a == 0 {
+				v = 1
+			}
+		case ir.Compl:
+			v = ^a
+		case ir.Conv:
+			v = a
+		default:
+			return 0, errors.New("bad unary op " + e.Op.String())
+		}
+		if e.Ty != nil {
+			v = types.Truncate(e.Ty, v)
+		}
+		return v, nil
+	case *ir.Bin:
+		a, err := m.evalConcrete(e.A, frame)
+		if err != nil {
+			return 0, err
+		}
+		b, err := m.evalConcrete(e.B, frame)
+		if err != nil {
+			return 0, err
+		}
+		v, err := applyBin(e.Op, a, b)
+		if err != nil {
+			return 0, err
+		}
+		if e.Ty != nil && !e.Op.IsComparison() {
+			v = types.Truncate(e.Ty, v)
+		}
+		return v, nil
+	}
+	return 0, errors.New("bad expression")
+}
+
+func applyBin(op ir.Op, a, b int64) (int64, error) {
+	switch op {
+	case ir.Add:
+		return a + b, nil
+	case ir.Sub:
+		return a - b, nil
+	case ir.Mul:
+		return a * b, nil
+	case ir.Div:
+		if b == 0 {
+			return 0, errDivZero
+		}
+		return a / b, nil
+	case ir.Mod:
+		if b == 0 {
+			return 0, errDivZero
+		}
+		return a % b, nil
+	case ir.And:
+		return a & b, nil
+	case ir.Or:
+		return a | b, nil
+	case ir.Xor:
+		return a ^ b, nil
+	case ir.Shl:
+		return a << (uint64(b) & 63), nil
+	case ir.Shr:
+		return a >> (uint64(b) & 63), nil
+	case ir.Eq:
+		return b2i(a == b), nil
+	case ir.Ne:
+		return b2i(a != b), nil
+	case ir.Lt:
+		return b2i(a < b), nil
+	case ir.Le:
+		return b2i(a <= b), nil
+	case ir.Gt:
+		return b2i(a > b), nil
+	case ir.Ge:
+		return b2i(a >= b), nil
+	}
+	return 0, errors.New("bad binary op " + op.String())
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evalSymbolic is Fig. 1's evaluate_symbolic(e, M, S).  It returns an
+// affine form over input variables; whenever the expression leaves the
+// linear theory it falls back to the concrete value (a constant form) and
+// clears the corresponding completeness flag.  It returns nil only when
+// the underlying concrete evaluation faults, in which case the caller's
+// concrete evaluation reports the fault.
+func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
+	switch e := e.(type) {
+	case *ir.Const:
+		return symbolic.NewConst(e.V)
+	case *ir.FrameAddr:
+		return symbolic.NewConst(frame + e.Slot)
+	case *ir.GlobalAddr:
+		return symbolic.NewConst(m.globalBase + e.Off)
+	case *ir.Load:
+		la := m.evalSymbolic(e.Addr, frame)
+		if la == nil {
+			return nil
+		}
+		if !la.IsConst() {
+			if !m.pointerShapeOnly(la) {
+				// Dereference through an arithmetic-input-dependent
+				// address: the paper's all_locs_definite case — fall
+				// back to the concrete value.
+				m.allLocsDefinite = false
+				return m.concreteConst(e, frame)
+			}
+			// Refinement (invited by Sec. 2.3): the address depends only
+			// on pointer-shape inputs, whose values are pinned for the
+			// duration of a run by the NULL-check predicates and the
+			// input vector, so the concrete address is definite.
+			addr, err := m.evalConcrete(e.Addr, frame)
+			if err != nil {
+				return nil
+			}
+			return m.loadSym(addr)
+		}
+		return m.loadSym(la.ConstVal())
+	case *ir.Un:
+		a := m.evalSymbolic(e.A, frame)
+		if a == nil {
+			return nil
+		}
+		switch e.Op {
+		case ir.Neg:
+			if r := symbolic.Scale(a, -1); r != nil {
+				return m.wrapConst(r, e.Ty)
+			}
+			m.allLinear = false
+			return m.concreteConst(e, frame)
+		case ir.Conv:
+			if a.IsConst() {
+				return symbolic.NewConst(types.Truncate(e.Ty, a.ConstVal()))
+			}
+			// Width truncation of a symbolic value is non-linear; treat
+			// the common no-op case (value provably in range is unknowable
+			// here) conservatively.
+			m.allLinear = false
+			return m.concreteConst(e, frame)
+		default: // Not, Compl
+			if a.IsConst() {
+				return m.concreteConst(e, frame)
+			}
+			m.allLinear = false
+			return m.concreteConst(e, frame)
+		}
+	case *ir.Bin:
+		a := m.evalSymbolic(e.A, frame)
+		if a == nil {
+			return nil
+		}
+		b := m.evalSymbolic(e.B, frame)
+		if b == nil {
+			return nil
+		}
+		if a.IsConst() && b.IsConst() {
+			return m.concreteConst(e, frame)
+		}
+		switch e.Op {
+		case ir.Add:
+			if r := symbolic.Add(a, b); r != nil {
+				return m.wrapConst(r, e.Ty)
+			}
+		case ir.Sub:
+			if r := symbolic.Sub(a, b); r != nil {
+				return m.wrapConst(r, e.Ty)
+			}
+		case ir.Mul:
+			// Fig. 1: symbolic*symbolic is outside the theory; constant
+			// scaling stays inside.
+			if a.IsConst() {
+				if r := symbolic.Scale(b, a.ConstVal()); r != nil {
+					return m.wrapConst(r, e.Ty)
+				}
+			} else if b.IsConst() {
+				if r := symbolic.Scale(a, b.ConstVal()); r != nil {
+					return m.wrapConst(r, e.Ty)
+				}
+			}
+		case ir.Shl:
+			// x << k with constant k is scaling by 2^k: still linear.
+			if b.IsConst() && b.ConstVal() >= 0 && b.ConstVal() < 62 {
+				if r := symbolic.Scale(a, int64(1)<<uint(b.ConstVal())); r != nil {
+					return m.wrapConst(r, e.Ty)
+				}
+			}
+		}
+		// Division, modulus, bitwise operators, comparisons used as
+		// values, shifts by symbolic amounts, symbolic*symbolic: all
+		// outside linear integer arithmetic.
+		m.allLinear = false
+		return m.concreteConst(e, frame)
+	}
+	return nil
+}
+
+// wrapConst applies width truncation when the affine form collapsed to a
+// constant; symbolic forms are left untruncated (the linear theory models
+// unbounded integers, as the paper's lp_solve backend did).
+func (m *Machine) wrapConst(l *symbolic.Lin, ty *types.Basic) *symbolic.Lin {
+	if ty != nil && l.IsConst() {
+		return symbolic.NewConst(types.Truncate(ty, l.ConstVal()))
+	}
+	return l
+}
+
+// loadSym reads the symbolic (or concrete) content of a definite address.
+func (m *Machine) loadSym(addr int64) *symbolic.Lin {
+	if s, ok := m.sym[addr]; ok {
+		return s
+	}
+	v, err := m.mem.Load(addr)
+	if err != nil {
+		return nil
+	}
+	return symbolic.NewConst(v)
+}
+
+// pointerShapeOnly reports whether every variable of the form is a
+// pointer input (so the form's value is fixed by shape decisions alone).
+func (m *Machine) pointerShapeOnly(l *symbolic.Lin) bool {
+	for _, v := range l.Vars() {
+		if !m.inputs.IsPointerVar(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// concreteConst is the fallback of Fig. 1: the expression's concrete
+// value as a constant form.
+func (m *Machine) concreteConst(e ir.Expr, frame int64) *symbolic.Lin {
+	v, err := m.evalConcrete(e, frame)
+	if err != nil {
+		return nil
+	}
+	return symbolic.NewConst(v)
+}

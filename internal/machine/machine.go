@@ -1,0 +1,715 @@
+// Package machine executes compiled MiniC programs on the paper's RAM
+// machine, intertwining the concrete execution with the symbolic
+// bookkeeping of Fig. 1/Fig. 3 ("instrumented_program").
+//
+// One Machine represents one run: it owns the concrete memory M, the
+// symbolic memory S, the per-run completeness flags (all_linear,
+// all_locs_definite), and the sequence of branch records the directed
+// search consumes.  The driver (package concolic) creates a fresh Machine
+// per run, feeds it inputs through an InputSource, and observes branches
+// through a hook so it can implement compare_and_update_stack.
+package machine
+
+import (
+	"fmt"
+
+	"dart/internal/ir"
+	"dart/internal/mem"
+	"dart/internal/symbolic"
+	"dart/internal/token"
+	"dart/internal/types"
+)
+
+// Outcome classifies how a run ended.
+type Outcome int
+
+// Outcomes.
+const (
+	// HaltOK: the program ran to completion.
+	HaltOK Outcome = iota
+	// Aborted: abort() or a failed assertion (a genuine program error).
+	Aborted
+	// Crashed: a runtime fault — segmentation fault, division by zero
+	// (also a genuine program error; the oSIP experiment counts these).
+	Crashed
+	// StepLimit: the step budget was exhausted; reported as potential
+	// non-termination, mirroring the paper's watchdog timer.
+	StepLimit
+	// Mispredicted: the branch hook vetoed execution because the run
+	// diverged from the predicted path (forcing_ok = 0 in Fig. 4).
+	Mispredicted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case HaltOK:
+		return "halt"
+	case Aborted:
+		return "abort"
+	case Crashed:
+		return "crash"
+	case StepLimit:
+		return "step-limit"
+	case Mispredicted:
+		return "mispredicted"
+	}
+	return "unknown"
+}
+
+// RunError describes an abnormal termination.
+type RunError struct {
+	Outcome Outcome
+	Msg     string
+	Pos     token.Pos
+}
+
+func (e *RunError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s (%s)", e.Outcome, e.Msg, e.Pos)
+	}
+	return fmt.Sprintf("%s: %s", e.Outcome, e.Msg)
+}
+
+// BranchRec is one executed conditional: the paper's (branch, done) stack
+// entry enriched with the branch site and the symbolic predicate that
+// held on this execution (HasPred is false when the condition fell
+// outside the theory, in which case the branch cannot be flipped).
+type BranchRec struct {
+	Site    int
+	Taken   bool
+	Pred    symbolic.Pred
+	HasPred bool
+	Pos     token.Pos
+	// Decision marks a synthetic record emitted when the program first
+	// reads a pointer input: the NULL-vs-allocate coin toss enters the
+	// search tree so the directed search can flip input shapes
+	// systematically (an extension of the paper's random-only shape
+	// choice; see DESIGN.md).  Decision records carry Site == -1.
+	Decision bool
+}
+
+// BranchHook observes each conditional as it executes.  Returning an
+// error aborts the run with the Mispredicted outcome; the directed
+// search uses this to implement Fig. 4's forcing check.
+type BranchHook func(rec BranchRec) error
+
+// InputSource supplies concrete input values and their symbolic
+// identities.  The concolic engine implements it with the input vector IM
+// (previous solution + random completion); the random-testing baseline
+// implements it with a pure random stream.
+type InputSource interface {
+	// ScalarInput returns the concrete value for the scalar input named
+	// key, of basic type b.
+	ScalarInput(key string, b *types.Basic) int64
+	// PointerInput reports whether the pointer input named key should be
+	// a fresh allocation (true) or NULL (false).
+	PointerInput(key string) bool
+	// VarOf returns the symbolic variable standing for input key,
+	// registering its kind and domain on first use.  Sources that do not
+	// track symbolic state (pure random testing) return false.
+	VarOf(key string, kind symbolic.VarKind, b *types.Basic) (symbolic.Var, bool)
+	// IsPointerVar reports whether v identifies a pointer input.  The
+	// machine uses it for the pointer-dereference refinement of Sec. 2.3:
+	// an address that depends only on pointer-shape inputs is definite
+	// once the shapes are fixed, so dereferencing it stays within the
+	// theory instead of clearing all_locs_definite.
+	IsPointerVar(v symbolic.Var) bool
+}
+
+// LibImpl is a host-implemented library function: a deterministic black
+// box (Sec. 3.1) executed on concrete values only.
+type LibImpl func(m *Machine, args []int64) (int64, error)
+
+// Config assembles a Machine.
+type Config struct {
+	Prog *ir.Prog
+	// Inputs supplies program inputs; required.
+	Inputs InputSource
+	// OnBranch observes conditionals; may be nil.
+	OnBranch BranchHook
+	// LibImpls maps library function names to implementations.
+	LibImpls map[string]LibImpl
+	// MaxSteps bounds execution (0 means DefaultMaxSteps).
+	MaxSteps int64
+	// ShapeSearch emits Decision branch records when pointer inputs are
+	// first read, letting the driver search over input shapes.
+	ShapeSearch bool
+}
+
+// DefaultMaxSteps is the non-termination watchdog budget.
+const DefaultMaxSteps = 2_000_000
+
+// Machine is the state of one instrumented run.
+type Machine struct {
+	prog     *ir.Prog
+	mem      *mem.M
+	sym      map[int64]*symbolic.Lin // the paper's S
+	inputs   InputSource
+	onBranch BranchHook
+	libs     map[string]LibImpl
+
+	globalBase int64
+	steps      int64
+	maxSteps   int64
+
+	// Completeness flags of Fig. 2 (true = still complete).
+	allLinear       bool
+	allLocsDefinite bool
+
+	// Branches is the executed conditional sequence (stack material).
+	Branches []BranchRec
+
+	// extCounts numbers successive calls to each external function so
+	// that every call is a distinct input (Sec. 3.1).
+	extCounts map[string]int
+
+	// shapeSearch and decided implement the pointer-shape decision
+	// records: each pointer input contributes at most one Decision
+	// record per run, at its first concrete read.
+	shapeSearch bool
+	decided     map[symbolic.Var]bool
+
+	callDepth int
+}
+
+// maxCallDepth bounds MiniC recursion so runaway recursion is reported
+// as a crash (stack overflow) rather than exhausting the host stack.
+const maxCallDepth = 8_000
+
+// New creates a machine for one run and initializes global memory:
+// initialized globals get their constant values; extern globals are
+// environment inputs, initialized via RandomInit.
+func New(cfg Config) (*Machine, error) {
+	m := &Machine{
+		prog:            cfg.Prog,
+		mem:             mem.New(),
+		sym:             map[int64]*symbolic.Lin{},
+		inputs:          cfg.Inputs,
+		onBranch:        cfg.OnBranch,
+		libs:            cfg.LibImpls,
+		maxSteps:        cfg.MaxSteps,
+		allLinear:       true,
+		allLocsDefinite: true,
+		extCounts:       map[string]int{},
+		shapeSearch:     cfg.ShapeSearch,
+		decided:         map[symbolic.Var]bool{},
+	}
+	if m.maxSteps == 0 {
+		m.maxSteps = DefaultMaxSteps
+	}
+	m.globalBase = m.mem.MapGlobals(cfg.Prog.GlobalSize)
+	for _, g := range cfg.Prog.Globals {
+		addr := m.globalBase + g.Off
+		switch {
+		case g.Extern:
+			if err := m.RandomInit(addr, g.Type, "g:"+g.Name); err != nil {
+				return nil, err
+			}
+		case g.HasInit:
+			if err := m.mem.Store(addr, truncStore(g.Type, g.Init)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// AllLinear reports whether every symbolic expression stayed within the
+// linear theory during this run.
+func (m *Machine) AllLinear() bool { return m.allLinear }
+
+// AllLocsDefinite reports whether every dereferenced address was
+// input-independent during this run.
+func (m *Machine) AllLocsDefinite() bool { return m.allLocsDefinite }
+
+// Steps returns the number of executed instructions.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// GlobalAddr returns the absolute address of the global region offset.
+func (m *Machine) GlobalAddr(off int64) int64 { return m.globalBase + off }
+
+// Mem exposes the concrete memory (used by library implementations).
+func (m *Machine) Mem() *mem.M { return m.mem }
+
+// SymAt returns the symbolic value stored for addr, if any.
+func (m *Machine) SymAt(addr int64) (*symbolic.Lin, bool) {
+	l, ok := m.sym[addr]
+	return l, ok
+}
+
+func truncStore(t types.Type, v int64) int64 {
+	if b, ok := t.(*types.Basic); ok {
+		return types.Truncate(b, v)
+	}
+	return v
+}
+
+// ---------------------------------------------------------------- inputs
+
+// RandomInit initializes the memory at addr as an input of type t named
+// key, following Fig. 8: scalars draw random bits (or the value assigned
+// by the previous solve), pointers flip a coin between NULL and a fresh
+// allocation whose contents are initialized recursively, and structs and
+// arrays recurse member-wise.
+func (m *Machine) RandomInit(addr int64, t types.Type, key string) error {
+	switch t := t.(type) {
+	case *types.Basic:
+		v := types.Truncate(t, m.inputs.ScalarInput(key, t))
+		if err := m.mem.Store(addr, v); err != nil {
+			return err
+		}
+		if sv, ok := m.inputs.VarOf(key, symbolic.ScalarVar, t); ok {
+			m.sym[addr] = symbolic.NewVar(sv)
+		}
+		return nil
+	case *types.Pointer:
+		if sv, ok := m.inputs.VarOf(key, symbolic.PointerVar, nil); ok {
+			m.sym[addr] = symbolic.NewVar(sv)
+		}
+		if !m.inputs.PointerInput(key) {
+			return m.mem.Store(addr, 0)
+		}
+		size := t.Elem.Size()
+		if size == 0 { // void*: allocate a single opaque cell
+			size = 1
+		}
+		region, err := m.mem.Alloc(size)
+		if err != nil {
+			return err
+		}
+		if err := m.mem.Store(addr, region); err != nil {
+			return err
+		}
+		if types.IsVoid(t.Elem) {
+			return nil
+		}
+		return m.RandomInit(region, t.Elem, key+".*")
+	case *types.Struct:
+		for _, f := range t.Fields {
+			if err := m.RandomInit(addr+f.Offset, f.Type, key+"."+f.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *types.Array:
+		for i := int64(0); i < t.Len; i++ {
+			k := fmt.Sprintf("%s[%d]", key, i)
+			if err := m.RandomInit(addr+i*t.Elem.Size(), t.Elem, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("machine: cannot initialize input of type %s", t)
+}
+
+// Value is a concrete value with its symbolic shadow (nil when the value
+// does not depend on inputs).
+type Value struct {
+	V   int64
+	Sym *symbolic.Lin
+}
+
+// ArgValue reads the input cell at addr as a call argument.
+func (m *Machine) ArgValue(addr int64) (Value, error) {
+	v, err := m.mem.Load(addr)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{V: v, Sym: m.sym[addr]}, nil
+}
+
+// ---------------------------------------------------------------- run
+
+// RunCall invokes the named function with the given arguments and runs it
+// to completion.  A nil *RunError means the call returned normally.
+func (m *Machine) RunCall(fn string, args []Value) (Value, *RunError) {
+	f, ok := m.prog.Lookup(fn)
+	if !ok {
+		return Value{}, &RunError{Outcome: Crashed, Msg: "no such function " + fn}
+	}
+	if len(args) != len(f.Params) {
+		return Value{}, &RunError{
+			Outcome: Crashed,
+			Msg:     fmt.Sprintf("%s expects %d arguments, got %d", fn, len(f.Params), len(args)),
+		}
+	}
+	return m.exec(f, args)
+}
+
+// exec runs one function activation.
+func (m *Machine) exec(f *ir.Func, args []Value) (Value, *RunError) {
+	if m.callDepth >= maxCallDepth {
+		return Value{}, &RunError{Outcome: Crashed, Msg: "stack overflow (recursion too deep)"}
+	}
+	m.callDepth++
+	defer func() { m.callDepth-- }()
+
+	frame := m.mem.PushFrame(f.FrameSize)
+	defer func() {
+		// Clear symbolic shadows before the addresses are recycled by a
+		// later frame.
+		for i := int64(0); i < f.FrameSize; i++ {
+			delete(m.sym, frame+i)
+		}
+		m.mem.PopFrame(frame, f.FrameSize)
+	}()
+
+	for i, p := range f.Params {
+		addr := frame + p.Slot
+		if err := m.mem.Store(addr, truncStore(p.Type, args[i].V)); err != nil {
+			return Value{}, m.memErr(err, token.Pos{})
+		}
+		if args[i].Sym != nil && !args[i].Sym.IsConst() {
+			m.sym[addr] = args[i].Sym
+		}
+	}
+
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(f.Code) {
+			return Value{}, &RunError{Outcome: Crashed, Msg: fmt.Sprintf("pc %d out of range in %s", pc, f.Name)}
+		}
+		m.steps++
+		if m.steps > m.maxSteps {
+			return Value{}, &RunError{Outcome: StepLimit, Msg: "step budget exhausted (possible non-termination)"}
+		}
+
+		switch ins := f.Code[pc].(type) {
+		case *ir.Assign:
+			if err := m.doAssign(ins, frame); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case *ir.IfGoto:
+			taken, err := m.doBranch(ins, frame)
+			if err != nil {
+				return Value{}, err
+			}
+			if taken {
+				pc = ins.Target
+			} else {
+				pc++
+			}
+		case *ir.Goto:
+			pc = ins.Target
+		case *ir.Call:
+			if err := m.doCall(ins, frame); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case *ir.CallExt:
+			if err := m.doCallExt(ins, frame); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case *ir.CallLib:
+			if err := m.doCallLib(ins, frame); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case *ir.Ret:
+			if ins.Val == nil {
+				return Value{}, nil
+			}
+			v, err := m.evalConcrete(ins.Val, frame)
+			if err != nil {
+				return Value{}, m.memErr(err, ins.Pos)
+			}
+			return Value{V: v, Sym: m.evalSymbolic(ins.Val, frame)}, nil
+		case *ir.Alloc:
+			if err := m.doAlloc(ins, frame); err != nil {
+				return Value{}, err
+			}
+			pc++
+		case *ir.Free:
+			p, err := m.evalConcrete(ins.Ptr, frame)
+			if err != nil {
+				return Value{}, m.memErr(err, ins.Pos)
+			}
+			if err := m.mem.Free(p); err != nil {
+				return Value{}, m.memErr(err, ins.Pos)
+			}
+			pc++
+		case *ir.Abort:
+			return Value{}, &RunError{Outcome: Aborted, Msg: ins.Msg, Pos: ins.Pos}
+		case *ir.Halt:
+			return Value{}, &RunError{Outcome: HaltOK, Msg: "halt"}
+		default:
+			return Value{}, &RunError{Outcome: Crashed, Msg: fmt.Sprintf("bad instruction %T", ins)}
+		}
+	}
+}
+
+func (m *Machine) memErr(err error, pos token.Pos) *RunError {
+	// Errors that are already run errors (e.g. a misprediction raised by
+	// the branch hook inside a decision record) pass through unchanged.
+	if re, ok := err.(*RunError); ok {
+		return re
+	}
+	return &RunError{Outcome: Crashed, Msg: err.Error(), Pos: pos}
+}
+
+// noteDecision emits the synthetic Decision record for a pointer input
+// whose value was just read, once per run.
+func (m *Machine) noteDecision(addr, v int64) error {
+	if !m.shapeSearch {
+		return nil
+	}
+	l, ok := m.sym[addr]
+	if !ok || len(l.Coeffs) != 1 || l.Const != 0 {
+		return nil
+	}
+	sv := l.Vars()[0]
+	if l.Coeffs[sv] != 1 || !m.inputs.IsPointerVar(sv) || m.decided[sv] {
+		return nil
+	}
+	m.decided[sv] = true
+	taken := v != 0
+	rel := symbolic.NE
+	if !taken {
+		rel = symbolic.EQ
+	}
+	rec := BranchRec{
+		Site:     -1,
+		Taken:    taken,
+		Pred:     symbolic.Pred{L: symbolic.NewVar(sv), Rel: rel},
+		HasPred:  true,
+		Decision: true,
+	}
+	m.Branches = append(m.Branches, rec)
+	if m.onBranch != nil {
+		if herr := m.onBranch(rec); herr != nil {
+			return &RunError{Outcome: Mispredicted, Msg: herr.Error()}
+		}
+	}
+	return nil
+}
+
+func (m *Machine) doAssign(ins *ir.Assign, frame int64) *RunError {
+	addr, err := m.evalConcrete(ins.Dst, frame)
+	if err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	v, err := m.evalConcrete(ins.Src, frame)
+	if err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	if ins.StoreTy != nil {
+		v = types.Truncate(ins.StoreTy, v)
+	}
+	// S := S + [m -> evaluate_symbolic(e, M, S)]  (Fig. 3); constants are
+	// removed from S rather than stored, keeping S the set of
+	// input-dependent locations.
+	sym := m.evalSymbolic(ins.Src, frame)
+	if err := m.mem.Store(addr, v); err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	if sym != nil && !sym.IsConst() {
+		m.sym[addr] = sym
+	} else {
+		delete(m.sym, addr)
+	}
+	return nil
+}
+
+func (m *Machine) doAlloc(ins *ir.Alloc, frame int64) *RunError {
+	size, err := m.evalConcrete(ins.Size, frame)
+	if err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	if size < 0 {
+		return &RunError{Outcome: Crashed, Msg: fmt.Sprintf("malloc with negative size %d", size), Pos: ins.Pos}
+	}
+	region, err := m.mem.Alloc(size)
+	if err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	addr, err := m.evalConcrete(ins.Dst, frame)
+	if err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	if err := m.mem.Store(addr, region); err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	delete(m.sym, addr)
+	return nil
+}
+
+func (m *Machine) doCall(ins *ir.Call, frame int64) *RunError {
+	f, ok := m.prog.Lookup(ins.Fn)
+	if !ok {
+		return &RunError{Outcome: Crashed, Msg: "no such function " + ins.Fn, Pos: ins.Pos}
+	}
+	args := make([]Value, len(ins.Args))
+	for i, a := range ins.Args {
+		v, err := m.evalConcrete(a, frame)
+		if err != nil {
+			return m.memErr(err, ins.Pos)
+		}
+		args[i] = Value{V: v, Sym: m.evalSymbolic(a, frame)}
+	}
+	// The destination is a caller-frame temporary; resolve it before the
+	// callee's frame is live.
+	var dstAddr int64
+	if ins.Dst != nil {
+		var err error
+		dstAddr, err = m.evalConcrete(ins.Dst, frame)
+		if err != nil {
+			return m.memErr(err, ins.Pos)
+		}
+	}
+	ret, rerr := m.exec(f, args)
+	if rerr != nil {
+		return rerr
+	}
+	if ins.Dst != nil {
+		if err := m.mem.Store(dstAddr, ret.V); err != nil {
+			return m.memErr(err, ins.Pos)
+		}
+		if ret.Sym != nil && !ret.Sym.IsConst() {
+			m.sym[dstAddr] = ret.Sym
+		} else {
+			delete(m.sym, dstAddr)
+		}
+	}
+	return nil
+}
+
+// doCallExt simulates an external function: its return value is a fresh
+// environment input (Sec. 3.2's simulated external functions).
+func (m *Machine) doCallExt(ins *ir.CallExt, frame int64) *RunError {
+	n := m.extCounts[ins.Fn]
+	m.extCounts[ins.Fn] = n + 1
+	if ins.Dst == nil || types.IsVoid(ins.Result) {
+		return nil
+	}
+	addr, err := m.evalConcrete(ins.Dst, frame)
+	if err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	key := fmt.Sprintf("ext:%s#%d", ins.Fn, n)
+	if err := m.RandomInit(addr, ins.Result, key); err != nil {
+		return m.memErr(err, ins.Pos)
+	}
+	return nil
+}
+
+func (m *Machine) doCallLib(ins *ir.CallLib, frame int64) *RunError {
+	impl, ok := m.libs[ins.Fn]
+	if !ok {
+		return &RunError{Outcome: Crashed, Msg: "library function " + ins.Fn + " has no implementation", Pos: ins.Pos}
+	}
+	args := make([]int64, len(ins.Args))
+	anySymbolic := false
+	for i, a := range ins.Args {
+		v, err := m.evalConcrete(a, frame)
+		if err != nil {
+			return m.memErr(err, ins.Pos)
+		}
+		args[i] = v
+		if s := m.evalSymbolic(a, frame); s != nil && !s.IsConst() {
+			anySymbolic = true
+		}
+	}
+	// A black box fed input-dependent values takes the analysis outside
+	// the theory: fall back to concrete and clear the completeness flag.
+	if anySymbolic {
+		m.allLinear = false
+	}
+	ret, err := impl(m, args)
+	if err != nil {
+		return &RunError{Outcome: Crashed, Msg: err.Error(), Pos: ins.Pos}
+	}
+	if ins.Dst != nil {
+		addr, cerr := m.evalConcrete(ins.Dst, frame)
+		if cerr != nil {
+			return m.memErr(cerr, ins.Pos)
+		}
+		if serr := m.mem.Store(addr, ret); serr != nil {
+			return m.memErr(serr, ins.Pos)
+		}
+		delete(m.sym, addr)
+	}
+	return nil
+}
+
+// doBranch executes a conditional: concrete decision, symbolic predicate
+// extraction, branch record, and hook dispatch.
+func (m *Machine) doBranch(ins *ir.IfGoto, frame int64) (bool, *RunError) {
+	cv, err := m.evalConcrete(ins.Cond, frame)
+	if err != nil {
+		return false, m.memErr(err, ins.Pos)
+	}
+	taken := cv != 0
+	pred, hasPred := m.branchPred(ins.Cond, frame, taken)
+	rec := BranchRec{Site: ins.Site, Taken: taken, Pred: pred, HasPred: hasPred, Pos: ins.Pos}
+	m.Branches = append(m.Branches, rec)
+	if m.onBranch != nil {
+		if herr := m.onBranch(rec); herr != nil {
+			return false, &RunError{Outcome: Mispredicted, Msg: herr.Error(), Pos: ins.Pos}
+		}
+	}
+	return taken, nil
+}
+
+// branchPred derives the path-constraint predicate for a condition under
+// the branch actually taken.  It returns hasPred=false when the condition
+// does not depend on inputs (constant) or fell outside the theory.
+func (m *Machine) branchPred(cond ir.Expr, frame int64, taken bool) (symbolic.Pred, bool) {
+	switch c := cond.(type) {
+	case *ir.Un:
+		if c.Op == ir.Not {
+			return m.branchPred(c.A, frame, !taken)
+		}
+	case *ir.Bin:
+		if c.Op.IsComparison() {
+			la := m.evalSymbolic(c.A, frame)
+			lb := m.evalSymbolic(c.B, frame)
+			if la == nil || lb == nil {
+				return symbolic.Pred{}, false
+			}
+			if la.IsConst() && lb.IsConst() {
+				return symbolic.Pred{}, false
+			}
+			diff := symbolic.Sub(la, lb)
+			if diff == nil {
+				m.allLinear = false
+				return symbolic.Pred{}, false
+			}
+			rel := relOf(c.Op)
+			p := symbolic.Pred{L: diff, Rel: rel}
+			if !taken {
+				p = p.Negate()
+			}
+			return p, true
+		}
+	}
+	l := m.evalSymbolic(cond, frame)
+	if l == nil || l.IsConst() {
+		return symbolic.Pred{}, false
+	}
+	p := symbolic.Pred{L: l, Rel: symbolic.NE}
+	if !taken {
+		p = symbolic.Pred{L: l, Rel: symbolic.EQ}
+	}
+	return p, true
+}
+
+func relOf(op ir.Op) symbolic.Rel {
+	switch op {
+	case ir.Eq:
+		return symbolic.EQ
+	case ir.Ne:
+		return symbolic.NE
+	case ir.Lt:
+		return symbolic.LT
+	case ir.Le:
+		return symbolic.LE
+	case ir.Gt:
+		return symbolic.GT
+	case ir.Ge:
+		return symbolic.GE
+	}
+	panic("machine: not a comparison: " + op.String())
+}

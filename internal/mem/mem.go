@@ -1,0 +1,176 @@
+// Package mem implements the RAM-machine memory M of Sec. 2.2: a mapping
+// from addresses to word values, updated with M + [m -> v].
+//
+// The address space is partitioned into a global region, a stack of call
+// frames, and a heap.  Only explicitly mapped cells are accessible;
+// loads or stores elsewhere fault, which is how DART observes the crash
+// bugs (NULL and wild pointer dereferences) of the oSIP experiment.
+// Heap regions are separated by guard gaps so small overflows fault
+// instead of silently landing in a neighboring object.
+package mem
+
+import "fmt"
+
+// Address space layout (cell addresses).
+const (
+	GlobalBase = int64(1) << 20
+	StackBase  = int64(1) << 24
+	HeapBase   = int64(1) << 28
+
+	// guardGap is the number of unmapped cells between heap regions.
+	guardGap = 16
+)
+
+// FaultKind classifies a memory fault.
+type FaultKind int
+
+// Fault kinds.
+const (
+	LoadFault FaultKind = iota
+	StoreFault
+	FreeFault
+	OOMFault
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case LoadFault:
+		return "invalid read"
+	case StoreFault:
+		return "invalid write"
+	case FreeFault:
+		return "invalid free"
+	case OOMFault:
+		return "allocation failure"
+	}
+	return "memory fault"
+}
+
+// Fault is a memory access error; address 0 faults are NULL dereferences.
+type Fault struct {
+	Kind FaultKind
+	Addr int64
+}
+
+func (f *Fault) Error() string {
+	if f.Addr == 0 && (f.Kind == LoadFault || f.Kind == StoreFault) {
+		return fmt.Sprintf("segmentation fault: NULL pointer %s", f.Kind)
+	}
+	return fmt.Sprintf("segmentation fault: %s at address %d", f.Kind, f.Addr)
+}
+
+// M is the machine memory.
+type M struct {
+	cells map[int64]int64
+
+	globalNext int64
+	stackNext  int64
+	heapNext   int64
+
+	// regions maps live heap region bases to their sizes.
+	regions map[int64]int64
+}
+
+// New returns an empty memory.
+func New() *M {
+	return &M{
+		cells:      map[int64]int64{},
+		globalNext: GlobalBase,
+		stackNext:  StackBase,
+		heapNext:   HeapBase,
+		regions:    map[int64]int64{},
+	}
+}
+
+// MapGlobals maps the global region of the given size (zero-filled) and
+// returns its base address.
+func (m *M) MapGlobals(size int64) int64 {
+	base := m.globalNext
+	for i := int64(0); i < size; i++ {
+		m.cells[base+i] = 0
+	}
+	m.globalNext += size + guardGap
+	return base
+}
+
+// PushFrame maps a fresh zero-filled call frame and returns its base.
+func (m *M) PushFrame(size int64) int64 {
+	base := m.stackNext
+	for i := int64(0); i < size; i++ {
+		m.cells[base+i] = 0
+	}
+	m.stackNext += size + guardGap
+	return base
+}
+
+// PopFrame unmaps the topmost frame previously pushed at base.
+func (m *M) PopFrame(base, size int64) {
+	for i := int64(0); i < size; i++ {
+		delete(m.cells, base+i)
+	}
+	m.stackNext = base
+}
+
+// Alloc maps a heap region of size cells (zero-filled, matching calloc-ish
+// determinism so runs are reproducible) and returns its base address.
+// Size 0 yields a unique 1-cell region, as malloc(0) may.
+func (m *M) Alloc(size int64) (int64, error) {
+	if size < 0 {
+		return 0, &Fault{Kind: OOMFault, Addr: size}
+	}
+	if size == 0 {
+		size = 1
+	}
+	base := m.heapNext
+	for i := int64(0); i < size; i++ {
+		m.cells[base+i] = 0
+	}
+	m.heapNext += size + guardGap
+	m.regions[base] = size
+	return base, nil
+}
+
+// Free unmaps the heap region at base. Freeing NULL is a no-op; freeing
+// anything that is not a live region base is a fault (double free or
+// interior pointer).
+func (m *M) Free(base int64) error {
+	if base == 0 {
+		return nil
+	}
+	size, ok := m.regions[base]
+	if !ok {
+		return &Fault{Kind: FreeFault, Addr: base}
+	}
+	for i := int64(0); i < size; i++ {
+		delete(m.cells, base+i)
+	}
+	delete(m.regions, base)
+	return nil
+}
+
+// Load reads the cell at addr.
+func (m *M) Load(addr int64) (int64, error) {
+	v, ok := m.cells[addr]
+	if !ok {
+		return 0, &Fault{Kind: LoadFault, Addr: addr}
+	}
+	return v, nil
+}
+
+// Store writes v to the cell at addr.
+func (m *M) Store(addr, v int64) error {
+	if _, ok := m.cells[addr]; !ok {
+		return &Fault{Kind: StoreFault, Addr: addr}
+	}
+	m.cells[addr] = v
+	return nil
+}
+
+// Mapped reports whether addr is currently accessible.
+func (m *M) Mapped(addr int64) bool {
+	_, ok := m.cells[addr]
+	return ok
+}
+
+// LiveRegions returns the number of live heap regions (for leak stats).
+func (m *M) LiveRegions() int { return len(m.regions) }

@@ -1,0 +1,107 @@
+package minisip
+
+import (
+	"fmt"
+	"sort"
+
+	"dart/internal/concolic"
+	"dart/internal/iface"
+	"dart/internal/ir"
+	"dart/internal/machine"
+	"dart/internal/parser"
+	"dart/internal/sema"
+)
+
+// Compile builds the miniSIP library.
+func Compile() (*ir.Prog, *sema.Program, error) {
+	file, err := parser.Parse(Source + transactionSource)
+	if err != nil {
+		return nil, nil, fmt.Errorf("minisip parse: %w", err)
+	}
+	sem, err := sema.Check(file, machine.StdLibSigs())
+	if err != nil {
+		return nil, nil, fmt.Errorf("minisip check: %w", err)
+	}
+	prog, err := ir.Compile(sem)
+	if err != nil {
+		return nil, nil, fmt.Errorf("minisip compile: %w", err)
+	}
+	return prog, sem, nil
+}
+
+// Entry is the audit result for one externally visible function.
+type Entry struct {
+	Function string
+	// Crashed reports whether any run crashed (segfault / div-by-zero).
+	Crashed bool
+	// Runs is the number of executions spent on this function.
+	Runs int
+	// FirstCrashRun is the 1-based run that first crashed (0 if none).
+	FirstCrashRun int
+	// DistinctCrashes counts distinct crash sites found.
+	DistinctCrashes int
+}
+
+// Result summarizes a whole-library audit.
+type Result struct {
+	Entries []Entry
+	// CrashedFunctions / TotalFunctions reproduce the paper's headline
+	// ratio ("DART found a way to crash 65% of the oSIP functions").
+	CrashedFunctions int
+	TotalFunctions   int
+	TotalRuns        int
+}
+
+// Fraction returns the crashed-function ratio.
+func (r *Result) Fraction() float64 {
+	if r.TotalFunctions == 0 {
+		return 0
+	}
+	return float64(r.CrashedFunctions) / float64(r.TotalFunctions)
+}
+
+// Audit replays the paper's oSIP experiment: every externally visible
+// function becomes the toplevel in turn, with a budget of maxRuns
+// executions (the paper used 1000); crashes are counted per function.
+// When useRandom is true the runs use pure random testing instead of the
+// directed search, providing the baseline comparison.
+func Audit(prog *ir.Prog, sem *sema.Program, seed int64, maxRuns int, useRandom bool) (*Result, error) {
+	fns := iface.Candidates(sem)
+	sort.Strings(fns)
+
+	res := &Result{TotalFunctions: len(fns)}
+	for i, fn := range fns {
+		opts := concolic.Options{
+			Toplevel: fn,
+			MaxRuns:  maxRuns,
+			Seed:     seed + int64(i), // independent budget per function
+			Depth:    1,
+		}
+		var rep *concolic.Report
+		var err error
+		if useRandom {
+			rep, err = concolic.RandomTest(prog, opts)
+		} else {
+			rep, err = concolic.Run(prog, opts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("minisip audit of %s: %w", fn, err)
+		}
+		entry := Entry{Function: fn, Runs: rep.Runs}
+		for _, b := range rep.Bugs {
+			if b.Kind == machine.Crashed {
+				entry.DistinctCrashes++
+				if !entry.Crashed {
+					entry.Crashed = true
+					entry.FirstCrashRun = b.Run
+				}
+			}
+		}
+		if entry.Crashed {
+			res.CrashedFunctions++
+		}
+		res.TotalRuns += rep.Runs
+		res.Entries = append(res.Entries, entry)
+	}
+	return res, nil
+}

@@ -1,0 +1,449 @@
+// Package minisip is a synthetic SIP-message library written in MiniC,
+// standing in for the oSIP 2.0.9 library of the paper's Sec. 4.3
+// experiment (the original is 30k lines of C; this reproduction keeps
+// its *defect structure* at library scale).
+//
+// Like oSIP, the library exposes many small accessor/constructor/parser
+// functions over heap data structures, and its NULL-argument discipline
+// is inconsistent: some functions check their pointer arguments on every
+// path, some on no path, and some only on some paths — the exact pattern
+// behind the paper's finding that DART crashed 65% of oSIP's externally
+// visible functions within 1000 runs each.  The message parser also
+// reproduces the paper's security vulnerability: it copies the packet
+// into stack space obtained with alloca() and uses the result without
+// checking for allocation failure, so an oversized message that passes
+// the syntactic filters crashes the parser (fixed in parse_packet_fixed,
+// mirroring oSIP 2.2.0).
+package minisip
+
+// Toplevel candidates are all defined functions; the audit harness runs
+// DART on each of them, as the paper's scripts did for oSIP.
+
+// Source is the MiniC source of the library.
+const Source = `
+/* ---------------------------------------------------------------------
+ * miniSIP: URI, header, message, and list utilities plus a packet parser.
+ * Comment tags describe the intended NULL-argument discipline:
+ *   [guarded]   checks pointer arguments on every path
+ *   [unguarded] never checks
+ *   [partial]   checks on some paths only
+ * --------------------------------------------------------------------- */
+
+struct uri {
+    int scheme;           /* 1 = sip, 2 = sips */
+    char *user;
+    char *host;
+    int port;
+};
+
+struct header {
+    char *name;
+    char *value;
+    struct header *next;
+};
+
+struct msg {
+    int kind;             /* 1 = request, 2 = response */
+    int status;
+    struct uri *from;
+    struct uri *to;
+    struct header *hdrs;
+    char *body;
+    int body_len;
+};
+
+struct lnode {
+    int item;
+    struct lnode *next;
+};
+
+struct list {
+    struct lnode *head;
+    int len;
+};
+
+/* ------------------------------- URIs ------------------------------- */
+
+/* [unguarded] */
+int uri_init(struct uri *u) {
+    u->scheme = 1;
+    u->user = NULL;
+    u->host = NULL;
+    u->port = 5060;
+    return 0;
+}
+
+/* [unguarded] */
+int uri_get_scheme(struct uri *u) {
+    return u->scheme;
+}
+
+/* [guarded] */
+int uri_set_scheme(struct uri *u, int s) {
+    if (u == NULL) return -1;
+    if (s != 1 && s != 2) return -2;
+    u->scheme = s;
+    return 0;
+}
+
+/* [unguarded] */
+int uri_get_port(struct uri *u) {
+    return u->port;
+}
+
+/* [partial] validates the port range but checks the pointer too late */
+int uri_set_port(struct uri *u, int p) {
+    if (p < 1 || p > 65535) return -2;
+    u->port = p;
+    return 0;
+}
+
+/* [unguarded] */
+int uri_is_secure(struct uri *u) {
+    if (u->scheme == 2) return 1;
+    return 0;
+}
+
+/* [guarded] */
+int uri_default_port(struct uri *u) {
+    if (u == NULL) return 5060;
+    if (u->scheme == 2) return 5061;
+    return 5060;
+}
+
+/* [unguarded twice]: dereferences u and u->user */
+int uri_user_first(struct uri *u) {
+    return *(u->user);
+}
+
+/* [partial] checks a but never b */
+int uri_equal(struct uri *a, struct uri *b) {
+    if (a == NULL) return 0;
+    if (a->scheme != b->scheme) return 0;
+    if (a->port != b->port) return 0;
+    return 1;
+}
+
+/* [guarded] */
+int uri_clear(struct uri *u) {
+    if (u == NULL) return -1;
+    u->user = NULL;
+    u->host = NULL;
+    return 0;
+}
+
+/* [unguarded] clones through the source pointer */
+struct uri *uri_clone(struct uri *u) {
+    struct uri *c;
+    c = (struct uri *)malloc(sizeof(struct uri));
+    c->scheme = u->scheme;
+    c->user = u->user;
+    c->host = u->host;
+    c->port = u->port;
+    return c;
+}
+
+/* [guarded] */
+int uri_scheme_name_len(struct uri *u) {
+    if (u == NULL) return 0;
+    if (u->scheme == 2) return 4;  /* "sips" */
+    return 3;                      /* "sip" */
+}
+
+/* ----------------------------- headers ------------------------------ */
+
+/* [unguarded] */
+int header_init(struct header *h) {
+    h->name = NULL;
+    h->value = NULL;
+    h->next = NULL;
+    return 0;
+}
+
+/* [unguarded] */
+char *header_get_name(struct header *h) {
+    return h->name;
+}
+
+/* [guarded] */
+int header_set(struct header *h, char *name, char *value) {
+    if (h == NULL) return -1;
+    h->name = name;
+    h->value = value;
+    return 0;
+}
+
+/* [guarded] the loop condition guards every dereference */
+int header_chain_len(struct header *h) {
+    int n = 0;
+    while (h != NULL) {
+        n = n + 1;
+        h = h->next;
+    }
+    return n;
+}
+
+/* [partial] guards the chain but not each name */
+int header_find(struct header *h, int initial) {
+    int idx = 0;
+    while (h != NULL) {
+        if (*(h->name) == initial) return idx;
+        idx = idx + 1;
+        h = h->next;
+    }
+    return -1;
+}
+
+/* [unguarded] walks to the tail through the head pointer */
+int header_append(struct header *h, struct header *tail) {
+    while (h->next != NULL) {
+        h = h->next;
+    }
+    h->next = tail;
+    return 0;
+}
+
+/* [guarded] */
+struct header *header_last(struct header *h) {
+    if (h == NULL) return NULL;
+    while (h->next != NULL) {
+        h = h->next;
+    }
+    return h;
+}
+
+/* [unguarded] */
+int header_is_empty(struct header *h) {
+    if (h->name == NULL && h->value == NULL) return 1;
+    return 0;
+}
+
+/* ----------------------------- messages ----------------------------- */
+
+/* [unguarded] */
+int msg_init(struct msg *m) {
+    m->kind = 0;
+    m->status = 0;
+    m->from = NULL;
+    m->to = NULL;
+    m->hdrs = NULL;
+    m->body = NULL;
+    m->body_len = 0;
+    return 0;
+}
+
+/* [guarded] */
+int msg_kind(struct msg *m) {
+    if (m == NULL) return 0;
+    return m->kind;
+}
+
+/* [unguarded] */
+int msg_status(struct msg *m) {
+    return m->status;
+}
+
+/* [unguarded] */
+int msg_is_request(struct msg *m) {
+    if (m->kind == 1) return 1;
+    return 0;
+}
+
+/* [partial] checks the message but not its from-URI */
+int msg_from_port(struct msg *m) {
+    if (m == NULL) return -1;
+    return m->from->port;
+}
+
+/* [unguarded, two levels] */
+int msg_to_scheme(struct msg *m) {
+    return m->to->scheme;
+}
+
+/* [guarded on every level] */
+int msg_from_port_safe(struct msg *m) {
+    if (m == NULL) return -1;
+    if (m->from == NULL) return -1;
+    return m->from->port;
+}
+
+/* [partial] body may be NULL even when body_len > 0 */
+int msg_body_first(struct msg *m) {
+    if (m == NULL) return -1;
+    if (m->body_len > 0) {
+        return *(m->body);
+    }
+    return -1;
+}
+
+/* [guarded] */
+int msg_set_status(struct msg *m, int code) {
+    if (m == NULL) return -1;
+    if (code < 100 || code > 699) return -2;
+    m->status = code;
+    m->kind = 2;
+    return 0;
+}
+
+/* [unguarded] */
+int msg_header_count(struct msg *m) {
+    return header_chain_len(m->hdrs);
+}
+
+/* [guarded] a fully defensive validator: never crashes */
+int msg_validate(struct msg *m) {
+    if (m == NULL) return 0;
+    if (m->kind != 1 && m->kind != 2) return 0;
+    if (m->kind == 2) {
+        if (m->status < 100 || m->status > 699) return 0;
+    }
+    if (m->body == NULL && m->body_len != 0) return 0;
+    return 1;
+}
+
+/* [unguarded] swaps the endpoints through both pointers */
+int msg_swap_endpoints(struct msg *m) {
+    struct uri *tmp;
+    tmp = m->from;
+    m->from = m->to;
+    m->to = tmp;
+    return 0;
+}
+
+/* ------------------------------ lists ------------------------------- */
+
+/* [unguarded] */
+int list_init(struct list *l) {
+    l->head = NULL;
+    l->len = 0;
+    return 0;
+}
+
+/* [guarded] */
+int list_size(struct list *l) {
+    if (l == NULL) return 0;
+    return l->len;
+}
+
+/* [unguarded] */
+int list_push(struct list *l, int v) {
+    struct lnode *n;
+    n = (struct lnode *)malloc(sizeof(struct lnode));
+    n->item = v;
+    n->next = l->head;
+    l->head = n;
+    l->len = l->len + 1;
+    return 0;
+}
+
+/* [partial] guards the list but trusts len to match the chain */
+int list_get(struct list *l, int i) {
+    struct lnode *n;
+    if (l == NULL) return -1;
+    if (i < 0 || i >= l->len) return -1;
+    n = l->head;
+    while (i > 0) {
+        n = n->next;
+        i = i - 1;
+    }
+    return n->item;
+}
+
+/* [guarded] iterates by the chain itself */
+int list_sum(struct list *l) {
+    struct lnode *n;
+    int total = 0;
+    if (l == NULL) return 0;
+    n = l->head;
+    while (n != NULL) {
+        total = total + n->item;
+        n = n->next;
+    }
+    return total;
+}
+
+/* [unguarded] */
+int list_pop(struct list *l) {
+    struct lnode *n;
+    int v;
+    n = l->head;
+    v = n->item;
+    l->head = n->next;
+    l->len = l->len - 1;
+    return v;
+}
+
+/* ------------------------------ parsing ----------------------------- */
+
+/* [partial] digit parser: guards nothing about s */
+int parse_digits(char *s, int n) {
+    int i = 0;
+    int v = 0;
+    while (i < n) {
+        int c = s[i];
+        if (c < '0' || c > '9') return -1;
+        v = v * 10 + (c - '0');
+        i = i + 1;
+    }
+    return v;
+}
+
+/* [guarded] classifies a method byte */
+int parse_method_byte(int c) {
+    if (c == 'I') return 1;   /* INVITE */
+    if (c == 'A') return 2;   /* ACK */
+    if (c == 'B') return 3;   /* BYE */
+    if (c == 'R') return 4;   /* REGISTER */
+    return 0;
+}
+
+/* parse_packet reproduces the oSIP parser vulnerability (Sec. 4.3): a
+ * packet that passes the syntactic filters is copied into stack space
+ * obtained with alloca(), and the result is used without checking for
+ * allocation failure. A message longer than the stack limit therefore
+ * crashes the parser with a NULL write. */
+int parse_packet(int magic, int first, int len) {
+    char *work;
+    if (magic != 0x53495032) return -1;   /* "SIP2" framing */
+    if (first == 0) return -2;            /* no NUL in the packet */
+    if (first == '|') return -2;          /* no pipe either */
+    if (len < 64) return -3;              /* truncated packet */
+    work = alloca(len + 1);
+    work[0] = first;                      /* CRASH: work may be NULL */
+    work[len] = 0;
+    return parse_method_byte(first);
+}
+
+/* parse_packet_fixed is the repaired parser (as of oSIP 2.2.0): the
+ * alloca result is checked before use. */
+int parse_packet_fixed(int magic, int first, int len) {
+    char *work;
+    if (magic != 0x53495032) return -1;
+    if (first == 0) return -2;
+    if (first == '|') return -2;
+    if (len < 64) return -3;
+    work = alloca(len + 1);
+    if (work == NULL) return -4;          /* allocation failure handled */
+    work[0] = first;
+    work[len] = 0;
+    return parse_method_byte(first);
+}
+
+/* [partial] frames a body slice inside a packet; the offset arithmetic
+ * can walk past the allocated buffer */
+int parse_body_offset(char *buf, int len, int off) {
+    if (buf == NULL) return -1;
+    if (len <= 0) return -1;
+    if (off < 0) return -1;
+    if (off >= len) return -1;
+    return buf[off];
+}
+
+/* [guarded] a defensive wrapper around the list utilities */
+int checksum_items(struct list *l, int seed) {
+    int s;
+    if (l == NULL) return seed;
+    s = list_sum(l);
+    return mix(s, seed);
+}
+`

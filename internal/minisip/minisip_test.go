@@ -1,0 +1,85 @@
+package minisip
+
+import (
+	"testing"
+
+	"dart/internal/concolic"
+)
+
+func TestCompiles(t *testing.T) {
+	prog, sem, err := Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.FuncOrder) < 60 {
+		t.Errorf("library has only %d functions", len(prog.FuncOrder))
+	}
+	if len(sem.Structs) != 7 {
+		t.Errorf("structs: %d", len(sem.Structs))
+	}
+}
+
+func TestGuardedFunctionsSurviveDirectedSearch(t *testing.T) {
+	prog, _, err := Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"msg_validate", "uri_default_port", "header_chain_len", "list_sum"} {
+		rep, err := concolic.Run(prog, concolic.Options{Toplevel: fn, MaxRuns: 300, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Bugs) != 0 {
+			t.Errorf("%s: unexpected bugs %v", fn, rep.Bugs)
+		}
+	}
+}
+
+func TestAuditSmall(t *testing.T) {
+	prog, sem, err := Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Audit(prog, sem, 1, 60, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFunctions < 40 {
+		t.Errorf("functions audited: %d", res.TotalFunctions)
+	}
+	if res.Fraction() < 0.4 {
+		t.Errorf("crash fraction %.2f suspiciously low even at small budget", res.Fraction())
+	}
+	for _, e := range res.Entries {
+		if e.Crashed && e.FirstCrashRun == 0 {
+			t.Errorf("%s: crashed but no first-crash run recorded", e.Function)
+		}
+		if !e.Crashed && e.DistinctCrashes != 0 {
+			t.Errorf("%s: inconsistent crash accounting", e.Function)
+		}
+	}
+}
+
+func TestRandomAuditWeaker(t *testing.T) {
+	prog, sem, err := Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	directed, err := Audit(prog, sem, 3, 150, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Audit(prog, sem, 3, 150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.CrashedFunctions > directed.CrashedFunctions {
+		t.Errorf("random audit (%d) beat directed (%d)", random.CrashedFunctions, directed.CrashedFunctions)
+	}
+	// Random testing cannot pass the parser's magic filter.
+	for _, e := range random.Entries {
+		if e.Function == "parse_packet" && e.Crashed {
+			t.Error("random audit crashed parse_packet through the 2^-32 filter")
+		}
+	}
+}

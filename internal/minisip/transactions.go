@@ -1,0 +1,202 @@
+package minisip
+
+// transactionSource extends the library with SIP transaction and dialog
+// management — the stateful layer above message parsing in oSIP — with
+// the same deliberately inconsistent NULL-argument discipline as the
+// base layer.
+const transactionSource = `
+/* ---------------------------------------------------------------------
+ * Transactions and dialogs.
+ * --------------------------------------------------------------------- */
+
+struct txn {
+    int id;
+    int state;            /* 0 idle, 1 proceeding, 2 completed, 3 terminated */
+    int retransmits;
+    struct msg *request;
+    struct msg *response;
+    struct txn *next;
+};
+
+struct dialog {
+    int call_id;
+    int local_seq;
+    int remote_seq;
+    struct uri *local;
+    struct uri *remote;
+    int secure;
+};
+
+/* [unguarded] */
+int txn_init(struct txn *t, int id) {
+    t->id = id;
+    t->state = 0;
+    t->retransmits = 0;
+    t->request = NULL;
+    t->response = NULL;
+    t->next = NULL;
+    return 0;
+}
+
+/* [guarded] */
+int txn_state(struct txn *t) {
+    if (t == NULL) return -1;
+    return t->state;
+}
+
+/* [partial] validates the transition table but trusts the pointer */
+int txn_advance(struct txn *t, int event) {
+    if (event < 0 || event > 3) return -2;
+    if (t->state == 3) return -3;          /* terminated is final */
+    if (event == 0 && t->state == 0) { t->state = 1; return 0; }
+    if (event == 1 && t->state == 1) { t->state = 2; return 0; }
+    if (event == 2 && t->state == 2) { t->state = 3; return 0; }
+    if (event == 3) { t->state = 3; return 0; }    /* abort event */
+    return -4;
+}
+
+/* [guarded] full transition check, never crashes */
+int txn_advance_safe(struct txn *t, int event) {
+    if (t == NULL) return -1;
+    if (event < 0 || event > 3) return -2;
+    return txn_advance(t, event);
+}
+
+/* [unguarded, two levels] reads the buried request kind */
+int txn_request_kind(struct txn *t) {
+    return t->request->kind;
+}
+
+/* [partial] checks the transaction, not the response */
+int txn_response_status(struct txn *t) {
+    if (t == NULL) return 0;
+    return t->response->status;
+}
+
+/* [guarded] chain walk with the loop condition as the guard */
+struct txn *txn_find(struct txn *list, int id) {
+    while (list != NULL) {
+        if (list->id == id) return list;
+        list = list->next;
+    }
+    return NULL;
+}
+
+/* [unguarded] walks via the head without checking it */
+int txn_chain_retransmits(struct txn *list) {
+    int total = list->retransmits;
+    list = list->next;
+    while (list != NULL) {
+        total = total + list->retransmits;
+        list = list->next;
+    }
+    return total;
+}
+
+/* [guarded] */
+int txn_is_final(struct txn *t) {
+    if (t == NULL) return 1;
+    if (t->state == 3) return 1;
+    return 0;
+}
+
+/* [unguarded] resets timers on a retransmit */
+int txn_note_retransmit(struct txn *t) {
+    t->retransmits = t->retransmits + 1;
+    if (t->retransmits > 7) {
+        t->state = 3;   /* too many retransmits: kill the transaction */
+    }
+    return t->retransmits;
+}
+
+/* ------------------------------ dialogs ----------------------------- */
+
+/* [unguarded] */
+int dialog_init(struct dialog *d, int call_id) {
+    d->call_id = call_id;
+    d->local_seq = 1;
+    d->remote_seq = 0;
+    d->local = NULL;
+    d->remote = NULL;
+    d->secure = 0;
+    return 0;
+}
+
+/* [guarded] */
+int dialog_call_id(struct dialog *d) {
+    if (d == NULL) return -1;
+    return d->call_id;
+}
+
+/* [partial] sequence-number check is right, the pointer check is missing */
+int dialog_accept_seq(struct dialog *d, int seq) {
+    if (seq <= 0) return -2;
+    if (seq <= d->remote_seq) return -3;   /* replay or reordering */
+    d->remote_seq = seq;
+    return 0;
+}
+
+/* [unguarded] bumps and returns the next local sequence number */
+int dialog_next_seq(struct dialog *d) {
+    d->local_seq = d->local_seq + 1;
+    return d->local_seq;
+}
+
+/* [unguarded, two levels] */
+int dialog_remote_port(struct dialog *d) {
+    return d->remote->port;
+}
+
+/* [guarded on every level] */
+int dialog_remote_port_safe(struct dialog *d) {
+    if (d == NULL) return -1;
+    if (d->remote == NULL) return -1;
+    return d->remote->port;
+}
+
+/* [partial] marks a dialog secure only when both URIs agree; checks d
+ * but dereferences the URIs blindly */
+int dialog_mark_secure(struct dialog *d) {
+    if (d == NULL) return -1;
+    if (d->local->scheme == 2 && d->remote->scheme == 2) {
+        d->secure = 1;
+        return 1;
+    }
+    d->secure = 0;
+    return 0;
+}
+
+/* [guarded] */
+int dialog_is_secure(struct dialog *d) {
+    if (d == NULL) return 0;
+    return d->secure;
+}
+
+/* [unguarded] swaps direction when acting as a proxy */
+int dialog_reverse(struct dialog *d) {
+    struct uri *tmp;
+    tmp = d->local;
+    d->local = d->remote;
+    d->remote = tmp;
+    return 0;
+}
+
+/* [guarded] matches a dialog against a message, defensively */
+int dialog_matches(struct dialog *d, struct msg *m) {
+    if (d == NULL) return 0;
+    if (m == NULL) return 0;
+    if (m->from == NULL) return 0;
+    if (d->remote == NULL) return 0;
+    if (m->from->port != d->remote->port) return 0;
+    if (m->from->scheme != d->remote->scheme) return 0;
+    return 1;
+}
+
+/* [partial] counts in-dialog retransmissions; trusts t after checking d */
+int dialog_txn_pressure(struct dialog *d, struct txn *t) {
+    if (d == NULL) return -1;
+    int load = t->retransmits * 2;
+    if (d->secure) load = load + 1;
+    return load;
+}
+`

@@ -1,0 +1,269 @@
+// Package progen generates random, well-typed, terminating MiniC
+// programs.  The generator is used to property-test the whole DART
+// pipeline against itself: every generated program compiles, every run
+// of it terminates within the step budget, and every bug the directed
+// search reports must replay concretely (Theorem 1(a) as an executable
+// property).
+package progen
+
+import (
+	"fmt"
+	"strings"
+
+	"dart/internal/rng"
+)
+
+// Config tunes generation.
+type Config struct {
+	// Funcs is the number of helper functions besides the toplevel.
+	Funcs int
+	// MaxStmts bounds the statements per block.
+	MaxStmts int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// Params is the number of int parameters of the toplevel function.
+	Params int
+	// AbortProb is the per-leaf chance (in percent) of planting an
+	// abort under the innermost condition.
+	AbortProb int
+	// AllowDivision permits division/modulus (potential crash sites).
+	AllowDivision bool
+	// AllowNonlinear permits multiplications of two variables.
+	AllowNonlinear bool
+	// PointerParams gives the toplevel function a linked-node pointer
+	// parameter and generates guarded and unguarded dereferences of it,
+	// exercising the pointer-shape machinery.
+	PointerParams bool
+}
+
+// Default is a reasonable fuzzing configuration.
+var Default = Config{
+	Funcs:          2,
+	MaxStmts:       4,
+	MaxDepth:       3,
+	Params:         3,
+	AbortProb:      30,
+	AllowDivision:  true,
+	AllowNonlinear: true,
+}
+
+// Toplevel is the generated entry function's name.
+const Toplevel = "top"
+
+// Program generates one random MiniC program.
+func Program(r *rng.R, cfg Config) string {
+	g := &gen{r: r, cfg: cfg}
+	return g.program()
+}
+
+// nodeStruct is the input shape used when PointerParams is set.
+const nodeStruct = `struct gnode {
+    int val;
+    int aux;
+    struct gnode *next;
+};
+
+`
+
+type gen struct {
+	r   *rng.R
+	cfg Config
+	b   strings.Builder
+	// vars in scope of the function being generated.
+	vars []string
+	// ptrs are node-pointer variables in scope.
+	ptrs []string
+	// helpers records generated helper functions and their arities.
+	helpers []helperSig
+	tmp     int
+}
+
+type helperSig struct {
+	name  string
+	arity int
+}
+
+func (g *gen) pick(names []string) string {
+	return names[g.r.Intn(int64(len(names)))]
+}
+
+func (g *gen) program() string {
+	if g.cfg.PointerParams {
+		g.b.WriteString(nodeStruct)
+	}
+	// Helpers first: pure int->int functions over their parameters,
+	// callable from later functions (acyclic call graph).
+	for i := 0; i < g.cfg.Funcs; i++ {
+		name := fmt.Sprintf("helper%d", i)
+		arity := 1 + int(g.r.Intn(2))
+		g.fn(name, arity)
+		g.helpers = append(g.helpers, helperSig{name: name, arity: arity})
+	}
+	g.fn(Toplevel, g.cfg.Params)
+	return g.b.String()
+}
+
+// fn emits one function with n int parameters (plus, for the toplevel
+// under PointerParams, a node-pointer parameter).
+func (g *gen) fn(name string, n int) {
+	g.vars = g.vars[:0]
+	g.ptrs = g.ptrs[:0]
+	params := make([]string, n)
+	for i := range params {
+		p := fmt.Sprintf("p%d", i)
+		params[i] = "int " + p
+		g.vars = append(g.vars, p)
+	}
+	if g.cfg.PointerParams && name == Toplevel {
+		params = append(params, "struct gnode *list")
+		g.ptrs = append(g.ptrs, "list")
+	}
+	fmt.Fprintf(&g.b, "int %s(%s) {\n", name, strings.Join(params, ", "))
+	g.block(1, g.cfg.MaxDepth)
+	fmt.Fprintf(&g.b, "    return %s;\n}\n\n", g.expr(2))
+}
+
+func indent(depth int) string { return strings.Repeat("    ", depth) }
+
+func (g *gen) block(depth, budget int) {
+	n := 1 + int(g.r.Intn(int64(g.cfg.MaxStmts)))
+	for i := 0; i < n; i++ {
+		g.stmt(depth, budget)
+	}
+}
+
+func (g *gen) stmt(depth, budget int) {
+	ind := indent(depth)
+	choice := g.r.Intn(10)
+	switch {
+	case choice < 3: // new local
+		v := fmt.Sprintf("v%d", g.tmp)
+		g.tmp++
+		fmt.Fprintf(&g.b, "%sint %s = %s;\n", ind, v, g.expr(2))
+		g.vars = append(g.vars, v)
+	case choice < 5 && len(g.ptrs) > 0 && g.r.Intn(3) == 0: // pointer use
+		p := g.pick(g.ptrs)
+		switch g.r.Intn(4) {
+		case 0: // guarded field read
+			fmt.Fprintf(&g.b, "%sif (%s != NULL) { %s = %s->val; }\n",
+				ind, p, g.pick(g.vars), p)
+		case 1: // unguarded field read: a real (findable, replayable) bug
+			fmt.Fprintf(&g.b, "%s%s = %s->aux;\n", ind, g.pick(g.vars), p)
+		case 2: // guarded advance down the chain
+			np := fmt.Sprintf("q%d", g.tmp)
+			g.tmp++
+			fmt.Fprintf(&g.b, "%sstruct gnode *%s = NULL;\n", ind, np)
+			fmt.Fprintf(&g.b, "%sif (%s != NULL) { %s = %s->next; }\n", ind, p, np, p)
+			g.ptrs = append(g.ptrs, np)
+		default: // guarded field write
+			fmt.Fprintf(&g.b, "%sif (%s != NULL) { %s->val = %s; }\n",
+				ind, p, p, g.expr(1))
+		}
+	case choice < 5: // assignment
+		fmt.Fprintf(&g.b, "%s%s = %s;\n", ind, g.pick(g.vars), g.expr(2))
+	case choice < 8 && budget > 0: // conditional
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", ind, g.cond())
+		mark := len(g.vars)
+		pmark := len(g.ptrs)
+		if budget == 1 && int(g.r.Intn(100)) < g.cfg.AbortProb {
+			fmt.Fprintf(&g.b, "%s    abort();\n", ind)
+		} else {
+			g.block(depth+1, budget-1)
+		}
+		g.vars, g.ptrs = g.vars[:mark], g.ptrs[:pmark] // block scope ends
+		if g.r.Coin() {
+			fmt.Fprintf(&g.b, "%s} else {\n", ind)
+			g.block(depth+1, budget-1)
+			g.vars, g.ptrs = g.vars[:mark], g.ptrs[:pmark]
+		}
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	case choice == 8 && budget > 0 && g.r.Coin(): // switch dispatch
+		tag := g.pick(g.vars)
+		fmt.Fprintf(&g.b, "%sswitch (%s) {\n", ind, tag)
+		nCases := 2 + int(g.r.Intn(3))
+		used := map[int64]bool{}
+		for i := 0; i < nCases; i++ {
+			label := g.r.Intn(50) - 25
+			for used[label] {
+				label++
+			}
+			used[label] = true
+			fmt.Fprintf(&g.b, "%scase %d:\n", ind, label)
+			mark, pmark := len(g.vars), len(g.ptrs)
+			g.block(depth+1, budget-1)
+			g.vars, g.ptrs = g.vars[:mark], g.ptrs[:pmark]
+			if g.r.Coin() {
+				fmt.Fprintf(&g.b, "%s    break;\n", ind)
+			}
+		}
+		if g.r.Coin() {
+			fmt.Fprintf(&g.b, "%sdefault:\n", ind)
+			mark, pmark := len(g.vars), len(g.ptrs)
+			g.block(depth+1, budget-1)
+			g.vars, g.ptrs = g.vars[:mark], g.ptrs[:pmark]
+		}
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	case choice < 9 && budget > 0: // bounded loop (always terminates)
+		v := fmt.Sprintf("i%d", g.tmp)
+		g.tmp++
+		bound := 1 + g.r.Intn(5)
+		fmt.Fprintf(&g.b, "%sfor (int %s = 0; %s < %d; %s++) {\n", ind, v, v, bound, v)
+		mark, pmark := len(g.vars), len(g.ptrs)
+		g.vars = append(g.vars, v)
+		g.block(depth+1, budget-1)
+		// The loop variable and all body locals go out of scope.
+		g.vars, g.ptrs = g.vars[:mark], g.ptrs[:pmark]
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	default: // call a helper for effect-free value mixing
+		if len(g.helpers) > 0 {
+			target := g.helpers[g.r.Intn(int64(len(g.helpers)))]
+			args := make([]string, target.arity)
+			for i := range args {
+				args[i] = g.expr(1)
+			}
+			fmt.Fprintf(&g.b, "%s%s = %s(%s);\n", ind, g.pick(g.vars), target.name, strings.Join(args, ", "))
+		} else {
+			fmt.Fprintf(&g.b, "%s%s = %s;\n", ind, g.pick(g.vars), g.expr(2))
+		}
+	}
+}
+
+// cond generates a branch condition: usually affine comparisons, the
+// bread and butter of the directed search.
+func (g *gen) cond() string {
+	rel := g.pick([]string{"==", "!=", "<", "<=", ">", ">="})
+	lhs := g.expr(2)
+	rhs := g.expr(1)
+	c := fmt.Sprintf("%s %s %s", lhs, rel, rhs)
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%s && %s %s %s", c, g.expr(1), g.pick([]string{"<", ">"}), g.expr(1))
+	case 1:
+		return fmt.Sprintf("%s || %s == %s", c, g.expr(1), g.expr(1))
+	}
+	return c
+}
+
+// expr generates an integer expression of bounded size.
+func (g *gen) expr(size int) string {
+	if size <= 0 || g.r.Intn(3) == 0 {
+		if len(g.vars) > 0 && g.r.Coin() {
+			return g.pick(g.vars)
+		}
+		return fmt.Sprintf("%d", g.r.Intn(201)-100)
+	}
+	a := g.expr(size - 1)
+	b := g.expr(size - 1)
+	ops := []string{"+", "-"}
+	if g.cfg.AllowNonlinear {
+		ops = append(ops, "*")
+	} else if g.r.Intn(4) == 0 {
+		// Linear scaling: constant * expr.
+		return fmt.Sprintf("%d * (%s)", g.r.Intn(9)-4, a)
+	}
+	if g.cfg.AllowDivision && g.r.Intn(8) == 0 {
+		ops = append(ops, "/", "%")
+	}
+	op := g.pick(ops)
+	return fmt.Sprintf("(%s %s %s)", a, op, b)
+}

@@ -1,0 +1,56 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/rng"
+)
+
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Program(rng.New(seed), Default)
+		b := Program(rng.New(seed), Default)
+		if a != b {
+			t.Fatalf("seed %d: generation is nondeterministic", seed)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	if Program(rng.New(1), Default) == Program(rng.New(2), Default) {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestContainsToplevel(t *testing.T) {
+	src := Program(rng.New(3), Default)
+	if !strings.Contains(src, "int "+Toplevel+"(") {
+		t.Errorf("no toplevel function:\n%s", src)
+	}
+}
+
+func TestConfigRespected(t *testing.T) {
+	cfg := Default
+	cfg.AllowDivision = false
+	cfg.AllowNonlinear = false
+	for seed := int64(0); seed < 50; seed++ {
+		src := Program(rng.New(seed), cfg)
+		// Integer division/modulus never appears (the only slashes would
+		// be comments, which the generator does not emit).
+		if strings.Contains(src, "/") || strings.Contains(src, "%") {
+			t.Fatalf("seed %d: division generated despite AllowDivision=false:\n%s", seed, src)
+		}
+	}
+}
+
+func TestHelperCountRespected(t *testing.T) {
+	cfg := Default
+	cfg.Funcs = 4
+	src := Program(rng.New(9), cfg)
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(src, "int helper"+string(rune('0'+i))+"(") {
+			t.Errorf("helper%d missing", i)
+		}
+	}
+}

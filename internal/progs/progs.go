@@ -1,0 +1,205 @@
+// Package progs collects the MiniC programs that appear in the DART
+// paper, used by the examples, tests, and the experiment harness.
+package progs
+
+// Section21 is the introductory example of Sec. 2.1: h aborts iff
+// f(x) == x+10, i.e. x == 10, with x != y.  Random testing essentially
+// never finds it; the directed search finds it in two runs.
+const Section21 = `
+int f(int x) { return 2 * x; }
+int h(int x, int y) {
+    if (x != y)
+        if (f(x) == x + 10)
+            abort(); /* error */
+    return 0;
+}
+`
+
+// Section24 is the worked example of Sec. 2.4: the inner abort is
+// unreachable (x == z and y == x+10 with z = y is unsatisfiable), and the
+// directed search proves it by exhausting both paths.
+const Section24 = `
+int f(int x, int y) {
+    int z;
+    z = y;
+    if (x == z)
+        if (y == x + 10)
+            abort();
+    return 0;
+}
+`
+
+// Section25Cast is the pointer-cast example of Sec. 2.5: the message
+// buffer is written through a char* alias of the struct, so a->c is
+// overwritten and the abort is reachable — but only a precise dynamic
+// analysis sees it.  DART reaches it by solving a->c == 0.
+const Section25Cast = `
+struct foo { int i; char c; };
+
+int bar(struct foo *a) {
+    if (a->c == 0) {
+        *((char *)a + sizeof(int)) = 1;
+        if (a->c != 0)
+            abort();
+    }
+    return 0;
+}
+`
+
+// Foobar is the non-linear example of Sec. 2.5: x*x*x is outside the
+// linear theory, so no constraint is generated at line 2's branch, yet
+// the concrete execution still picks a side.  The abort under the then
+// branch (x > 0 && y == 10) is reachable; the abort under the else
+// branch (x > 0 && y == 20) is not, because x*x*x > 0 iff x > 0.
+const Foobar = `
+int foobar(int x, int y) {
+    if (x*x*x > 0) {
+        if (x > 0 && y == 10)
+            abort();
+    } else {
+        if (x > 0 && y == 20)
+            abort();
+    }
+    return 0;
+}
+`
+
+// FoobarLib is the same program with the non-linear test hidden behind a
+// library call, the variation the paper discusses ("if the test
+// (x*x*x > 0) is replaced by a library call").
+const FoobarLib = `
+int foobar(int x, int y) {
+    if (cube(x) > 0) {
+        if (x > 0 && y == 10)
+            abort();
+    } else {
+        if (x > 0 && y == 20)
+            abort();
+    }
+    return 0;
+}
+`
+
+// ACController is Fig. 6: the air-conditioning controller.  With depth 1
+// there is no failure; with depth 2 the message sequence (3, 0) drives
+// is_room_hot high while the door stays closed with the AC off, so the
+// assertion fires.
+const ACController = `
+/* initially, */
+int is_room_hot = 0;   /* room is not hot */
+int is_door_closed = 0; /* and door is open */
+int ac = 0;            /* so, ac is off */
+
+void ac_controller(int message) {
+    if (message == 0) is_room_hot = 1;
+    if (message == 1) is_room_hot = 0;
+    if (message == 2) { is_door_closed = 0; ac = 0; }
+    if (message == 3) {
+        is_door_closed = 1;
+        if (is_room_hot) ac = 1;
+    }
+    /* check correctness */
+    if (is_room_hot && is_door_closed && !ac)
+        abort();
+}
+`
+
+// ExternalEnv exercises external functions and variables: getmsg is an
+// environment-controlled function, so every call site returns a fresh
+// input; threshold is an environment-controlled variable.
+const ExternalEnv = `
+extern int getmsg();
+extern int threshold;
+
+int watch() {
+    int a = getmsg();
+    int b = getmsg();
+    if (a == threshold)
+        if (b == threshold + 25)
+            abort();
+    return 0;
+}
+`
+
+// ListSum exercises unbounded dynamic input data (Sec. 3.2): the input is
+// a linked list built by random_init; the bug needs a list of length >= 2
+// whose first two values sum to 42.
+const ListSum = `
+struct node { int value; struct node *next; };
+
+int sum2(struct node *l) {
+    if (l != NULL) {
+        if (l->next != NULL) {
+            if (l->value + l->next->value == 42)
+                abort();
+        }
+    }
+    return 0;
+}
+`
+
+// DivByZero crashes on a division by zero guarded by an input filter: the
+// crash needs d == 7, found by flipping the filter branch.
+const DivByZero = `
+int quotient(int n, int d) {
+    if (d > 6) {
+        if (d < 8) {
+            return n / (d - 7);
+        }
+    }
+    return 0;
+}
+`
+
+// NullChain is a three-deep pointer chain: directed search must decide
+// three pointer inputs to reach the abort.
+const NullChain = `
+struct c { int tag; };
+struct b { struct c *c; };
+struct a { struct b *b; };
+
+int walk(struct a *p) {
+    if (p != NULL) {
+        if (p->b != NULL) {
+            if (p->b->c != NULL) {
+                if (p->b->c->tag == 77)
+                    abort();
+            }
+        }
+    }
+    return 0;
+}
+`
+
+// StraightLineDeref dereferences its pointer argument without any NULL
+// check or branch — the oSIP crash pattern in its purest form.  Because
+// no conditional ever tests p, the paper's search has no predicate to
+// flip and discovers the NULL crash only if the initial coin toss lands
+// on NULL; the systematic shape search forces both shapes.
+const StraightLineDeref = `
+struct s { int v; };
+
+int poke(struct s *p) {
+    p->v = 1;
+    return p->v;
+}
+`
+
+// Filter is the "input-filtering code" pattern the AC-controller
+// discussion describes: only a narrow input range reaches the core,
+// where the bug hides behind an arithmetic relation.
+const Filter = `
+int core(int a, int b) {
+    if (3 * a - 2 * b == 17)
+        abort();
+    return 0;
+}
+
+int entry(int a, int b) {
+    if (a < 0) return -1;
+    if (a > 1000) return -1;
+    if (b < 0) return -1;
+    if (b > 1000) return -1;
+    return core(a, b);
+}
+`

@@ -1,0 +1,48 @@
+package progs
+
+import (
+	"testing"
+
+	"dart/internal/ir"
+	"dart/internal/machine"
+	"dart/internal/parser"
+	"dart/internal/sema"
+)
+
+// TestAllProgramsCompile ensures every paper example parses, checks, and
+// lowers cleanly.
+func TestAllProgramsCompile(t *testing.T) {
+	all := map[string]string{
+		"Section21":    Section21,
+		"Section24":    Section24,
+		"Section25":    Section25Cast,
+		"Foobar":       Foobar,
+		"FoobarLib":    FoobarLib,
+		"ACController": ACController,
+		"ExternalEnv":  ExternalEnv,
+		"ListSum":      ListSum,
+		"DivByZero":    DivByZero,
+		"NullChain":    NullChain,
+		"Filter":       Filter,
+		"StraightLine": StraightLineDeref,
+	}
+	for name, src := range all {
+		t.Run(name, func(t *testing.T) {
+			f, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			sem, err := sema.Check(f, machine.StdLibSigs())
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			prog, err := ir.Compile(sem)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if len(prog.FuncOrder) == 0 {
+				t.Fatal("no functions compiled")
+			}
+		})
+	}
+}

@@ -1,0 +1,263 @@
+// Package protocols contains the MiniC implementation of the
+// Needham–Schroeder public-key authentication protocol used by the
+// paper's Sec. 4.2 experiments.
+//
+// The program simulates the initiator A and responder B of the protocol
+// as one sequential process driven by input messages, like the C
+// implementation the paper tested.  Agents and keys are small integers
+// (A=1, B=2, intruder I=3; key k belongs to agent k), nonces are the
+// constants Na=101, Nb=202, Ni=303, and an encrypted message
+// {f1, f2, f3}Kx is the tuple (kind, key=x, f1, f2, f3).  An assertion
+// fires when B commits a session it believes is with A although A never
+// opened a session with B — exactly Lowe's man-in-the-middle attack.
+//
+// Two environment models are provided, as in the paper:
+//
+//   - Possibilistic: the toplevel receives arbitrary message tuples, so
+//     the "intruder" can guess any value — including secrets — and DART
+//     finds the projection of Lowe's attack (steps 2 and 6) at depth 2.
+//   - DolevYao: an input filter only admits messages the intruder could
+//     construct — replaying ciphertexts it has observed, decrypting only
+//     what is encrypted under its own key, and composing messages from
+//     nonces it knows.  The full six-step Lowe attack then appears as the
+//     shortest violating input sequence, at depth 4.
+//
+// Three variants of Lowe's fix are provided: NoFix (the original,
+// attackable protocol), BuggyFix (the fix's identity check is present but
+// a missing early return makes it ineffective — standing in for the
+// incomplete fix implementation DART exposed in the paper), and
+// CorrectFix (the repaired protocol, which DART can no longer break).
+package protocols
+
+import "strings"
+
+// Model selects the environment/intruder model.
+type Model int
+
+// Environment models.
+const (
+	Possibilistic Model = iota
+	DolevYao
+)
+
+func (m Model) String() string {
+	if m == DolevYao {
+		return "dolev-yao"
+	}
+	return "possibilistic"
+}
+
+// Fix selects the Lowe-fix variant compiled into the protocol.
+type Fix int
+
+// Fix variants.
+const (
+	NoFix Fix = iota
+	BuggyFix
+	CorrectFix
+)
+
+func (f Fix) String() string {
+	switch f {
+	case BuggyFix:
+		return "buggy-fix"
+	case CorrectFix:
+		return "correct-fix"
+	}
+	return "no-fix"
+}
+
+// Toplevel is the function DART drives; one call delivers one message.
+const Toplevel = "ns_step"
+
+// Source returns the MiniC source of the protocol under the given
+// environment model and fix variant.
+func Source(m Model, f Fix) string {
+	src := nsTemplate
+	switch m {
+	case DolevYao:
+		src = strings.Replace(src, "%FILTER%", dolevYaoFilter, 1)
+	default:
+		src = strings.Replace(src, "%FILTER%", "", 1)
+	}
+	switch f {
+	case BuggyFix:
+		// The identity check exists but does not stop the handler: the
+		// incomplete-fix bug class the paper discovered in the original
+		// C implementation.
+		src = strings.Replace(src, "%FIX%",
+			"if (n3 != a_peer) { fix_alarms = fix_alarms + 1; }", 1)
+	case CorrectFix:
+		src = strings.Replace(src, "%FIX%",
+			"if (n3 != a_peer) { fix_alarms = fix_alarms + 1; return; }", 1)
+	default:
+		src = strings.Replace(src, "%FIX%", "", 1)
+	}
+	return src
+}
+
+// dolevYaoFilter is spliced into ns_step: discard any message the
+// intruder could not have produced.
+const dolevYaoFilter = `
+    if (!is_replay(kind, key, n1, n2, n3)) {
+        if (!constructible(kind, n1, n2)) {
+            return;
+        }
+    }`
+
+const nsTemplate = `
+/* Needham-Schroeder public-key protocol.
+ * Agents: A=1 (initiator), B=2 (responder), I=3 (intruder).
+ * Key of agent x is x; nonces: Na=101, Nb=202, Ni=303.
+ *
+ * Message kinds (an encrypted tuple {..}Kkey):
+ *   0: scheduling event "A, start a session with agent n1"
+ *   1: {n1 = nonce, n2 = claimed sender}Kkey       (protocol msg 1)
+ *   2: {n1, n2 = nonces, n3 = responder id}Kkey    (protocol msg 2)
+ *   3: {n1 = nonce}Kkey                            (protocol msg 3)
+ */
+
+/* initiator A */
+int a_state = 0;   /* 0 idle, 1 awaiting msg2, 2 finished */
+int a_peer = 0;
+int a_na = 0;
+
+/* responder B */
+int b_state = 0;   /* 0 idle, 1 awaiting msg3, 2 committed */
+int b_peer = 0;
+int b_na = 0;
+int b_nb = 0;
+
+/* Lowe-fix bookkeeping */
+int fix_alarms = 0;
+
+/* intruder knowledge: which protocol nonces it has learned */
+int i_knows_na = 0;
+int i_knows_nb = 0;
+
+/* ciphertext log: everything sent on the wire is observable and
+ * replayable by the intruder */
+int log_kind[8];
+int log_key[8];
+int log_n1[8];
+int log_n2[8];
+int log_n3[8];
+int log_len = 0;
+
+void learn(int n) {
+    if (n == 101) i_knows_na = 1;
+    if (n == 202) i_knows_nb = 1;
+}
+
+/* observe: a message appears on the network. The intruder records it and
+ * decrypts it when it is encrypted with the intruder's own key. */
+void observe(int kind, int key, int n1, int n2, int n3) {
+    if (key == 3) {
+        if (kind == 1) { learn(n1); }
+        if (kind == 2) { learn(n1); learn(n2); }
+        if (kind == 3) { learn(n1); }
+    }
+    if (log_len < 8) {
+        log_kind[log_len] = kind;
+        log_key[log_len] = key;
+        log_n1[log_len] = n1;
+        log_n2[log_len] = n2;
+        log_n3[log_len] = n3;
+        log_len = log_len + 1;
+    }
+}
+
+int known_nonce(int n) {
+    if (n == 303) return 1;                 /* the intruder's own nonce */
+    if (n == 101 && i_knows_na) return 1;
+    if (n == 202 && i_knows_nb) return 1;
+    if (n != 101 && n != 202) return 1;     /* arbitrary non-secret data */
+    return 0;
+}
+
+int is_replay(int kind, int key, int n1, int n2, int n3) {
+    int i;
+    for (i = 0; i < log_len; i++) {
+        if (log_kind[i] == kind && log_key[i] == key &&
+            log_n1[i] == n1 && log_n2[i] == n2 && log_n3[i] == n3)
+            return 1;
+    }
+    return 0;
+}
+
+/* constructible: can the intruder compose this message from parts it
+ * knows?  Public keys and agent names are public; protocol nonces must
+ * have been learned. */
+int constructible(int kind, int n1, int n2) {
+    if (kind == 0) return 1;        /* scheduling A is environment-free */
+    if (kind == 1) return known_nonce(n1);
+    if (kind == 2) { if (known_nonce(n1) && known_nonce(n2)) return 1; return 0; }
+    if (kind == 3) return known_nonce(n1);
+    return 0;
+}
+
+/* the correctness condition: B has committed a session it believes is
+ * with A, but A never opened a session with B */
+void check_attack() {
+    if (b_state == 2 && b_peer == 1) {
+        if (!(a_state > 0 && a_peer == 2)) {
+            assert(0, "Lowe attack: B committed to a session with A that A never started");
+        }
+    }
+}
+
+/* A starts a session with agent x by sending {Na, A}Kx */
+void handle_start(int x) {
+    if (a_state == 0) {
+        if (x == 2 || x == 3) {
+            a_state = 1;
+            a_peer = x;
+            a_na = 101;
+            observe(1, x, 101, 1, 0);
+        }
+    }
+}
+
+/* B receives {n1, n2=sender}Kb and replies {n1, Nb, B}K_sender */
+void handle_msg1(int key, int n1, int n2) {
+    if (key != 2) return;
+    if (b_state != 0) return;
+    if (n2 == 1 || n2 == 3) {
+        b_state = 1;
+        b_peer = n2;
+        b_na = n1;
+        b_nb = 202;
+        observe(2, n2, n1, 202, 2);
+    }
+}
+
+/* A receives {n1, n2, n3=responder}Ka and replies {n2}K_peer */
+void handle_msg2(int key, int n1, int n2, int n3) {
+    if (key != 1) return;
+    if (a_state != 1) return;
+    if (n1 == a_na) {
+        %FIX%
+        a_state = 2;
+        observe(3, a_peer, n2, 0, 0);
+    }
+}
+
+/* B receives {n1}Kb and commits when the nonce matches */
+void handle_msg3(int key, int n1) {
+    if (key != 2) return;
+    if (b_state != 1) return;
+    if (n1 == b_nb) {
+        b_state = 2;
+        check_attack();
+    }
+}
+
+/* one protocol step: deliver one message from the environment */
+void ns_step(int kind, int key, int n1, int n2, int n3) {
+    %FILTER%
+    if (kind == 0) handle_start(n1);
+    if (kind == 1) handle_msg1(key, n1, n2);
+    if (kind == 2) handle_msg2(key, n1, n2, n3);
+    if (kind == 3) handle_msg3(key, n1);
+}
+`

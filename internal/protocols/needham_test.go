@@ -1,0 +1,80 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/ir"
+	"dart/internal/machine"
+	"dart/internal/parser"
+	"dart/internal/sema"
+)
+
+// TestAllVariantsCompile checks every (model, fix) combination.
+func TestAllVariantsCompile(t *testing.T) {
+	for _, m := range []Model{Possibilistic, DolevYao} {
+		for _, fx := range []Fix{NoFix, BuggyFix, CorrectFix} {
+			t.Run(m.String()+"/"+fx.String(), func(t *testing.T) {
+				src := Source(m, fx)
+				f, err := parser.Parse(src)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				sem, err := sema.Check(f, machine.StdLibSigs())
+				if err != nil {
+					t.Fatalf("check: %v", err)
+				}
+				if _, err := ir.Compile(sem); err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestPlaceholdersSubstituted(t *testing.T) {
+	for _, m := range []Model{Possibilistic, DolevYao} {
+		for _, fx := range []Fix{NoFix, BuggyFix, CorrectFix} {
+			src := Source(m, fx)
+			if strings.Contains(src, "%FILTER%") || strings.Contains(src, "%FIX%") {
+				t.Errorf("%v/%v: template placeholder left in source", m, fx)
+			}
+		}
+	}
+}
+
+func TestModelDiffersInFilter(t *testing.T) {
+	poss := Source(Possibilistic, NoFix)
+	dy := Source(DolevYao, NoFix)
+	if strings.Contains(poss, "is_replay(kind") {
+		t.Error("possibilistic model should not filter inputs")
+	}
+	if !strings.Contains(dy, "is_replay(kind") {
+		t.Error("Dolev-Yao model must filter inputs")
+	}
+}
+
+func TestFixVariants(t *testing.T) {
+	none := Source(DolevYao, NoFix)
+	buggy := Source(DolevYao, BuggyFix)
+	correct := Source(DolevYao, CorrectFix)
+	if strings.Contains(none, "fix_alarms = fix_alarms + 1; return;") {
+		t.Error("NoFix should not check the responder identity")
+	}
+	if !strings.Contains(buggy, "fix_alarms = fix_alarms + 1; }") ||
+		strings.Contains(buggy, "return; }") {
+		t.Error("BuggyFix must check but not return")
+	}
+	if !strings.Contains(correct, "return; }") {
+		t.Error("CorrectFix must reject the message")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Possibilistic.String() != "possibilistic" || DolevYao.String() != "dolev-yao" {
+		t.Error("model names")
+	}
+	if NoFix.String() != "no-fix" || BuggyFix.String() != "buggy-fix" || CorrectFix.String() != "correct-fix" {
+		t.Error("fix names")
+	}
+}

@@ -1,0 +1,59 @@
+// Package rng provides the deterministic pseudo-random source used by the
+// generated test drivers.  Experiments must be reproducible byte-for-byte
+// across Go releases, so the generator is a self-contained splitmix64
+// rather than math/rand.
+package rng
+
+// R is a deterministic random source.
+type R struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *R {
+	return &R{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+}
+
+// next is splitmix64.
+func (r *R) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns a uniform 64-bit value.
+func (r *R) Uint64() uint64 { return r.next() }
+
+// Bits returns n random bits as a sign-extended integer, mirroring the
+// paper's random_bits(sizeof(type)): a 32-bit input takes any of the 2^32
+// int values, a char any of 256.
+func (r *R) Bits(n int) int64 {
+	if n <= 0 || n > 64 {
+		n = 64
+	}
+	v := r.next() >> (64 - uint(n))
+	// Sign-extend from bit n-1.
+	shift := uint(64 - n)
+	return int64(v<<shift) >> shift
+}
+
+// Int31 returns a non-negative 31-bit value.
+func (r *R) Int31() int64 { return int64(r.next() >> 33) }
+
+// Intn returns a uniform value in [0, n).
+func (r *R) Intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// Coin returns true with probability 1/2 (the paper's "fair coin toss"
+// for pointer initialization).
+func (r *R) Coin() bool { return r.next()&1 == 1 }
+
+// Fork derives an independent generator, used so that unrelated input
+// streams (e.g. different runs) do not perturb each other.
+func (r *R) Fork() *R { return &R{state: r.next()} }

@@ -1,0 +1,278 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/parser"
+	"dart/internal/types"
+)
+
+func check(t *testing.T, src string) (*Program, error) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lib := map[string]*types.Func{
+		"mix": {Params: []types.Type{types.IntType, types.IntType}, Result: types.IntType},
+	}
+	return Check(f, lib)
+}
+
+func checkOK(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not contain %q", err, fragment)
+	}
+}
+
+func TestGlobalsAndOffsets(t *testing.T) {
+	p := checkOK(t, `
+int a = 5;
+extern int env;
+int arr[3];
+`)
+	if len(p.Globals) != 3 {
+		t.Fatalf("globals: %d", len(p.Globals))
+	}
+	if !p.Globals[0].HasInit || p.Globals[0].InitVal != 5 {
+		t.Errorf("a init: %+v", p.Globals[0])
+	}
+	if !p.Globals[1].Extern {
+		t.Error("env should be extern")
+	}
+	if _, ok := p.Globals[2].Type.(*types.Array); !ok {
+		t.Errorf("arr type: %s", p.Globals[2].Type)
+	}
+}
+
+func TestFunctionClassification(t *testing.T) {
+	p := checkOK(t, `
+extern int input();
+int helper(int x) { return x + 1; }
+int top(int x) { return helper(input()) + mix(x, 1); }
+`)
+	if !p.Funcs["input"].Extern {
+		t.Error("input should be external")
+	}
+	if p.Funcs["helper"].Extern {
+		t.Error("helper should be a program function")
+	}
+	if _, ok := p.Lib["mix"]; !ok {
+		t.Error("mix should be a library function")
+	}
+}
+
+func TestFrameLayout(t *testing.T) {
+	p := checkOK(t, `
+int f(int a, int b) {
+    int x;
+    if (a) {
+        int y;
+        y = b;
+        x = y;
+    }
+    int z = x;
+    return z;
+}
+`)
+	fn := p.Funcs["f"]
+	// a, b, x, y, z — each gets a distinct slot, no reuse across blocks.
+	if fn.FrameSize != 5 {
+		t.Errorf("frame size = %d, want 5", fn.FrameSize)
+	}
+	slots := map[int64]string{}
+	for _, o := range fn.Locals {
+		if prev, dup := slots[o.Index]; dup {
+			t.Errorf("slot %d shared by %s and %s", o.Index, prev, o.Name)
+		}
+		slots[o.Index] = o.Name
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	p := checkOK(t, `
+int g = 1;
+int f(int g) {
+    int h = g;
+    {
+        int g = 3;
+        h = g;
+    }
+    return h;
+}
+`)
+	fn := p.Funcs["f"]
+	if len(fn.Locals) != 3 {
+		t.Fatalf("locals: %d", len(fn.Locals))
+	}
+}
+
+func TestRecursiveStruct(t *testing.T) {
+	p := checkOK(t, `
+struct node { int v; struct node *next; };
+int len(struct node *n) {
+    int k = 0;
+    while (n != NULL) { k++; n = n->next; }
+    return k;
+}
+`)
+	st := p.Structs["node"]
+	if st.Size() != 2 {
+		t.Errorf("node size = %d", st.Size())
+	}
+	next, _ := st.FieldByName("next")
+	if ptr, ok := next.Type.(*types.Pointer); !ok || ptr.Elem != st {
+		t.Error("recursive pointer does not share the struct identity")
+	}
+}
+
+func TestTypeRules(t *testing.T) {
+	checkOK(t, `
+struct s { int x; };
+int f(struct s *p, char c, unsigned u, long l) {
+    int i = c;          /* integer widening */
+    char d = i;         /* narrowing, C-style */
+    long big = i + l;   /* mixed arithmetic */
+    u = u + 1;
+    if (p == NULL) return 0;
+    if (p != 0) { }     /* 0 as null pointer constant */
+    return p->x + d + (int)big;
+}
+`)
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"int f() { return x; }", "undefined: x"},
+		{"int f() { y = 1; return 0; }", "undefined: y"},
+		{"int f(int a) { return a(); }", "undefined function"},
+		{"int f() { int a; int a; return 0; }", "redeclared"},
+		{"int g; int g;", "redeclared"},
+		{"struct s { int a; int a; };", "duplicate field"},
+		{"struct s { int a; }; int f(struct s *p) { return p->b; }", "no field b"},
+		{"int f(int *p) { return p + p; }", "invalid operands"},
+		{"int f() { 1 = 2; return 0; }", "not assignable"},
+		{"int f(int *p) { return *p * p; }", "invalid operands"},
+		{"void f() { return 1; }", "return with value"},
+		{"int f() { return; }", "return without value"},
+		{"int f() { break; return 0; }", "break outside loop"},
+		{"int f() { continue; return 0; }", "continue outside loop"},
+		{"int f(int x) { return x; } int f(int x) { return x; }", "redefined"},
+		{"int f(int x); ", "never defined"},
+		{"void v; ", "void type"},
+		{"int f(struct s x) { return 0; }", "undefined struct"},
+		{"struct s { int a; }; int f(struct s x) { return 0; }", "scalar and pointer parameters"},
+		{"struct s { int a; }; struct s f() { }", "must return a scalar"},
+		{"int f(int *p) { int x = p; return x; }", "without a cast"},
+		{"int f(int x) { int *p = x; return 0; }", "without a cast"},
+		{"int x = 1; extern int x;", "redeclared"},
+		{"int g = f(); int f() { return 1; }", "must be a constant"},
+		{"int f() { int s = \"str\"; return s; }", "string literals"},
+		{"int abort() { return 1; }", "builtin"},
+		{"int mix(int a, int b) { return a; }", "shadows a library function"},
+		{"int f(); int f(int x) { return x; }", "conflicting declarations"},
+	}
+	for _, c := range cases {
+		wantError(t, c.src, c.frag)
+	}
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	p := checkOK(t, `
+int even(int n);
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+`)
+	if p.Funcs["even"].Decl.Body == nil {
+		t.Error("definition did not replace the prototype")
+	}
+}
+
+func TestUsesAnnotated(t *testing.T) {
+	p := checkOK(t, `
+int g;
+int f(int a) { return g + a; }
+`)
+	found := 0
+	for ident, obj := range p.Uses {
+		switch ident.Name {
+		case "g":
+			if obj.Kind != GlobalObj {
+				t.Error("g resolved to non-global")
+			}
+			found++
+		case "a":
+			if obj.Kind != ParamObj {
+				t.Error("a resolved to non-param")
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("resolved %d of 2 identifiers", found)
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	p := checkOK(t, `
+struct pair { int a; int b; };
+int size = sizeof(struct pair) * 4 + (1 << 3) - -2;
+int arr[2 * 3];
+`)
+	g := p.GlobalsByName["size"]
+	if !g.HasInit || g.InitVal != 2*4+8+2 {
+		t.Errorf("folded init = %d", g.InitVal)
+	}
+	arr := p.GlobalsByName["arr"].Type.(*types.Array)
+	if arr.Len != 6 {
+		t.Errorf("array len = %d", arr.Len)
+	}
+}
+
+func TestAssertForms(t *testing.T) {
+	checkOK(t, `
+int f(int x) {
+    assert(x > 0);
+    assert(x < 10, "x too big");
+    return x;
+}
+`)
+	wantError(t, `int f(int x) { assert(x, x); return x; }`, "message must be a string")
+}
+
+func TestExternFuncResultRestriction(t *testing.T) {
+	checkOK(t, "extern int e(); extern char *p(); int f() { return e(); }")
+	wantError(t, "struct s { int a; }; extern struct s e();", "must return a scalar")
+}
+
+func TestSwitchChecks(t *testing.T) {
+	checkOK(t, `
+int f(int x) {
+    switch (x) {
+    case 1: break;
+    case 2 + 3: return 1;
+    default: return 2;
+    }
+    return 0;
+}
+`)
+	wantError(t, "int f(int x) { switch (x) { case x: break; } return 0; }", "constant")
+	wantError(t, "int f(int x) { switch (x) { case 1: break; case 1: break; } return 0; }", "duplicate case")
+	wantError(t, "int f(int *p) { switch (p) { case 1: break; } return 0; }", "integer")
+	wantError(t, "int f(int x) { switch (x) { case 1: continue; } return 0; }", "continue outside loop")
+}

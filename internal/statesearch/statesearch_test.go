@@ -1,0 +1,190 @@
+package statesearch
+
+import (
+	"testing"
+
+	"dart/internal/ir"
+	"dart/internal/machine"
+	"dart/internal/parser"
+	"dart/internal/protocols"
+	"dart/internal/sema"
+)
+
+func compile(t *testing.T, src string) *ir.Prog {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sem, err := sema.Check(f, machine.StdLibSigs())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := ir.Compile(sem)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func TestFindsSequencedBug(t *testing.T) {
+	prog := compile(t, `
+int state = 0;
+void step(int m) {
+    if (state == 0 && m == 1) { state = 1; return; }
+    if (state == 1 && m == 2) { state = 2; return; }
+    if (state == 2 && m == 3) abort();
+    state = 0;
+}
+`)
+	res, err := Search(prog, Options{
+		Toplevel: "step",
+		Alphabet: [][]int64{{1}, {2}, {3}},
+		MaxDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug == nil {
+		t.Fatalf("bug not found (%d runs, %d states)", res.Runs, res.StatesSeen)
+	}
+	want := [][]int64{{1}, {2}, {3}}
+	if len(res.Bug.Sequence) != len(want) {
+		t.Fatalf("sequence %v", res.Bug.Sequence)
+	}
+	for i := range want {
+		if res.Bug.Sequence[i][0] != want[i][0] {
+			t.Fatalf("sequence %v, want %v", res.Bug.Sequence, want)
+		}
+	}
+}
+
+func TestStatePruning(t *testing.T) {
+	// A program whose state space is tiny: pruning must keep the search
+	// far below the b^d sequence count.
+	prog := compile(t, `
+int mode = 0;
+void step(int m) {
+    if (m == 1) mode = 1;
+    if (m == 2) mode = 0;
+}
+`)
+	res, err := Search(prog, Options{
+		Toplevel: "step",
+		Alphabet: [][]int64{{1}, {2}, {3}},
+		MaxDepth: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug != nil {
+		t.Fatalf("unexpected bug %v", res.Bug)
+	}
+	if !res.Exhausted {
+		t.Fatal("tiny state space not exhausted")
+	}
+	if res.StatesSeen != 2 {
+		t.Errorf("states seen = %d, want 2", res.StatesSeen)
+	}
+	// Without pruning this would be 3^8 = 6561 sequences; with it, once
+	// both states are known only the frontier×alphabet runs remain.
+	if res.Runs > 20 {
+		t.Errorf("pruning ineffective: %d runs", res.Runs)
+	}
+}
+
+func TestRespectsMaxRuns(t *testing.T) {
+	prog := compile(t, `
+int c = 0;
+void step(int m) { c = c + m; }
+`)
+	res, err := Search(prog, Options{
+		Toplevel: "step",
+		Alphabet: [][]int64{{1}, {2}, {3}, {5}},
+		MaxDepth: 12,
+		MaxRuns:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs > 100 {
+		t.Errorf("runs = %d", res.Runs)
+	}
+	if res.Exhausted {
+		t.Error("cannot be exhausted at this budget")
+	}
+}
+
+func TestAlphabetValidation(t *testing.T) {
+	prog := compile(t, `void step(int a, int b) { }`)
+	if _, err := Search(prog, Options{Toplevel: "step", Alphabet: [][]int64{{1}}}); err == nil {
+		t.Error("tuple arity mismatch not rejected")
+	}
+	if _, err := Search(prog, Options{Toplevel: "step"}); err == nil {
+		t.Error("empty alphabet not rejected")
+	}
+	if _, err := Search(prog, Options{Toplevel: "nosuch", Alphabet: [][]int64{{1, 2}}}); err == nil {
+		t.Error("missing toplevel not rejected")
+	}
+}
+
+// TestNeedhamSchroederCuratedAlphabet reproduces the Sec. 4.2 comparison:
+// given a hand-curated alphabet that already contains the attack
+// messages (the analyst must know the nonces and agent names — exactly
+// the insight DART derives automatically), the VeriSoft-style search
+// finds Lowe's attack quickly.
+func TestNeedhamSchroederCuratedAlphabet(t *testing.T) {
+	prog := compile(t, protocols.Source(protocols.DolevYao, protocols.NoFix))
+	// (kind, key, n1, n2, n3) tuples a knowledgeable analyst would pick.
+	alphabet := [][]int64{
+		{0, 0, 3, 0, 0},     // schedule A to start with I
+		{0, 0, 2, 0, 0},     // schedule A to start with B
+		{1, 2, 101, 1, 0},   // {Na, A}Kb
+		{1, 2, 303, 3, 0},   // {Ni, I}Kb
+		{2, 1, 101, 202, 2}, // {Na, Nb, B}Ka (the replay)
+		{2, 1, 303, 202, 2}, // {Ni, Nb, B}Ka
+		{3, 2, 202, 0, 0},   // {Nb}Kb
+		{3, 2, 303, 0, 0},   // {Ni}Kb
+	}
+	res, err := Search(prog, Options{
+		Toplevel: protocols.Toplevel,
+		Alphabet: alphabet,
+		MaxDepth: 4,
+		MaxRuns:  100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug == nil {
+		t.Fatalf("attack not found with the curated alphabet (%d runs, %d states)", res.Runs, res.StatesSeen)
+	}
+	t.Logf("curated alphabet: attack in %d runs, %d states: %v", res.Runs, res.StatesSeen, res.Bug.Sequence)
+}
+
+// TestNeedhamSchroederGenericAlphabetMisses: with a generic alphabet
+// that lacks the protocol's secrets, the attack is simply outside the
+// searched space — the flip side of the comparison, and the reason the
+// paper calls the directed search "more white-box".
+func TestNeedhamSchroederGenericAlphabet(t *testing.T) {
+	prog := compile(t, protocols.Source(protocols.DolevYao, protocols.NoFix))
+	var alphabet [][]int64
+	for kind := int64(0); kind <= 3; kind++ {
+		for key := int64(1); key <= 3; key++ {
+			// Generic small values only; no protocol nonces.
+			alphabet = append(alphabet, []int64{kind, key, 1, 2, 3})
+		}
+	}
+	res, err := Search(prog, Options{
+		Toplevel: protocols.Toplevel,
+		Alphabet: alphabet,
+		MaxDepth: 4,
+		MaxRuns:  200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bug != nil {
+		t.Fatalf("generic alphabet cannot contain the attack, found %v", res.Bug)
+	}
+	t.Logf("generic alphabet: no attack (%d runs, %d states, exhausted=%v)", res.Runs, res.StatesSeen, res.Exhausted)
+}

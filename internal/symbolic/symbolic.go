@@ -1,0 +1,295 @@
+// Package symbolic implements the symbolic expressions of DART's
+// dynamic analysis (Fig. 1 of the paper).
+//
+// DART's default theory is linear integer arithmetic, so a symbolic value
+// is an affine form  Σ cᵢ·xᵢ + k  over input variables xᵢ.  Anything
+// outside the theory (a product of two non-constant forms, a division by
+// a non-constant, a value produced by a library black box) has no
+// representation here: evaluation falls back to the concrete value and a
+// completeness flag is cleared, exactly as in the paper.
+//
+// Branch conditions become predicates  L ⋈ 0  with ⋈ ∈ {=, ≠, <, ≤, >, ≥};
+// an executed path is summarized by a path constraint, the conjunction of
+// the branch predicates observed in order.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a symbolic input variable.  In the paper a symbolic
+// variable is named by the memory address of the input; the engine keeps
+// the address-to-Var registry so that Vars stay stable across runs even
+// when malloc returns different addresses.
+type Var int
+
+// VarKind distinguishes arithmetic inputs from pointer inputs, which are
+// solved over the {NULL, fresh allocation} domain that random_init can
+// realize.
+type VarKind int
+
+// Variable kinds.
+const (
+	ScalarVar VarKind = iota
+	PointerVar
+)
+
+// Lin is an affine form Σ Coeffs[v]·v + Const.  A nil *Lin is "not in the
+// theory"; callers must treat it as concrete-only.
+type Lin struct {
+	Coeffs map[Var]int64
+	Const  int64
+}
+
+// NewConst returns the constant form k.
+func NewConst(k int64) *Lin { return &Lin{Const: k} }
+
+// NewVar returns the form 1·v + 0.
+func NewVar(v Var) *Lin {
+	return &Lin{Coeffs: map[Var]int64{v: 1}}
+}
+
+// IsConst reports whether the form has no variables.
+func (l *Lin) IsConst() bool { return len(l.Coeffs) == 0 }
+
+// ConstVal returns the constant term; meaningful when IsConst.
+func (l *Lin) ConstVal() int64 { return l.Const }
+
+// Clone returns a deep copy.
+func (l *Lin) Clone() *Lin {
+	c := &Lin{Const: l.Const, Coeffs: make(map[Var]int64, len(l.Coeffs))}
+	for v, k := range l.Coeffs {
+		c.Coeffs[v] = k
+	}
+	return c
+}
+
+// Vars returns the variables of the form in ascending order.
+func (l *Lin) Vars() []Var {
+	vs := make([]Var, 0, len(l.Coeffs))
+	for v := range l.Coeffs {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Coeff returns the coefficient of v (0 when absent).
+func (l *Lin) Coeff(v Var) int64 { return l.Coeffs[v] }
+
+func (l *Lin) set(v Var, k int64) {
+	if k == 0 {
+		delete(l.Coeffs, v)
+		return
+	}
+	if l.Coeffs == nil {
+		l.Coeffs = map[Var]int64{}
+	}
+	l.Coeffs[v] = k
+}
+
+// Add returns a+b, or nil on coefficient overflow.
+func Add(a, b *Lin) *Lin {
+	c := a.Clone()
+	for v, k := range b.Coeffs {
+		nk, ok := addOverflow(c.Coeff(v), k)
+		if !ok {
+			return nil
+		}
+		c.set(v, nk)
+	}
+	var ok bool
+	c.Const, ok = addOverflow(c.Const, b.Const)
+	if !ok {
+		return nil
+	}
+	return c
+}
+
+// Sub returns a-b, or nil on overflow.
+func Sub(a, b *Lin) *Lin {
+	nb := Scale(b, -1)
+	if nb == nil {
+		return nil
+	}
+	return Add(a, nb)
+}
+
+// Scale returns k·a, or nil on overflow.
+func Scale(a *Lin, k int64) *Lin {
+	c := &Lin{Coeffs: make(map[Var]int64, len(a.Coeffs))}
+	for v, cv := range a.Coeffs {
+		nk, ok := mulOverflow(cv, k)
+		if !ok {
+			return nil
+		}
+		if nk != 0 {
+			c.Coeffs[v] = nk
+		}
+	}
+	var ok bool
+	c.Const, ok = mulOverflow(a.Const, k)
+	if !ok {
+		return nil
+	}
+	return c
+}
+
+// Eval evaluates the form under the assignment.
+func (l *Lin) Eval(assign map[Var]int64) int64 {
+	total := l.Const
+	for v, k := range l.Coeffs {
+		total += k * assign[v]
+	}
+	return total
+}
+
+// Equal reports structural equality of two forms.
+func (l *Lin) Equal(o *Lin) bool {
+	if l.Const != o.Const || len(l.Coeffs) != len(o.Coeffs) {
+		return false
+	}
+	for v, k := range l.Coeffs {
+		if o.Coeffs[v] != k {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *Lin) String() string {
+	if l == nil {
+		return "<fallback>"
+	}
+	var b strings.Builder
+	first := true
+	for _, v := range l.Vars() {
+		k := l.Coeffs[v]
+		switch {
+		case first && k == 1:
+			fmt.Fprintf(&b, "x%d", v)
+		case first:
+			fmt.Fprintf(&b, "%d*x%d", k, v)
+		case k == 1:
+			fmt.Fprintf(&b, " + x%d", v)
+		case k == -1:
+			fmt.Fprintf(&b, " - x%d", v)
+		case k > 0:
+			fmt.Fprintf(&b, " + %d*x%d", k, v)
+		default:
+			fmt.Fprintf(&b, " - %d*x%d", -k, v)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&b, "%d", l.Const)
+	case l.Const > 0:
+		fmt.Fprintf(&b, " + %d", l.Const)
+	case l.Const < 0:
+		fmt.Fprintf(&b, " - %d", -l.Const)
+	}
+	return b.String()
+}
+
+func addOverflow(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulOverflow(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// ---------------------------------------------------------------- preds
+
+// Rel is a predicate relation against zero.
+type Rel int
+
+// Relations; the predicate is L Rel 0.
+const (
+	EQ Rel = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+var relNames = [...]string{EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">="}
+
+func (r Rel) String() string { return relNames[r] }
+
+// Negate returns the complementary relation.
+func (r Rel) Negate() Rel {
+	switch r {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	}
+	panic("symbolic: bad relation")
+}
+
+// Pred is the atomic branch predicate L Rel 0.
+type Pred struct {
+	L   *Lin
+	Rel Rel
+}
+
+// Negate returns the logical negation of the predicate.
+func (p Pred) Negate() Pred { return Pred{L: p.L, Rel: p.Rel.Negate()} }
+
+// Holds evaluates the predicate under an assignment.
+func (p Pred) Holds(assign map[Var]int64) bool {
+	v := p.L.Eval(assign)
+	switch p.Rel {
+	case EQ:
+		return v == 0
+	case NE:
+		return v != 0
+	case LT:
+		return v < 0
+	case LE:
+		return v <= 0
+	case GT:
+		return v > 0
+	case GE:
+		return v >= 0
+	}
+	return false
+}
+
+func (p Pred) String() string { return fmt.Sprintf("%s %s 0", p.L, p.Rel) }
+
+// PathConstraint is the ordered conjunction of branch predicates observed
+// along one execution.
+type PathConstraint []Pred
+
+func (pc PathConstraint) String() string {
+	parts := make([]string, len(pc))
+	for i, p := range pc {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, ") ∧ (") + ")"
+}

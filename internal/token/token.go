@@ -1,0 +1,168 @@
+// Package token defines the lexical tokens of MiniC, the C subset that
+// DART programs under test are written in, together with source positions.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of MiniC token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // ac_controller
+	INT    // 12345, 0x1f, 'a'
+	STRING // "msg" (only as abort/assert annotation)
+
+	// Operators and delimiters.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	AMP     // &
+	PIPE    // |
+	CARET   // ^
+	SHL     // <<
+	SHR     // >>
+	TILDE   // ~
+	LAND    // &&
+	LOR     // ||
+	NOT     // !
+	ASSIGN  // =
+	EQ      // ==
+	NEQ     // !=
+	LT      // <
+	GT      // >
+	LEQ     // <=
+	GEQ     // >=
+	ARROW   // ->
+	DOT     // .
+	INC     // ++
+	DEC     // --
+	PLUSEQ  // +=
+	MINUSEQ // -=
+	STAREQ  // *=
+	SLASHEQ // /=
+
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	QUESTION  // ?
+	COLON     // :
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwLong
+	KwUnsigned
+	KwVoid
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwExtern
+	KwSizeof
+	KwSwitch
+	KwCase
+	KwDefault
+	KwGoto // reserved, rejected by the parser with a clear error
+	KwNull // NULL
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", INT: "INT", STRING: "STRING",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>", TILDE: "~",
+	LAND: "&&", LOR: "||", NOT: "!", ASSIGN: "=", EQ: "==", NEQ: "!=",
+	LT: "<", GT: ">", LEQ: "<=", GEQ: ">=", ARROW: "->", DOT: ".",
+	INC: "++", DEC: "--", PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMICOLON: ";",
+	QUESTION: "?", COLON: ":",
+	KwInt: "int", KwChar: "char", KwLong: "long", KwUnsigned: "unsigned",
+	KwVoid: "void", KwStruct: "struct", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwDo: "do", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwExtern: "extern",
+	KwSizeof: "sizeof", KwGoto: "goto", KwNull: "NULL",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+}
+
+// String returns the human-readable spelling of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps MiniC keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "long": KwLong, "unsigned": KwUnsigned,
+	"void": KwVoid, "struct": KwStruct, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "do": KwDo, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "extern": KwExtern,
+	"sizeof": KwSizeof, "goto": KwGoto, "NULL": KwNull,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, STRING
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAssignOp reports whether the kind is one of the assignment operators.
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ:
+		return true
+	}
+	return false
+}
+
+// IsComparison reports whether the kind is a relational operator.
+func (k Kind) IsComparison() bool {
+	switch k {
+	case EQ, NEQ, LT, GT, LEQ, GEQ:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		PLUS: "+", EQ: "==", ARROW: "->", KwInt: "int", KwStruct: "struct",
+		EOF: "EOF", IDENT: "IDENT", SHL: "<<",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kinds should still render")
+	}
+}
+
+func TestKeywordsTable(t *testing.T) {
+	for spelling, kind := range Keywords {
+		if kind.String() != spelling {
+			t.Errorf("keyword %q maps to kind %v", spelling, kind)
+		}
+	}
+	if len(Keywords) < 15 {
+		t.Errorf("keyword table suspiciously small: %d", len(Keywords))
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Line: 3, Col: 7}
+	if p.String() != "3:7" || !p.IsValid() {
+		t.Errorf("pos: %v valid=%v", p, p.IsValid())
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos should be invalid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	id := Token{Kind: IDENT, Lit: "foo"}
+	if id.String() != `IDENT("foo")` {
+		t.Errorf("token string %q", id.String())
+	}
+	plus := Token{Kind: PLUS}
+	if plus.String() != "+" {
+		t.Errorf("token string %q", plus.String())
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	for _, k := range []Kind{ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ} {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assignment op", k)
+		}
+	}
+	if PLUS.IsAssignOp() || EQ.IsAssignOp() {
+		t.Error("non-assignment ops misclassified")
+	}
+	for _, k := range []Kind{EQ, NEQ, LT, GT, LEQ, GEQ} {
+		if !k.IsComparison() {
+			t.Errorf("%v should be a comparison", k)
+		}
+	}
+	if ASSIGN.IsComparison() {
+		t.Error("= is not a comparison")
+	}
+}

@@ -1,0 +1,256 @@
+// Package types defines the MiniC type system.
+//
+// MiniC follows the paper's RAM-machine model (Sec. 2.2): memory is a map
+// from addresses to word-sized values.  Every scalar (int, char, pointer)
+// occupies exactly one memory cell, so Size is measured in cells, pointer
+// arithmetic advances cell-by-cell, and sizeof(int) == 1.  The paper's
+// pointer-cast example in Sec. 2.5 relies only on relative layout
+// (a->c sits at offset sizeof(int) from a), which this model preserves.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a MiniC type.
+type Type interface {
+	// Size is the number of memory cells a value of the type occupies.
+	Size() int64
+	String() string
+}
+
+// BasicKind enumerates the built-in scalar types.
+type BasicKind int
+
+// The basic kinds.
+const (
+	Void BasicKind = iota
+	Int            // 32-bit signed integer semantics
+	Char           // 8-bit signed integer semantics
+	Long           // 64-bit signed integer semantics
+	UInt           // 32-bit unsigned integer semantics
+)
+
+// Basic is a built-in scalar type.
+type Basic struct{ Kind BasicKind }
+
+// Size implements Type. All scalars occupy one cell; void has no size.
+func (b *Basic) Size() int64 {
+	if b.Kind == Void {
+		return 0
+	}
+	return 1
+}
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Char:
+		return "char"
+	case Long:
+		return "long"
+	case UInt:
+		return "unsigned"
+	}
+	return fmt.Sprintf("basic(%d)", int(b.Kind))
+}
+
+// Bits returns the semantic width of the basic type in bits.
+func (b *Basic) Bits() int {
+	switch b.Kind {
+	case Char:
+		return 8
+	case Long:
+		return 64
+	default:
+		return 32
+	}
+}
+
+// Signed reports whether arithmetic on the type is signed.
+func (b *Basic) Signed() bool { return b.Kind != UInt }
+
+// Singleton basic types, shared by the checker.
+var (
+	VoidType = &Basic{Kind: Void}
+	IntType  = &Basic{Kind: Int}
+	CharType = &Basic{Kind: Char}
+	LongType = &Basic{Kind: Long}
+	UIntType = &Basic{Kind: UInt}
+)
+
+// Pointer is a pointer type.
+type Pointer struct{ Elem Type }
+
+// Size implements Type.
+func (p *Pointer) Size() int64    { return 1 }
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+
+// Field is a single struct member with its computed cell offset.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int64
+}
+
+// Struct is a struct type.  A struct with nil Fields and a name is an
+// incomplete (forward-declared) type; it is completed in place by sema so
+// that recursive types (linked lists, trees) share one identity.
+type Struct struct {
+	Name     string
+	Fields   []Field
+	Complete bool
+	size     int64
+}
+
+// Size implements Type.
+func (s *Struct) Size() int64 { return s.size }
+
+func (s *Struct) String() string { return "struct " + s.Name }
+
+// SetFields completes the struct, assigning member offsets.
+func (s *Struct) SetFields(fields []Field) {
+	off := int64(0)
+	for i := range fields {
+		fields[i].Offset = off
+		off += fields[i].Type.Size()
+	}
+	s.Fields = fields
+	s.size = off
+	s.Complete = true
+}
+
+// FieldByName returns the named field, if present.
+func (s *Struct) FieldByName(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Array is a fixed-length array type.
+type Array struct {
+	Elem Type
+	Len  int64
+}
+
+// Size implements Type.
+func (a *Array) Size() int64 { return a.Elem.Size() * a.Len }
+
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+
+// Func is a function type.
+type Func struct {
+	Params []Type
+	Result Type
+}
+
+// Size implements Type. Function types are not first-class values.
+func (f *Func) Size() int64 { return 0 }
+
+func (f *Func) String() string {
+	var b strings.Builder
+	b.WriteString(f.Result.String())
+	b.WriteString("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// IsVoid reports whether t is the void type.
+func IsVoid(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Void
+}
+
+// IsInteger reports whether t is a scalar integer type.
+func IsInteger(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind != Void
+}
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool {
+	_, ok := t.(*Pointer)
+	return ok
+}
+
+// IsScalar reports whether t occupies one cell (integer or pointer).
+func IsScalar(t Type) bool { return IsInteger(t) || IsPointer(t) }
+
+// Identical reports structural type identity. Named structs are identical
+// only to themselves.
+func Identical(a, b Type) bool {
+	switch at := a.(type) {
+	case *Basic:
+		bt, ok := b.(*Basic)
+		return ok && at.Kind == bt.Kind
+	case *Pointer:
+		bt, ok := b.(*Pointer)
+		return ok && Identical(at.Elem, bt.Elem)
+	case *Struct:
+		return a == b
+	case *Array:
+		bt, ok := b.(*Array)
+		return ok && at.Len == bt.Len && Identical(at.Elem, bt.Elem)
+	case *Func:
+		bt, ok := b.(*Func)
+		if !ok || len(at.Params) != len(bt.Params) || !Identical(at.Result, bt.Result) {
+			return false
+		}
+		for i := range at.Params {
+			if !Identical(at.Params[i], bt.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// AssignableTo reports whether a value of type src may be assigned to a
+// location of type dst under MiniC's (C-like, permissive) rules: integer
+// types interconvert; pointers convert to and from any pointer type
+// (MiniC permits the cast-free reinterpretation the paper's Sec. 2.5
+// example performs with an explicit cast); the integer literal 0 / NULL
+// conversion is handled by the checker before calling this.
+func AssignableTo(src, dst Type) bool {
+	if Identical(src, dst) {
+		return true
+	}
+	if IsInteger(src) && IsInteger(dst) {
+		return true
+	}
+	if IsPointer(src) && IsPointer(dst) {
+		return true
+	}
+	return false
+}
+
+// Truncate narrows v to the semantic width of basic type b, matching the
+// RAM machine's "32-bit word" storage model from the paper (extended with
+// char and long widths).
+func Truncate(b *Basic, v int64) int64 {
+	switch b.Kind {
+	case Char:
+		return int64(int8(v))
+	case Int:
+		return int64(int32(v))
+	case UInt:
+		return int64(uint32(v))
+	case Long:
+		return v
+	}
+	return v
+}

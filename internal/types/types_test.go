@@ -1,0 +1,177 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	if VoidType.Size() != 0 {
+		t.Errorf("void size = %d", VoidType.Size())
+	}
+	for _, b := range []*Basic{IntType, CharType, LongType, UIntType} {
+		if b.Size() != 1 {
+			t.Errorf("%s size = %d, want 1 (one RAM cell)", b, b.Size())
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	// The paper's Sec. 2.5 struct: { int i; char c; } — c must sit at
+	// offset sizeof(int) == 1.
+	s := &Struct{Name: "foo"}
+	s.SetFields([]Field{
+		{Name: "i", Type: IntType},
+		{Name: "c", Type: CharType},
+	})
+	if s.Size() != 2 {
+		t.Errorf("size = %d, want 2", s.Size())
+	}
+	c, ok := s.FieldByName("c")
+	if !ok || c.Offset != 1 {
+		t.Errorf("offset of c = %d, want 1", c.Offset)
+	}
+	if _, ok := s.FieldByName("missing"); ok {
+		t.Error("found nonexistent field")
+	}
+}
+
+func TestNestedLayout(t *testing.T) {
+	inner := &Struct{Name: "inner"}
+	inner.SetFields([]Field{
+		{Name: "a", Type: IntType},
+		{Name: "b", Type: IntType},
+	})
+	outer := &Struct{Name: "outer"}
+	outer.SetFields([]Field{
+		{Name: "x", Type: CharType},
+		{Name: "in", Type: inner},
+		{Name: "arr", Type: &Array{Elem: IntType, Len: 3}},
+		{Name: "p", Type: &Pointer{Elem: outer}},
+	})
+	if outer.Size() != 1+2+3+1 {
+		t.Errorf("outer size = %d, want 7", outer.Size())
+	}
+	f, _ := outer.FieldByName("arr")
+	if f.Offset != 3 {
+		t.Errorf("arr offset = %d, want 3", f.Offset)
+	}
+	p, _ := outer.FieldByName("p")
+	if p.Offset != 6 {
+		t.Errorf("p offset = %d, want 6", p.Offset)
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	s1 := &Struct{Name: "s"}
+	s1.SetFields(nil)
+	s2 := &Struct{Name: "s"}
+	s2.SetFields(nil)
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{IntType, IntType, true},
+		{IntType, CharType, false},
+		{&Pointer{Elem: IntType}, &Pointer{Elem: IntType}, true},
+		{&Pointer{Elem: IntType}, &Pointer{Elem: CharType}, false},
+		{s1, s1, true},
+		{s1, s2, false}, // nominal identity
+		{&Array{Elem: IntType, Len: 2}, &Array{Elem: IntType, Len: 2}, true},
+		{&Array{Elem: IntType, Len: 2}, &Array{Elem: IntType, Len: 3}, false},
+		{&Func{Result: IntType}, &Func{Result: IntType}, true},
+		{&Func{Result: IntType}, &Func{Result: VoidType}, false},
+		{
+			&Func{Params: []Type{IntType}, Result: IntType},
+			&Func{Params: []Type{CharType}, Result: IntType},
+			false,
+		},
+	}
+	for i, c := range cases {
+		if got := Identical(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Identical(%s, %s) = %v", i, c.a, c.b, got)
+		}
+	}
+}
+
+func TestAssignable(t *testing.T) {
+	pi := &Pointer{Elem: IntType}
+	pc := &Pointer{Elem: CharType}
+	if !AssignableTo(IntType, CharType) || !AssignableTo(CharType, LongType) {
+		t.Error("integer interconversion should be allowed")
+	}
+	if !AssignableTo(pi, pc) {
+		t.Error("pointer reinterpretation should be allowed")
+	}
+	if AssignableTo(IntType, pi) || AssignableTo(pi, IntType) {
+		t.Error("int<->pointer requires a cast")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	cases := []struct {
+		b    *Basic
+		in   int64
+		want int64
+	}{
+		{CharType, 300, 44},
+		{CharType, -1, -1},
+		{CharType, 128, -128},
+		{IntType, 1 << 40, 0},
+		{IntType, int64(1)<<31 + 5, -(1 << 31) + 5},
+		{UIntType, -1, 4294967295},
+		{LongType, -1 << 62, -1 << 62},
+	}
+	for i, c := range cases {
+		if got := Truncate(c.b, c.in); got != c.want {
+			t.Errorf("case %d: Truncate(%s, %d) = %d, want %d", i, c.b, c.in, got, c.want)
+		}
+	}
+}
+
+func TestTruncateIdempotent(t *testing.T) {
+	f := func(v int64) bool {
+		for _, b := range []*Basic{IntType, CharType, UIntType, LongType} {
+			once := Truncate(b, v)
+			if Truncate(b, once) != once {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	if !IsInteger(IntType) || IsInteger(VoidType) || IsInteger(&Pointer{Elem: IntType}) {
+		t.Error("IsInteger misclassifies")
+	}
+	if !IsPointer(&Pointer{Elem: IntType}) || IsPointer(IntType) {
+		t.Error("IsPointer misclassifies")
+	}
+	if !IsScalar(IntType) || !IsScalar(&Pointer{Elem: IntType}) || IsScalar(&Array{Elem: IntType, Len: 1}) {
+		t.Error("IsScalar misclassifies")
+	}
+	if !IsVoid(VoidType) || IsVoid(IntType) {
+		t.Error("IsVoid misclassifies")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	s := &Struct{Name: "msg"}
+	s.SetFields(nil)
+	cases := map[Type]string{
+		IntType:                       "int",
+		&Pointer{Elem: CharType}:      "char*",
+		&Array{Elem: IntType, Len: 4}: "int[4]",
+		s:                             "struct msg",
+		&Func{Params: []Type{IntType}, Result: VoidType}: "void(int)",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

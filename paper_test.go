@@ -1,0 +1,262 @@
+package dart
+
+import (
+	"testing"
+
+	"dart/internal/progs"
+)
+
+func compileT(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog
+}
+
+// TestSection24Example: the paper walks this program to completion in two
+// runs and proves the abort unreachable (all completeness flags intact).
+func TestSection24Example(t *testing.T) {
+	prog := compileT(t, progs.Section24)
+	rep, err := Run(prog, Options{Toplevel: "f", MaxRuns: 20, Seed: 7})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Bugs) != 0 {
+		t.Fatalf("found unexpected bugs: %v", rep.Bugs)
+	}
+	if !rep.Complete {
+		t.Fatalf("search did not prove completeness (runs=%d allLinear=%v allLocs=%v)",
+			rep.Runs, rep.AllLinear, rep.AllLocsDefinite)
+	}
+	// The paper's walk finishes after 2 runs: first run takes some path,
+	// second covers the flip, and x==z ∧ y==x+10 (with z=y) is UNSAT.
+	if rep.Runs > 4 {
+		t.Errorf("expected completion within a few runs, took %d", rep.Runs)
+	}
+	t.Logf("complete after %d runs, %d solver calls", rep.Runs, rep.SolverCalls)
+}
+
+// TestSection25PointerCast: the abort guarded by the char*-aliased write
+// is reachable; static analyses equivocate but DART finds a concrete
+// execution by solving a->c == 0 and the NULL-ness constraint.
+func TestSection25PointerCast(t *testing.T) {
+	prog := compileT(t, progs.Section25Cast)
+	rep, err := Run(prog, Options{Toplevel: "bar", MaxRuns: 100, Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var abortBug *Bug
+	for i := range rep.Bugs {
+		if rep.Bugs[i].Kind == Aborted {
+			abortBug = &rep.Bugs[i]
+		}
+	}
+	if abortBug == nil {
+		t.Fatalf("abort not reached in %d runs; bugs: %v", rep.Runs, rep.Bugs)
+	}
+	// Reaching it requires a non-NULL struct pointer.
+	if v := abortBug.Inputs["d0.a"]; v == 0 {
+		t.Errorf("abort reached with NULL input pointer?! inputs %v", abortBug.Inputs)
+	}
+	t.Logf("found %v with inputs %v", abortBug, abortBug.Inputs)
+}
+
+// TestFoobarNonlinear: x*x*x is outside the linear theory. DART must
+// still find the reachable abort (x>0, y==10) with high probability and
+// must not claim completeness.  Every reported abort must be genuinely
+// reachable (Theorem 1(a) soundness): under the machine's faithful C
+// wraparound semantics that means either (x>0, y==10) on the then side,
+// or (x>0, y==20) on the else side with int32(x*x*x) <= 0 — the overflow
+// case the paper's mathematical reading of x*x*x>0 ignores.
+func TestFoobarNonlinear(t *testing.T) {
+	for _, src := range []struct {
+		name string
+		code string
+	}{{"inline", progs.Foobar}, {"library", progs.FoobarLib}} {
+		t.Run(src.name, func(t *testing.T) {
+			prog := compileT(t, src.code)
+			found := false
+			for seed := int64(1); seed <= 8; seed++ {
+				rep, err := Run(prog, Options{Toplevel: "foobar", MaxRuns: 60, Seed: seed})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if rep.Complete {
+					t.Fatalf("claimed completeness despite non-linear fallback (seed %d)", seed)
+				}
+				if rep.AllLinear {
+					t.Errorf("all_linear flag survived a non-linear branch (seed %d)", seed)
+				}
+				for _, b := range rep.Bugs {
+					if b.Kind != Aborted {
+						continue
+					}
+					x := b.Inputs["d0.x"]
+					y := b.Inputs["d0.y"]
+					cube := int64(int32(int32(x) * int32(x) * int32(x)))
+					thenSide := cube > 0 && x > 0 && y == 10
+					elseSide := cube <= 0 && x > 0 && y == 20
+					if !thenSide && !elseSide {
+						t.Fatalf("reported abort with inputs x=%d y=%d (cube=%d) — not reachable", x, y, cube)
+					}
+					if thenSide {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Errorf("reachable abort (x>0, y==10) not found under any of 8 seeds")
+			}
+		})
+	}
+}
+
+// TestACControllerDepths mirrors Sec. 4.1: depth 1 is error-free and the
+// search proves it by exhausting all paths; depth 2 has the (3, 0)
+// message sequence that fires the assertion.
+func TestACControllerDepths(t *testing.T) {
+	prog := compileT(t, progs.ACController)
+
+	rep1, err := Run(prog, Options{Toplevel: "ac_controller", Depth: 1, MaxRuns: 200, Seed: 5})
+	if err != nil {
+		t.Fatalf("Run depth 1: %v", err)
+	}
+	if len(rep1.Bugs) != 0 {
+		t.Fatalf("depth 1 should be error-free, found %v", rep1.Bugs)
+	}
+	if !rep1.Complete {
+		t.Fatalf("depth 1 search should be complete (runs=%d)", rep1.Runs)
+	}
+	t.Logf("depth 1: complete after %d runs (paper: 6 iterations)", rep1.Runs)
+
+	rep2, err := Run(prog, Options{Toplevel: "ac_controller", Depth: 2, MaxRuns: 500, Seed: 5, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatalf("Run depth 2: %v", err)
+	}
+	bug := rep2.FirstBug()
+	if bug == nil {
+		t.Fatalf("depth 2 assertion violation not found in %d runs", rep2.Runs)
+	}
+	if bug.Kind != Aborted {
+		t.Fatalf("bug kind %v, want abort", bug.Kind)
+	}
+	m1, m2 := bug.Inputs["d0.message"], bug.Inputs["d1.message"]
+	if !(m1 == 3 && m2 == 0) {
+		t.Errorf("expected trigger sequence (3, 0), got (%d, %d)", m1, m2)
+	}
+	t.Logf("depth 2: violation after %d runs with messages (%d, %d) (paper: 7 iterations)", rep2.Runs, m1, m2)
+}
+
+// TestExternalEnvironment: external functions return fresh inputs per
+// call; external variables are inputs too. The abort needs
+// getmsg#0 == threshold and getmsg#1 == threshold+25.
+func TestExternalEnvironment(t *testing.T) {
+	prog := compileT(t, progs.ExternalEnv)
+	rep, err := Run(prog, Options{Toplevel: "watch", MaxRuns: 50, Seed: 11, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("abort not found in %d runs", rep.Runs)
+	}
+	a := bug.Inputs["ext:getmsg#0"]
+	b := bug.Inputs["ext:getmsg#1"]
+	th := bug.Inputs["g:threshold"]
+	if a != th || b != th+25 {
+		t.Errorf("inputs do not satisfy the path constraint: a=%d b=%d threshold=%d", a, b, th)
+	}
+	t.Logf("found after %d runs: a=%d b=%d threshold=%d", rep.Runs, a, b, th)
+}
+
+// TestListSum: unbounded dynamic input data — the directed search must
+// materialize a list of length >= 2 with value[0]+value[1] == 42.
+func TestListSum(t *testing.T) {
+	prog := compileT(t, progs.ListSum)
+	rep, err := Run(prog, Options{Toplevel: "sum2", MaxRuns: 100, Seed: 2, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("abort not found in %d runs", rep.Runs)
+	}
+	if bug.Inputs["d0.l"] != 1 || bug.Inputs["d0.l.*.next"] != 1 {
+		t.Errorf("expected both list pointers allocated, inputs %v", bug.Inputs)
+	}
+	v0 := bug.Inputs["d0.l.*.value"]
+	v1 := bug.Inputs["d0.l.*.next.*.value"]
+	if v0+v1 != 42 {
+		t.Errorf("list values %d + %d != 42", v0, v1)
+	}
+	t.Logf("found after %d runs: values %d + %d", rep.Runs, v0, v1)
+}
+
+// TestDivByZero: division by zero is detected as a crash, reachable only
+// through the d == 7 window.
+func TestDivByZero(t *testing.T) {
+	prog := compileT(t, progs.DivByZero)
+	rep, err := Run(prog, Options{Toplevel: "quotient", MaxRuns: 50, Seed: 4, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("division crash not found in %d runs", rep.Runs)
+	}
+	if bug.Kind != Crashed {
+		t.Fatalf("bug kind %v, want crash", bug.Kind)
+	}
+	if d := bug.Inputs["d0.d"]; d != 7 {
+		t.Errorf("crash requires d == 7, got %d", d)
+	}
+}
+
+// TestNullChain: three pointer decisions plus a scalar constraint.
+func TestNullChain(t *testing.T) {
+	prog := compileT(t, progs.NullChain)
+	rep, err := Run(prog, Options{Toplevel: "walk", MaxRuns: 200, Seed: 9, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("abort not found in %d runs", rep.Runs)
+	}
+	if tag := bug.Inputs["d0.p.*.b.*.c.*.tag"]; tag != 77 {
+		t.Errorf("tag input = %d, want 77 (inputs %v)", tag, bug.Inputs)
+	}
+	t.Logf("found after %d runs", rep.Runs)
+}
+
+// TestFilterPattern: directed search learns its way through input
+// filtering code and solves the core arithmetic relation; bounded random
+// testing does not.
+func TestFilterPattern(t *testing.T) {
+	prog := compileT(t, progs.Filter)
+	rep, err := Run(prog, Options{Toplevel: "entry", MaxRuns: 100, Seed: 6, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("abort not found in %d runs", rep.Runs)
+	}
+	a, b := bug.Inputs["d0.a"], bug.Inputs["d0.b"]
+	if 3*a-2*b != 17 {
+		t.Errorf("3*%d - 2*%d != 17", a, b)
+	}
+
+	rnd, err := RandomTest(prog, Options{Toplevel: "entry", MaxRuns: 2000, Seed: 6})
+	if err != nil {
+		t.Fatalf("RandomTest: %v", err)
+	}
+	if len(rnd.Bugs) != 0 {
+		t.Logf("random testing got lucky in %d runs (possible but rare)", rnd.Runs)
+	}
+	if rnd.Coverage.Covered() >= rep.Coverage.Covered() {
+		t.Logf("note: random coverage %d >= directed %d", rnd.Coverage.Covered(), rep.Coverage.Covered())
+	}
+}

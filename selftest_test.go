@@ -1,0 +1,211 @@
+package dart
+
+// Self-fuzzing property tests: random MiniC programs exercise the whole
+// pipeline, checking the properties the paper proves.
+//
+//   - Soundness (Theorem 1a): every bug the directed search reports
+//     carries an input vector whose plain concrete replay reproduces the
+//     same error at the same location.
+//   - Determinism: equal seeds produce byte-identical searches.
+//   - Consistency: on linear programs that the search sweeps completely
+//     without finding bugs, a random-testing barrage agrees.
+
+import (
+	"fmt"
+	"testing"
+
+	"dart/internal/progen"
+	"dart/internal/rng"
+)
+
+func generate(t *testing.T, seed int64, cfg progen.Config) (*Program, string) {
+	t.Helper()
+	src := progen.Program(rng.New(seed), cfg)
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("generated program does not compile: %v\n%s", err, src)
+	}
+	return prog, src
+}
+
+// TestGeneratedProgramsCompile: the generator only emits valid MiniC.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		src := progen.Program(rng.New(seed), progen.Default)
+		if _, err := Compile(src); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestSoundnessEveryBugReplays is Theorem 1(a) as a property: each
+// reported bug's input vector, replayed concretely with no symbolic
+// machinery, reproduces the identical error.
+func TestSoundnessEveryBugReplays(t *testing.T) {
+	trials := 80
+	if testing.Short() {
+		trials = 20
+	}
+	bugs := 0
+	for seed := int64(0); seed < int64(trials); seed++ {
+		prog, src := generate(t, seed, progen.Default)
+		opts := Options{Toplevel: progen.Toplevel, MaxRuns: 40, Seed: seed, MaxSteps: 100000}
+		rep, err := Run(prog, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, bug := range rep.Bugs {
+			bugs++
+			rerr, err := Replay(prog, opts, bug.Inputs)
+			if err != nil {
+				t.Fatalf("seed %d: replay failed: %v\nbug: %v\n%s", seed, err, bug, src)
+			}
+			if rerr == nil {
+				t.Fatalf("seed %d: bug did not replay: %v\ninputs %v\n%s", seed, bug, bug.Inputs, src)
+			}
+			if rerr.Outcome != bug.Kind || rerr.Pos != bug.Pos {
+				t.Fatalf("seed %d: replay mismatch: reported %v at %v, replayed %v at %v\n%s",
+					seed, bug.Kind, bug.Pos, rerr.Outcome, rerr.Pos, src)
+			}
+		}
+	}
+	if bugs == 0 {
+		t.Error("the generator produced no findable bugs across all trials; it has gone stale")
+	}
+	t.Logf("replayed %d bugs successfully", bugs)
+}
+
+// TestSearchDeterminism: the entire pipeline is deterministic per seed.
+func TestSearchDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		prog, _ := generate(t, seed, progen.Default)
+		opts := Options{Toplevel: progen.Toplevel, MaxRuns: 30, Seed: seed, MaxSteps: 100000}
+		a, err := Run(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Runs != b.Runs || a.Steps != b.Steps || len(a.Bugs) != len(b.Bugs) ||
+			a.SolverCalls != b.SolverCalls || a.Complete != b.Complete {
+			t.Fatalf("seed %d: nondeterministic search: %+v vs %+v", seed, a, b)
+		}
+		for i := range a.Bugs {
+			if fmt.Sprint(a.Bugs[i].Inputs) != fmt.Sprint(b.Bugs[i].Inputs) {
+				t.Fatalf("seed %d: bug %d inputs differ", seed, i)
+			}
+		}
+	}
+}
+
+// TestCompletenessAgreesWithRandom: when the directed search sweeps a
+// linear program completely and reports no bugs, a much larger random
+// barrage must agree (it cannot contradict an exhaustive sweep).
+func TestCompletenessAgreesWithRandom(t *testing.T) {
+	cfg := progen.Default
+	cfg.AllowNonlinear = false
+	cfg.AllowDivision = false
+	cfg.AbortProb = 50
+	checked := 0
+	for seed := int64(0); seed < 120 && checked < 20; seed++ {
+		prog, src := generate(t, seed, cfg)
+		rep, err := Run(prog, Options{Toplevel: progen.Toplevel, MaxRuns: 300, Seed: seed, MaxSteps: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Complete {
+			continue // swept trees only
+		}
+		checked++
+		rnd, err := RandomTest(prog, Options{Toplevel: progen.Toplevel, MaxRuns: 1000, Seed: seed + 1000, MaxSteps: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rnd.Bugs) > 0 {
+			t.Fatalf("seed %d: directed search claimed a complete error-free sweep but random testing found %v\n%s",
+				seed, rnd.Bugs, src)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no generated program was swept completely; generator drift")
+	}
+	t.Logf("cross-checked %d complete sweeps against random testing", checked)
+}
+
+// TestDirectedAtLeastAsStrongAsRandom: on generated programs, with equal
+// run budgets, the directed search finds a superset... in general that
+// is not a theorem (random may get lucky on non-linear needles), so this
+// test checks the weaker, true property: any bug random testing finds at
+// a tiny budget is also found by the directed search at a generous one.
+func TestDirectedAtLeastAsStrongAsRandom(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	cfg := progen.Default
+	cfg.AllowNonlinear = false // keep within the solver's theory
+	for seed := int64(0); seed < int64(trials); seed++ {
+		prog, src := generate(t, seed, cfg)
+		rnd, err := RandomTest(prog, Options{Toplevel: progen.Toplevel, MaxRuns: 30, Seed: seed, MaxSteps: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rnd.Bugs) == 0 {
+			continue
+		}
+		dir, err := Run(prog, Options{Toplevel: progen.Toplevel, MaxRuns: 1500, Seed: seed, MaxSteps: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rb := range rnd.Bugs {
+			found := false
+			for _, db := range dir.Bugs {
+				if db.Kind == rb.Kind && db.Pos == rb.Pos {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("seed %d: random found %v but the directed search did not\n%s", seed, rb, src)
+			}
+		}
+	}
+}
+
+// TestSoundnessWithPointerInputs runs the replay property over programs
+// with linked-node pointer inputs, exercising the shape machinery end to
+// end: pointer decisions recorded in the bug's input vector must rebuild
+// the same heap shape on replay and reproduce the same crash.
+func TestSoundnessWithPointerInputs(t *testing.T) {
+	cfg := progen.Default
+	cfg.PointerParams = true
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	bugs := 0
+	for seed := int64(0); seed < int64(trials); seed++ {
+		prog, src := generate(t, seed, cfg)
+		opts := Options{Toplevel: progen.Toplevel, MaxRuns: 40, Seed: seed, MaxSteps: 100000}
+		rep, err := Run(prog, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, bug := range rep.Bugs {
+			bugs++
+			rerr, err := Replay(prog, opts, bug.Inputs)
+			if err != nil {
+				t.Fatalf("seed %d: replay failed: %v\nbug: %v\n%s", seed, err, bug, src)
+			}
+			if rerr == nil || rerr.Outcome != bug.Kind || rerr.Pos != bug.Pos {
+				t.Fatalf("seed %d: replay mismatch for %v (got %v)\ninputs %v\n%s",
+					seed, bug, rerr, bug.Inputs, src)
+			}
+		}
+	}
+	if bugs == 0 {
+		t.Error("pointer fuzzing found no bugs; the unguarded dereference arm has gone stale")
+	}
+	t.Logf("replayed %d pointer bugs successfully", bugs)
+}

@@ -1,0 +1,105 @@
+package dart
+
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/minisip"
+)
+
+// TestSIPAudit mirrors Sec. 4.3: auditing every externally visible
+// function of the SIP library with a 1000-run budget crashes a majority
+// of them (the paper: 65% of ~600 oSIP functions), almost all through
+// the same pattern — dereferencing pointer arguments without NULL checks.
+func TestSIPAudit(t *testing.T) {
+	prog, sem, err := minisip.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := minisip.Audit(prog, sem, 1, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("directed audit: %d/%d functions crashed (%.0f%%) in %d total runs",
+		res.CrashedFunctions, res.TotalFunctions, 100*res.Fraction(), res.TotalRuns)
+	if res.Fraction() < 0.5 {
+		t.Errorf("expected a majority of functions to crash, got %.0f%%", 100*res.Fraction())
+	}
+	// Functions documented as fully guarded must never crash.
+	for _, e := range res.Entries {
+		switch e.Function {
+		case "msg_validate", "uri_default_port", "uri_set_scheme", "list_size",
+			"header_chain_len", "msg_from_port_safe", "parse_method_byte",
+			"parse_packet_fixed", "uri_clear", "header_last", "msg_kind",
+			"msg_set_status", "checksum_items", "uri_scheme_name_len",
+			"header_set", "list_sum":
+			if e.Crashed {
+				t.Errorf("guarded function %s crashed", e.Function)
+			}
+		case "uri_init", "uri_get_scheme", "msg_init", "list_pop",
+			"uri_user_first", "parse_body_offset":
+			// parse_body_offset guards its pointer but trusts the caller-
+			// supplied length, so out-of-bounds reads crash it.
+			if !e.Crashed {
+				t.Errorf("crashable function %s did not crash", e.Function)
+			}
+		}
+	}
+}
+
+// TestAllocaVulnerability mirrors the paper's oSIP security finding: the
+// packet parser passes its syntactic filters (magic framing, no NUL, no
+// '|', minimum size) and then crashes on an unchecked alloca failure for
+// oversized packets; random testing never even reaches the alloca because
+// of the 2^-32 magic filter. The fixed parser survives the same search.
+func TestAllocaVulnerability(t *testing.T) {
+	prog, _, err := minisip.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{IR: prog}
+
+	rep, err := Run(p, Options{Toplevel: "parse_packet", MaxRuns: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crash *Bug
+	for i := range rep.Bugs {
+		if rep.Bugs[i].Kind == Crashed {
+			crash = &rep.Bugs[i]
+		}
+	}
+	if crash == nil {
+		t.Fatalf("parser vulnerability not found in %d runs", rep.Runs)
+	}
+	if !strings.Contains(crash.Msg, "NULL pointer") {
+		t.Errorf("expected a NULL write crash, got %q", crash.Msg)
+	}
+	in := crash.Inputs
+	if in["d0.magic"] != 0x53495032 {
+		t.Errorf("crash input does not satisfy the magic filter: %v", in)
+	}
+	if in["d0.first"] == 0 || in["d0.first"] == '|' {
+		t.Errorf("crash input violates the content filter: %v", in)
+	}
+	if in["d0.len"] < 65536 {
+		t.Errorf("crash requires an oversized packet, len=%d", in["d0.len"])
+	}
+	t.Logf("vulnerability: %v with inputs %v", crash, in)
+
+	rnd, err := RandomTest(p, Options{Toplevel: "parse_packet", MaxRuns: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rnd.Bugs) != 0 {
+		t.Errorf("random testing should not pass the magic filter, found %v", rnd.Bugs)
+	}
+
+	repFixed, err := Run(p, Options{Toplevel: "parse_packet_fixed", MaxRuns: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repFixed.Bugs) != 0 {
+		t.Errorf("fixed parser should survive, found %v", repFixed.Bugs)
+	}
+}

@@ -1,0 +1,43 @@
+package dart
+
+import "testing"
+
+// TestSection21Intro reproduces the paper's introductory example: h is
+// defective because f(x) == x+10 has the solution x = 10, which random
+// testing essentially never finds but the directed search reaches by
+// negating the second branch predicate.
+func TestSection21Intro(t *testing.T) {
+	src := `
+int f(int x) { return 2 * x; }
+int h(int x, int y) {
+    if (x != y)
+        if (f(x) == x + 10)
+            abort(); /* error */
+    return 0;
+}
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	rep, err := Run(prog, Options{Toplevel: "h", MaxRuns: 50, Seed: 1, StopAtFirstBug: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bug := rep.FirstBug()
+	if bug == nil {
+		t.Fatalf("directed search found no bug in %d runs", rep.Runs)
+	}
+	if bug.Kind != Aborted {
+		t.Fatalf("bug kind = %v, want abort", bug.Kind)
+	}
+	if rep.Runs > 10 {
+		t.Errorf("directed search took %d runs; the paper finds it within a handful", rep.Runs)
+	}
+	t.Logf("found %v with inputs %v after %d runs", bug, bug.Inputs, bug.Run)
+
+	// The interprocedural constraint 2*x0 == x0+10 must force x == 10.
+	if x, ok := bug.Inputs["d0.x"]; !ok || x != 10 {
+		t.Errorf("expected solved input x = 10, got inputs %v", bug.Inputs)
+	}
+}
