@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check race vet experiments
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: everything test runs, plus vet and the race
+# detector over the concurrent audit pool.
+check: build vet race
+
+experiments:
+	$(GO) run ./cmd/dart-experiments

@@ -91,6 +91,83 @@ func TestCLIListAndIface(t *testing.T) {
 	}
 }
 
+func TestCLIJSONStopReason(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, code := runCLI(t, "-top", "h", "-seed", "1", "-json")
+	if code != 1 {
+		t.Fatalf("exit code %d, output:\n%s", code, out)
+	}
+	var rep struct {
+		StopReason     string `json:"stop_reason"`
+		SolverComplete bool   `json:"solver_complete"`
+		SolverCalls    int    `json:"solver_calls"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.StopReason != "first-bug" {
+		t.Errorf("stop_reason = %q, want %q\n%s", rep.StopReason, "first-bug", out)
+	}
+	if !rep.SolverComplete {
+		t.Errorf("solver_complete = false, want true\n%s", out)
+	}
+	if rep.SolverCalls == 0 {
+		t.Errorf("solver_calls = 0, want > 0 (the bug needs a solve)\n%s", out)
+	}
+}
+
+func TestCLIAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, code := runCLI(t, "-audit", "-jobs", "4", "-timeout", "2s", "-seed", "1")
+	if code != 1 {
+		t.Fatalf("exit code %d (the fixture has a buggy function), output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "audit:") || !strings.Contains(out, "with bugs") {
+		t.Errorf("missing batch summary:\n%s", out)
+	}
+	// Every candidate toplevel gets its own status line.
+	for _, fn := range []string{"h", "f"} {
+		if !strings.Contains(out, fn) {
+			t.Errorf("function %s missing from audit output:\n%s", fn, out)
+		}
+	}
+}
+
+func TestCLIAuditJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, code := runCLI(t, "-audit", "-jobs", "2", "-seed", "1", "-json")
+	if code != 1 {
+		t.Fatalf("exit code %d, output:\n%s", code, out)
+	}
+	var rep struct {
+		Mode      string `json:"mode"`
+		Functions int    `json:"functions"`
+		Entries   []struct {
+			Function string `json:"function"`
+			Status   string `json:"status"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Mode != "audit" || rep.Functions == 0 || len(rep.Entries) != rep.Functions {
+		t.Errorf("report: %+v", rep)
+	}
+	statuses := map[string]string{}
+	for _, e := range rep.Entries {
+		statuses[e.Function] = e.Status
+	}
+	if statuses["h"] != "bugs" {
+		t.Errorf("h: status %q, want %q\n%s", statuses["h"], "bugs", out)
+	}
+}
+
 func TestCLINoBugExitsZero(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the CLI binary")

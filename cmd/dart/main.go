@@ -8,7 +8,7 @@
 //
 //	dart [flags] program.mc
 //
-//	-top name      toplevel function under test (required unless -list)
+//	-top name      toplevel function under test (required unless -list/-audit)
 //	-depth n       calls to the toplevel function per run (default 1)
 //	-runs n        maximum number of executions (default 10000)
 //	-seed n        random seed (default 1)
@@ -16,13 +16,16 @@
 //	-random        pure random testing instead of the directed search
 //	-all-bugs      keep searching after the first bug
 //	-hangs         report step-budget exhaustion (non-termination)
+//	-timeout d     wall-clock budget (whole search, or per function with -audit)
+//	-audit         audit every function of the program as toplevel in turn
+//	-jobs n        audit worker-pool size (default all CPUs)
 //	-list          list the functions that can serve as toplevel
 //	-iface         print the extracted interface and exit
 //	-dump-ir       print the compiled RAM-machine code and exit
 //	-json          emit the report as JSON
 //
-// Exit status: 0 when no bugs were found, 1 on bugs, 2 on usage or
-// compile errors.
+// Exit status: 0 when no bugs were found, 1 on bugs (or, with -audit,
+// internal faults), 2 on usage or compile errors.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dart"
 	"dart/internal/ir"
@@ -49,6 +53,9 @@ func run() int {
 		random   = flag.Bool("random", false, "pure random testing (baseline)")
 		allBugs  = flag.Bool("all-bugs", false, "keep searching after the first bug")
 		hangs    = flag.Bool("hangs", false, "report potential non-termination")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget (whole search, or per function with -audit)")
+		auditF   = flag.Bool("audit", false, "audit every function of the program as toplevel in turn")
+		jobs     = flag.Int("jobs", 0, "audit worker-pool size (default all CPUs)")
 		list     = flag.Bool("list", false, "list candidate toplevel functions")
 		ifaceF   = flag.Bool("iface", false, "print the extracted interface")
 		dumpIR   = flag.Bool("dump-ir", false, "print compiled RAM-machine code")
@@ -81,6 +88,16 @@ func run() int {
 	if *dumpIR {
 		fmt.Print(ir.DisasmProg(prog.IR))
 		return 0
+	}
+	if *auditF {
+		return runAudit(prog, auditConfig{
+			seed:    *seed,
+			maxRuns: *runs,
+			timeout: *timeout,
+			jobs:    *jobs,
+			random:  *random,
+			json:    *jsonOut,
+		})
 	}
 	if *top == "" {
 		fmt.Fprintln(os.Stderr, "dart: -top is required (use -list to see candidates)")
@@ -117,6 +134,7 @@ func run() int {
 		Strategy:        strat,
 		StopAtFirstBug:  !*allBugs,
 		ReportStepLimit: *hangs,
+		Timeout:         *timeout,
 	}
 	var rep *dart.Report
 	if *random {
@@ -144,6 +162,12 @@ func run() int {
 		fmt.Printf("search incomplete (all_linear=%v all_locs_definite=%v restarts=%d)\n",
 			rep.AllLinear, rep.AllLocsDefinite, rep.Restarts)
 	}
+	if rep.Stopped == dart.StopDeadline || rep.Stopped == dart.StopCancelled {
+		fmt.Printf("search stopped early: %s (partial report)\n", rep.Stopped)
+	}
+	for _, ie := range rep.InternalErrors {
+		fmt.Printf("INTERNAL %v\n", ie)
+	}
 	for _, b := range rep.Bugs {
 		fmt.Printf("BUG %v\n", b)
 		fmt.Printf("    inputs: %v\n", b.Inputs)
@@ -154,17 +178,145 @@ func run() int {
 	return 0
 }
 
+// auditConfig carries the flag values relevant to -audit mode.
+type auditConfig struct {
+	seed    int64
+	maxRuns int
+	timeout time.Duration
+	jobs    int
+	random  bool
+	json    bool
+}
+
+// runAudit tests every function of the program as toplevel in turn over
+// a worker pool, each function under its own deadline and recover
+// barrier, and prints one status line (or JSON entry) per function plus
+// a batch summary.
+func runAudit(prog *dart.Program, cfg auditConfig) int {
+	res := dart.Audit(prog, dart.AuditOptions{
+		Seed:      cfg.seed,
+		MaxRuns:   cfg.maxRuns,
+		Timeout:   cfg.timeout,
+		Jobs:      cfg.jobs,
+		UseRandom: cfg.random,
+	})
+	if cfg.json {
+		return emitAuditJSON(res)
+	}
+	for _, e := range res.Entries {
+		if e.Report == nil {
+			fmt.Printf("%-24s %-14s %s\n", e.Function, e.Status, e.Err)
+			continue
+		}
+		extra := ""
+		if len(e.Report.Bugs) > 0 {
+			extra = fmt.Sprintf("  bugs=%d first_run=%d", len(e.Report.Bugs), e.Report.Bugs[0].Run)
+		}
+		if e.Retried {
+			extra += "  retried"
+		}
+		fmt.Printf("%-24s %-14s runs=%d%s\n", e.Function, e.Status, e.Report.Runs, extra)
+	}
+	fmt.Printf("audit: %d functions, %d runs: %d ok, %d with bugs, %d timed out, %d faulted, %d cancelled\n",
+		res.Functions(), res.TotalRuns, res.OK, res.Buggy, res.TimedOut, res.Faulted, res.Cancelled)
+	if res.Buggy > 0 || res.Faulted > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonAudit is the machine-readable audit batch shape.
+type jsonAudit struct {
+	Mode      string           `json:"mode"`
+	Functions int              `json:"functions"`
+	TotalRuns int              `json:"total_runs"`
+	OK        int              `json:"ok"`
+	Buggy     int              `json:"buggy"`
+	TimedOut  int              `json:"timed_out"`
+	Faulted   int              `json:"faulted"`
+	Cancelled int              `json:"cancelled"`
+	Entries   []jsonAuditEntry `json:"entries"`
+}
+
+type jsonAuditEntry struct {
+	Function string    `json:"function"`
+	Status   string    `json:"status"`
+	Runs     int       `json:"runs"`
+	Retried  bool      `json:"retried,omitempty"`
+	Err      string    `json:"error,omitempty"`
+	Bugs     []jsonBug `json:"bugs"`
+}
+
+func emitAuditJSON(res *dart.AuditResult) int {
+	out := jsonAudit{
+		Mode:      "audit",
+		Functions: res.Functions(),
+		TotalRuns: res.TotalRuns,
+		OK:        res.OK,
+		Buggy:     res.Buggy,
+		TimedOut:  res.TimedOut,
+		Faulted:   res.Faulted,
+		Cancelled: res.Cancelled,
+		Entries:   []jsonAuditEntry{},
+	}
+	for _, e := range res.Entries {
+		je := jsonAuditEntry{
+			Function: e.Function,
+			Status:   string(e.Status),
+			Retried:  e.Retried,
+			Err:      e.Err,
+			Bugs:     []jsonBug{},
+		}
+		if e.Report != nil {
+			je.Runs = e.Report.Runs
+			for _, b := range e.Report.Bugs {
+				je.Bugs = append(je.Bugs, jsonBug{
+					Kind:   b.Kind.String(),
+					Msg:    b.Msg,
+					Pos:    b.Pos.String(),
+					Run:    b.Run,
+					Inputs: b.Inputs,
+				})
+			}
+		}
+		out.Entries = append(out.Entries, je)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		return 2
+	}
+	if out.Buggy > 0 || out.Faulted > 0 {
+		return 1
+	}
+	return 0
+}
+
 // jsonReport is the machine-readable report shape.
 type jsonReport struct {
-	Mode            string    `json:"mode"`
-	Runs            int       `json:"runs"`
-	Steps           int64     `json:"instructions"`
-	Complete        bool      `json:"complete"`
-	AllLinear       bool      `json:"all_linear"`
-	AllLocsDefinite bool      `json:"all_locs_definite"`
-	CoverageCovered int       `json:"branch_directions_covered"`
-	CoverageTotal   int       `json:"branch_directions_total"`
-	Bugs            []jsonBug `json:"bugs"`
+	Mode            string         `json:"mode"`
+	Runs            int            `json:"runs"`
+	Steps           int64          `json:"instructions"`
+	Complete        bool           `json:"complete"`
+	AllLinear       bool           `json:"all_linear"`
+	AllLocsDefinite bool           `json:"all_locs_definite"`
+	CoverageCovered int            `json:"branch_directions_covered"`
+	CoverageTotal   int            `json:"branch_directions_total"`
+	Restarts        int            `json:"restarts"`
+	SolverCalls     int            `json:"solver_calls"`
+	SolverFailures  int            `json:"solver_failures"`
+	StopReason      string         `json:"stop_reason"`
+	SolverComplete  bool           `json:"solver_complete"`
+	InternalErrors  []jsonInternal `json:"internal_errors,omitempty"`
+	Bugs            []jsonBug      `json:"bugs"`
+}
+
+type jsonInternal struct {
+	Phase  string           `json:"phase"`
+	Msg    string           `json:"message"`
+	Run    int              `json:"run"`
+	Inputs map[string]int64 `json:"inputs,omitempty"`
 }
 
 type jsonBug struct {
@@ -189,7 +341,20 @@ func emitJSON(rep *dart.Report, random bool) int {
 		AllLocsDefinite: rep.AllLocsDefinite,
 		CoverageCovered: rep.Coverage.Covered(),
 		CoverageTotal:   rep.Coverage.Total(),
+		Restarts:        rep.Restarts,
+		SolverCalls:     rep.SolverCalls,
+		SolverFailures:  rep.SolverFailures,
+		StopReason:      string(rep.Stopped),
+		SolverComplete:  rep.SolverComplete,
 		Bugs:            []jsonBug{},
+	}
+	for _, ie := range rep.InternalErrors {
+		out.InternalErrors = append(out.InternalErrors, jsonInternal{
+			Phase:  ie.Phase,
+			Msg:    ie.Msg,
+			Run:    ie.Run,
+			Inputs: ie.Inputs,
+		})
 	}
 	for _, b := range rep.Bugs {
 		out.Bugs = append(out.Bugs, jsonBug{

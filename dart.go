@@ -35,6 +35,7 @@ package dart
 import (
 	"fmt"
 
+	"dart/internal/audit"
 	"dart/internal/concolic"
 	"dart/internal/iface"
 	"dart/internal/ir"
@@ -82,6 +83,25 @@ const (
 	Crashed   = machine.Crashed
 	StepLimit = machine.StepLimit
 )
+
+// StopReason explains why a search ended (Report.Stopped).  A tripped
+// deadline or a cancellation yields a partial Report with the matching
+// reason, never an error.
+type StopReason = concolic.StopReason
+
+// Stop reasons.
+const (
+	StopExhausted = concolic.StopExhausted
+	StopMaxRuns   = concolic.StopMaxRuns
+	StopDeadline  = concolic.StopDeadline
+	StopCancelled = concolic.StopCancelled
+	StopFirstBug  = concolic.StopFirstBug
+	StopInternal  = concolic.StopInternal
+)
+
+// InternalError is an isolated fault of the testing engine itself,
+// reported on Report.InternalErrors instead of crashing the process.
+type InternalError = concolic.InternalError
 
 // CompileConfig adjusts compilation.
 type CompileConfig struct {
@@ -159,4 +179,38 @@ func ExtractInterface(p *Program, toplevel string) (*Interface, error) {
 // choice; a whole-library audit (the oSIP experiment) iterates over it.
 func Functions(p *Program) []string {
 	return iface.Candidates(p.Sem)
+}
+
+// AuditOptions configures a whole-library audit; see the field
+// documentation in the audit package.
+type AuditOptions = audit.Options
+
+// AuditResult is a whole-library audit's batch outcome.
+type AuditResult = audit.Result
+
+// AuditEntry is the audit result for one function.
+type AuditEntry = audit.Entry
+
+// AuditStatus classifies one function's audit outcome.
+type AuditStatus = audit.Status
+
+// Audit statuses.
+const (
+	AuditOK        = audit.OK
+	AuditBuggy     = audit.Buggy
+	AuditTimedOut  = audit.TimedOut
+	AuditFaulted   = audit.Faulted
+	AuditCancelled = audit.Cancelled
+)
+
+// Audit tests every function of the program (or opts.Toplevels when
+// set) as the toplevel in turn — the paper's oSIP experiment — fanned
+// out over a worker pool, with each function supervised by its own
+// deadline and recover barrier.  The batch always returns per-function
+// partial results; a hung or faulting function cannot take it down.
+func Audit(p *Program, opts AuditOptions) *AuditResult {
+	if len(opts.Toplevels) == 0 {
+		opts.Toplevels = Functions(p)
+	}
+	return audit.Run(p.IR, opts)
 }

@@ -1,0 +1,248 @@
+// Package audit runs a fault-tolerant whole-library audit: the paper's
+// oSIP experiment (Sec. 4.3) at industrial scale.  Every candidate
+// toplevel function is searched independently — its own seed, its own
+// run budget, its own wall-clock deadline, its own recover barrier —
+// and the candidates are fanned out over a worker pool.  A hung,
+// diverging, or internally-faulting function degrades to a partial
+// per-function result (ok / bugs / timeout / internal-fault) and never
+// takes down the batch.
+//
+// Determinism: function i always runs with seed Seed+i regardless of
+// which worker picks it up or in which order, so as long as no deadline
+// trips, a batch produces byte-identical results for any Jobs value.
+package audit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dart/internal/concolic"
+	"dart/internal/ir"
+	"dart/internal/machine"
+)
+
+// Status classifies one function's audit outcome.
+type Status string
+
+// Statuses.
+const (
+	// OK: the search finished within its budgets and found nothing.
+	OK Status = "ok"
+	// Buggy: the search found at least one bug (the entry's report
+	// carries the bugs and their replayable input vectors).
+	Buggy Status = "bugs"
+	// TimedOut: the per-function deadline tripped (even after the
+	// reduced-budget retry); the report is partial.
+	TimedOut Status = "timeout"
+	// Faulted: the engine failed internally on this function; the batch
+	// carries the diagnostic and continues.
+	Faulted Status = "internal-fault"
+	// Cancelled: the batch-wide Cancel channel was closed before this
+	// function finished.
+	Cancelled Status = "cancelled"
+)
+
+// Options configures a library audit.
+type Options struct {
+	// Toplevels are the functions to audit; entry order follows it.
+	Toplevels []string
+	// Seed drives the batch: function i runs with Seed+i, making results
+	// independent of worker scheduling.
+	Seed int64
+	// MaxRuns is the per-function execution budget (default 1000, the
+	// paper's oSIP budget).
+	MaxRuns int
+	// MaxSteps bounds each execution (0 = machine default).
+	MaxSteps int64
+	// Timeout is the per-function wall-clock deadline (0 = none).
+	Timeout time.Duration
+	// RetryRuns is the run budget for the single retry of a timed-out
+	// function: a smaller search may fit the same deadline, salvaging a
+	// complete-if-shallower result.  Default MaxRuns/10 (min 1); set
+	// negative to disable the retry.
+	RetryRuns int
+	// Jobs is the worker-pool size (default GOMAXPROCS).
+	Jobs int
+	// UseRandom selects the pure random-testing baseline.
+	UseRandom bool
+	// Depth, Strategy, ReportStepLimit, SolverBudget, and LibImpls pass
+	// through to every per-function search.
+	Depth           int
+	Strategy        concolic.Strategy
+	ReportStepLimit bool
+	SolverBudget    int64
+	LibImpls        map[string]machine.LibImpl
+	// Cancel aborts the whole batch when closed; finished entries keep
+	// their results, the rest report Cancelled.
+	Cancel <-chan struct{}
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxRuns <= 0 {
+		out.MaxRuns = 1000
+	}
+	if out.Depth <= 0 {
+		out.Depth = 1
+	}
+	if out.Jobs <= 0 {
+		out.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if out.RetryRuns == 0 {
+		out.RetryRuns = out.MaxRuns / 10
+		if out.RetryRuns < 1 {
+			out.RetryRuns = 1
+		}
+	}
+	return out
+}
+
+// Entry is the audit result for one function.
+type Entry struct {
+	Function string
+	Status   Status
+	// Report is the (possibly partial) search report.  It is nil only
+	// when the search could not run at all (Status Faulted, see Err).
+	Report *concolic.Report
+	// Err holds the internal-fault description when Status is Faulted
+	// and the fault prevented any report.
+	Err string
+	// Retried reports that the function first timed out and was re-run
+	// once with the reduced RetryRuns budget.
+	Retried bool
+}
+
+// Result is the batch outcome.
+type Result struct {
+	// Entries holds one result per requested function, in input order,
+	// always fully populated regardless of timeouts or faults.
+	Entries []Entry
+	// Per-status counts.
+	OK, Buggy, TimedOut, Faulted, Cancelled int
+	// TotalRuns sums the executions spent across the batch.
+	TotalRuns int
+}
+
+// Functions returns how many functions were audited.
+func (r *Result) Functions() int { return len(r.Entries) }
+
+// Run audits every function in opts.Toplevels over prog.
+func Run(prog *ir.Prog, opts Options) *Result {
+	o := opts.withDefaults()
+	entries := make([]Entry, len(o.Toplevels))
+
+	jobs := o.Jobs
+	if jobs > len(o.Toplevels) && len(o.Toplevels) > 0 {
+		jobs = len(o.Toplevels)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				entries[i] = auditOne(prog, o, i)
+			}
+		}()
+	}
+	for i := range o.Toplevels {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	res := &Result{Entries: entries}
+	for i := range entries {
+		switch entries[i].Status {
+		case OK:
+			res.OK++
+		case Buggy:
+			res.Buggy++
+		case TimedOut:
+			res.TimedOut++
+		case Faulted:
+			res.Faulted++
+		case Cancelled:
+			res.Cancelled++
+		}
+		if entries[i].Report != nil {
+			res.TotalRuns += entries[i].Report.Runs
+		}
+	}
+	return res
+}
+
+// auditOne searches one function under its own deadline and recover
+// barrier.  The engine already isolates per-run and per-solve panics;
+// this barrier is the last line of defense for anything that escapes it,
+// so a worker goroutine can never die and wedge the pool.
+func auditOne(prog *ir.Prog, o Options, i int) (entry Entry) {
+	entry = Entry{Function: o.Toplevels[i]}
+	defer func() {
+		if r := recover(); r != nil {
+			entry.Status = Faulted
+			entry.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+
+	rep, err := searchOne(prog, o, i, o.MaxRuns)
+	if err != nil {
+		entry.Status, entry.Err = Faulted, err.Error()
+		return entry
+	}
+	if rep.Stopped == concolic.StopDeadline && o.RetryRuns > 0 {
+		// One retry with a reduced run budget: the deadline is unchanged,
+		// but a smaller search may finish inside it, upgrading a timeout
+		// into a (shallower) complete result.
+		entry.Retried = true
+		if rep2, err2 := searchOne(prog, o, i, o.RetryRuns); err2 == nil {
+			rep = rep2
+		}
+	}
+	entry.Report = rep
+	entry.Status = statusOf(rep)
+	return entry
+}
+
+// searchOne runs the directed (or random) search for function i with the
+// batch-derived seed and the per-function supervision budgets.
+func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, error) {
+	copts := concolic.Options{
+		Toplevel:        o.Toplevels[i],
+		Depth:           o.Depth,
+		MaxRuns:         maxRuns,
+		MaxSteps:        o.MaxSteps,
+		Seed:            o.Seed + int64(i),
+		Strategy:        o.Strategy,
+		ReportStepLimit: o.ReportStepLimit,
+		SolverBudget:    o.SolverBudget,
+		LibImpls:        o.LibImpls,
+		Timeout:         o.Timeout,
+		Cancel:          o.Cancel,
+	}
+	if o.UseRandom {
+		return concolic.RandomTest(prog, copts)
+	}
+	return concolic.Run(prog, copts)
+}
+
+// statusOf classifies a finished per-function report.  A deadline trip
+// outranks found bugs (the bugs are still on the report); internal
+// faults outrank a clean finish.
+func statusOf(rep *concolic.Report) Status {
+	switch {
+	case rep.Stopped == concolic.StopCancelled:
+		return Cancelled
+	case rep.Stopped == concolic.StopDeadline:
+		return TimedOut
+	case len(rep.Bugs) > 0:
+		return Buggy
+	case len(rep.InternalErrors) > 0 || rep.Stopped == concolic.StopInternal:
+		return Faulted
+	default:
+		return OK
+	}
+}

@@ -17,6 +17,7 @@ package concolic
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dart/internal/coverage"
 	"dart/internal/ir"
@@ -88,6 +89,22 @@ type Options struct {
 	MaxFrontier int
 	// LibImpls supplies library black boxes (defaults to machine.StdLibImpls).
 	LibImpls map[string]machine.LibImpl
+	// Timeout bounds the whole search in wall-clock time.  A tripped
+	// deadline ends the search with a partial Report (Stopped =
+	// StopDeadline), never an error; the check is amortized inside the
+	// machine's step loop, so even a single diverging run is interrupted.
+	// Zero means no deadline.
+	Timeout time.Duration
+	// Cancel, when non-nil, cancels the search as soon as it is closed
+	// (Stopped = StopCancelled).  Like Timeout, cancellation yields a
+	// partial Report, not an error.
+	Cancel <-chan struct{}
+	// SolverBudget bounds the work of each constraint solve (in solver
+	// work units; see solver.SolveWork).  On exhaustion the branch is
+	// abandoned and Report.SolverComplete is cleared, degrading the
+	// search toward random testing instead of hanging.  Default
+	// solver.DefaultWork.
+	SolverBudget int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -110,7 +127,56 @@ func (o *Options) withDefaults() Options {
 	if out.MaxFrontier <= 0 {
 		out.MaxFrontier = 1 << 15
 	}
+	if out.SolverBudget <= 0 {
+		out.SolverBudget = solver.DefaultWork
+	}
 	return out
+}
+
+// StopReason explains why a search ended.
+type StopReason string
+
+// Stop reasons.
+const (
+	// StopExhausted: the directed search ran out of branches to flip —
+	// the execution tree is exhausted (if every completeness flag is
+	// intact this is Theorem 1(b), reported as Report.Complete).
+	StopExhausted StopReason = "exhausted"
+	// StopMaxRuns: the MaxRuns execution budget was consumed.
+	StopMaxRuns StopReason = "max-runs"
+	// StopDeadline: Options.Timeout elapsed.
+	StopDeadline StopReason = "deadline"
+	// StopCancelled: Options.Cancel was closed.
+	StopCancelled StopReason = "cancelled"
+	// StopFirstBug: StopAtFirstBug ended the search at the first error.
+	StopFirstBug StopReason = "first-bug"
+	// StopInternal: the engine itself failed persistently (machine
+	// construction error, or repeated internal panics).
+	StopInternal StopReason = "internal-error"
+)
+
+// InternalError is a fault of the testing engine itself — an internal
+// panic or a machine-construction failure — converted into a diagnostic
+// instead of crashing the process.  It always clears Report.Complete:
+// found bugs stay sound (each still replays, Theorem 1(a)), but the
+// faulting portion of the search space was not covered.
+type InternalError struct {
+	// Phase locates the fault: "init" (machine construction), "run"
+	// (panic while executing the program under test), or "solver" (panic
+	// inside constraint solving).
+	Phase string
+	// Msg is the panic value or error text.
+	Msg string
+	// Run is the 1-based run index the fault occurred on (0 for faults
+	// before the first run).
+	Run int
+	// Inputs is the input vector that was driving the faulting run or
+	// solve, recorded for replay.
+	Inputs map[string]int64
+}
+
+func (e InternalError) String() string {
+	return fmt.Sprintf("internal error (%s, run %d): %s", e.Phase, e.Run, e.Msg)
 }
 
 // Bug is one distinct error found during the search.
@@ -151,6 +217,19 @@ type Report struct {
 	// SolverCalls and SolverFailures count constraint-solving activity.
 	SolverCalls    int
 	SolverFailures int
+	// Stopped records why the search ended; a tripped deadline or a
+	// cancellation produces a partial report with the matching reason,
+	// never an error.
+	Stopped StopReason
+	// SolverComplete is false when at least one constraint solve was
+	// abandoned on budget exhaustion (or an internal solver fault): the
+	// abandoned branch may have been feasible, so exhausting the tree no
+	// longer proves full path coverage.
+	SolverComplete bool
+	// InternalErrors are faults of the engine itself, isolated per run
+	// and per solve so the search could continue (or stop gracefully)
+	// instead of crashing the process.
+	InternalErrors []InternalError
 }
 
 // FirstBug returns the first bug or nil.
@@ -178,6 +257,9 @@ type engine struct {
 	prog *ir.Prog
 	opts Options
 	rand *rng.R
+
+	// deadline is the absolute wall-clock bound (zero = none).
+	deadline time.Time
 
 	// Input registry: stable across runs.
 	varByKey map[string]symbolic.Var
@@ -212,8 +294,12 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 		report: &Report{
 			AllLinear:       true,
 			AllLocsDefinite: true,
+			SolverComplete:  true,
 			Coverage:        coverage.New(prog.NumSites),
 		},
+	}
+	if o.Timeout > 0 {
+		e.deadline = time.Now().Add(o.Timeout)
 	}
 	if o.Strategy == DFS {
 		e.search()
@@ -223,6 +309,9 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 		// subtree of the original branch), so they run on the
 		// generational frontier engine instead; see frontier.go.
 		e.runFrontier()
+	}
+	if e.report.Stopped == "" {
+		e.report.Stopped = StopMaxRuns
 	}
 	return e.report, nil
 }
@@ -241,9 +330,19 @@ func (e *engine) search() {
 
 		directed, restart := true, false
 		for directed && !restart && e.report.Runs < e.opts.MaxRuns {
-			m, rerr := e.oneRun()
-			if m == nil {
-				return // internal failure; report what we have
+			if reason, stop := e.tripped(); stop {
+				e.report.Stopped = reason
+				return
+			}
+			m, rerr, fault := e.runIsolated()
+			if fault != nil {
+				if !e.noteFault(fault) {
+					return // persistent internal failure; Stopped is set
+				}
+				// The faulting subtree cannot be searched; restart with
+				// fresh randoms and keep going.
+				restart = true
+				continue
 			}
 			e.report.Runs++
 			e.report.Steps += m.Steps()
@@ -267,6 +366,13 @@ func (e *engine) search() {
 				continue
 			}
 
+			if rerr != nil && rerr.Outcome == machine.Interrupted {
+				// Deadline or cancellation tripped mid-run: end the
+				// search with what was gathered so far.
+				e.report.Stopped = e.interruptReason()
+				return
+			}
+
 			if rerr != nil && rerr.Outcome != machine.HaltOK {
 				isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
 					(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
@@ -283,6 +389,7 @@ func (e *engine) search() {
 						})
 					}
 					if e.opts.StopAtFirstBug {
+						e.report.Stopped = StopFirstBug
 						return
 					}
 				}
@@ -306,9 +413,13 @@ func (e *engine) search() {
 			// and no abnormal run cutting a path short, this is Theorem
 			// 1(b): every feasible path was exercised.  A crashed or
 			// aborted run truncates its path before later conditionals,
-			// so completeness cannot be claimed once a bug was found.
-			if e.report.AllLinear && e.report.AllLocsDefinite && len(e.report.Bugs) == 0 {
+			// so completeness cannot be claimed once a bug was found —
+			// nor once a solve was abandoned on budget exhaustion or an
+			// internal fault interrupted a run (see DESIGN.md,
+			// "Supervision and graceful degradation").
+			if e.searchComplete() {
 				e.report.Complete = true
+				e.report.Stopped = StopExhausted
 				return
 			}
 			// Otherwise the paper's outer loop continues forever with

@@ -14,8 +14,11 @@ import (
 // oneRun executes the generated test driver once: extern globals are
 // initialized as inputs, then the toplevel function is called Depth times
 // with fresh inputs per call (Fig. 7).  The returned machine carries the
-// branch records and completeness flags of the run.
-func (e *engine) oneRun() (*machine.Machine, *machine.RunError) {
+// branch records and completeness flags of the run.  A non-nil error is
+// an engine-internal failure (the machine could not even be built), not
+// a program error; runIsolated converts it into an InternalError
+// diagnostic.
+func (e *engine) oneRun() (*machine.Machine, *machine.RunError, error) {
 	e.k = 0
 	e.mispredict = false
 	e.forcingOK = true
@@ -27,9 +30,11 @@ func (e *engine) oneRun() (*machine.Machine, *machine.RunError) {
 		LibImpls:    e.opts.LibImpls,
 		MaxSteps:    e.opts.MaxSteps,
 		ShapeSearch: !e.opts.DisableShapeSearch,
+		Deadline:    e.deadline,
+		Cancel:      e.opts.Cancel,
 	})
 	if err != nil {
-		return nil, nil
+		return nil, nil, fmt.Errorf("machine construction: %w", err)
 	}
 
 	fn, _ := e.prog.Lookup(e.opts.Toplevel)
@@ -43,22 +48,22 @@ func (e *engine) oneRun() (*machine.Machine, *machine.RunError) {
 			key := fmt.Sprintf("d%d.%s", d, name)
 			cell, aerr := m.Mem().Alloc(1)
 			if aerr != nil {
-				return m, &machine.RunError{Outcome: machine.Crashed, Msg: aerr.Error()}
+				return m, &machine.RunError{Outcome: machine.Crashed, Msg: aerr.Error()}, nil
 			}
 			if ierr := m.RandomInit(cell, p.Type, key); ierr != nil {
-				return m, &machine.RunError{Outcome: machine.Crashed, Msg: ierr.Error()}
+				return m, &machine.RunError{Outcome: machine.Crashed, Msg: ierr.Error()}, nil
 			}
 			v, verr := m.ArgValue(cell)
 			if verr != nil {
-				return m, &machine.RunError{Outcome: machine.Crashed, Msg: verr.Error()}
+				return m, &machine.RunError{Outcome: machine.Crashed, Msg: verr.Error()}, nil
 			}
 			args[i] = v
 		}
 		if _, rerr := m.RunCall(e.opts.Toplevel, args); rerr != nil {
-			return m, rerr
+			return m, rerr, nil
 		}
 	}
-	return m, nil
+	return m, nil, nil
 }
 
 // onBranch is compare_and_update_stack (Fig. 4).
@@ -132,11 +137,18 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 		pc = append(pc, branches[j].Pred.Negate())
 
 		e.report.SolverCalls++
-		sol, ok := solver.Solve(pc, e.meta, e.hint())
-		if !ok {
-			// Infeasible (or beyond the solver): this branch can never
-			// flip under its fixed prefix; mark it done and keep looking,
-			// which is Fig. 5's recursive call with a smaller ktry.
+		sol, verdict := e.solveIsolated(pc)
+		if verdict != solver.Sat {
+			// Infeasible, beyond the solver, or out of budget: this
+			// branch cannot be flipped under its fixed prefix; mark it
+			// done and keep looking, which is Fig. 5's recursive call
+			// with a smaller ktry.  A budget exhaustion additionally
+			// clears SolverComplete — the branch may have been feasible,
+			// so the search degrades toward random testing instead of
+			// grinding on an adversarial constraint system.
+			if verdict == solver.BudgetExhausted {
+				e.report.SolverComplete = false
+			}
 			e.report.SolverFailures++
 			e.stack[j].done = true
 			continue

@@ -67,6 +67,10 @@ func (e *engine) runFrontier() {
 				e.report.Coverage.Record(rec.Site, rec.Taken)
 			}
 		}
+		if rerr != nil && rerr.Outcome == machine.Interrupted {
+			e.report.Stopped = e.interruptReason()
+			return false
+		}
 		if rerr != nil && rerr.Outcome != machine.HaltOK && !e.mispredict {
 			isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
 				(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
@@ -83,6 +87,7 @@ func (e *engine) runFrontier() {
 					})
 				}
 				if e.opts.StopAtFirstBug {
+					e.report.Stopped = StopFirstBug
 					return false
 				}
 			}
@@ -133,14 +138,21 @@ func (e *engine) runFrontier() {
 
 	// Root run: fresh random inputs, no prediction.
 	for e.report.Runs < e.opts.MaxRuns {
+		if reason, stop := e.tripped(); stop {
+			e.report.Stopped = reason
+			return
+		}
 		e.stack = nil
 		e.im = map[string]int64{}
 		if e.report.Runs > 0 {
 			e.report.Restarts++
 		}
-		m, rerr := e.oneRun()
-		if m == nil {
-			return
+		m, rerr, fault := e.runIsolated()
+		if fault != nil {
+			if !e.noteFault(fault) {
+				return // persistent internal failure; Stopped is set
+			}
+			continue // retry the root with fresh randoms
 		}
 		if !reportRun(m, rerr) {
 			return
@@ -153,14 +165,21 @@ func (e *engine) runFrontier() {
 	}
 
 	for len(queue) > 0 && e.report.Runs < e.opts.MaxRuns {
+		if reason, stop := e.tripped(); stop {
+			e.report.Stopped = reason
+			return
+		}
 		item := e.popItem(&queue)
 
 		// Solve the item's path constraint lazily at pop time.
 		pc := append(append([]symbolic.Pred{}, item.preds...), item.flip)
 		e.report.SolverCalls++
 		e.im = copyIM(item.im)
-		sol, ok := solver.Solve(pc, e.meta, e.hint())
-		if !ok {
+		sol, verdict := e.solveIsolated(pc)
+		if verdict != solver.Sat {
+			if verdict == solver.BudgetExhausted {
+				e.report.SolverComplete = false
+			}
 			e.report.SolverFailures++
 			continue
 		}
@@ -175,9 +194,12 @@ func (e *engine) runFrontier() {
 		}
 		e.stack = append(e.stack, stackEntry{branch: item.flipTaken, done: true})
 
-		m, rerr := e.oneRun()
-		if m == nil {
-			return
+		m, rerr, fault := e.runIsolated()
+		if fault != nil {
+			if !e.noteFault(fault) {
+				return // persistent internal failure; Stopped is set
+			}
+			continue // the faulting item is abandoned; keep draining
 		}
 		if !reportRun(m, rerr) {
 			return
@@ -188,10 +210,11 @@ func (e *engine) runFrontier() {
 		expand(m.Branches, item.bound)
 	}
 
-	if len(queue) == 0 && !dropped &&
-		e.report.AllLinear && e.report.AllLocsDefinite &&
-		len(e.report.Bugs) == 0 && e.report.Runs < e.opts.MaxRuns {
-		e.report.Complete = true
+	if len(queue) == 0 {
+		e.report.Stopped = StopExhausted
+		if !dropped && e.searchComplete() && e.report.Runs < e.opts.MaxRuns {
+			e.report.Complete = true
+		}
 	}
 }
 

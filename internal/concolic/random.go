@@ -2,6 +2,7 @@ package concolic
 
 import (
 	"fmt"
+	"time"
 
 	"dart/internal/coverage"
 	"dart/internal/ir"
@@ -43,48 +44,78 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 	report := &Report{
 		AllLinear:       true,
 		AllLocsDefinite: true,
+		SolverComplete:  true,
 		Coverage:        coverage.New(prog.NumSites),
 	}
 	seenBugs := map[string]bool{}
+	var deadline time.Time
+	if o.Timeout > 0 {
+		deadline = time.Now().Add(o.Timeout)
+	}
 
-	for report.Runs < o.MaxRuns {
+	// oneRandomRun executes one run behind a recover barrier so that a
+	// faulty library black box cannot take down the whole campaign.
+	oneRandomRun := func() (m *machine.Machine, rerr *machine.RunError, fault *InternalError) {
+		defer func() {
+			if r := recover(); r != nil {
+				fault = &InternalError{
+					Phase: "run",
+					Msg:   fmt.Sprintf("panic: %v", r),
+					Run:   report.Runs,
+				}
+				m, rerr = nil, nil
+			}
+		}()
 		src := &randomSource{rand: rand.Fork()}
 		m, err := machine.New(machine.Config{
 			Prog:     prog,
 			Inputs:   src,
 			LibImpls: o.LibImpls,
 			MaxSteps: o.MaxSteps,
+			Deadline: deadline,
+			Cancel:   o.Cancel,
 		})
 		if err != nil {
-			return report, err
+			return nil, nil, &InternalError{Phase: "init", Msg: err.Error(), Run: report.Runs}
 		}
-		report.Runs++
-
-		var rerr *machine.RunError
-	depthLoop:
 		for d := 0; d < o.Depth; d++ {
 			args := make([]machine.Value, len(fn.Params))
 			for i, p := range fn.Params {
 				cell, aerr := m.Mem().Alloc(1)
 				if aerr != nil {
-					rerr = &machine.RunError{Outcome: machine.Crashed, Msg: aerr.Error()}
-					break depthLoop
+					return m, &machine.RunError{Outcome: machine.Crashed, Msg: aerr.Error()}, nil
 				}
 				key := fmt.Sprintf("d%d.arg%d", d, i)
 				if ierr := m.RandomInit(cell, p.Type, key); ierr != nil {
-					rerr = &machine.RunError{Outcome: machine.Crashed, Msg: ierr.Error()}
-					break depthLoop
+					return m, &machine.RunError{Outcome: machine.Crashed, Msg: ierr.Error()}, nil
 				}
 				v, verr := m.ArgValue(cell)
 				if verr != nil {
-					rerr = &machine.RunError{Outcome: machine.Crashed, Msg: verr.Error()}
-					break depthLoop
+					return m, &machine.RunError{Outcome: machine.Crashed, Msg: verr.Error()}, nil
 				}
 				args[i] = v
 			}
-			if _, rerr = m.RunCall(o.Toplevel, args); rerr != nil {
-				break depthLoop
+			if _, rerr := m.RunCall(o.Toplevel, args); rerr != nil {
+				return m, rerr, nil
 			}
+		}
+		return m, nil, nil
+	}
+
+	for report.Runs < o.MaxRuns {
+		if reason, stop := tripped(deadline, o.Cancel); stop {
+			report.Stopped = reason
+			return report, nil
+		}
+		report.Runs++
+		m, rerr, fault := oneRandomRun()
+		if fault != nil {
+			report.InternalErrors = append(report.InternalErrors, *fault)
+			if fault.Phase == "init" || len(report.InternalErrors) >= maxInternalFaults {
+				report.Stopped = StopInternal
+				return report, nil
+			}
+			continue // fresh randoms next run
 		}
 
 		report.Steps += m.Steps()
@@ -92,6 +123,14 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 			report.Coverage.Record(rec.Site, rec.Taken)
 		}
 
+		if rerr != nil && rerr.Outcome == machine.Interrupted {
+			if reason, stop := tripped(deadline, o.Cancel); stop {
+				report.Stopped = reason
+			} else {
+				report.Stopped = StopDeadline
+			}
+			return report, nil
+		}
 		if rerr != nil && rerr.Outcome != machine.HaltOK {
 			isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
 				(rerr.Outcome == machine.StepLimit && o.ReportStepLimit)
@@ -107,10 +146,12 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 					})
 				}
 				if o.StopAtFirstBug {
+					report.Stopped = StopFirstBug
 					return report, nil
 				}
 			}
 		}
 	}
+	report.Stopped = StopMaxRuns
 	return report, nil
 }

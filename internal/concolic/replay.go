@@ -2,6 +2,7 @@ package concolic
 
 import (
 	"fmt"
+	"time"
 
 	"dart/internal/ir"
 	"dart/internal/machine"
@@ -50,12 +51,18 @@ func Replay(prog *ir.Prog, opts Options, inputs map[string]int64) (*machine.RunE
 	if !ok {
 		return nil, fmt.Errorf("concolic: toplevel function %q is not defined in the program", o.Toplevel)
 	}
+	var deadline time.Time
+	if o.Timeout > 0 {
+		deadline = time.Now().Add(o.Timeout)
+	}
 	src := &replaySource{im: inputs}
 	m, err := machine.New(machine.Config{
 		Prog:     prog,
 		Inputs:   src,
 		LibImpls: o.LibImpls,
 		MaxSteps: o.MaxSteps,
+		Deadline: deadline,
+		Cancel:   o.Cancel,
 	})
 	if err != nil {
 		return nil, err

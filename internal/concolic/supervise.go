@@ -1,0 +1,142 @@
+// Supervision of the directed search: wall-clock deadlines,
+// cooperative cancellation, and panic isolation.
+//
+// The paper's headline workloads — auditing all 600+ exported oSIP
+// functions, multi-day SGLIB searches — only work unattended if a hung,
+// diverging, or internally-faulting search cannot take down the batch.
+// Every entry point of this package is therefore time-bounded (the
+// machine polls the deadline every few thousand instructions),
+// cancellable, and panic-isolated: an internal fault becomes a
+// structured InternalError diagnostic on the report, completeness is
+// cleared, and the search continues with fresh randoms — or, when the
+// fault is persistent, stops gracefully with StopInternal.  Found bugs
+// stay sound either way (Theorem 1(a) is per-bug: each reported input
+// vector still replays to its error).
+package concolic
+
+import (
+	"fmt"
+	"time"
+
+	"dart/internal/machine"
+	"dart/internal/solver"
+	"dart/internal/symbolic"
+)
+
+// maxInternalFaults bounds how many isolated panics a single search
+// tolerates before giving up: a fault that recurs on every fresh random
+// restart is persistent, and retrying forever would burn the whole run
+// budget producing identical diagnostics.
+const maxInternalFaults = 8
+
+// tripped polls the engine's cancel channel and deadline.
+func (e *engine) tripped() (StopReason, bool) {
+	return tripped(e.deadline, e.opts.Cancel)
+}
+
+// tripped reports whether a supervised search must stop now, and why.
+// Cancellation wins over the deadline when both have tripped.
+func tripped(deadline time.Time, cancel <-chan struct{}) (StopReason, bool) {
+	if cancel != nil {
+		select {
+		case <-cancel:
+			return StopCancelled, true
+		default:
+		}
+	}
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return StopDeadline, true
+	}
+	return "", false
+}
+
+// interruptReason maps a machine-level Interrupted outcome back to the
+// supervisor condition that caused it.
+func (e *engine) interruptReason() StopReason {
+	if reason, stop := e.tripped(); stop {
+		return reason
+	}
+	// The deadline was observed inside the machine but the clock moved;
+	// attribute to the deadline, the only other interrupt source.
+	return StopDeadline
+}
+
+// runIsolated executes oneRun behind a recover barrier, converting
+// machine-construction failures and internal panics into structured
+// InternalError diagnostics instead of crashing the process.
+func (e *engine) runIsolated() (m *machine.Machine, rerr *machine.RunError, fault *InternalError) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault = &InternalError{
+				Phase:  "run",
+				Msg:    fmt.Sprintf("panic: %v", r),
+				Run:    e.report.Runs + 1,
+				Inputs: copyIM(e.im),
+			}
+			m, rerr = nil, nil
+		}
+	}()
+	var err error
+	m, rerr, err = e.oneRun()
+	if err != nil {
+		fault = &InternalError{
+			Phase:  "init",
+			Msg:    err.Error(),
+			Run:    e.report.Runs + 1,
+			Inputs: copyIM(e.im),
+		}
+		m, rerr = nil, nil
+	}
+	return m, rerr, fault
+}
+
+// noteFault records an internal fault and reports whether the search may
+// continue with fresh randoms.  Machine-construction failures are
+// deterministic (they precede any input-dependent behavior), so they
+// stop the search immediately, as does an accumulation of repeated
+// faults; either way Stopped is set to StopInternal.
+func (e *engine) noteFault(f *InternalError) bool {
+	e.report.InternalErrors = append(e.report.InternalErrors, *f)
+	if f.Phase == "run" {
+		// The faulting execution consumed real work; count it against the
+		// run budget so a persistent fault cannot loop unboundedly.
+		e.report.Runs++
+	}
+	if f.Phase == "init" || len(e.report.InternalErrors) >= maxInternalFaults {
+		e.report.Stopped = StopInternal
+		return false
+	}
+	return true
+}
+
+// solveIsolated calls the constraint solver under the configured work
+// budget and behind a recover barrier.  A solver panic is reported as an
+// InternalError, clears SolverComplete (the branch's feasibility is now
+// unknown), and is answered as Unsat so the caller marks the branch done
+// and keeps searching.
+func (e *engine) solveIsolated(pc []symbolic.Pred) (sol map[symbolic.Var]int64, verdict solver.Verdict) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.report.InternalErrors = append(e.report.InternalErrors, InternalError{
+				Phase:  "solver",
+				Msg:    fmt.Sprintf("panic: %v", r),
+				Run:    e.report.Runs,
+				Inputs: copyIM(e.im),
+			})
+			e.report.SolverComplete = false
+			sol, verdict = nil, solver.Unsat
+		}
+	}()
+	return solver.SolveWork(pc, e.meta, e.hint(), e.opts.SolverBudget)
+}
+
+// searchComplete reports whether an exhausted execution tree proves
+// Theorem 1(b).  Beyond the paper's all_linear/all_locs_definite flags,
+// completeness also requires that no bug truncated a path, no solve was
+// abandoned on budget exhaustion, and no internal fault skipped part of
+// the space.
+func (e *engine) searchComplete() bool {
+	return e.report.AllLinear && e.report.AllLocsDefinite &&
+		e.report.SolverComplete &&
+		len(e.report.Bugs) == 0 && len(e.report.InternalErrors) == 0
+}

@@ -12,6 +12,7 @@ package machine
 
 import (
 	"fmt"
+	"time"
 
 	"dart/internal/ir"
 	"dart/internal/mem"
@@ -38,6 +39,10 @@ const (
 	// Mispredicted: the branch hook vetoed execution because the run
 	// diverged from the predicted path (forcing_ok = 0 in Fig. 4).
 	Mispredicted
+	// Interrupted: the run was stopped from outside — the search's
+	// wall-clock deadline passed or its cancel channel was closed.  Not a
+	// program error; the driver ends the search with a partial report.
+	Interrupted
 )
 
 func (o Outcome) String() string {
@@ -52,6 +57,8 @@ func (o Outcome) String() string {
 		return "step-limit"
 	case Mispredicted:
 		return "mispredicted"
+	case Interrupted:
+		return "interrupted"
 	}
 	return "unknown"
 }
@@ -134,6 +141,13 @@ type Config struct {
 	// ShapeSearch emits Decision branch records when pointer inputs are
 	// first read, letting the driver search over input shapes.
 	ShapeSearch bool
+	// Deadline, when nonzero, interrupts the run once the wall clock
+	// passes it; the run ends with the Interrupted outcome.  The check is
+	// amortized over interruptStride instructions.
+	Deadline time.Time
+	// Cancel, when non-nil, interrupts the run as soon as it is closed
+	// (checked on the same amortized schedule as Deadline).
+	Cancel <-chan struct{}
 }
 
 // DefaultMaxSteps is the non-termination watchdog budget.
@@ -151,6 +165,12 @@ type Machine struct {
 	globalBase int64
 	steps      int64
 	maxSteps   int64
+
+	// supervised gates the amortized deadline/cancel poll so that
+	// unsupervised runs (the common benchmark path) pay nothing for it.
+	supervised bool
+	deadline   time.Time
+	cancel     <-chan struct{}
 
 	// Completeness flags of Fig. 2 (true = still complete).
 	allLinear       bool
@@ -193,6 +213,9 @@ func New(cfg Config) (*Machine, error) {
 		extCounts:       map[string]int{},
 		shapeSearch:     cfg.ShapeSearch,
 		decided:         map[symbolic.Var]bool{},
+		supervised:      !cfg.Deadline.IsZero() || cfg.Cancel != nil,
+		deadline:        cfg.Deadline,
+		cancel:          cfg.Cancel,
 	}
 	if m.maxSteps == 0 {
 		m.maxSteps = DefaultMaxSteps
@@ -374,6 +397,11 @@ func (m *Machine) exec(f *ir.Func, args []Value) (Value, *RunError) {
 		if m.steps > m.maxSteps {
 			return Value{}, &RunError{Outcome: StepLimit, Msg: "step budget exhausted (possible non-termination)"}
 		}
+		if m.supervised && m.steps&(interruptStride-1) == 0 {
+			if re := m.checkInterrupt(); re != nil {
+				return Value{}, re
+			}
+		}
 
 		switch ins := f.Code[pc].(type) {
 		case *ir.Assign:
@@ -439,6 +467,25 @@ func (m *Machine) exec(f *ir.Func, args []Value) (Value, *RunError) {
 			return Value{}, &RunError{Outcome: Crashed, Msg: fmt.Sprintf("bad instruction %T", ins)}
 		}
 	}
+}
+
+// interruptStride is how many instructions execute between deadline and
+// cancellation polls; a power of two so the check compiles to a mask.
+const interruptStride = 1 << 12
+
+// checkInterrupt polls the cancel channel and the wall-clock deadline.
+func (m *Machine) checkInterrupt() *RunError {
+	if m.cancel != nil {
+		select {
+		case <-m.cancel:
+			return &RunError{Outcome: Interrupted, Msg: "search cancelled"}
+		default:
+		}
+	}
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		return &RunError{Outcome: Interrupted, Msg: "search deadline exceeded"}
+	}
+	return nil
 }
 
 func (m *Machine) memErr(err error, pos token.Pos) *RunError {

@@ -3,8 +3,9 @@ package minisip
 import (
 	"fmt"
 	"sort"
+	"time"
 
-	"dart/internal/concolic"
+	"dart/internal/audit"
 	"dart/internal/iface"
 	"dart/internal/ir"
 	"dart/internal/machine"
@@ -40,6 +41,9 @@ type Entry struct {
 	FirstCrashRun int
 	// DistinctCrashes counts distinct crash sites found.
 	DistinctCrashes int
+	// Status is the supervision outcome (ok / bugs / timeout /
+	// internal-fault / cancelled).
+	Status audit.Status
 }
 
 // Result summarizes a whole-library audit.
@@ -66,29 +70,34 @@ func (r *Result) Fraction() float64 {
 // When useRandom is true the runs use pure random testing instead of the
 // directed search, providing the baseline comparison.
 func Audit(prog *ir.Prog, sem *sema.Program, seed int64, maxRuns int, useRandom bool) (*Result, error) {
+	return AuditSupervised(prog, sem, seed, maxRuns, useRandom, 0, 0)
+}
+
+// AuditSupervised is Audit with a per-function wall-clock deadline and
+// an explicit worker-pool size (0 = GOMAXPROCS).  Function i always runs
+// with seed+i, so — as long as no deadline trips — the results are
+// byte-identical for any jobs value; the pool only changes wall-clock
+// time.
+func AuditSupervised(prog *ir.Prog, sem *sema.Program, seed int64, maxRuns int, useRandom bool, timeout time.Duration, jobs int) (*Result, error) {
 	fns := iface.Candidates(sem)
 	sort.Strings(fns)
 
-	res := &Result{TotalFunctions: len(fns)}
-	for i, fn := range fns {
-		opts := concolic.Options{
-			Toplevel: fn,
-			MaxRuns:  maxRuns,
-			Seed:     seed + int64(i), // independent budget per function
-			Depth:    1,
+	batch := audit.Run(prog, audit.Options{
+		Toplevels: fns,
+		Seed:      seed,
+		MaxRuns:   maxRuns,
+		UseRandom: useRandom,
+		Timeout:   timeout,
+		Jobs:      jobs,
+	})
+
+	res := &Result{TotalFunctions: len(fns), TotalRuns: batch.TotalRuns}
+	for _, e := range batch.Entries {
+		if e.Report == nil {
+			return nil, fmt.Errorf("minisip audit of %s: %s", e.Function, e.Err)
 		}
-		var rep *concolic.Report
-		var err error
-		if useRandom {
-			rep, err = concolic.RandomTest(prog, opts)
-		} else {
-			rep, err = concolic.Run(prog, opts)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("minisip audit of %s: %w", fn, err)
-		}
-		entry := Entry{Function: fn, Runs: rep.Runs}
-		for _, b := range rep.Bugs {
+		entry := Entry{Function: e.Function, Runs: e.Report.Runs, Status: e.Status}
+		for _, b := range e.Report.Bugs {
 			if b.Kind == machine.Crashed {
 				entry.DistinctCrashes++
 				if !entry.Crashed {
@@ -100,7 +109,6 @@ func Audit(prog *ir.Prog, sem *sema.Program, seed int64, maxRuns int, useRandom 
 		if entry.Crashed {
 			res.CrashedFunctions++
 		}
-		res.TotalRuns += rep.Runs
 		res.Entries = append(res.Entries, entry)
 	}
 	return res, nil

@@ -71,6 +71,60 @@ const (
 	maxPtrEnum     = 1 << 16
 )
 
+// Verdict classifies a SolveWork result.
+type Verdict int
+
+// Verdicts.
+const (
+	// Unsat: no assignment was found — the conjunction is infeasible, or
+	// it lies beyond the solver's (incomplete) decision procedure.
+	Unsat Verdict = iota
+	// Sat: the returned assignment satisfies every predicate.
+	Sat
+	// BudgetExhausted: the work budget ran out before the search could
+	// decide; the caller must treat the constraint as undecided (and, for
+	// DART, give up completeness rather than hang).
+	BudgetExhausted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	case BudgetExhausted:
+		return "budget-exhausted"
+	}
+	return "unknown"
+}
+
+// DefaultWork is the work budget Solve grants each call: large enough
+// that ordinary path constraints never trip it, small enough that an
+// adversarial system stops grinding within tens of milliseconds.
+const DefaultWork = 1 << 22
+
+// budgetState meters solver work.  One unit is roughly one row
+// combination, candidate probe, or enumeration step; every potentially
+// super-linear loop spends from the shared pool.
+type budgetState struct {
+	work      int64
+	exhausted bool
+}
+
+// spend debits n units and reports whether work may continue.
+func (b *budgetState) spend(n int64) bool {
+	if b.exhausted {
+		return false
+	}
+	b.work -= n
+	if b.work < 0 {
+		b.exhausted = true
+		return false
+	}
+	return true
+}
+
 // Solve searches for an assignment satisfying every predicate in pc.
 // meta supplies variable domains; hint carries the previous run's input
 // values, which seed don't-care choices (the paper preserves inputs not
@@ -79,6 +133,32 @@ const (
 // occurs in pc (pointer variables to PtrNull/PtrAlloc); variables not
 // occurring are absent and keep their old values.
 func Solve(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symbolic.Var]int64) (map[symbolic.Var]int64, bool) {
+	sol, verdict := SolveWork(pc, meta, hint, DefaultWork)
+	return sol, verdict == Sat
+}
+
+// SolveWork is Solve under an explicit work budget (<= 0 selects
+// DefaultWork).  On exhaustion it returns the distinct BudgetExhausted
+// verdict instead of conflating "too expensive" with "infeasible", so
+// callers can degrade gracefully (clear completeness, keep searching)
+// rather than either hanging or silently over-claiming.
+func SolveWork(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symbolic.Var]int64, work int64) (map[symbolic.Var]int64, Verdict) {
+	if work <= 0 {
+		work = DefaultWork
+	}
+	budget := &budgetState{work: work}
+	sol, ok := solve(pc, meta, hint, budget)
+	switch {
+	case ok:
+		return sol, Sat
+	case budget.exhausted:
+		return nil, BudgetExhausted
+	default:
+		return nil, Unsat
+	}
+}
+
+func solve(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symbolic.Var]int64, budget *budgetState) (map[symbolic.Var]int64, bool) {
 	var intPreds []symbolic.Pred
 	var ptrPreds []symbolic.Pred
 	ptrVars := map[symbolic.Var]bool{}
@@ -110,11 +190,11 @@ func Solve(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symboli
 		}
 	}
 
-	ptrAssign, ok := solvePointers(ptrPreds, ptrVars, hint)
+	ptrAssign, ok := solvePointers(ptrPreds, ptrVars, hint, budget)
 	if !ok {
 		return nil, false
 	}
-	intAssign, ok := solveIntegers(intPreds, meta, hint)
+	intAssign, ok := solveIntegers(intPreds, meta, hint, budget)
 	if !ok {
 		return nil, false
 	}
@@ -162,7 +242,7 @@ const (
 // variables and returns the first under which every pointer predicate is
 // definitely true.  Assignments agreeing with the hint are tried first so
 // don't-care pointers keep their previous shape.
-func solvePointers(preds []symbolic.Pred, vars map[symbolic.Var]bool, hint map[symbolic.Var]int64) (map[symbolic.Var]int64, bool) {
+func solvePointers(preds []symbolic.Pred, vars map[symbolic.Var]bool, hint map[symbolic.Var]int64, budget *budgetState) (map[symbolic.Var]int64, bool) {
 	if len(preds) == 0 {
 		return map[symbolic.Var]int64{}, true
 	}
@@ -190,6 +270,9 @@ func solvePointers(preds []symbolic.Pred, vars map[symbolic.Var]bool, hint map[s
 
 	assign := map[symbolic.Var]int64{}
 	for mask := 0; mask < (1 << uint(n)); mask++ {
+		if !budget.spend(int64(len(preds)) + 1) {
+			return nil, false
+		}
 		for i, v := range ordered {
 			val := prefs[i]
 			if mask&(1<<uint(i)) != 0 {
@@ -306,7 +389,7 @@ type cons struct {
 
 // solveIntegers decides a conjunction of affine predicates over bounded
 // integer variables.
-func solveIntegers(preds []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symbolic.Var]int64) (map[symbolic.Var]int64, bool) {
+func solveIntegers(preds []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symbolic.Var]int64, budget *budgetState) (map[symbolic.Var]int64, bool) {
 	if len(preds) == 0 {
 		return map[symbolic.Var]int64{}, true
 	}
@@ -337,7 +420,7 @@ func solveIntegers(preds []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint 
 		base = append(base, c)
 	}
 
-	s := &intSolver{meta: meta, hint: hint, budget: maxNESplits}
+	s := &intSolver{meta: meta, hint: hint, budget: maxNESplits, work: budget}
 	return s.search(base, splits)
 }
 
@@ -376,6 +459,9 @@ type intSolver struct {
 	// nodes counts back-substitution search nodes across the whole
 	// Solve call, bounding total work.
 	nodes int
+	// work is the caller's shared work budget; exhausting it makes the
+	// whole solve fail with the BudgetExhausted verdict.
+	work *budgetState
 }
 
 // search decides base ∧ splits with lazy disequality handling: the EQ/LE
@@ -385,7 +471,7 @@ type intSolver struct {
 // first.  Generic solutions rarely land on excluded hyperplanes, so most
 // solves never split at all.
 func (s *intSolver) search(base []cons, splits []*symbolic.Lin) (map[symbolic.Var]int64, bool) {
-	if s.budget <= 0 {
+	if s.budget <= 0 || !s.work.spend(int64(len(base)+len(splits))+1) {
 		return nil, false
 	}
 	s.budget--
@@ -496,6 +582,9 @@ func (s *intSolver) solveCore(all []cons) (map[symbolic.Var]int64, bool) {
 				return nil
 			}
 			return symbolic.Add(t2, scaled)
+		}
+		if !s.work.spend(int64(len(eqs) + len(ineqs))) {
+			return nil, false
 		}
 		for i := range eqs {
 			if eqs[i] = replace(eqs[i]); eqs[i] == nil {
@@ -647,6 +736,11 @@ func (s *intSolver) fourierMotzkin(ineqs []*symbolic.Lin) (map[symbolic.Var]int6
 		if len(uppers)*len(lowers) > maxCombos {
 			return nil, false
 		}
+		// Each elimination step emits |uppers|·|lowers| row products; this
+		// is the solver's super-linear core, so it is the main charge.
+		if !s.work.spend(int64(len(uppers)) * int64(len(lowers))) {
+			return nil, false
+		}
 		for _, u := range uppers {
 			for _, lo := range lowers {
 				a := u.Coeff(pick)   // a > 0
@@ -742,7 +836,7 @@ func (s *intSolver) backSubst(stages []fmStage, i int, assign map[symbolic.Var]i
 	}
 	for _, cand := range candidates(lo, hi, s.hint, st.v) {
 		s.nodes++
-		if s.nodes > maxNodes {
+		if s.nodes > maxNodes || !s.work.spend(int64(len(st.rows))+1) {
 			return false
 		}
 		assign[st.v] = cand

@@ -3,7 +3,9 @@ package dart
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"dart/internal/audit"
 	"dart/internal/minisip"
 )
 
@@ -43,6 +45,31 @@ func TestSIPAudit(t *testing.T) {
 			if !e.Crashed {
 				t.Errorf("crashable function %s did not crash", e.Function)
 			}
+		}
+	}
+}
+
+// TestSIPAuditSupervised runs the same audit under supervision: a
+// 4-worker pool with a generous per-function deadline must reproduce
+// the sequential results, and every entry must carry a status.
+func TestSIPAuditSupervised(t *testing.T) {
+	prog, sem, err := minisip.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := minisip.AuditSupervised(prog, sem, 1, 200, false, 2*time.Second, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFunctions == 0 || len(res.Entries) != res.TotalFunctions {
+		t.Fatalf("entries %d / functions %d: every function must be reported",
+			len(res.Entries), res.TotalFunctions)
+	}
+	for _, e := range res.Entries {
+		switch e.Status {
+		case audit.OK, audit.Buggy, audit.TimedOut:
+		default:
+			t.Errorf("%s: unexpected status %q", e.Function, e.Status)
 		}
 	}
 }
