@@ -186,3 +186,175 @@ func TestCLINoBugExitsZero(t *testing.T) {
 		t.Errorf("output:\n%s", out)
 	}
 }
+
+// ------------------------------------------------- observability flags
+
+func TestCLITraceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	t1 := filepath.Join(dir, "a.ndjson")
+	t2 := filepath.Join(dir, "b.ndjson")
+	runCLI(t, "-top", "h", "-seed", "1", "-trace", t1)
+	runCLI(t, "-top", "h", "-seed", "1", "-trace", t2)
+	a, err := os.ReadFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || string(a) != string(b) {
+		t.Errorf("-trace must be byte-identical across same-seed runs\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+	// Every line is one JSON event with a monotonically increasing seq.
+	lines := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	for i, line := range lines {
+		var ev struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v\n%s", i, err, line)
+		}
+		if ev.Seq != uint64(i+1) || ev.Kind == "" {
+			t.Errorf("line %d: seq=%d kind=%q", i, ev.Seq, ev.Kind)
+		}
+	}
+}
+
+func TestCLITreeDumps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "tree.json")
+	dotPath := filepath.Join(dir, "tree.dot")
+	runCLI(t, "-top", "h", "-seed", "1", "-tree", jsonPath)
+	runCLI(t, "-top", "h", "-seed", "1", "-tree", dotPath)
+	jb, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Nodes int `json:"nodes"`
+		Tree  []struct {
+			Path   string `json:"path"`
+			Status string `json:"status"`
+		} `json:"tree"`
+	}
+	if err := json.Unmarshal(jb, &dump); err != nil {
+		t.Fatalf("tree JSON: %v\n%s", err, jb)
+	}
+	if dump.Nodes == 0 || len(dump.Tree) != dump.Nodes {
+		t.Errorf("tree dump: %+v", dump)
+	}
+	db, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(db), "digraph dart {") {
+		t.Errorf("DOT dump:\n%s", db)
+	}
+}
+
+func TestCLITreeRejectedWithAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(progs.Section21), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/dart",
+		"-audit", "-tree", filepath.Join(dir, "t.json"), src)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Error("-tree with -audit must be rejected")
+	}
+	if !strings.Contains(stderr.String(), "-tree") {
+		t.Errorf("usage diagnostic missing:\n%s", stderr.String())
+	}
+}
+
+func TestCLIMetricsAndTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, _ := runCLI(t, "-top", "h", "-seed", "1", "-metrics")
+	for _, frag := range []string{"steps/s", "branch coverage", "%", "runs", "solver_sat"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("human summary missing %q:\n%s", frag, out)
+		}
+	}
+	out, _ = runCLI(t, "-top", "h", "-seed", "1", "-json")
+	var rep struct {
+		Elapsed  float64 `json:"elapsed_seconds"`
+		Rate     float64 `json:"steps_per_second"`
+		Fraction float64 `json:"branch_coverage_fraction"`
+		Metrics  *struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Elapsed <= 0 || rep.Rate <= 0 {
+		t.Errorf("elapsed=%v steps_per_second=%v, want > 0", rep.Elapsed, rep.Rate)
+	}
+	if rep.Fraction != 0.75 {
+		t.Errorf("branch_coverage_fraction = %v, want 0.75", rep.Fraction)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["runs"] == 0 {
+		t.Errorf("metrics missing from JSON report:\n%s", out)
+	}
+}
+
+func TestCLIAuditProgressAndElapsed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(progs.Section21), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/dart",
+		"-audit", "-jobs", "2", "-seed", "1", "-runs", "200", "-progress", src)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	cmd.Run()
+	if !strings.Contains(stderr.String(), "functions,") {
+		t.Errorf("-progress wrote no progress line to stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "time=") {
+		t.Errorf("audit lines missing per-function elapsed:\n%s", stdout.String())
+	}
+
+	out, _ := runCLI(t, "-audit", "-jobs", "2", "-seed", "1", "-runs", "200", "-json")
+	var rep struct {
+		Entries []struct {
+			Function string  `json:"function"`
+			Elapsed  float64 `json:"elapsed_seconds"`
+		} `json:"entries"`
+		Metrics *struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	for _, e := range rep.Entries {
+		if e.Elapsed <= 0 {
+			t.Errorf("%s: elapsed_seconds = %v, want > 0", e.Function, e.Elapsed)
+		}
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["runs"] == 0 {
+		t.Errorf("aggregated metrics missing from audit JSON:\n%s", out)
+	}
+}

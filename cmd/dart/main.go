@@ -19,6 +19,10 @@
 //	-timeout d     wall-clock budget (whole search, or per function with -audit)
 //	-audit         audit every function of the program as toplevel in turn
 //	-jobs n        audit worker-pool size (default all CPUs)
+//	-trace file    write an NDJSON trace of search events to file
+//	-metrics       print the search metrics registry after the run
+//	-progress      live progress line on stderr while -audit runs
+//	-tree file     dump the explored execution tree (.dot = Graphviz, else JSON)
 //	-list          list the functions that can serve as toplevel
 //	-iface         print the extracted interface and exit
 //	-dump-ir       print the compiled RAM-machine code and exit
@@ -32,7 +36,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"dart"
@@ -56,6 +63,10 @@ func run() int {
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget (whole search, or per function with -audit)")
 		auditF   = flag.Bool("audit", false, "audit every function of the program as toplevel in turn")
 		jobs     = flag.Int("jobs", 0, "audit worker-pool size (default all CPUs)")
+		traceF   = flag.String("trace", "", "write an NDJSON trace of search events to `file`")
+		metricsF = flag.Bool("metrics", false, "print the search metrics registry after the run")
+		progress = flag.Bool("progress", false, "live progress line on stderr while -audit runs")
+		treeF    = flag.String("tree", "", "dump the explored execution tree to `file` (.dot = Graphviz, else JSON)")
 		list     = flag.Bool("list", false, "list candidate toplevel functions")
 		ifaceF   = flag.Bool("iface", false, "print the extracted interface")
 		dumpIR   = flag.Bool("dump-ir", false, "print compiled RAM-machine code")
@@ -66,6 +77,10 @@ func run() int {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dart [flags] program.mc")
 		flag.PrintDefaults()
+		return 2
+	}
+	if *treeF != "" && *auditF {
+		fmt.Fprintln(os.Stderr, "dart: -tree needs a single search; it cannot be combined with -audit")
 		return 2
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -89,15 +104,35 @@ func run() int {
 		fmt.Print(ir.DisasmProg(prog.IR))
 		return 0
 	}
+
+	// The trace sink is shared by both modes: one NDJSON stream, whether
+	// it carries a single search or a whole interleaved audit.
+	var trace *traceWriter
+	if *traceF != "" {
+		trace, err = newTraceWriter(*traceF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
+	}
+
 	if *auditF {
-		return runAudit(prog, auditConfig{
-			seed:    *seed,
-			maxRuns: *runs,
-			timeout: *timeout,
-			jobs:    *jobs,
-			random:  *random,
-			json:    *jsonOut,
+		code := runAudit(prog, auditConfig{
+			seed:     *seed,
+			maxRuns:  *runs,
+			timeout:  *timeout,
+			jobs:     *jobs,
+			random:   *random,
+			json:     *jsonOut,
+			metrics:  *metricsF,
+			progress: *progress,
+			trace:    trace,
 		})
+		if err := closeTrace(trace); err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
+		return code
 	}
 	if *top == "" {
 		fmt.Fprintln(os.Stderr, "dart: -top is required (use -list to see candidates)")
@@ -126,6 +161,22 @@ func run() int {
 		return 2
 	}
 
+	var tree *dart.PathTree
+	if *treeF != "" {
+		tree = dart.NewPathTree(0)
+	}
+	var observer dart.TraceSink
+	if trace != nil || tree != nil {
+		var sinks []dart.TraceSink
+		if trace != nil {
+			sinks = append(sinks, trace.sink)
+		}
+		if tree != nil {
+			sinks = append(sinks, tree)
+		}
+		observer = dart.TeeSinks(sinks...)
+	}
+
 	opts := dart.Options{
 		Toplevel:        *top,
 		Depth:           *depth,
@@ -135,6 +186,8 @@ func run() int {
 		StopAtFirstBug:  !*allBugs,
 		ReportStepLimit: *hangs,
 		Timeout:         *timeout,
+		Observer:        observer,
+		CollectMetrics:  true,
 	}
 	var rep *dart.Report
 	if *random {
@@ -146,6 +199,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dart:", err)
 		return 2
 	}
+	if err := closeTrace(trace); err != nil {
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		return 2
+	}
+	if tree != nil {
+		if err := writeTree(tree, *treeF); err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
+	}
 
 	if *jsonOut {
 		return emitJSON(rep, *random)
@@ -154,8 +217,9 @@ func run() int {
 	if *random {
 		mode = "random"
 	}
-	fmt.Printf("%s search: %d runs, %d instructions, branch coverage %d/%d\n",
-		mode, rep.Runs, rep.Steps, rep.Coverage.Covered(), rep.Coverage.Total())
+	fmt.Printf("%s search: %d runs, %d instructions in %s (%s steps/s), branch coverage %d/%d (%.1f%%)\n",
+		mode, rep.Runs, rep.Steps, fmtElapsed(rep.Elapsed), fmtRate(stepsPerSecond(rep)),
+		rep.Coverage.Covered(), rep.Coverage.Total(), 100*rep.Coverage.Fraction())
 	if rep.Complete {
 		fmt.Println("all feasible execution paths explored; no errors are reachable")
 	} else if !*random {
@@ -164,6 +228,9 @@ func run() int {
 	}
 	if rep.Stopped == dart.StopDeadline || rep.Stopped == dart.StopCancelled {
 		fmt.Printf("search stopped early: %s (partial report)\n", rep.Stopped)
+	}
+	if *metricsF && rep.Metrics != nil {
+		fmt.Print(rep.Metrics.Table())
 	}
 	for _, ie := range rep.InternalErrors {
 		fmt.Printf("INTERNAL %v\n", ie)
@@ -178,14 +245,174 @@ func run() int {
 	return 0
 }
 
+// ------------------------------------------------------------- trace file
+
+// traceWriter pairs an NDJSON sink with the file it writes to.
+type traceWriter struct {
+	f    *os.File
+	sink *dart.NDJSONSink
+}
+
+func newTraceWriter(path string) (*traceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &traceWriter{f: f, sink: dart.NewNDJSONSink(f)}, nil
+}
+
+// closeTrace flushes and closes the trace file, surfacing the first
+// write or encoding error.  closeTrace(nil) is a no-op.
+func closeTrace(t *traceWriter) error {
+	if t == nil {
+		return nil
+	}
+	if err := t.sink.Err(); err != nil {
+		t.f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := t.f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// writeTree renders the explored execution tree: Graphviz DOT when the
+// file name ends in .dot, JSON otherwise.
+func writeTree(tree *dart.PathTree, path string) error {
+	var out []byte
+	if strings.HasSuffix(path, ".dot") {
+		out = []byte(tree.DOT())
+	} else {
+		b, err := tree.JSON()
+		if err != nil {
+			return fmt.Errorf("tree: %w", err)
+		}
+		out = b
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("tree: %w", err)
+	}
+	return nil
+}
+
+// ------------------------------------------------------------ human bits
+
+// fmtElapsed rounds a duration for the human summary.
+func fmtElapsed(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	}
+	return d.String()
+}
+
+// stepsPerSecond is the whole-search execution rate; zero when the
+// elapsed time is too small to divide by meaningfully.
+func stepsPerSecond(rep *dart.Report) float64 {
+	if rep.Elapsed <= 0 {
+		return 0
+	}
+	return float64(rep.Steps) / rep.Elapsed.Seconds()
+}
+
+// fmtRate renders an events-per-second figure compactly.
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	}
+	return fmt.Sprintf("%.0f", r)
+}
+
+// -------------------------------------------------------------- progress
+
+// progressSink renders a live one-line audit progress display on w,
+// redrawn in place with carriage returns.  It is an obs sink fed by the
+// same event stream as every other observer, so it needs no hooks of
+// its own into the audit pool; being write-only and mutex-guarded it is
+// safe under any -jobs value.
+type progressSink struct {
+	mu         sync.Mutex
+	w          io.Writer
+	total      int
+	done       int
+	bugs       int
+	restarts   int
+	solverFail int
+	last       time.Time
+	width      int
+}
+
+func newProgressSink(w io.Writer, total int) *progressSink {
+	return &progressSink{w: w, total: total}
+}
+
+// Event implements dart.TraceSink.
+func (p *progressSink) Event(ev dart.TraceEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fnEdge := false
+	switch ev.Kind {
+	case dart.EvAuditFnStart:
+		fnEdge = true
+	case dart.EvAuditFnEnd:
+		p.done++
+		fnEdge = true
+	case dart.EvBugFound:
+		p.bugs++
+	case dart.EvRestart:
+		p.restarts++
+	case dart.EvSolverVerdict:
+		if ev.Verdict != "sat" {
+			p.solverFail++
+		}
+	}
+	// Function boundaries always redraw; the high-frequency per-run
+	// events are throttled so the terminal is not flooded.
+	now := time.Now()
+	if !fnEdge && now.Sub(p.last) < 100*time.Millisecond {
+		return
+	}
+	p.last = now
+	p.redraw()
+}
+
+// finish draws the final state and moves off the progress line.
+func (p *progressSink) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.redraw()
+	fmt.Fprintln(p.w)
+}
+
+func (p *progressSink) redraw() {
+	line := fmt.Sprintf("audit: %d/%d functions, %d bugs, %d restarts, %d solver failures",
+		p.done, p.total, p.bugs, p.restarts, p.solverFail)
+	if pad := p.width - len(line); pad > 0 {
+		line += strings.Repeat(" ", pad)
+	}
+	p.width = len(line)
+	fmt.Fprint(p.w, "\r"+line)
+}
+
+// ----------------------------------------------------------------- audit
+
 // auditConfig carries the flag values relevant to -audit mode.
 type auditConfig struct {
-	seed    int64
-	maxRuns int
-	timeout time.Duration
-	jobs    int
-	random  bool
-	json    bool
+	seed     int64
+	maxRuns  int
+	timeout  time.Duration
+	jobs     int
+	random   bool
+	json     bool
+	metrics  bool
+	progress bool
+	trace    *traceWriter
 }
 
 // runAudit tests every function of the program as toplevel in turn over
@@ -193,13 +420,28 @@ type auditConfig struct {
 // barrier, and prints one status line (or JSON entry) per function plus
 // a batch summary.
 func runAudit(prog *dart.Program, cfg auditConfig) int {
+	fns := dart.Functions(prog)
+	var pr *progressSink
+	var sinks []dart.TraceSink
+	if cfg.trace != nil {
+		sinks = append(sinks, cfg.trace.sink)
+	}
+	if cfg.progress {
+		pr = newProgressSink(os.Stderr, len(fns))
+		sinks = append(sinks, pr)
+	}
 	res := dart.Audit(prog, dart.AuditOptions{
+		Toplevels: fns,
 		Seed:      cfg.seed,
 		MaxRuns:   cfg.maxRuns,
 		Timeout:   cfg.timeout,
 		Jobs:      cfg.jobs,
 		UseRandom: cfg.random,
+		Observer:  dart.TeeSinks(sinks...),
 	})
+	if pr != nil {
+		pr.finish()
+	}
 	if cfg.json {
 		return emitAuditJSON(res)
 	}
@@ -215,10 +457,14 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		if e.Retried {
 			extra += "  retried"
 		}
-		fmt.Printf("%-24s %-14s runs=%d%s\n", e.Function, e.Status, e.Report.Runs, extra)
+		fmt.Printf("%-24s %-14s runs=%-6d time=%-10s%s\n",
+			e.Function, e.Status, e.Report.Runs, fmtElapsed(e.Elapsed), extra)
 	}
 	fmt.Printf("audit: %d functions, %d runs: %d ok, %d with bugs, %d timed out, %d faulted, %d cancelled\n",
 		res.Functions(), res.TotalRuns, res.OK, res.Buggy, res.TimedOut, res.Faulted, res.Cancelled)
+	if cfg.metrics && res.Metrics != nil {
+		fmt.Print(res.Metrics.Table())
+	}
 	if res.Buggy > 0 || res.Faulted > 0 {
 		return 1
 	}
@@ -227,24 +473,26 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 
 // jsonAudit is the machine-readable audit batch shape.
 type jsonAudit struct {
-	Mode      string           `json:"mode"`
-	Functions int              `json:"functions"`
-	TotalRuns int              `json:"total_runs"`
-	OK        int              `json:"ok"`
-	Buggy     int              `json:"buggy"`
-	TimedOut  int              `json:"timed_out"`
-	Faulted   int              `json:"faulted"`
-	Cancelled int              `json:"cancelled"`
-	Entries   []jsonAuditEntry `json:"entries"`
+	Mode      string                `json:"mode"`
+	Functions int                   `json:"functions"`
+	TotalRuns int                   `json:"total_runs"`
+	OK        int                   `json:"ok"`
+	Buggy     int                   `json:"buggy"`
+	TimedOut  int                   `json:"timed_out"`
+	Faulted   int                   `json:"faulted"`
+	Cancelled int                   `json:"cancelled"`
+	Metrics   *dart.MetricsSnapshot `json:"metrics,omitempty"`
+	Entries   []jsonAuditEntry      `json:"entries"`
 }
 
 type jsonAuditEntry struct {
-	Function string    `json:"function"`
-	Status   string    `json:"status"`
-	Runs     int       `json:"runs"`
-	Retried  bool      `json:"retried,omitempty"`
-	Err      string    `json:"error,omitempty"`
-	Bugs     []jsonBug `json:"bugs"`
+	Function       string    `json:"function"`
+	Status         string    `json:"status"`
+	Runs           int       `json:"runs"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	Retried        bool      `json:"retried,omitempty"`
+	Err            string    `json:"error,omitempty"`
+	Bugs           []jsonBug `json:"bugs"`
 }
 
 func emitAuditJSON(res *dart.AuditResult) int {
@@ -257,15 +505,17 @@ func emitAuditJSON(res *dart.AuditResult) int {
 		TimedOut:  res.TimedOut,
 		Faulted:   res.Faulted,
 		Cancelled: res.Cancelled,
+		Metrics:   res.Metrics,
 		Entries:   []jsonAuditEntry{},
 	}
 	for _, e := range res.Entries {
 		je := jsonAuditEntry{
-			Function: e.Function,
-			Status:   string(e.Status),
-			Retried:  e.Retried,
-			Err:      e.Err,
-			Bugs:     []jsonBug{},
+			Function:       e.Function,
+			Status:         string(e.Status),
+			ElapsedSeconds: e.Elapsed.Seconds(),
+			Retried:        e.Retried,
+			Err:            e.Err,
+			Bugs:           []jsonBug{},
 		}
 		if e.Report != nil {
 			je.Runs = e.Report.Runs
@@ -295,21 +545,25 @@ func emitAuditJSON(res *dart.AuditResult) int {
 
 // jsonReport is the machine-readable report shape.
 type jsonReport struct {
-	Mode            string         `json:"mode"`
-	Runs            int            `json:"runs"`
-	Steps           int64          `json:"instructions"`
-	Complete        bool           `json:"complete"`
-	AllLinear       bool           `json:"all_linear"`
-	AllLocsDefinite bool           `json:"all_locs_definite"`
-	CoverageCovered int            `json:"branch_directions_covered"`
-	CoverageTotal   int            `json:"branch_directions_total"`
-	Restarts        int            `json:"restarts"`
-	SolverCalls     int            `json:"solver_calls"`
-	SolverFailures  int            `json:"solver_failures"`
-	StopReason      string         `json:"stop_reason"`
-	SolverComplete  bool           `json:"solver_complete"`
-	InternalErrors  []jsonInternal `json:"internal_errors,omitempty"`
-	Bugs            []jsonBug      `json:"bugs"`
+	Mode                   string                `json:"mode"`
+	Runs                   int                   `json:"runs"`
+	Steps                  int64                 `json:"instructions"`
+	ElapsedSeconds         float64               `json:"elapsed_seconds"`
+	StepsPerSecond         float64               `json:"steps_per_second"`
+	Complete               bool                  `json:"complete"`
+	AllLinear              bool                  `json:"all_linear"`
+	AllLocsDefinite        bool                  `json:"all_locs_definite"`
+	CoverageCovered        int                   `json:"branch_directions_covered"`
+	CoverageTotal          int                   `json:"branch_directions_total"`
+	BranchCoverageFraction float64               `json:"branch_coverage_fraction"`
+	Restarts               int                   `json:"restarts"`
+	SolverCalls            int                   `json:"solver_calls"`
+	SolverFailures         int                   `json:"solver_failures"`
+	StopReason             string                `json:"stop_reason"`
+	SolverComplete         bool                  `json:"solver_complete"`
+	Metrics                *dart.MetricsSnapshot `json:"metrics,omitempty"`
+	InternalErrors         []jsonInternal        `json:"internal_errors,omitempty"`
+	Bugs                   []jsonBug             `json:"bugs"`
 }
 
 type jsonInternal struct {
@@ -333,21 +587,25 @@ func emitJSON(rep *dart.Report, random bool) int {
 		mode = "random"
 	}
 	out := jsonReport{
-		Mode:            mode,
-		Runs:            rep.Runs,
-		Steps:           rep.Steps,
-		Complete:        rep.Complete,
-		AllLinear:       rep.AllLinear,
-		AllLocsDefinite: rep.AllLocsDefinite,
-		CoverageCovered: rep.Coverage.Covered(),
-		CoverageTotal:   rep.Coverage.Total(),
-		Restarts:        rep.Restarts,
-		SolverCalls:     rep.SolverCalls,
-		SolverFailures:  rep.SolverFailures,
-		StopReason:      string(rep.Stopped),
-		SolverComplete:  rep.SolverComplete,
-		Bugs:            []jsonBug{},
+		Mode:                   mode,
+		Runs:                   rep.Runs,
+		Steps:                  rep.Steps,
+		ElapsedSeconds:         rep.Elapsed.Seconds(),
+		StepsPerSecond:         stepsPerSecond(rep),
+		Complete:               rep.Complete,
+		AllLinear:              rep.AllLinear,
+		AllLocsDefinite:        rep.AllLocsDefinite,
+		CoverageCovered:        rep.Coverage.Covered(),
+		CoverageTotal:          rep.Coverage.Total(),
+		BranchCoverageFraction: rep.Coverage.Fraction(),
+		Restarts:               rep.Restarts,
+		SolverCalls:            rep.SolverCalls,
+		SolverFailures:         rep.SolverFailures,
+		StopReason:             string(rep.Stopped),
+		SolverComplete:         rep.SolverComplete,
+		Metrics:                rep.Metrics,
 	}
+	out.Bugs = []jsonBug{}
 	for _, ie := range rep.InternalErrors {
 		out.InternalErrors = append(out.InternalErrors, jsonInternal{
 			Phase:  ie.Phase,

@@ -34,12 +34,14 @@ package dart
 
 import (
 	"fmt"
+	"io"
 
 	"dart/internal/audit"
 	"dart/internal/concolic"
 	"dart/internal/iface"
 	"dart/internal/ir"
 	"dart/internal/machine"
+	"dart/internal/obs"
 	"dart/internal/parser"
 	"dart/internal/sema"
 	"dart/internal/types"
@@ -202,6 +204,60 @@ const (
 	AuditFaulted   = audit.Faulted
 	AuditCancelled = audit.Cancelled
 )
+
+// TraceEvent is one structured event of the search observability layer
+// (see the obs package).  Events carry only deterministic payloads, so
+// a fixed-seed search traces byte-identically on every replay.
+type TraceEvent = obs.Event
+
+// TraceKind discriminates trace events.
+type TraceKind = obs.Kind
+
+// Trace event kinds.
+const (
+	EvRunStart         = obs.RunStart
+	EvRunEnd           = obs.RunEnd
+	EvBranchFlip       = obs.BranchFlip
+	EvMisprediction    = obs.Misprediction
+	EvRestart          = obs.Restart
+	EvSolverCall       = obs.SolverCall
+	EvSolverVerdict    = obs.SolverVerdict
+	EvFallbackConcrete = obs.FallbackConcrete
+	EvBugFound         = obs.BugFound
+	EvAuditFnStart     = obs.AuditFnStart
+	EvAuditFnEnd       = obs.AuditFnEnd
+)
+
+// TraceSink receives trace events; set Options.Observer (or
+// AuditOptions.Observer) to attach one.  A nil observer costs one
+// nil-check; a panicking observer is isolated like any other internal
+// fault and observation is disabled for the rest of the search.
+type TraceSink = obs.Sink
+
+// TraceSinkFunc adapts a function to the TraceSink interface.
+type TraceSinkFunc = obs.SinkFunc
+
+// NDJSONSink writes one JSON object per event line with monotonic
+// sequence numbers; safe for concurrent audit workers.
+type NDJSONSink = obs.NDJSON
+
+// NewNDJSONSink returns an NDJSONSink writing to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink { return obs.NewNDJSON(w) }
+
+// TeeSinks fans events out to several sinks (nils are skipped).
+func TeeSinks(sinks ...TraceSink) TraceSink { return obs.Tee(sinks...) }
+
+// PathTree is a sink reconstructing the explored execution tree from
+// the event stream; it renders to JSON or Graphviz DOT.
+type PathTree = obs.Tree
+
+// NewPathTree returns a PathTree capped at maxNodes nodes
+// (0 = the default cap).
+func NewPathTree(maxNodes int) *PathTree { return obs.NewTree(maxNodes) }
+
+// MetricsSnapshot is the point-in-time view of a search's metrics
+// registry (Report.Metrics, AuditResult.Metrics).
+type MetricsSnapshot = obs.Snapshot
 
 // Audit tests every function of the program (or opts.Toplevels when
 // set) as the toplevel in turn — the paper's oSIP experiment — fanned

@@ -21,6 +21,7 @@ import (
 	"dart/internal/concolic"
 	"dart/internal/ir"
 	"dart/internal/machine"
+	"dart/internal/obs"
 )
 
 // Status classifies one function's audit outcome.
@@ -77,6 +78,12 @@ type Options struct {
 	// Cancel aborts the whole batch when closed; finished entries keep
 	// their results, the rest report Cancelled.
 	Cancel <-chan struct{}
+	// Observer receives the trace events of every per-function search,
+	// plus AuditFnStart/AuditFnEnd lifecycle brackets.  It must be safe
+	// for concurrent use when Jobs > 1 (the bundled obs sinks are).
+	// Events carry no worker identity, so the per-function event multiset
+	// is the same for any Jobs value.
+	Observer obs.Sink
 }
 
 func (o *Options) withDefaults() Options {
@@ -112,6 +119,9 @@ type Entry struct {
 	// Retried reports that the function first timed out and was re-run
 	// once with the reduced RetryRuns budget.
 	Retried bool
+	// Elapsed is the wall-clock time this function's audit took
+	// (including the retry, when one happened).
+	Elapsed time.Duration
 }
 
 // Result is the batch outcome.
@@ -123,6 +133,8 @@ type Result struct {
 	OK, Buggy, TimedOut, Faulted, Cancelled int
 	// TotalRuns sums the executions spent across the batch.
 	TotalRuns int
+	// Metrics aggregates every per-function search's metrics snapshot.
+	Metrics *obs.Snapshot
 }
 
 // Functions returns how many functions were audited.
@@ -132,6 +144,11 @@ func (r *Result) Functions() int { return len(r.Entries) }
 func Run(prog *ir.Prog, opts Options) *Result {
 	o := opts.withDefaults()
 	entries := make([]Entry, len(o.Toplevels))
+
+	// The audit's own lifecycle events have no per-function report to
+	// attach a diagnostic to, so a panicking user sink is contained by
+	// Guarded instead of the engine's recover barriers.
+	lifecycle := obs.Guarded(o.Observer)
 
 	jobs := o.Jobs
 	if jobs > len(o.Toplevels) && len(o.Toplevels) > 0 {
@@ -144,7 +161,7 @@ func Run(prog *ir.Prog, opts Options) *Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				entries[i] = auditOne(prog, o, i)
+				entries[i] = auditOne(prog, o, i, lifecycle)
 			}
 		}()
 	}
@@ -154,7 +171,10 @@ func Run(prog *ir.Prog, opts Options) *Result {
 	close(idx)
 	wg.Wait()
 
-	res := &Result{Entries: entries}
+	res := &Result{
+		Entries: entries,
+		Metrics: &obs.Snapshot{Counters: map[string]int64{}, Histograms: map[string]obs.HistView{}},
+	}
 	for i := range entries {
 		switch entries[i].Status {
 		case OK:
@@ -170,6 +190,7 @@ func Run(prog *ir.Prog, opts Options) *Result {
 		}
 		if entries[i].Report != nil {
 			res.TotalRuns += entries[i].Report.Runs
+			res.Metrics.Merge(entries[i].Report.Metrics)
 		}
 	}
 	return res
@@ -179,12 +200,25 @@ func Run(prog *ir.Prog, opts Options) *Result {
 // barrier.  The engine already isolates per-run and per-solve panics;
 // this barrier is the last line of defense for anything that escapes it,
 // so a worker goroutine can never die and wedge the pool.
-func auditOne(prog *ir.Prog, o Options, i int) (entry Entry) {
+func auditOne(prog *ir.Prog, o Options, i int, lifecycle obs.Sink) (entry Entry) {
 	entry = Entry{Function: o.Toplevels[i]}
+	start := time.Now()
+	if lifecycle != nil {
+		lifecycle.Event(obs.Event{Kind: obs.AuditFnStart, Fn: entry.Function})
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			entry.Status = Faulted
 			entry.Err = fmt.Sprintf("panic: %v", r)
+		}
+		entry.Elapsed = time.Since(start)
+		if lifecycle != nil {
+			ev := obs.Event{Kind: obs.AuditFnEnd, Fn: entry.Function, Status: string(entry.Status)}
+			if entry.Report != nil {
+				ev.Runs = entry.Report.Runs
+				ev.Bugs = len(entry.Report.Bugs)
+			}
+			lifecycle.Event(ev)
 		}
 	}()
 
@@ -222,6 +256,10 @@ func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, erro
 		LibImpls:        o.LibImpls,
 		Timeout:         o.Timeout,
 		Cancel:          o.Cancel,
+		Observer:        o.Observer,
+		// Per-function searches are long enough that the registry is
+		// noise, and Result.Metrics should not depend on an observer.
+		CollectMetrics: true,
 	}
 	if o.UseRandom {
 		return concolic.RandomTest(prog, copts)

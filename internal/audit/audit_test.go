@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -8,9 +9,28 @@ import (
 	"dart/internal/concolic"
 	"dart/internal/ir"
 	"dart/internal/machine"
+	"dart/internal/obs"
 	"dart/internal/parser"
 	"dart/internal/sema"
 )
+
+// stripTimings zeroes the only nondeterministic audit outputs — elapsed
+// wall-clock times and the solver-latency histogram — so batches can be
+// compared with reflect.DeepEqual.  Everything else must reproduce.
+func stripTimings(r *Result) {
+	for i := range r.Entries {
+		r.Entries[i].Elapsed = 0
+		if rep := r.Entries[i].Report; rep != nil {
+			rep.Elapsed = 0
+			if rep.Metrics != nil {
+				delete(rep.Metrics.Histograms, obs.HSolverLatencyUS)
+			}
+		}
+	}
+	if r.Metrics != nil {
+		delete(r.Metrics.Histograms, obs.HSolverLatencyUS)
+	}
+}
 
 func compile(t *testing.T, src string) *ir.Prog {
 	t.Helper()
@@ -126,6 +146,8 @@ func TestAuditDeterministicAcrossJobs(t *testing.T) {
 	oN.Jobs = 4
 	r1 := Run(prog, o1)
 	rN := Run(prog, oN)
+	stripTimings(r1)
+	stripTimings(rN)
 	if !reflect.DeepEqual(r1, rN) {
 		t.Errorf("audit results differ between -jobs 1 and -jobs 4:\n%+v\n%+v", r1, rN)
 	}
@@ -138,8 +160,96 @@ func TestAuditSeedPerFunction(t *testing.T) {
 	prog := compile(t, library)
 	a := Run(prog, Options{Toplevels: []string{"crashy"}, Seed: 1, MaxRuns: 100})
 	b := Run(prog, Options{Toplevels: []string{"crashy"}, Seed: 1, MaxRuns: 100})
+	stripTimings(a)
+	stripTimings(b)
 	if !reflect.DeepEqual(a, b) {
 		t.Error("same seed and toplevels must reproduce the same batch")
+	}
+}
+
+// TestAuditObserverMultisetAcrossJobs: a shared sink fed from a parallel
+// audit must be race-free, and because function i always runs with seed
+// Seed+i, the per-function event multiset is identical for any Jobs
+// value (only the interleaving differs).  Run under -race this is the
+// tier-2 gate for the observability layer's concurrency.
+func TestAuditObserverMultisetAcrossJobs(t *testing.T) {
+	prog := compile(t, library)
+	collect := func(jobs int) (multiset map[string]int, starts, ends int) {
+		var c obs.Collector
+		Run(prog, Options{
+			Toplevels: []string{"fine", "crashy", "fine", "crashy"},
+			Seed:      7,
+			MaxRuns:   100,
+			Jobs:      jobs,
+			Observer:  &c,
+		})
+		// Two searches can share a function name (and thus an Fn tag) and
+		// run concurrently, so only the event *multiset* is comparable
+		// across Jobs values, not any ordering.
+		multiset = map[string]int{}
+		for _, ev := range c.Events() {
+			multiset[fmt.Sprintf("%+v", ev)]++
+			switch ev.Kind {
+			case obs.AuditFnStart:
+				starts++
+			case obs.AuditFnEnd:
+				ends++
+			}
+		}
+		return multiset, starts, ends
+	}
+	one, starts, ends := collect(1)
+	four, _, _ := collect(4)
+	if len(one) == 0 {
+		t.Fatal("no events observed")
+	}
+	if !reflect.DeepEqual(one, four) {
+		t.Errorf("per-function event multisets differ between -jobs 1 and -jobs 4")
+	}
+	if starts != 4 || ends != 4 {
+		t.Errorf("lifecycle brackets %d/%d, want 4 each", starts, ends)
+	}
+}
+
+// TestAuditObserverPanicIsolated: a panicking user-supplied sink cannot
+// take down the batch — every function still gets a result, the crashy
+// function still reports its bug, and each engine records the fault as
+// an "observer"-phase InternalError.
+func TestAuditObserverPanicIsolated(t *testing.T) {
+	prog := compile(t, library)
+	res := Run(prog, Options{
+		Toplevels: []string{"fine", "crashy"},
+		Seed:      1,
+		MaxRuns:   100,
+		Jobs:      2,
+		Observer:  obs.SinkFunc(func(obs.Event) { panic("observer bug") }),
+	})
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(res.Entries))
+	}
+	byName := map[string]Entry{}
+	for _, e := range res.Entries {
+		byName[e.Function] = e
+	}
+	crashy := byName["crashy"]
+	if crashy.Report == nil || len(crashy.Report.Bugs) == 0 {
+		t.Errorf("crashy must still report its bug: %+v", crashy)
+	}
+	fine := byName["fine"]
+	if fine.Report == nil || len(fine.Report.InternalErrors) != 1 ||
+		fine.Report.InternalErrors[0].Phase != "observer" {
+		t.Errorf("fine must carry one observer-phase InternalError: %+v", fine.Report)
+	}
+}
+
+func TestAuditEntryElapsed(t *testing.T) {
+	prog := compile(t, library)
+	res := Run(prog, Options{Toplevels: []string{"fine"}, Seed: 1, MaxRuns: 10})
+	if res.Entries[0].Elapsed <= 0 {
+		t.Errorf("entry elapsed = %v, want > 0", res.Entries[0].Elapsed)
+	}
+	if res.Metrics == nil || res.Metrics.Counters[obs.CRuns] == 0 {
+		t.Errorf("batch metrics not aggregated: %+v", res.Metrics)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"dart/internal/coverage"
 	"dart/internal/ir"
 	"dart/internal/machine"
+	"dart/internal/obs"
 	"dart/internal/rng"
 	"dart/internal/solver"
 	"dart/internal/symbolic"
@@ -105,6 +106,19 @@ type Options struct {
 	// search toward random testing instead of hanging.  Default
 	// solver.DefaultWork.
 	SolverBudget int64
+	// Observer, when non-nil, receives structured trace events (run
+	// lifecycle, branch flips, solver calls, completeness fallbacks; see
+	// package obs).  A nil observer costs one nil-check per event site —
+	// none of which sit on the machine's per-instruction loop.  A
+	// panicking observer is isolated like any other internal fault:
+	// observation is disabled, an InternalError is recorded, and the
+	// search continues.
+	Observer obs.Sink
+	// CollectMetrics populates Report.Metrics even without an Observer.
+	// An attached Observer implies it.  Off by default: the registry's
+	// per-search setup and snapshot, while small, are measurable on
+	// sub-millisecond searches.
+	CollectMetrics bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -162,8 +176,9 @@ const (
 // faulting portion of the search space was not covered.
 type InternalError struct {
 	// Phase locates the fault: "init" (machine construction), "run"
-	// (panic while executing the program under test), or "solver" (panic
-	// inside constraint solving).
+	// (panic while executing the program under test), "solver" (panic
+	// inside constraint solving), or "observer" (panic inside a
+	// user-supplied trace sink, after which observation is disabled).
 	Phase string
 	// Msg is the panic value or error text.
 	Msg string
@@ -230,6 +245,12 @@ type Report struct {
 	// and per solve so the search could continue (or stop gracefully)
 	// instead of crashing the process.
 	InternalErrors []InternalError
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+	// Metrics is the frozen metrics registry of the search: counters and
+	// fixed-bucket histograms (solver latency and Fourier–Motzkin work
+	// per solve, steps per run, path-constraint length, frontier depth).
+	Metrics *obs.Snapshot
 }
 
 // FirstBug returns the first bug or nil.
@@ -274,6 +295,11 @@ type engine struct {
 	forcingOK  bool
 	mispredict bool
 
+	// obs receives trace events (nil = no observation); metrics is the
+	// always-on per-search registry snapshotted into Report.Metrics.
+	obs     obs.Sink
+	metrics *obs.Metrics
+
 	report *Report
 }
 
@@ -281,6 +307,7 @@ var errMispredicted = errors.New("execution diverged from predicted branch")
 
 // Run performs the directed search over prog.
 func Run(prog *ir.Prog, opts Options) (*Report, error) {
+	start := time.Now()
 	o := opts.withDefaults()
 	if _, ok := prog.Lookup(o.Toplevel); !ok {
 		return nil, fmt.Errorf("concolic: toplevel function %q is not defined in the program", o.Toplevel)
@@ -291,6 +318,8 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 		rand:     rng.New(o.Seed),
 		varByKey: map[string]symbolic.Var{},
 		im:       map[string]int64{},
+		obs:      o.Observer,
+		metrics:  newMetrics(o),
 		report: &Report{
 			AllLinear:       true,
 			AllLocsDefinite: true,
@@ -313,6 +342,8 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 	if e.report.Stopped == "" {
 		e.report.Stopped = StopMaxRuns
 	}
+	e.report.Elapsed = time.Since(start)
+	e.report.Metrics = e.metrics.Snapshot()
 	return e.report, nil
 }
 
@@ -326,6 +357,10 @@ func (e *engine) search() {
 		e.im = map[string]int64{}
 		if e.report.Runs > 0 {
 			e.report.Restarts++
+			e.metrics.Add(obs.CRestarts, 1)
+			if e.obs != nil {
+				e.emit(obs.Event{Kind: obs.Restart, Run: e.report.Runs})
+			}
 		}
 
 		directed, restart := true, false
@@ -334,6 +369,9 @@ func (e *engine) search() {
 				e.report.Stopped = reason
 				return
 			}
+			if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.RunStart, Run: e.report.Runs + 1})
+		}
 			m, rerr, fault := e.runIsolated()
 			if fault != nil {
 				if !e.noteFault(fault) {
@@ -346,21 +384,33 @@ func (e *engine) search() {
 			}
 			e.report.Runs++
 			e.report.Steps += m.Steps()
+			e.metrics.Add(obs.CRuns, 1)
+			e.metrics.Observe(obs.HStepsPerRun, m.Steps())
 			if !m.AllLinear() {
 				e.report.AllLinear = false
+				e.metrics.Add(obs.CFallbackLinear, 1)
 			}
 			if !m.AllLocsDefinite() {
 				e.report.AllLocsDefinite = false
+				e.metrics.Add(obs.CFallbackLocs, 1)
 			}
 			for _, rec := range m.Branches {
 				if rec.Site >= 0 {
 					e.report.Coverage.Record(rec.Site, rec.Taken)
 				}
 			}
+			if e.obs != nil {
+				e.emit(obs.Event{Kind: obs.RunEnd, Run: e.report.Runs, Steps: m.Steps(),
+					Outcome: runOutcome(rerr), Path: pathString(m.Branches)})
+			}
 
 			if e.mispredict {
 				// Fig. 4 raised: forcing_ok was cleared.  Restart the
 				// outer loop with fresh random inputs.
+				e.metrics.Add(obs.CMispredicts, 1)
+				if e.obs != nil {
+					e.emit(obs.Event{Kind: obs.Misprediction, Run: e.report.Runs, Depth: e.k - 1})
+				}
 				e.forcingOK = true
 				restart = true
 				continue
@@ -387,6 +437,9 @@ func (e *engine) search() {
 							Run:    e.report.Runs,
 							Inputs: copyIM(e.im),
 						})
+						e.metrics.Add(obs.CBugs, 1)
+						e.emit(obs.Event{Kind: obs.BugFound, Run: e.report.Runs,
+							Outcome: rerr.Outcome.String(), Msg: rerr.Msg, Pos: rerr.Pos.String()})
 					}
 					if e.opts.StopAtFirstBug {
 						e.report.Stopped = StopFirstBug
@@ -435,4 +488,89 @@ func copyIM(im map[string]int64) map[string]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+// ------------------------------------------------------------ observation
+
+// newMetrics returns the search's metrics registry, or nil — every
+// Metrics method no-ops on a nil receiver — when neither an observer
+// nor CollectMetrics asks for one.  The gate keeps sub-millisecond
+// unobserved searches free of the registry's setup and snapshot cost.
+func newMetrics(o Options) *obs.Metrics {
+	if o.Observer == nil && !o.CollectMetrics {
+		return nil
+	}
+	return obs.NewMetrics()
+}
+
+// emit forwards one trace event to the observer behind its own recover
+// barrier: a panicking user-supplied sink is recorded as an internal
+// fault and observation is disabled, so the search itself continues
+// (the same isolation discipline as per-run and per-solve panics).
+func (e *engine) emit(ev obs.Event) {
+	if e.obs == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.obs = nil
+			e.report.InternalErrors = append(e.report.InternalErrors, InternalError{
+				Phase: "observer",
+				Msg:   fmt.Sprintf("panic: %v", r),
+				Run:   e.report.Runs,
+			})
+		}
+	}()
+	ev.Fn = e.opts.Toplevel
+	e.obs.Event(ev)
+}
+
+// machineSink adapts the engine's observer for the machine: machine
+// events (completeness fallbacks) are tagged with the in-flight run
+// index and routed through the engine's guarded emit.
+func (e *engine) machineSink() obs.Sink {
+	if e.obs == nil {
+		return nil
+	}
+	return obs.SinkFunc(func(ev obs.Event) {
+		ev.Run = e.report.Runs + 1
+		e.emit(ev)
+	})
+}
+
+// runOutcome names how a run terminated for the RunEnd event.
+func runOutcome(rerr *machine.RunError) string {
+	if rerr == nil {
+		return machine.HaltOK.String()
+	}
+	return rerr.Outcome.String()
+}
+
+func pathBit(taken bool) byte {
+	if taken {
+		return '1'
+	}
+	return '0'
+}
+
+// pathString encodes an executed branch sequence as a bit string ("1"
+// taken, "0" not taken); only built when an observer is attached.
+func pathString(branches []machine.BranchRec) string {
+	b := make([]byte, len(branches))
+	for i := range branches {
+		b[i] = pathBit(branches[i].Taken)
+	}
+	return string(b)
+}
+
+// flipPath is the bit string of the path the search is about to force:
+// the executed outcomes of branches[0..j) followed by the negation of
+// branches[j].
+func flipPath(branches []machine.BranchRec, j int) string {
+	b := make([]byte, j+1)
+	for i := 0; i < j; i++ {
+		b[i] = pathBit(branches[i].Taken)
+	}
+	b[j] = pathBit(!branches[j].Taken)
+	return string(b)
 }

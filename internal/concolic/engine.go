@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dart/internal/machine"
+	"dart/internal/obs"
 	"dart/internal/solver"
 	"dart/internal/symbolic"
 	"dart/internal/types"
@@ -32,6 +33,7 @@ func (e *engine) oneRun() (*machine.Machine, *machine.RunError, error) {
 		ShapeSearch: !e.opts.DisableShapeSearch,
 		Deadline:    e.deadline,
 		Cancel:      e.opts.Cancel,
+		Observer:    e.machineSink(),
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("machine construction: %w", err)
@@ -137,7 +139,17 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 		pc = append(pc, branches[j].Pred.Negate())
 
 		e.report.SolverCalls++
-		sol, verdict := e.solveIsolated(pc)
+		e.metrics.Observe(obs.HPCLen, int64(len(pc)))
+		e.metrics.Observe(obs.HFrontierDepth, int64(j))
+		var target string
+		if e.obs != nil {
+			target = flipPath(branches, j)
+			e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: j, PCLen: len(pc), Path: target})
+		}
+		sol, verdict, work := e.solveIsolated(pc)
+		if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.SolverVerdict, Run: e.report.Runs, Depth: j, Verdict: verdict.String(), Work: work})
+		}
 		if verdict != solver.Sat {
 			// Infeasible, beyond the solver, or out of budget: this
 			// branch cannot be flipped under its fixed prefix; mark it
@@ -155,6 +167,10 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 		}
 
 		// Truncate the stack to [0..j] and predict the flipped branch.
+		e.metrics.Add(obs.CBranchFlips, 1)
+		if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.BranchFlip, Run: e.report.Runs, Depth: j, Path: target})
+		}
 		e.stack = e.stack[:j+1]
 		e.stack[j].branch = !branches[j].Taken
 

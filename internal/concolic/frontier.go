@@ -2,6 +2,7 @@ package concolic
 
 import (
 	"dart/internal/machine"
+	"dart/internal/obs"
 	"dart/internal/solver"
 	"dart/internal/symbolic"
 )
@@ -56,15 +57,29 @@ func (e *engine) runFrontier() {
 	reportRun := func(m *machine.Machine, rerr *machine.RunError) bool {
 		e.report.Runs++
 		e.report.Steps += m.Steps()
+		e.metrics.Add(obs.CRuns, 1)
+		e.metrics.Observe(obs.HStepsPerRun, m.Steps())
 		if !m.AllLinear() {
 			e.report.AllLinear = false
+			e.metrics.Add(obs.CFallbackLinear, 1)
 		}
 		if !m.AllLocsDefinite() {
 			e.report.AllLocsDefinite = false
+			e.metrics.Add(obs.CFallbackLocs, 1)
 		}
 		for _, rec := range m.Branches {
 			if rec.Site >= 0 {
 				e.report.Coverage.Record(rec.Site, rec.Taken)
+			}
+		}
+		if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.RunEnd, Run: e.report.Runs, Steps: m.Steps(),
+				Outcome: runOutcome(rerr), Path: pathString(m.Branches)})
+		}
+		if e.mispredict {
+			e.metrics.Add(obs.CMispredicts, 1)
+			if e.obs != nil {
+				e.emit(obs.Event{Kind: obs.Misprediction, Run: e.report.Runs, Depth: e.k - 1})
 			}
 		}
 		if rerr != nil && rerr.Outcome == machine.Interrupted {
@@ -85,6 +100,9 @@ func (e *engine) runFrontier() {
 						Run:    e.report.Runs,
 						Inputs: copyIM(e.im),
 					})
+					e.metrics.Add(obs.CBugs, 1)
+					e.emit(obs.Event{Kind: obs.BugFound, Run: e.report.Runs,
+						Outcome: rerr.Outcome.String(), Msg: rerr.Msg, Pos: rerr.Pos.String()})
 				}
 				if e.opts.StopAtFirstBug {
 					e.report.Stopped = StopFirstBug
@@ -146,6 +164,13 @@ func (e *engine) runFrontier() {
 		e.im = map[string]int64{}
 		if e.report.Runs > 0 {
 			e.report.Restarts++
+			e.metrics.Add(obs.CRestarts, 1)
+			if e.obs != nil {
+				e.emit(obs.Event{Kind: obs.Restart, Run: e.report.Runs})
+			}
+		}
+		if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.RunStart, Run: e.report.Runs + 1})
 		}
 		m, rerr, fault := e.runIsolated()
 		if fault != nil {
@@ -174,14 +199,28 @@ func (e *engine) runFrontier() {
 		// Solve the item's path constraint lazily at pop time.
 		pc := append(append([]symbolic.Pred{}, item.preds...), item.flip)
 		e.report.SolverCalls++
+		e.metrics.Observe(obs.HPCLen, int64(len(pc)))
+		e.metrics.Observe(obs.HFrontierDepth, int64(item.depth))
 		e.im = copyIM(item.im)
-		sol, verdict := e.solveIsolated(pc)
+		var target string
+		if e.obs != nil {
+			target = itemPath(item)
+			e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: item.depth, PCLen: len(pc), Path: target})
+		}
+		sol, verdict, work := e.solveIsolated(pc)
+		if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.SolverVerdict, Run: e.report.Runs, Depth: item.depth, Verdict: verdict.String(), Work: work})
+		}
 		if verdict != solver.Sat {
 			if verdict == solver.BudgetExhausted {
 				e.report.SolverComplete = false
 			}
 			e.report.SolverFailures++
 			continue
+		}
+		e.metrics.Add(obs.CBranchFlips, 1)
+		if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.BranchFlip, Run: e.report.Runs, Depth: item.depth, Path: target})
 		}
 		for v, val := range sol {
 			e.im[e.vars[v].key] = val
@@ -194,6 +233,9 @@ func (e *engine) runFrontier() {
 		}
 		e.stack = append(e.stack, stackEntry{branch: item.flipTaken, done: true})
 
+		if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.RunStart, Run: e.report.Runs + 1})
+		}
 		m, rerr, fault := e.runIsolated()
 		if fault != nil {
 			if !e.noteFault(fault) {
@@ -216,6 +258,18 @@ func (e *engine) runFrontier() {
 			e.report.Complete = true
 		}
 	}
+}
+
+// itemPath is the forced target path of a frontier item: the recorded
+// prefix outcomes followed by the flipped branch outcome, as a bit
+// string aligned with RunEnd path encoding.
+func itemPath(item frontierItem) string {
+	b := make([]byte, len(item.prefix)+1)
+	for i, taken := range item.prefix {
+		b[i] = pathBit(taken)
+	}
+	b[len(item.prefix)] = pathBit(item.flipTaken)
+	return string(b)
 }
 
 // popItem removes and returns the next item per the strategy.

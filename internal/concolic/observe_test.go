@@ -1,0 +1,202 @@
+package concolic
+
+import (
+	"reflect"
+	"testing"
+
+	"dart/internal/obs"
+)
+
+// TestObserverEventsDeterministic: the same program and seed must emit
+// the identical event sequence on every replay — events carry only
+// deterministic payloads (run indices, depths, path bit strings, solver
+// work units), never wall-clock data.
+func TestObserverEventsDeterministic(t *testing.T) {
+	prog := compile(t, maze)
+	collect := func() []obs.Event {
+		var c obs.Collector
+		_, err := Run(prog, Options{
+			Toplevel: "explore", MaxRuns: 50, Seed: 1, Observer: &c,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Events()
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("no events observed")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("event streams differ across replays:\n%v\n%v", a, b)
+	}
+}
+
+// TestObserverLifecycle: the event stream must tell a coherent story —
+// every run bracketed by RunStart/RunEnd, every SolverCall answered by
+// a SolverVerdict, flips and bugs matching the report's accounting.
+func TestObserverLifecycle(t *testing.T) {
+	prog := compile(t, maze)
+	var c obs.Collector
+	rep, err := Run(prog, Options{
+		Toplevel: "explore", MaxRuns: 50, Seed: 1, Observer: &c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.Kind]int{}
+	for _, ev := range c.Events() {
+		counts[ev.Kind]++
+		if ev.Fn != "explore" {
+			t.Fatalf("event %v not tagged with the toplevel", ev)
+		}
+	}
+	if counts[obs.RunStart] != rep.Runs || counts[obs.RunEnd] != rep.Runs {
+		t.Errorf("run brackets %d/%d, want %d each", counts[obs.RunStart], counts[obs.RunEnd], rep.Runs)
+	}
+	if counts[obs.SolverCall] != rep.SolverCalls || counts[obs.SolverVerdict] != rep.SolverCalls {
+		t.Errorf("solver events %d/%d, want %d each",
+			counts[obs.SolverCall], counts[obs.SolverVerdict], rep.SolverCalls)
+	}
+	if counts[obs.BugFound] != len(rep.Bugs) {
+		t.Errorf("bug events %d, want %d", counts[obs.BugFound], len(rep.Bugs))
+	}
+	if counts[obs.Restart] != rep.Restarts {
+		t.Errorf("restart events %d, want %d", counts[obs.Restart], rep.Restarts)
+	}
+	// Metrics must agree with the report on the same totals.
+	if rep.Metrics == nil {
+		t.Fatal("Report.Metrics not populated")
+	}
+	if rep.Metrics.Counters[obs.CRuns] != int64(rep.Runs) {
+		t.Errorf("metrics runs = %d, want %d", rep.Metrics.Counters[obs.CRuns], rep.Runs)
+	}
+	if rep.Metrics.Counters[obs.CBugs] != int64(len(rep.Bugs)) {
+		t.Errorf("metrics bugs = %d, want %d", rep.Metrics.Counters[obs.CBugs], len(rep.Bugs))
+	}
+}
+
+// TestObserverPanicIsolated: a panicking user-supplied sink is isolated
+// exactly like any other internal fault — the search records one
+// InternalError with phase "observer", disables observation, and still
+// finds the bug.
+func TestObserverPanicIsolated(t *testing.T) {
+	prog := compile(t, maze)
+	calls := 0
+	rep, err := Run(prog, Options{
+		Toplevel: "explore", MaxRuns: 50, Seed: 1, StopAtFirstBug: true,
+		Observer: obs.SinkFunc(func(obs.Event) {
+			calls++
+			panic("observer bug")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("sink called %d times, want 1 (observation disabled after the panic)", calls)
+	}
+	if len(rep.InternalErrors) != 1 || rep.InternalErrors[0].Phase != "observer" {
+		t.Fatalf("internal errors = %+v, want one with phase observer", rep.InternalErrors)
+	}
+	if rep.FirstBug() == nil {
+		t.Errorf("the search must still find the bug; report: %+v", rep)
+	}
+	if rep.Complete {
+		t.Error("an observer fault must clear completeness like any internal fault")
+	}
+}
+
+// TestObserverNilIsFree: an unobserved search skips the metrics
+// registry entirely (the <2% throughput guarantee), while
+// CollectMetrics opts back in without attaching a sink.
+func TestObserverNilIsFree(t *testing.T) {
+	prog := compile(t, maze)
+	rep, err := Run(prog, Options{Toplevel: "explore", MaxRuns: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics != nil {
+		t.Errorf("unobserved search must not pay for metrics: %+v", rep.Metrics)
+	}
+	if rep.Elapsed <= 0 {
+		t.Errorf("elapsed = %v, want > 0", rep.Elapsed)
+	}
+
+	rep, err = Run(prog, Options{Toplevel: "explore", MaxRuns: 50, Seed: 1, CollectMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters[obs.CRuns] != int64(rep.Runs) {
+		t.Errorf("CollectMetrics must populate Report.Metrics: %+v", rep.Metrics)
+	}
+}
+
+// TestObserverRandomMode: the random baseline emits the same run
+// lifecycle (no solver events) and isolates panicking sinks too.
+func TestObserverRandomMode(t *testing.T) {
+	prog := compile(t, maze)
+	var c obs.Collector
+	rep, err := RandomTest(prog, Options{Toplevel: "explore", MaxRuns: 30, Seed: 1, Observer: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.Kind]int{}
+	for _, ev := range c.Events() {
+		counts[ev.Kind]++
+	}
+	if counts[obs.RunStart] != rep.Runs || counts[obs.RunEnd] != rep.Runs {
+		t.Errorf("run brackets %d/%d, want %d each", counts[obs.RunStart], counts[obs.RunEnd], rep.Runs)
+	}
+	if counts[obs.SolverCall] != 0 {
+		t.Errorf("random testing must not call the solver, saw %d calls", counts[obs.SolverCall])
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters[obs.CRuns] != int64(rep.Runs) {
+		t.Errorf("random-mode metrics: %+v", rep.Metrics)
+	}
+
+	rep2, err := RandomTest(prog, Options{
+		Toplevel: "explore", MaxRuns: 30, Seed: 1,
+		Observer: obs.SinkFunc(func(obs.Event) { panic("observer bug") }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.InternalErrors) != 1 || rep2.InternalErrors[0].Phase != "observer" {
+		t.Errorf("random-mode observer fault not isolated: %+v", rep2.InternalErrors)
+	}
+}
+
+// TestFallbackConcreteEvent: leaving the linear theory emits one
+// FallbackConcrete per run per flag, on the true-to-false transition.
+func TestFallbackConcreteEvent(t *testing.T) {
+	prog := compile(t, `
+int nl(int x, int y) {
+    if (x * y > 4) return 1;
+    if (y * x > 9) return 2;
+    return 0;
+}
+`)
+	var c obs.Collector
+	rep, err := Run(prog, Options{Toplevel: "nl", MaxRuns: 10, Seed: 1, Observer: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllLinear {
+		t.Fatal("x*y must leave the linear theory")
+	}
+	perRun := map[int]int{}
+	for _, ev := range c.Events() {
+		if ev.Kind == obs.FallbackConcrete && ev.Flag == "all_linear" {
+			perRun[ev.Run]++
+		}
+	}
+	if len(perRun) == 0 {
+		t.Fatal("no FallbackConcrete events for all_linear")
+	}
+	for run, n := range perRun {
+		if n != 1 {
+			t.Errorf("run %d emitted %d all_linear fallbacks, want 1 (transition only)", run, n)
+		}
+	}
+}

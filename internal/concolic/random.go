@@ -7,6 +7,7 @@ import (
 	"dart/internal/coverage"
 	"dart/internal/ir"
 	"dart/internal/machine"
+	"dart/internal/obs"
 	"dart/internal/rng"
 	"dart/internal/symbolic"
 	"dart/internal/types"
@@ -35,6 +36,7 @@ func (r *randomSource) IsPointerVar(symbolic.Var) bool { return false }
 // random inputs and no constraints are collected.  It is the "random
 // search" column of the paper's tables.
 func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
+	start := time.Now()
 	o := opts.withDefaults()
 	fn, ok := prog.Lookup(o.Toplevel)
 	if !ok {
@@ -46,6 +48,32 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		AllLocsDefinite: true,
 		SolverComplete:  true,
 		Coverage:        coverage.New(prog.NumSites),
+	}
+	metrics := newMetrics(o)
+	defer func() {
+		report.Elapsed = time.Since(start)
+		report.Metrics = metrics.Snapshot()
+	}()
+	// emit forwards trace events behind the same observer isolation the
+	// directed engine uses: a panicking sink becomes an InternalError
+	// and observation is disabled for the rest of the campaign.
+	sink := o.Observer
+	emit := func(ev obs.Event) {
+		if sink == nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				sink = nil
+				report.InternalErrors = append(report.InternalErrors, InternalError{
+					Phase: "observer",
+					Msg:   fmt.Sprintf("panic: %v", r),
+					Run:   report.Runs,
+				})
+			}
+		}()
+		ev.Fn = o.Toplevel
+		sink.Event(ev)
 	}
 	seenBugs := map[string]bool{}
 	var deadline time.Time
@@ -67,6 +95,13 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 			}
 		}()
 		src := &randomSource{rand: rand.Fork()}
+		var msink obs.Sink
+		if sink != nil {
+			msink = obs.SinkFunc(func(ev obs.Event) {
+				ev.Run = report.Runs
+				emit(ev)
+			})
+		}
 		m, err := machine.New(machine.Config{
 			Prog:     prog,
 			Inputs:   src,
@@ -74,6 +109,7 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 			MaxSteps: o.MaxSteps,
 			Deadline: deadline,
 			Cancel:   o.Cancel,
+			Observer: msink,
 		})
 		if err != nil {
 			return nil, nil, &InternalError{Phase: "init", Msg: err.Error(), Run: report.Runs}
@@ -108,6 +144,7 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 			return report, nil
 		}
 		report.Runs++
+		emit(obs.Event{Kind: obs.RunStart, Run: report.Runs})
 		m, rerr, fault := oneRandomRun()
 		if fault != nil {
 			report.InternalErrors = append(report.InternalErrors, *fault)
@@ -119,8 +156,14 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		}
 
 		report.Steps += m.Steps()
+		metrics.Add(obs.CRuns, 1)
+		metrics.Observe(obs.HStepsPerRun, m.Steps())
 		for _, rec := range m.Branches {
 			report.Coverage.Record(rec.Site, rec.Taken)
+		}
+		if sink != nil {
+			emit(obs.Event{Kind: obs.RunEnd, Run: report.Runs, Steps: m.Steps(),
+				Outcome: runOutcome(rerr), Path: pathString(m.Branches)})
 		}
 
 		if rerr != nil && rerr.Outcome == machine.Interrupted {
@@ -144,6 +187,9 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 						Pos:  rerr.Pos,
 						Run:  report.Runs,
 					})
+					metrics.Add(obs.CBugs, 1)
+					emit(obs.Event{Kind: obs.BugFound, Run: report.Runs,
+						Outcome: rerr.Outcome.String(), Msg: rerr.Msg, Pos: rerr.Pos.String()})
 				}
 				if o.StopAtFirstBug {
 					report.Stopped = StopFirstBug

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dart/internal/machine"
+	"dart/internal/obs"
 	"dart/internal/solver"
 	"dart/internal/symbolic"
 )
@@ -113,8 +114,13 @@ func (e *engine) noteFault(f *InternalError) bool {
 // budget and behind a recover barrier.  A solver panic is reported as an
 // InternalError, clears SolverComplete (the branch's feasibility is now
 // unknown), and is answered as Unsat so the caller marks the branch done
-// and keeps searching.
-func (e *engine) solveIsolated(pc []symbolic.Pred) (sol map[symbolic.Var]int64, verdict solver.Verdict) {
+// and keeps searching.  It meters each solve into the search metrics:
+// wall-clock latency, work units consumed, and the per-verdict counters.
+func (e *engine) solveIsolated(pc []symbolic.Pred) (sol map[symbolic.Var]int64, verdict solver.Verdict, work int64) {
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			e.report.InternalErrors = append(e.report.InternalErrors, InternalError{
@@ -126,8 +132,24 @@ func (e *engine) solveIsolated(pc []symbolic.Pred) (sol map[symbolic.Var]int64, 
 			e.report.SolverComplete = false
 			sol, verdict = nil, solver.Unsat
 		}
+		if e.metrics == nil {
+			return
+		}
+		e.metrics.Observe(obs.HSolverLatencyUS, time.Since(start).Microseconds())
+		e.metrics.Observe(obs.HSolverWork, work)
+		switch verdict {
+		case solver.Sat:
+			e.metrics.Add(obs.CSolverSat, 1)
+		case solver.BudgetExhausted:
+			e.metrics.Add(obs.CSolverBudget, 1)
+		default:
+			e.metrics.Add(obs.CSolverUnsat, 1)
+		}
 	}()
-	return solver.SolveWork(pc, e.meta, e.hint(), e.opts.SolverBudget)
+	var stats solver.Stats
+	sol, verdict, stats = solver.SolveWorkStats(pc, e.meta, e.hint(), e.opts.SolverBudget)
+	work = stats.Work
+	return sol, verdict, work
 }
 
 // searchComplete reports whether an exhausted execution tree proves

@@ -153,7 +153,7 @@ func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
 				// Dereference through an arithmetic-input-dependent
 				// address: the paper's all_locs_definite case — fall
 				// back to the concrete value.
-				m.allLocsDefinite = false
+				m.clearAllLocsDefinite()
 				return m.concreteConst(e, frame)
 			}
 			// Refinement (invited by Sec. 2.3): the address depends only
@@ -177,7 +177,7 @@ func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
 			if r := symbolic.Scale(a, -1); r != nil {
 				return m.wrapConst(r, e.Ty)
 			}
-			m.allLinear = false
+			m.clearAllLinear()
 			return m.concreteConst(e, frame)
 		case ir.Conv:
 			if a.IsConst() {
@@ -186,13 +186,13 @@ func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
 			// Width truncation of a symbolic value is non-linear; treat
 			// the common no-op case (value provably in range is unknowable
 			// here) conservatively.
-			m.allLinear = false
+			m.clearAllLinear()
 			return m.concreteConst(e, frame)
 		default: // Not, Compl
 			if a.IsConst() {
 				return m.concreteConst(e, frame)
 			}
-			m.allLinear = false
+			m.clearAllLinear()
 			return m.concreteConst(e, frame)
 		}
 	case *ir.Bin:
@@ -239,7 +239,7 @@ func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
 		// Division, modulus, bitwise operators, comparisons used as
 		// values, shifts by symbolic amounts, symbolic*symbolic: all
 		// outside linear integer arithmetic.
-		m.allLinear = false
+		m.clearAllLinear()
 		return m.concreteConst(e, frame)
 	}
 	return nil

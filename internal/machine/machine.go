@@ -16,6 +16,7 @@ import (
 
 	"dart/internal/ir"
 	"dart/internal/mem"
+	"dart/internal/obs"
 	"dart/internal/symbolic"
 	"dart/internal/token"
 	"dart/internal/types"
@@ -148,6 +149,10 @@ type Config struct {
 	// Cancel, when non-nil, interrupts the run as soon as it is closed
 	// (checked on the same amortized schedule as Deadline).
 	Cancel <-chan struct{}
+	// Observer, when non-nil, receives FallbackConcrete trace events on
+	// the true-to-false transition of a completeness flag (at most one
+	// per flag per run, so observation never sits on the step loop).
+	Observer obs.Sink
 }
 
 // DefaultMaxSteps is the non-termination watchdog budget.
@@ -175,6 +180,9 @@ type Machine struct {
 	// Completeness flags of Fig. 2 (true = still complete).
 	allLinear       bool
 	allLocsDefinite bool
+
+	// obs receives FallbackConcrete events on flag transitions.
+	obs obs.Sink
 
 	// Branches is the executed conditional sequence (stack material).
 	Branches []BranchRec
@@ -216,6 +224,7 @@ func New(cfg Config) (*Machine, error) {
 		supervised:      !cfg.Deadline.IsZero() || cfg.Cancel != nil,
 		deadline:        cfg.Deadline,
 		cancel:          cfg.Cancel,
+		obs:             cfg.Observer,
 	}
 	if m.maxSteps == 0 {
 		m.maxSteps = DefaultMaxSteps
@@ -240,6 +249,32 @@ func New(cfg Config) (*Machine, error) {
 // AllLinear reports whether every symbolic expression stayed within the
 // linear theory during this run.
 func (m *Machine) AllLinear() bool { return m.allLinear }
+
+// clearAllLinear clears the all_linear completeness flag (Fig. 1's
+// fallback to the concrete value), emitting one FallbackConcrete trace
+// event on the transition.
+func (m *Machine) clearAllLinear() {
+	if !m.allLinear {
+		return
+	}
+	m.allLinear = false
+	if m.obs != nil {
+		m.obs.Event(obs.Event{Kind: obs.FallbackConcrete, Flag: "all_linear"})
+	}
+}
+
+// clearAllLocsDefinite clears the all_locs_definite completeness flag
+// (an input-dependent dereference), emitting one FallbackConcrete trace
+// event on the transition.
+func (m *Machine) clearAllLocsDefinite() {
+	if !m.allLocsDefinite {
+		return
+	}
+	m.allLocsDefinite = false
+	if m.obs != nil {
+		m.obs.Event(obs.Event{Kind: obs.FallbackConcrete, Flag: "all_locs_definite"})
+	}
+}
 
 // AllLocsDefinite reports whether every dereferenced address was
 // input-independent during this run.
@@ -662,7 +697,7 @@ func (m *Machine) doCallLib(ins *ir.CallLib, frame int64) *RunError {
 	// A black box fed input-dependent values takes the analysis outside
 	// the theory: fall back to concrete and clear the completeness flag.
 	if anySymbolic {
-		m.allLinear = false
+		m.clearAllLinear()
 	}
 	ret, err := impl(m, args)
 	if err != nil {
@@ -721,7 +756,7 @@ func (m *Machine) branchPred(cond ir.Expr, frame int64, taken bool) (symbolic.Pr
 			}
 			diff := symbolic.Sub(la, lb)
 			if diff == nil {
-				m.allLinear = false
+				m.clearAllLinear()
 				return symbolic.Pred{}, false
 			}
 			rel := relOf(c.Op)

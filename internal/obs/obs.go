@@ -1,0 +1,253 @@
+// Package obs is the search observability layer: structured trace
+// events, a metrics registry, and an explorable execution-tree model,
+// all zero-dependency (standard library only) so every other package —
+// engine, solver, machine, audit pool — can thread it through without
+// coupling.
+//
+// The engine emits typed Events to a Sink carried on the search options.
+// A nil sink costs one nil-check on the instrumented paths; none of the
+// instrumentation sits inside the machine's per-instruction step loop,
+// so observation never taxes raw execution throughput.  Events carry
+// only deterministic payloads (run indices, branch depths, path bit
+// strings, solver work units — never wall-clock times), so a fixed-seed
+// search produces a byte-identical NDJSON trace on every replay.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates trace events.
+type Kind string
+
+// Event kinds, in rough lifecycle order.  DESIGN.md maps each kind to
+// the paper's algorithm (e.g. BranchFlip is directed_search's branch
+// negation; Restart is the forcing_ok outer-loop restart).
+const (
+	// RunStart: one concrete+symbolic execution is about to begin.
+	RunStart Kind = "run-start"
+	// RunEnd: the execution finished; carries steps, outcome, and the
+	// executed branch path as a bit string ("1" taken, "0" not taken).
+	RunEnd Kind = "run-end"
+	// BranchFlip: the search negated the branch predicate at Depth and
+	// will drive the next run down Path (Fig. 5's branch negation).
+	BranchFlip Kind = "branch-flip"
+	// Misprediction: the run diverged from the predicted branch at Depth
+	// (Fig. 4 cleared forcing_ok).
+	Misprediction Kind = "mispredict"
+	// Restart: the outer loop restarted from fresh random inputs.
+	Restart Kind = "restart"
+	// SolverCall: a path-constraint solve is starting; PCLen is the
+	// constraint length, Path the target path being forced.
+	SolverCall Kind = "solver-call"
+	// SolverVerdict: the solve finished with Verdict after Work units.
+	SolverVerdict Kind = "solver-verdict"
+	// FallbackConcrete: a symbolic expression left the theory and fell
+	// back to its concrete value; Flag names the completeness flag that
+	// was cleared ("all_linear" or "all_locs_definite").  Emitted once
+	// per run per flag, on the true-to-false transition.
+	FallbackConcrete Kind = "fallback-concrete"
+	// BugFound: a distinct program error was recorded.
+	BugFound Kind = "bug-found"
+	// AuditFnStart / AuditFnEnd bracket one function of a library audit.
+	AuditFnStart Kind = "audit-fn-start"
+	AuditFnEnd   Kind = "audit-fn-end"
+)
+
+// Event is one structured trace record.  A single flat struct (rather
+// than one type per kind) keeps NDJSON encoding allocation-free of
+// reflection surprises and lets sinks switch on Kind without type
+// assertions; unused fields are omitted from the JSON encoding.
+type Event struct {
+	// Seq is a monotonic sequence number assigned by the NDJSON sink at
+	// write time (zero until then), making interleaved multi-worker
+	// streams totally ordered on disk.
+	Seq uint64 `json:"seq"`
+	// Kind discriminates the event.
+	Kind Kind `json:"ev"`
+	// Fn is the toplevel function under test (always set by the engine;
+	// lets per-function streams be demultiplexed from an audit trace).
+	Fn string `json:"fn,omitempty"`
+	// Run is the 1-based run index within the function's search.
+	Run int `json:"run,omitempty"`
+	// Depth is the branch index the event refers to (flip index,
+	// misprediction point).
+	Depth int `json:"depth,omitempty"`
+	// PCLen is the path-constraint length of a solver call.
+	PCLen int `json:"pc_len,omitempty"`
+	// Path is a branch-outcome bit string ("1" taken, "0" not taken):
+	// the executed path on RunEnd, the forced target on SolverCall and
+	// BranchFlip.
+	Path string `json:"path,omitempty"`
+	// Verdict is the solver verdict ("sat", "unsat", "budget-exhausted").
+	Verdict string `json:"verdict,omitempty"`
+	// Work is the solver work spent (solver work units, deterministic).
+	Work int64 `json:"work,omitempty"`
+	// Steps is the instruction count of a finished run.
+	Steps int64 `json:"steps,omitempty"`
+	// Outcome classifies a finished run ("halt", "abort", "crash", ...).
+	Outcome string `json:"outcome,omitempty"`
+	// Flag names the completeness flag a FallbackConcrete cleared.
+	Flag string `json:"flag,omitempty"`
+	// Msg carries the bug message of a BugFound.
+	Msg string `json:"msg,omitempty"`
+	// Pos is the source position of a BugFound.
+	Pos string `json:"pos,omitempty"`
+	// Status is the per-function outcome of an AuditFnEnd.
+	Status string `json:"status,omitempty"`
+	// Bugs is the bug count of an AuditFnEnd.
+	Bugs int `json:"bugs,omitempty"`
+	// Runs is the run count of an AuditFnEnd.
+	Runs int `json:"runs,omitempty"`
+}
+
+// Sink receives trace events.  Implementations used from a parallel
+// audit must be safe for concurrent use; the bundled sinks are.  A
+// panicking sink is isolated by the engine's recover barriers (it is
+// reported as an internal fault and observation is disabled), so a
+// faulty observer can never take down a search.
+type Sink interface {
+	Event(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Event implements Sink.
+func (f SinkFunc) Event(ev Event) { f(ev) }
+
+// Tee fans every event out to each sink in order.  A nil entry is
+// skipped; Tee(nil...) collapses to nil so the engine's one nil-check
+// stays sufficient.
+func Tee(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeSink(live)
+}
+
+type teeSink []Sink
+
+func (t teeSink) Event(ev Event) {
+	for _, s := range t {
+		s.Event(ev)
+	}
+}
+
+// Guarded wraps sink so a panic inside Event permanently disables
+// forwarding instead of unwinding into the caller.  The engine has its
+// own per-search isolation (panics become InternalError diagnostics);
+// Guarded is for emitters outside any search — the audit pool's
+// function-lifecycle events, the CLI's progress line — where there is
+// no report to attach a diagnostic to.  Guarded(nil) is nil.
+func Guarded(sink Sink) Sink {
+	if sink == nil {
+		return nil
+	}
+	return &guarded{sink: sink}
+}
+
+type guarded struct {
+	sink Sink
+	dead atomic.Bool
+}
+
+// Event implements Sink.
+func (g *guarded) Event(ev Event) {
+	if g.dead.Load() {
+		return
+	}
+	defer func() {
+		if recover() != nil {
+			g.dead.Store(true)
+		}
+	}()
+	g.sink.Event(ev)
+}
+
+// NDJSON is a Sink writing one JSON object per line, assigning
+// monotonic sequence numbers under a mutex so concurrent audit workers
+// produce an interleaved but well-formed, totally ordered stream.  For
+// a single-threaded search with a fixed seed the output is
+// byte-identical across runs (events carry no wall-clock data and maps
+// never appear in the encoding).
+type NDJSON struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+	err error
+}
+
+// NewNDJSON returns an NDJSON sink writing to w.
+func NewNDJSON(w io.Writer) *NDJSON {
+	return &NDJSON{w: w}
+}
+
+// Event implements Sink.
+func (s *NDJSON) Event(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	ev.Seq = s.seq
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write or encoding error, if any.
+func (s *NDJSON) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Events returns the number of events written so far.
+func (s *NDJSON) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Collector is a Sink accumulating events in memory, mainly for tests
+// and for post-hoc analysis (tree reconstruction, multiset checks).
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event implements Sink.
+func (c *Collector) Event(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the collected events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}

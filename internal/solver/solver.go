@@ -143,18 +143,38 @@ func Solve(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symboli
 // callers can degrade gracefully (clear completeness, keep searching)
 // rather than either hanging or silently over-claiming.
 func SolveWork(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symbolic.Var]int64, work int64) (map[symbolic.Var]int64, Verdict) {
+	sol, verdict, _ := SolveWorkStats(pc, meta, hint, work)
+	return sol, verdict
+}
+
+// Stats reports the resources one solve consumed.
+type Stats struct {
+	// Work is the number of work units spent (deterministic: it depends
+	// only on the constraint system, never on the wall clock), the unit
+	// the engine's Fourier–Motzkin-work histogram is measured in.
+	Work int64
+}
+
+// SolveWorkStats is SolveWork, additionally reporting how much of the
+// budget the solve consumed so callers can meter solver effort.
+func SolveWorkStats(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symbolic.Var]int64, work int64) (map[symbolic.Var]int64, Verdict, Stats) {
 	if work <= 0 {
 		work = DefaultWork
 	}
 	budget := &budgetState{work: work}
 	sol, ok := solve(pc, meta, hint, budget)
+	spent := work - budget.work
+	if spent > work {
+		spent = work // the last spend may overdraw past zero
+	}
+	stats := Stats{Work: spent}
 	switch {
 	case ok:
-		return sol, Sat
+		return sol, Sat, stats
 	case budget.exhausted:
-		return nil, BudgetExhausted
+		return nil, BudgetExhausted, stats
 	default:
-		return nil, Unsat
+		return nil, Unsat, stats
 	}
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Performance gate for the observability layer: the two throughput
+# benchmarks that must stay within 2% of the pre-obs baseline when no
+# observer is attached (see BENCH_pr2.json for the recorded pre/post
+# numbers and methodology).
+#
+# Usage: scripts/bench.sh [count]
+#   count — benchmark repetitions per target (default 5).  On noisy
+#   shared machines compare the per-side MINIMUM, not the mean: OS
+#   scheduler noise only ever adds time.
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-5}"
+OUT="${BENCH_OUT:-/tmp/dart_bench.txt}"
+
+go test -run '^$' \
+    -bench 'BenchmarkE2Completeness$|BenchmarkMachineThroughput$' \
+    -benchmem -count="$COUNT" . | tee "$OUT"
+
+echo
+echo "wrote $OUT — compare mins against BENCH_pr2.json (gate: <2% on ns/op, allocs/op identical)"

@@ -6,4 +6,7 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# Trace-golden gate: the fixed-seed E1 trace must stay byte-identical
+# (regenerate deliberately with `go test -run TestTraceGolden -update .`).
+go test -run 'TestTraceGolden' .
 go test -race ./...

@@ -1,0 +1,68 @@
+package dart
+
+// Golden-trace test: the NDJSON trace of a fixed-seed search is part of
+// the tool's observable contract — events carry only deterministic
+// payloads, so the byte stream must reproduce exactly.  Regenerate with
+//
+//	go test -run TestTraceGolden -update .
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dart/internal/progs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// traceE1 runs the Sec. 2.1 introductory example with seed 1 and
+// returns its NDJSON trace.
+func traceE1(t *testing.T) []byte {
+	t.Helper()
+	prog, err := Compile(progs.Section21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, err = Run(prog, Options{
+		Toplevel:       "h",
+		MaxRuns:        50,
+		Seed:           1,
+		StopAtFirstBug: true,
+		Observer:       NewNDJSONSink(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceGoldenE1Intro(t *testing.T) {
+	got := traceE1(t)
+	golden := filepath.Join("testdata", "trace_e1intro.ndjson")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace diverged from golden (run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTraceReplayByteIdentical(t *testing.T) {
+	a, b := traceE1(t), traceE1(t)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same program + same seed must trace byte-identically\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+}
