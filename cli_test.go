@@ -4,12 +4,16 @@ package dart
 // file, checking both human and JSON output modes end to end.
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"dart/internal/progs"
 )
@@ -311,6 +315,254 @@ func TestCLIMetricsAndTiming(t *testing.T) {
 	}
 	if rep.Metrics == nil || rep.Metrics.Counters["runs"] == 0 {
 		t.Errorf("metrics missing from JSON report:\n%s", out)
+	}
+}
+
+// ------------------------------------------------------ live ops flags
+
+// slowSrc never exhausts: the nonlinear predicates defeat the linear
+// solver, so the directed search keeps restarting with fresh randoms
+// until its run budget — plenty of time to poll the ops server.
+const slowSrc = `
+int h(int x, int y) {
+	if (x * x + y * y > 100) {
+		if (x > 9) {
+			return 1;
+		}
+		return 2;
+	}
+	if (y < 0) {
+		return 3;
+	}
+	return 0;
+}
+
+int g(int a, int b) {
+	if (a * a - b * b == 17) {
+		return 1;
+	}
+	return 0;
+}
+`
+
+// buildCLI compiles the dart binary once into dir (go run would make
+// the served process a child we cannot address reliably).
+func buildCLI(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "dartbin")
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/dart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCLIServeEndpoints is the end-to-end acceptance check: a real
+// dart process with -serve during a parallel audit answers on every
+// ops endpoint while the search is still running.
+func TestCLIServeEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	bin := buildCLI(t, dir)
+	src := filepath.Join(dir, "slow.mc")
+	if err := os.WriteFile(src, []byte(slowSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-audit", "-jobs", "4", "-runs", "50000000",
+		"-serve", "127.0.0.1:0", src)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The serve announcement is the machine-readable contract for :0.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "dart: serving ops on http://"); ok {
+				lineCh <- rest
+				break
+			}
+		}
+		close(lineCh)
+	}()
+	select {
+	case addr = <-lineCh:
+	case <-deadline:
+		t.Fatal("serve announcement never appeared on stderr")
+	}
+	if addr == "" {
+		t.Fatal("serve announcement missing the address")
+	}
+	base := "http://" + addr
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Errorf("/healthz: %q", got)
+	}
+	// The announcement races the audit's first events; wait until the
+	// batch is demonstrably mid-flight before asserting on live state.
+	var st struct {
+		Mode    string `json:"mode"`
+		Done    bool   `json:"done"`
+		Runs    int    `json:"runs"`
+		Entries []struct {
+			Function string `json:"function"`
+			Status   string `json:"status"`
+		} `json:"entries"`
+	}
+	waitUntil := time.Now().Add(30 * time.Second)
+	for {
+		if err := json.Unmarshal([]byte(get("/status")), &st); err != nil {
+			t.Fatalf("/status: %v", err)
+		}
+		if st.Runs > 0 || time.Now().After(waitUntil) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.Mode != "audit" || st.Done || len(st.Entries) != 2 || st.Runs == 0 {
+		t.Errorf("/status mid-audit: %+v", st)
+	}
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "# TYPE dart_runs_total counter") {
+		t.Errorf("/metrics missing runs counter:\n%.400s", metrics)
+	}
+	if strings.Contains(metrics, "dart_runs_total 0\n") {
+		t.Errorf("/metrics shows zero runs mid-audit:\n%.400s", metrics)
+	}
+	if !strings.Contains(get("/coverage"), "branch coverage") {
+		t.Error("/coverage missing the summary header")
+	}
+	events := get("/events")
+	if !strings.Contains(events, `"ev":`) || !strings.Contains(events, "ops-eof") {
+		t.Errorf("/events dump malformed:\n%.400s", events)
+	}
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Error("/debug/pprof/ index missing")
+	}
+}
+
+func TestCLICovReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(progs.Section21), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	txt := filepath.Join(dir, "cov.txt")
+	page := filepath.Join(dir, "cov.html")
+	if out, err := exec.Command("go", "run", "./cmd/dart",
+		"-top", "h", "-seed", "1", "-covreport", txt, src).CombinedOutput(); err != nil {
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("run: %v\n%s", err, out)
+		}
+	}
+	b, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture search covers 3 of 4 branch directions (75%).
+	if !strings.Contains(string(b), "branch coverage 3/4 directions (75.0%)") {
+		t.Errorf("text report summary wrong:\n%s", b)
+	}
+	if !strings.Contains(string(b), "|") || !strings.Contains(string(b), "MISSED") {
+		t.Errorf("text report missing source/missed table:\n%s", b)
+	}
+
+	exec.Command("go", "run", "./cmd/dart",
+		"-top", "h", "-seed", "1", "-covreport", page, src).Run()
+	hb, err := os.ReadFile(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(hb), "<!DOCTYPE html>") {
+		t.Errorf(".html covreport is not an HTML page:\n%.200s", hb)
+	}
+}
+
+func TestCLIAuditAggregateCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, _ := runCLI(t, "-audit", "-jobs", "2", "-seed", "1", "-runs", "200")
+	if !strings.Contains(out, "aggregate branch coverage") {
+		t.Errorf("human audit summary missing aggregate coverage:\n%s", out)
+	}
+
+	out, _ = runCLI(t, "-audit", "-jobs", "2", "-seed", "1", "-runs", "200", "-json")
+	var rep struct {
+		Covered  int     `json:"branch_directions_covered"`
+		Total    int     `json:"branch_directions_total"`
+		Fraction float64 `json:"branch_coverage_fraction"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Total == 0 || rep.Covered == 0 || rep.Fraction <= 0 {
+		t.Errorf("aggregate coverage empty: %+v\n%s", rep, out)
+	}
+	if rep.Covered > rep.Total {
+		t.Errorf("covered %d > total %d", rep.Covered, rep.Total)
+	}
+}
+
+func TestCLITraceWriteFailureWarns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full unavailable")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(src, []byte(progs.Section21), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/dart",
+		"-top", "h", "-seed", "1", "-trace", "/dev/full", src)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want 1 (a lost trace must not change the verdict)\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "warning") || !strings.Contains(stderr.String(), "trace") {
+		t.Errorf("no trace warning on stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BUG") {
+		t.Errorf("report lost alongside the trace:\n%s", stdout.String())
 	}
 }
 

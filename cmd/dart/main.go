@@ -22,6 +22,9 @@
 //	-trace file    write an NDJSON trace of search events to file
 //	-metrics       print the search metrics registry after the run
 //	-progress      live progress line on stderr while -audit runs
+//	-serve addr    serve live ops endpoints (/metrics /status /events
+//	               /coverage /healthz /debug/pprof) on addr during the run
+//	-covreport f   write an annotated source coverage report (.html = HTML)
 //	-tree file     dump the explored execution tree (.dot = Graphviz, else JSON)
 //	-list          list the functions that can serve as toplevel
 //	-iface         print the extracted interface and exit
@@ -66,6 +69,8 @@ func run() int {
 		traceF   = flag.String("trace", "", "write an NDJSON trace of search events to `file`")
 		metricsF = flag.Bool("metrics", false, "print the search metrics registry after the run")
 		progress = flag.Bool("progress", false, "live progress line on stderr while -audit runs")
+		serveF   = flag.String("serve", "", "serve live ops HTTP endpoints on `addr` during the run (e.g. 127.0.0.1:8080, :0 picks a port)")
+		covrepF  = flag.String("covreport", "", "write an annotated source coverage report to `file` (.html = HTML, else text)")
 		treeF    = flag.String("tree", "", "dump the explored execution tree to `file` (.dot = Graphviz, else JSON)")
 		list     = flag.Bool("list", false, "list candidate toplevel functions")
 		ifaceF   = flag.Bool("iface", false, "print the extracted interface")
@@ -117,21 +122,29 @@ func run() int {
 	}
 
 	if *auditF {
-		code := runAudit(prog, auditConfig{
-			seed:     *seed,
-			maxRuns:  *runs,
-			timeout:  *timeout,
-			jobs:     *jobs,
-			random:   *random,
-			json:     *jsonOut,
-			metrics:  *metricsF,
-			progress: *progress,
-			trace:    trace,
-		})
-		if err := closeTrace(trace); err != nil {
-			fmt.Fprintln(os.Stderr, "dart:", err)
+		srv, ok := startOps(*serveF, "audit", string(src), prog, dart.Functions(prog))
+		if !ok {
 			return 2
 		}
+		code := runAudit(prog, auditConfig{
+			seed:      *seed,
+			maxRuns:   *runs,
+			timeout:   *timeout,
+			jobs:      *jobs,
+			random:    *random,
+			json:      *jsonOut,
+			metrics:   *metricsF,
+			progress:  *progress,
+			trace:     trace,
+			serve:     srv,
+			covreport: *covrepF,
+			source:    string(src),
+		})
+		if srv != nil {
+			srv.Done()
+			srv.Close()
+		}
+		warnTrace(trace)
 		return code
 	}
 	if *top == "" {
@@ -161,18 +174,30 @@ func run() int {
 		return 2
 	}
 
+	mode := "directed"
+	if *random {
+		mode = "random"
+	}
+	srv, ok := startOps(*serveF, mode, string(src), prog, []string{*top})
+	if !ok {
+		return 2
+	}
+
 	var tree *dart.PathTree
 	if *treeF != "" {
 		tree = dart.NewPathTree(0)
 	}
 	var observer dart.TraceSink
-	if trace != nil || tree != nil {
+	if trace != nil || tree != nil || srv != nil {
 		var sinks []dart.TraceSink
 		if trace != nil {
 			sinks = append(sinks, trace.sink)
 		}
 		if tree != nil {
 			sinks = append(sinks, tree)
+		}
+		if srv != nil {
+			sinks = append(sinks, srv.Sink())
 		}
 		observer = dart.TeeSinks(sinks...)
 	}
@@ -199,12 +224,20 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dart:", err)
 		return 2
 	}
-	if err := closeTrace(trace); err != nil {
-		fmt.Fprintln(os.Stderr, "dart:", err)
-		return 2
+	if srv != nil {
+		srv.ReportCoverage(rep.Coverage)
+		srv.Done()
+		defer srv.Close()
 	}
+	warnTrace(trace)
 	if tree != nil {
 		if err := writeTree(tree, *treeF); err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
+	}
+	if *covrepF != "" {
+		if err := writeCovReport(*covrepF, string(src), prog, rep.Coverage); err != nil {
 			fmt.Fprintln(os.Stderr, "dart:", err)
 			return 2
 		}
@@ -212,10 +245,6 @@ func run() int {
 
 	if *jsonOut {
 		return emitJSON(rep, *random)
-	}
-	mode := "directed"
-	if *random {
-		mode = "random"
 	}
 	fmt.Printf("%s search: %d runs, %d instructions in %s (%s steps/s), branch coverage %d/%d (%.1f%%)\n",
 		mode, rep.Runs, rep.Steps, fmtElapsed(rep.Elapsed), fmtRate(stepsPerSecond(rep)),
@@ -273,6 +302,56 @@ func closeTrace(t *traceWriter) error {
 	}
 	if err := t.f.Close(); err != nil {
 		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// warnTrace downgrades a trace-file failure to a stderr warning: the
+// search finished and its report stands; losing the ride-along trace
+// must not change the exit code, but it must not be silent either.
+func warnTrace(t *traceWriter) {
+	if err := closeTrace(t); err != nil {
+		fmt.Fprintln(os.Stderr, "dart: warning:", err)
+	}
+}
+
+// ------------------------------------------------------------- live ops
+
+// startOps starts the live operations server when -serve is set and
+// announces the bound address on stderr (machine-parseable, so :0 is
+// usable from scripts).
+func startOps(addr, mode, src string, prog *dart.Program, fns []string) (*dart.OpsServer, bool) {
+	if addr == "" {
+		return nil, true
+	}
+	srv, err := dart.ServeOps(dart.OpsConfig{
+		Addr:      addr,
+		Mode:      mode,
+		Source:    src,
+		Sites:     dart.BranchSites(prog),
+		NumSites:  prog.IR.NumSites,
+		Functions: fns,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		return nil, false
+	}
+	fmt.Fprintf(os.Stderr, "dart: serving ops on http://%s\n", srv.Addr())
+	return srv, true
+}
+
+// writeCovReport renders the annotated source coverage report to path
+// (.html = standalone HTML page, anything else = terminal text).
+func writeCovReport(path, src string, prog *dart.Program, set *dart.CoverageSet) error {
+	rep := dart.AnnotateCoverage(src, dart.BranchSites(prog), set)
+	var out []byte
+	if strings.HasSuffix(path, ".html") {
+		out = rep.HTML()
+	} else {
+		out = []byte(rep.Text())
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("covreport: %w", err)
 	}
 	return nil
 }
@@ -404,15 +483,18 @@ func (p *progressSink) redraw() {
 
 // auditConfig carries the flag values relevant to -audit mode.
 type auditConfig struct {
-	seed     int64
-	maxRuns  int
-	timeout  time.Duration
-	jobs     int
-	random   bool
-	json     bool
-	metrics  bool
-	progress bool
-	trace    *traceWriter
+	seed      int64
+	maxRuns   int
+	timeout   time.Duration
+	jobs      int
+	random    bool
+	json      bool
+	metrics   bool
+	progress  bool
+	trace     *traceWriter
+	serve     *dart.OpsServer
+	covreport string
+	source    string
 }
 
 // runAudit tests every function of the program as toplevel in turn over
@@ -430,17 +512,35 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		pr = newProgressSink(os.Stderr, len(fns))
 		sinks = append(sinks, pr)
 	}
-	res := dart.Audit(prog, dart.AuditOptions{
+	opts := dart.AuditOptions{
 		Toplevels: fns,
 		Seed:      cfg.seed,
 		MaxRuns:   cfg.maxRuns,
 		Timeout:   cfg.timeout,
 		Jobs:      cfg.jobs,
 		UseRandom: cfg.random,
-		Observer:  dart.TeeSinks(sinks...),
-	})
+	}
+	if srv := cfg.serve; srv != nil {
+		sinks = append(sinks, srv.Sink())
+		// Fold each function's coverage into /coverage as it lands, and
+		// tag workers so /debug/pprof attributes CPU per function.
+		opts.OnEntry = func(e dart.AuditEntry) {
+			if e.Report != nil {
+				srv.ReportCoverage(e.Report.Coverage)
+			}
+		}
+		opts.ProfileLabels = true
+	}
+	opts.Observer = dart.TeeSinks(sinks...)
+	res := dart.Audit(prog, opts)
 	if pr != nil {
 		pr.finish()
+	}
+	if cfg.covreport != "" {
+		if err := writeCovReport(cfg.covreport, cfg.source, prog, res.Coverage); err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
 	}
 	if cfg.json {
 		return emitAuditJSON(res)
@@ -462,6 +562,9 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 	}
 	fmt.Printf("audit: %d functions, %d runs: %d ok, %d with bugs, %d timed out, %d faulted, %d cancelled\n",
 		res.Functions(), res.TotalRuns, res.OK, res.Buggy, res.TimedOut, res.Faulted, res.Cancelled)
+	fmt.Printf("audit: aggregate branch coverage %d/%d directions (%.1f%%), %d/%d sites touched\n",
+		res.Coverage.Covered(), res.Coverage.Total(), 100*res.Coverage.Fraction(),
+		res.Coverage.SitesTouched(), res.Coverage.Sites())
 	if cfg.metrics && res.Metrics != nil {
 		fmt.Print(res.Metrics.Table())
 	}
@@ -473,16 +576,21 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 
 // jsonAudit is the machine-readable audit batch shape.
 type jsonAudit struct {
-	Mode      string                `json:"mode"`
-	Functions int                   `json:"functions"`
-	TotalRuns int                   `json:"total_runs"`
-	OK        int                   `json:"ok"`
-	Buggy     int                   `json:"buggy"`
-	TimedOut  int                   `json:"timed_out"`
-	Faulted   int                   `json:"faulted"`
-	Cancelled int                   `json:"cancelled"`
-	Metrics   *dart.MetricsSnapshot `json:"metrics,omitempty"`
-	Entries   []jsonAuditEntry      `json:"entries"`
+	Mode      string `json:"mode"`
+	Functions int    `json:"functions"`
+	TotalRuns int    `json:"total_runs"`
+	OK        int    `json:"ok"`
+	Buggy     int    `json:"buggy"`
+	TimedOut  int    `json:"timed_out"`
+	Faulted   int    `json:"faulted"`
+	Cancelled int    `json:"cancelled"`
+	// Aggregate branch coverage over the whole library (union of every
+	// per-function search; sites are program-global).
+	CoverageCovered        int                   `json:"branch_directions_covered"`
+	CoverageTotal          int                   `json:"branch_directions_total"`
+	BranchCoverageFraction float64               `json:"branch_coverage_fraction"`
+	Metrics                *dart.MetricsSnapshot `json:"metrics,omitempty"`
+	Entries                []jsonAuditEntry      `json:"entries"`
 }
 
 type jsonAuditEntry struct {
@@ -497,16 +605,19 @@ type jsonAuditEntry struct {
 
 func emitAuditJSON(res *dart.AuditResult) int {
 	out := jsonAudit{
-		Mode:      "audit",
-		Functions: res.Functions(),
-		TotalRuns: res.TotalRuns,
-		OK:        res.OK,
-		Buggy:     res.Buggy,
-		TimedOut:  res.TimedOut,
-		Faulted:   res.Faulted,
-		Cancelled: res.Cancelled,
-		Metrics:   res.Metrics,
-		Entries:   []jsonAuditEntry{},
+		Mode:                   "audit",
+		Functions:              res.Functions(),
+		TotalRuns:              res.TotalRuns,
+		OK:                     res.OK,
+		Buggy:                  res.Buggy,
+		TimedOut:               res.TimedOut,
+		Faulted:                res.Faulted,
+		Cancelled:              res.Cancelled,
+		CoverageCovered:        res.Coverage.Covered(),
+		CoverageTotal:          res.Coverage.Total(),
+		BranchCoverageFraction: res.Coverage.Fraction(),
+		Metrics:                res.Metrics,
+		Entries:                []jsonAuditEntry{},
 	}
 	for _, e := range res.Entries {
 		je := jsonAuditEntry{

@@ -38,10 +38,12 @@ import (
 
 	"dart/internal/audit"
 	"dart/internal/concolic"
+	"dart/internal/coverage"
 	"dart/internal/iface"
 	"dart/internal/ir"
 	"dart/internal/machine"
 	"dart/internal/obs"
+	"dart/internal/ops"
 	"dart/internal/parser"
 	"dart/internal/sema"
 	"dart/internal/types"
@@ -258,6 +260,46 @@ func NewPathTree(maxNodes int) *PathTree { return obs.NewTree(maxNodes) }
 // MetricsSnapshot is the point-in-time view of a search's metrics
 // registry (Report.Metrics, AuditResult.Metrics).
 type MetricsSnapshot = obs.Snapshot
+
+// CoverageSet accumulates branch-direction coverage over runs
+// (Report.Coverage, AuditResult.Coverage).  Sets from different
+// searches over the same program merge with Merge.
+type CoverageSet = coverage.Set
+
+// BranchSite locates one conditional branch site of a compiled program
+// in its source.
+type BranchSite = coverage.SiteInfo
+
+// CoverageReport is an annotated source-level coverage view; render it
+// with Text or HTML.
+type CoverageReport = coverage.Report
+
+// BranchSites indexes every conditional branch site of the compiled
+// program by source position, for source-level coverage reports.
+func BranchSites(p *Program) []BranchSite {
+	return coverage.ProgSites(p.IR)
+}
+
+// AnnotateCoverage builds the source-level coverage report for src
+// (the program text) under the accumulated set.
+func AnnotateCoverage(src string, sites []BranchSite, set *CoverageSet) *CoverageReport {
+	return coverage.Annotate(src, sites, set)
+}
+
+// OpsConfig configures the live operations HTTP server; see the ops
+// package for the endpoint catalogue.
+type OpsConfig = ops.Config
+
+// OpsServer is a running live-operations HTTP server.  Feed it by
+// adding Sink() to the search's observer tee and calling
+// ReportCoverage as reports complete.
+type OpsServer = ops.Server
+
+// ServeOps starts the live operations server on cfg.Addr
+// ("127.0.0.1:0" picks a free port; Addr() reports the binding).
+func ServeOps(cfg OpsConfig) (*OpsServer, error) {
+	return ops.Start(cfg)
+}
 
 // Audit tests every function of the program (or opts.Toplevels when
 // set) as the toplevel in turn — the paper's oSIP experiment — fanned

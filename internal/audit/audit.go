@@ -13,12 +13,15 @@
 package audit
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"dart/internal/concolic"
+	"dart/internal/coverage"
 	"dart/internal/ir"
 	"dart/internal/machine"
 	"dart/internal/obs"
@@ -84,6 +87,16 @@ type Options struct {
 	// Events carry no worker identity, so the per-function event multiset
 	// is the same for any Jobs value.
 	Observer obs.Sink
+	// OnEntry, when non-nil, is called with each function's finished
+	// Entry as it completes (from the worker goroutine that ran it, so
+	// it must be safe for concurrent use when Jobs > 1).  The live ops
+	// server uses it to fold per-function coverage in as it lands.
+	OnEntry func(Entry)
+	// ProfileLabels tags each worker's goroutine with a dart_fn pprof
+	// label naming the function under test, so CPU profiles scraped
+	// from /debug/pprof attribute samples per audited function.  Off by
+	// default: label maintenance costs a little on every search.
+	ProfileLabels bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -135,6 +148,10 @@ type Result struct {
 	TotalRuns int
 	// Metrics aggregates every per-function search's metrics snapshot.
 	Metrics *obs.Snapshot
+	// Coverage merges every per-function report's branch coverage into
+	// one whole-library set (sites are program-global, so the union is
+	// well-defined across functions).
+	Coverage *coverage.Set
 }
 
 // Functions returns how many functions were audited.
@@ -162,6 +179,9 @@ func Run(prog *ir.Prog, opts Options) *Result {
 			defer wg.Done()
 			for i := range idx {
 				entries[i] = auditOne(prog, o, i, lifecycle)
+				if o.OnEntry != nil {
+					notifyEntry(o.OnEntry, entries[i])
+				}
 			}
 		}()
 	}
@@ -172,8 +192,9 @@ func Run(prog *ir.Prog, opts Options) *Result {
 	wg.Wait()
 
 	res := &Result{
-		Entries: entries,
-		Metrics: &obs.Snapshot{Counters: map[string]int64{}, Histograms: map[string]obs.HistView{}},
+		Entries:  entries,
+		Metrics:  &obs.Snapshot{Counters: map[string]int64{}, Histograms: map[string]obs.HistView{}},
+		Coverage: coverage.New(prog.NumSites),
 	}
 	for i := range entries {
 		switch entries[i].Status {
@@ -191,9 +212,18 @@ func Run(prog *ir.Prog, opts Options) *Result {
 		if entries[i].Report != nil {
 			res.TotalRuns += entries[i].Report.Runs
 			res.Metrics.Merge(entries[i].Report.Metrics)
+			res.Coverage.Merge(entries[i].Report.Coverage)
 		}
 	}
 	return res
+}
+
+// notifyEntry invokes the OnEntry callback behind a recover barrier:
+// like a panicking observer, a panicking callback must not take down an
+// audit worker.
+func notifyEntry(fn func(Entry), e Entry) {
+	defer func() { recover() }()
+	fn(e)
 }
 
 // auditOne searches one function under its own deadline and recover
@@ -222,22 +252,33 @@ func auditOne(prog *ir.Prog, o Options, i int, lifecycle obs.Sink) (entry Entry)
 		}
 	}()
 
-	rep, err := searchOne(prog, o, i, o.MaxRuns)
-	if err != nil {
-		entry.Status, entry.Err = Faulted, err.Error()
-		return entry
-	}
-	if rep.Stopped == concolic.StopDeadline && o.RetryRuns > 0 {
-		// One retry with a reduced run budget: the deadline is unchanged,
-		// but a smaller search may finish inside it, upgrading a timeout
-		// into a (shallower) complete result.
-		entry.Retried = true
-		if rep2, err2 := searchOne(prog, o, i, o.RetryRuns); err2 == nil {
-			rep = rep2
+	search := func() {
+		rep, err := searchOne(prog, o, i, o.MaxRuns)
+		if err != nil {
+			entry.Status, entry.Err = Faulted, err.Error()
+			return
 		}
+		if rep.Stopped == concolic.StopDeadline && o.RetryRuns > 0 {
+			// One retry with a reduced run budget: the deadline is unchanged,
+			// but a smaller search may finish inside it, upgrading a timeout
+			// into a (shallower) complete result.
+			entry.Retried = true
+			if rep2, err2 := searchOne(prog, o, i, o.RetryRuns); err2 == nil {
+				rep = rep2
+			}
+		}
+		entry.Report = rep
+		entry.Status = statusOf(rep)
 	}
-	entry.Report = rep
-	entry.Status = statusOf(rep)
+	if o.ProfileLabels {
+		// Tag every sample this worker produces while searching this
+		// function, so /debug/pprof/profile breaks CPU down by dart_fn.
+		pprof.Do(context.Background(), pprof.Labels("dart_fn", entry.Function), func(context.Context) {
+			search()
+		})
+	} else {
+		search()
+	}
 	return entry
 }
 

@@ -370,8 +370,8 @@ func (e *engine) search() {
 				return
 			}
 			if e.obs != nil {
-			e.emit(obs.Event{Kind: obs.RunStart, Run: e.report.Runs + 1})
-		}
+				e.emit(obs.Event{Kind: obs.RunStart, Run: e.report.Runs + 1})
+			}
 			m, rerr, fault := e.runIsolated()
 			if fault != nil {
 				if !e.noteFault(fault) {

@@ -16,14 +16,53 @@ func New(sites int) *Set {
 	return &Set{taken: map[int]bool{}, notTaken: map[int]bool{}, sites: sites}
 }
 
-// Record notes that site executed with the given outcome.
+// Record notes that site executed with the given outcome.  Negative
+// sites (the machine's pointer-shape Decision records, which are not
+// program branch sites) are ignored.
 func (s *Set) Record(site int, taken bool) {
+	if site < 0 {
+		return
+	}
 	if taken {
 		s.taken[site] = true
 	} else {
 		s.notTaken[site] = true
 	}
 }
+
+// Merge folds other's covered directions into s (set union).  The audit
+// pool uses it to aggregate per-function coverage into a whole-library
+// view; since every search of one program shares the program-global
+// site numbering, the union is exact.
+func (s *Set) Merge(other *Set) {
+	if other == nil {
+		return
+	}
+	for k := range other.taken {
+		s.taken[k] = true
+	}
+	for k := range other.notTaken {
+		s.notTaken[k] = true
+	}
+	if other.sites > s.sites {
+		s.sites = other.sites
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := New(s.sites)
+	c.Merge(s)
+	return c
+}
+
+// Site reports the covered directions of one branch site.
+func (s *Set) Site(site int) (taken, notTaken bool) {
+	return s.taken[site], s.notTaken[site]
+}
+
+// Sites returns the number of conditional branch sites in the program.
+func (s *Set) Sites() int { return s.sites }
 
 // Covered returns the number of covered branch directions (each site has
 // two: taken and not-taken).

@@ -1,6 +1,11 @@
 package coverage
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"dart/internal/token"
+)
 
 func TestEmpty(t *testing.T) {
 	s := New(0)
@@ -43,5 +48,136 @@ func TestFraction(t *testing.T) {
 	s.Record(1, false)
 	if f := s.Fraction(); f != 1.0 {
 		t.Errorf("fraction = %f, want 1.0", f)
+	}
+}
+
+func TestRecordNegativeSiteIgnored(t *testing.T) {
+	s := New(2)
+	// Decision records (e.g. the random tester's driver choices) carry
+	// Site == -1; they must not pollute branch coverage.
+	s.Record(-1, true)
+	s.Record(-1, false)
+	if s.Covered() != 0 || s.SitesTouched() != 0 {
+		t.Errorf("negative site recorded: covered=%d touched=%d", s.Covered(), s.SitesTouched())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(3)
+	a.Record(0, true)
+	a.Record(1, false)
+	b := New(3)
+	b.Record(0, true) // overlap: no double counting
+	b.Record(0, false)
+	b.Record(2, true)
+	a.Merge(b)
+	if a.Covered() != 4 {
+		t.Errorf("merged covered = %d, want 4", a.Covered())
+	}
+	if a.SitesTouched() != 3 {
+		t.Errorf("merged sites touched = %d, want 3", a.SitesTouched())
+	}
+	if b.Covered() != 3 {
+		t.Errorf("merge mutated the source set: %d", b.Covered())
+	}
+	a.Merge(nil) // no-op
+	if a.Covered() != 4 {
+		t.Errorf("nil merge changed the set: %d", a.Covered())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(2)
+	a.Record(0, true)
+	c := a.Clone()
+	c.Record(1, true)
+	if a.Covered() != 1 {
+		t.Errorf("clone wrote through to the original: %d", a.Covered())
+	}
+	if c.Covered() != 2 {
+		t.Errorf("clone covered = %d, want 2", c.Covered())
+	}
+}
+
+func TestSiteDirections(t *testing.T) {
+	s := New(2)
+	s.Record(0, true)
+	if taken, notTaken := s.Site(0); !taken || notTaken {
+		t.Errorf("site 0 = (%v,%v), want (true,false)", taken, notTaken)
+	}
+	if taken, notTaken := s.Site(1); taken || notTaken {
+		t.Errorf("site 1 = (%v,%v), want (false,false)", taken, notTaken)
+	}
+}
+
+// testSites lays two sites on lines 2 and 3 of a three-line program.
+func testSites() []SiteInfo {
+	return []SiteInfo{
+		{Site: 0, Fn: "f", Pos: token.Pos{Line: 2, Col: 5}},
+		{Site: 1, Fn: "f", Pos: token.Pos{Line: 3, Col: 5}},
+	}
+}
+
+func TestAnnotateClasses(t *testing.T) {
+	src := "int f(int x) {\nif (x) {\nif (x > 1) { }\n}\n}\n"
+	set := New(2)
+	set.Record(0, true)
+	set.Record(0, false)
+	set.Record(1, true)
+	rep := Annotate(src, testSites(), set)
+	if rep.Covered != 3 || rep.Total != 4 {
+		t.Fatalf("covered=%d total=%d, want 3/4", rep.Covered, rep.Total)
+	}
+	if got := rep.LineClass(1); got != ClassPlain {
+		t.Errorf("line 1 class %q, want plain", got)
+	}
+	if got := rep.LineClass(2); got != ClassFull {
+		t.Errorf("line 2 class %q, want full", got)
+	}
+	if got := rep.LineClass(3); got != ClassPartial {
+		t.Errorf("line 3 class %q, want partial", got)
+	}
+	empty := Annotate(src, testSites(), New(2))
+	if got := empty.LineClass(2); got != ClassNone {
+		t.Errorf("uncovered line class %q, want none", got)
+	}
+}
+
+func TestReportText(t *testing.T) {
+	src := "int f(int x) {\nif (x) {\nif (x > 1) { }\n}\n}\n"
+	set := New(2)
+	set.Record(0, true)
+	set.Record(0, false)
+	set.Record(1, true)
+	text := Annotate(src, testSites(), set).Text()
+	if !strings.Contains(text, "branch coverage 3/4 directions (75.0%)") {
+		t.Errorf("missing summary header:\n%s", text)
+	}
+	if !strings.Contains(text, "++    2 |") {
+		t.Errorf("line 2 gutter not ++:\n%s", text)
+	}
+	if !strings.Contains(text, "+-    3 |") {
+		t.Errorf("line 3 gutter not +-:\n%s", text)
+	}
+	if !strings.Contains(text, "uncovered directions (1 sites)") ||
+		!strings.Contains(text, "not-taken=MISSED") {
+		t.Errorf("missed-directions table wrong:\n%s", text)
+	}
+}
+
+func TestReportHTML(t *testing.T) {
+	src := "int f(int x) {\nif (x < 1) { }\n}\n"
+	sites := []SiteInfo{{Site: 0, Fn: "f", Pos: token.Pos{Line: 2, Col: 5}}}
+	set := New(1)
+	set.Record(0, true)
+	page := string(Annotate(src, sites, set).HTML())
+	if !strings.Contains(page, "<!DOCTYPE html>") {
+		t.Errorf("not a standalone page:\n%s", page)
+	}
+	if !strings.Contains(page, `class="partial"`) {
+		t.Errorf("line 2 not marked partial:\n%s", page)
+	}
+	if strings.Contains(page, "x < 1") || !strings.Contains(page, "x &lt; 1") {
+		t.Errorf("source not HTML-escaped:\n%s", page)
 	}
 }

@@ -1,0 +1,187 @@
+// Source-level coverage reporting: the per-line annotated view the
+// industrial DART descendants ship as their product surface (CTGEN's
+// per-function C1 branch reports, Coyote's coverage dashboards).  Given
+// the program text, the site index, and an accumulated Set, Annotate
+// classifies every branch site and renders the source with each line's
+// branch status — as monospace text for terminals and as a standalone
+// HTML page for the live /coverage endpoint and -covreport files.
+package coverage
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+)
+
+// Line coverage classes, worst direction wins.
+const (
+	// ClassNone: the line has at least one site no direction of which
+	// ever executed.
+	ClassNone = "none"
+	// ClassPartial: every site on the line executed, but some direction
+	// was never taken.
+	ClassPartial = "partial"
+	// ClassFull: both directions of every site on the line executed.
+	ClassFull = "full"
+	// ClassPlain: the line has no branch site.
+	ClassPlain = ""
+)
+
+// SiteStatus is the report entry for one branch site.
+type SiteStatus struct {
+	SiteInfo
+	Taken    bool `json:"taken"`
+	NotTaken bool `json:"not_taken"`
+}
+
+// Report is an annotated source-coverage view.
+type Report struct {
+	// Lines are the source lines, 0-indexed (line 1 is Lines[0]).
+	Lines []string
+	// ByLine maps a 1-based source line to its sites, in site order.
+	ByLine map[int][]SiteStatus
+	// Sites is every known site's status, in site order.
+	Sites []SiteStatus
+	// Covered/Total are the branch-direction tallies of the Set.
+	Covered, Total int
+	// SitesTouched/SiteCount tally sites hit in either direction.
+	SitesTouched, SiteCount int
+}
+
+// Annotate builds the report for src under the accumulated set.
+func Annotate(src string, sites []SiteInfo, set *Set) *Report {
+	r := &Report{
+		Lines:     strings.Split(strings.TrimRight(src, "\n"), "\n"),
+		ByLine:    map[int][]SiteStatus{},
+		Covered:   set.Covered(),
+		Total:     set.Total(),
+		SiteCount: set.Sites(),
+	}
+	r.SitesTouched = set.SitesTouched()
+	for _, si := range sites {
+		taken, notTaken := set.Site(si.Site)
+		st := SiteStatus{SiteInfo: si, Taken: taken, NotTaken: notTaken}
+		r.Sites = append(r.Sites, st)
+		r.ByLine[si.Pos.Line] = append(r.ByLine[si.Pos.Line], st)
+	}
+	return r
+}
+
+// Fraction is covered/total, or 0 for a branch-free program.
+func (r *Report) Fraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Total)
+}
+
+// LineClass classifies a 1-based source line.
+func (r *Report) LineClass(line int) string {
+	sites, ok := r.ByLine[line]
+	if !ok {
+		return ClassPlain
+	}
+	class := ClassFull
+	for _, s := range sites {
+		switch {
+		case !s.Taken && !s.NotTaken:
+			return ClassNone
+		case !s.Taken || !s.NotTaken:
+			class = ClassPartial
+		}
+	}
+	return class
+}
+
+// mark is the two-column text gutter for a line: one character per
+// aggregate direction (taken, not-taken), '+' covered / '-' missed.
+func lineMark(sites []SiteStatus) string {
+	if len(sites) == 0 {
+		return "  "
+	}
+	taken, notTaken := true, true
+	for _, s := range sites {
+		taken = taken && s.Taken
+		notTaken = notTaken && s.NotTaken
+	}
+	m := func(ok bool) byte {
+		if ok {
+			return '+'
+		}
+		return '-'
+	}
+	return string([]byte{m(taken), m(notTaken)})
+}
+
+// Text renders the annotated source for a terminal: a summary header,
+// the numbered source with a taken/not-taken gutter, and a per-site
+// table of the missed directions.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "branch coverage %d/%d directions (%.1f%%), %d/%d sites touched\n",
+		r.Covered, r.Total, 100*r.Fraction(), r.SitesTouched, r.SiteCount)
+	b.WriteString("gutter: taken/not-taken over the line's sites ('+' covered, '-' missed)\n\n")
+	for i, line := range r.Lines {
+		fmt.Fprintf(&b, "%s %4d | %s\n", lineMark(r.ByLine[i+1]), i+1, line)
+	}
+	var missed []SiteStatus
+	for _, s := range r.Sites {
+		if !s.Taken || !s.NotTaken {
+			missed = append(missed, s)
+		}
+	}
+	if len(missed) > 0 {
+		fmt.Fprintf(&b, "\nuncovered directions (%d sites):\n", len(missed))
+		sort.Slice(missed, func(i, j int) bool { return missed[i].Site < missed[j].Site })
+		for _, s := range missed {
+			fmt.Fprintf(&b, "  site %-4d %s at %s: taken=%s not-taken=%s\n",
+				s.Site, s.Fn, s.Pos, mark(s.Taken), mark(s.NotTaken))
+		}
+	}
+	return b.String()
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "MISSED"
+}
+
+// HTML renders the annotated source as a standalone page: lines tinted
+// by coverage class, per-line tooltips naming each site's directions.
+func (r *Report) HTML() []byte {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>dart coverage</title><style>
+body { font-family: monospace; background: #fff; color: #111; margin: 1.5em; }
+pre { line-height: 1.35; }
+.full { background: #d7f4d7; }
+.partial { background: #fdf3c7; }
+.none { background: #f9d4d4; }
+.ln { color: #888; user-select: none; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>branch coverage %d/%d directions (%.1f%%)</h1>\n", r.Covered, r.Total, 100*r.Fraction())
+	fmt.Fprintf(&b, "<p>%d/%d sites touched in either direction; green = both directions, yellow = one missed, red = never executed.</p>\n<pre>\n", r.SitesTouched, r.SiteCount)
+	for i, line := range r.Lines {
+		class := r.LineClass(i + 1)
+		title := ""
+		if sites := r.ByLine[i+1]; len(sites) > 0 {
+			var parts []string
+			for _, s := range sites {
+				parts = append(parts, fmt.Sprintf("site %d (%s): taken=%v not-taken=%v", s.Site, s.Fn, s.Taken, s.NotTaken))
+			}
+			title = fmt.Sprintf(` title="%s"`, html.EscapeString(strings.Join(parts, "; ")))
+		}
+		if class == ClassPlain {
+			fmt.Fprintf(&b, "<span class=\"ln\">%4d</span>  %s\n", i+1, html.EscapeString(line))
+		} else {
+			fmt.Fprintf(&b, "<span class=\"ln\">%4d</span>  <span class=\"%s\"%s>%s</span>\n",
+				i+1, class, title, html.EscapeString(line))
+		}
+	}
+	b.WriteString("</pre></body></html>\n")
+	return []byte(b.String())
+}

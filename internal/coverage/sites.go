@@ -1,0 +1,42 @@
+// Branch-site indexing: mapping the program-global site numbers the
+// machine records back to source positions, so coverage can be reported
+// against the program text instead of as a bare fraction.
+package coverage
+
+import (
+	"sort"
+
+	"dart/internal/ir"
+	"dart/internal/token"
+)
+
+// SiteInfo locates one conditional branch site in the source.
+type SiteInfo struct {
+	// Site is the program-global branch site number (ir.IfGoto.Site).
+	Site int `json:"site"`
+	// Fn is the function the site's conditional belongs to.
+	Fn string `json:"fn"`
+	// Pos is the source position of the conditional.
+	Pos token.Pos `json:"pos"`
+}
+
+// ProgSites lists every conditional branch site of the compiled program
+// with its source position, ordered by site number.  One source
+// conditional can lower to several sites (short-circuit operators emit
+// one IfGoto per operand), in which case multiple sites share a
+// position.
+func ProgSites(prog *ir.Prog) []SiteInfo {
+	var out []SiteInfo
+	seen := map[int]bool{}
+	for _, name := range prog.FuncOrder {
+		fn := prog.Funcs[name]
+		for _, ins := range fn.Code {
+			if br, ok := ins.(*ir.IfGoto); ok && br.Site >= 0 && !seen[br.Site] {
+				seen[br.Site] = true
+				out = append(out, SiteInfo{Site: br.Site, Fn: name, Pos: br.Pos})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}

@@ -1,0 +1,84 @@
+package coverage_test
+
+import (
+	"testing"
+
+	"dart"
+	"dart/internal/coverage"
+)
+
+// ProgSites must index every surviving conditional branch of a compiled
+// program, deduplicated by site, in site order, with source positions.
+func TestProgSites(t *testing.T) {
+	prog, err := dart.Compile(`
+int f(int x, int y) {
+	if (x * x > 10) {
+		if (y * y < 4) {
+			return 1;
+		}
+	}
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := coverage.ProgSites(prog.IR)
+	if len(sites) == 0 {
+		t.Fatal("no sites indexed")
+	}
+	if len(sites) > prog.IR.NumSites {
+		t.Fatalf("%d sites indexed, program has %d", len(sites), prog.IR.NumSites)
+	}
+	seen := map[int]bool{}
+	last := -1
+	for _, si := range sites {
+		if seen[si.Site] {
+			t.Errorf("site %d listed twice", si.Site)
+		}
+		seen[si.Site] = true
+		if si.Site < last {
+			t.Errorf("sites not in order: %d after %d", si.Site, last)
+		}
+		last = si.Site
+		if si.Fn != "f" {
+			t.Errorf("site %d attributed to %q, want f", si.Site, si.Fn)
+		}
+		if !si.Pos.IsValid() {
+			t.Errorf("site %d has no source position", si.Site)
+		}
+	}
+}
+
+// A full search's coverage set must line up with the site index: every
+// direction the complete search covered annotates as full lines.
+func TestProgSitesMatchSearchCoverage(t *testing.T) {
+	src := `
+int f(int x) {
+	if (x * x > 100) {
+		return 1;
+	}
+	return 0;
+}
+`
+	prog, err := dart.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dart.Run(prog, dart.Options{Toplevel: "f", MaxRuns: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage.Fraction() != 1.0 {
+		t.Fatalf("search did not reach full coverage: %v", rep.Coverage.Fraction())
+	}
+	r := coverage.Annotate(src, coverage.ProgSites(prog.IR), rep.Coverage)
+	for _, st := range r.Sites {
+		if !st.Taken || !st.NotTaken {
+			t.Errorf("site %d at %s not fully covered in annotation", st.Site, st.Pos)
+		}
+	}
+	if r.LineClass(3) != coverage.ClassFull {
+		t.Errorf("branch line class %q, want full", r.LineClass(3))
+	}
+}

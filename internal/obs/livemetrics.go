@@ -1,0 +1,85 @@
+// LiveMetrics: the event→metrics bridge.  The per-search registries of
+// metrics.go are private to their search and only surface as snapshots
+// after the search ends; a live operations surface needs the same
+// counters *while* the search (or a whole parallel audit) runs.  Every
+// standard counter and three of the standard histograms are derivable
+// from the trace-event stream — the engine increments the registry and
+// emits the event at the same sites — so a LiveMetrics sink fed the
+// audit's event stream converges to exactly the counters of the final
+// merged report (the one divergence: a timed-out function's retry
+// replaces its report, discarding the first attempt's registry, while
+// the event stream saw both attempts — live counters are ≥ report
+// counters when deadlines trip).
+package obs
+
+import "sync"
+
+// LiveMetrics is a Sink folding events into a metrics registry.  Unlike
+// Metrics it is safe for concurrent use: audit workers from every
+// goroutine emit into it.
+type LiveMetrics struct {
+	mu sync.Mutex
+	m  *Metrics
+	// events counts every event seen, including kinds that carry no
+	// metric.
+	events uint64
+}
+
+// NewLiveMetrics returns an empty bridge.
+func NewLiveMetrics() *LiveMetrics {
+	return &LiveMetrics{m: NewMetrics()}
+}
+
+// Event implements Sink.
+func (l *LiveMetrics) Event(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events++
+	switch ev.Kind {
+	case RunEnd:
+		l.m.Add(CRuns, 1)
+		l.m.Observe(HStepsPerRun, ev.Steps)
+	case Restart:
+		l.m.Add(CRestarts, 1)
+	case Misprediction:
+		l.m.Add(CMispredicts, 1)
+	case BranchFlip:
+		l.m.Add(CBranchFlips, 1)
+	case SolverCall:
+		l.m.Observe(HPCLen, int64(ev.PCLen))
+		l.m.Observe(HFrontierDepth, int64(ev.Depth))
+	case SolverVerdict:
+		switch ev.Verdict {
+		case "sat":
+			l.m.Add(CSolverSat, 1)
+		case "budget-exhausted":
+			l.m.Add(CSolverBudget, 1)
+		default:
+			l.m.Add(CSolverUnsat, 1)
+		}
+		l.m.Observe(HSolverWork, ev.Work)
+	case BugFound:
+		l.m.Add(CBugs, 1)
+	case FallbackConcrete:
+		switch ev.Flag {
+		case "all_linear":
+			l.m.Add(CFallbackLinear, 1)
+		case "all_locs_definite":
+			l.m.Add(CFallbackLocs, 1)
+		}
+	}
+}
+
+// Snapshot freezes the current state; safe to call while events flow.
+func (l *LiveMetrics) Snapshot() *Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Snapshot()
+}
+
+// Events returns how many events the bridge has seen.
+func (l *LiveMetrics) Events() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events
+}

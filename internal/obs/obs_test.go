@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -217,6 +218,168 @@ func TestTreeReconstruction(t *testing.T) {
 		if !strings.Contains(dot, frag) {
 			t.Errorf("DOT output missing %q:\n%s", frag, dot)
 		}
+	}
+}
+
+// An audit fans one Tee out to several sinks from every worker at
+// once; the fan-out must deliver every event to every sink without
+// corruption.
+func TestTeeConcurrentEmit(t *testing.T) {
+	var a, b Collector
+	tee := Tee(&a, &b)
+	const workers, events = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				tee.Event(Event{Kind: RunStart, Run: i, Depth: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(a.Events()) != workers*events || len(b.Events()) != workers*events {
+		t.Errorf("fan-out lost events: a=%d b=%d, want %d each",
+			len(a.Events()), len(b.Events()), workers*events)
+	}
+}
+
+// Guarded must disable a panicking sink exactly once even when many
+// goroutines hit the panic simultaneously, and never unwind into any
+// of them.
+func TestGuardedConcurrentPanic(t *testing.T) {
+	var calls int64
+	g := Guarded(SinkFunc(func(Event) {
+		atomic.AddInt64(&calls, 1)
+		panic("observer bug")
+	}))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				g.Event(Event{Kind: RunStart, Run: i})
+			}
+		}()
+	}
+	wg.Wait()
+	// Several goroutines may race into the sink before the first panic
+	// flips the disable switch, but the count must stay far below the
+	// 800 total emits and no panic may have escaped.
+	if got := atomic.LoadInt64(&calls); got < 1 || got > 8 {
+		t.Errorf("panicking sink called %d times, want 1..8", got)
+	}
+}
+
+// Tree is documented as safe for concurrent use: audit workers all emit
+// into one tree.  Hammer it and check the node count stays coherent.
+func TestTreeConcurrentEmit(t *testing.T) {
+	tr := NewTree(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			feedTree(tr)
+		}()
+	}
+	wg.Wait()
+	// All workers feed identical paths, so the tree is the same 7-node
+	// shape as a single feed, with runs summed.
+	if tr.Nodes() != 7 {
+		t.Errorf("concurrent feeds built %d nodes, want 7", tr.Nodes())
+	}
+	b, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Tree []struct {
+			Path string `json:"path"`
+			Runs int    `json:"runs"`
+		} `json:"tree"`
+	}
+	if err := json.Unmarshal(b, &dump); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range dump.Tree {
+		if n.Path == "10" && n.Runs != 8 {
+			t.Errorf("leaf runs = %d, want 8", n.Runs)
+		}
+	}
+}
+
+// LiveMetrics must fold an event stream into exactly the counters the
+// engine's own registry would have recorded at the same emit sites.
+func TestLiveMetricsFold(t *testing.T) {
+	l := NewLiveMetrics()
+	feed := []Event{
+		{Kind: RunStart, Run: 1},
+		{Kind: RunEnd, Run: 1, Steps: 10},
+		{Kind: Restart},
+		{Kind: Misprediction},
+		{Kind: BranchFlip},
+		{Kind: SolverCall, PCLen: 3, Depth: 2},
+		{Kind: SolverVerdict, Verdict: "sat", Work: 5},
+		{Kind: SolverCall, PCLen: 1, Depth: 1},
+		{Kind: SolverVerdict, Verdict: "unsat", Work: 2},
+		{Kind: SolverCall, PCLen: 2, Depth: 1},
+		{Kind: SolverVerdict, Verdict: "budget-exhausted", Work: 9},
+		{Kind: BugFound, Msg: "boom"},
+		{Kind: FallbackConcrete, Flag: "all_linear"},
+		{Kind: FallbackConcrete, Flag: "all_locs_definite"},
+	}
+	for _, ev := range feed {
+		l.Event(ev)
+	}
+	if l.Events() != uint64(len(feed)) {
+		t.Errorf("Events() = %d, want %d", l.Events(), len(feed))
+	}
+	s := l.Snapshot()
+	wantCounters := map[string]int64{
+		CRuns: 1, CRestarts: 1, CMispredicts: 1, CBranchFlips: 1,
+		CSolverSat: 1, CSolverUnsat: 1, CSolverBudget: 1,
+		CBugs: 1, CFallbackLinear: 1, CFallbackLocs: 1,
+	}
+	for name, want := range wantCounters {
+		if s.Counters[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, s.Counters[name], want)
+		}
+	}
+	if h := s.Histograms[HStepsPerRun]; h.Count != 1 || h.Sum != 10 {
+		t.Errorf("steps hist count=%d sum=%d, want 1/10", h.Count, h.Sum)
+	}
+	if h := s.Histograms[HPCLen]; h.Count != 3 || h.Sum != 6 {
+		t.Errorf("pc_len hist count=%d sum=%d, want 3/6", h.Count, h.Sum)
+	}
+	if h := s.Histograms[HSolverWork]; h.Count != 3 || h.Sum != 16 {
+		t.Errorf("solver work hist count=%d sum=%d, want 3/16", h.Count, h.Sum)
+	}
+	// Snapshot must be a frozen copy: later events don't leak into it.
+	l.Event(Event{Kind: RunEnd, Steps: 1})
+	if s.Counters[CRuns] != 1 {
+		t.Error("snapshot mutated by a later event")
+	}
+}
+
+func TestLiveMetricsConcurrent(t *testing.T) {
+	l := NewLiveMetrics()
+	const workers, runs = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runs; i++ {
+				l.Event(Event{Kind: RunEnd, Steps: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Snapshot().Counters[CRuns]; got != workers*runs {
+		t.Errorf("runs = %d, want %d", got, workers*runs)
 	}
 }
 

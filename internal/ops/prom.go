@@ -1,0 +1,59 @@
+// Prometheus text-exposition bridge: renders an obs.Snapshot (plus a
+// few server-side gauges) in the text format version 0.0.4 that
+// Prometheus and its ecosystem scrape.  Counters become
+// dart_<name>_total, histograms become native Prometheus histograms
+// with cumulative le buckets; map iteration is sorted so consecutive
+// scrapes of an idle server are byte-identical.
+package ops
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dart/internal/obs"
+)
+
+// writeProm renders the snapshot and the gauge map.
+func writeProm(w io.Writer, snap *obs.Snapshot, gauges map[string]float64) {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE dart_%s_total counter\n", name)
+		fmt.Fprintf(w, "dart_%s_total %d\n", name, snap.Counters[name])
+	}
+
+	hnames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		hv := snap.Histograms[name]
+		fmt.Fprintf(w, "# TYPE dart_%s histogram\n", name)
+		cum := int64(0)
+		for i, c := range hv.Counts {
+			cum += c
+			if i < len(hv.Bounds) {
+				fmt.Fprintf(w, "dart_%s_bucket{le=\"%d\"} %d\n", name, hv.Bounds[i], cum)
+			} else {
+				fmt.Fprintf(w, "dart_%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			}
+		}
+		fmt.Fprintf(w, "dart_%s_sum %d\n", name, hv.Sum)
+		fmt.Fprintf(w, "dart_%s_count %d\n", name, hv.Count)
+	}
+
+	gnames := make([]string, 0, len(gauges))
+	for name := range gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		fmt.Fprintf(w, "# TYPE dart_%s gauge\n", name)
+		fmt.Fprintf(w, "dart_%s %g\n", name, gauges[name])
+	}
+}

@@ -1,0 +1,124 @@
+// The event ring: a bounded, lock-free broadcast buffer between the
+// search engine (producers: audit workers) and the /events streaming
+// handlers (consumers: HTTP subscribers).  The engine must never block
+// on observation — a slow or stalled curl cannot be allowed to stall
+// the search — so producers always win: a publish claims the next slot
+// with one atomic add and overwrites whatever is there.  Subscribers
+// keep their own cursors; one that falls more than a ring behind skips
+// forward and counts the overwritten events as drops instead of ever
+// back-pressuring the producer.
+package ops
+
+import (
+	"sync/atomic"
+
+	"dart/internal/obs"
+)
+
+// ringSlot holds one published event.  The event is stored behind an
+// atomic pointer (immutable once stored) and published by setting seq
+// to ticket+1, so readers never touch a half-written Event.
+type ringSlot struct {
+	seq atomic.Uint64
+	ev  atomic.Pointer[obs.Event]
+}
+
+// ring is the broadcast buffer.  size must be a power of two.
+type ring struct {
+	slots []ringSlot
+	mask  uint64
+	head  atomic.Uint64 // next ticket to publish
+}
+
+// defaultRingSize retains the last 4096 events for late subscribers.
+const defaultRingSize = 1 << 12
+
+func newRing(size int) *ring {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	// Round up to a power of two.
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &ring{slots: make([]ringSlot, n), mask: uint64(n - 1)}
+}
+
+// publish stores ev and never blocks; the oldest retained event is
+// overwritten once the ring is full.
+func (r *ring) publish(ev obs.Event) {
+	t := r.head.Add(1) - 1
+	s := &r.slots[t&r.mask]
+	e := ev // one heap copy; readers share the immutable value
+	// Stamp the ticket as the event's sequence number: /events readers
+	// see a gap in seq exactly where the ring overwrote events.
+	e.Seq = t
+	s.ev.Store(&e)
+	s.seq.Store(t + 1)
+}
+
+// published returns the total number of events ever published.
+func (r *ring) published() uint64 { return r.head.Load() }
+
+// subscriber is one consumer's cursor into the ring.
+type subscriber struct {
+	r       *ring
+	cursor  uint64 // next ticket to read
+	dropped uint64 // events overwritten before this subscriber read them
+}
+
+// subscribe starts a consumer at the oldest still-retained event, so a
+// late subscriber first replays the buffered history.
+func (r *ring) subscribe() *subscriber {
+	head := r.head.Load()
+	start := uint64(0)
+	if head > uint64(len(r.slots)) {
+		start = head - uint64(len(r.slots))
+	}
+	return &subscriber{r: r, cursor: start}
+}
+
+// next returns the next event if one is available.  ok is false when
+// the subscriber is caught up (or a publish is in flight); call again.
+// Falling behind the producers advances the cursor and accounts the
+// skipped events in Dropped.
+func (s *subscriber) next() (ev obs.Event, ok bool) {
+	for {
+		head := s.r.head.Load()
+		if s.cursor >= head {
+			return obs.Event{}, false // caught up
+		}
+		if lag := head - s.cursor; lag > uint64(len(s.r.slots)) {
+			// Producers lapped us: everything up to head-size is gone.
+			skip := lag - uint64(len(s.r.slots))
+			s.dropped += skip
+			s.cursor += skip
+		}
+		slot := &s.r.slots[s.cursor&s.r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == s.cursor+1:
+			p := slot.ev.Load()
+			if slot.seq.Load() != s.cursor+1 {
+				// Overwritten between the check and the load; the event
+				// for this ticket is unrecoverable.
+				s.dropped++
+				s.cursor++
+				continue
+			}
+			s.cursor++
+			return *p, true
+		case seq > s.cursor+1:
+			// The slot was already lapped; this ticket's event is gone.
+			s.dropped++
+			s.cursor++
+		default:
+			// The publish for this ticket is still in flight.
+			return obs.Event{}, false
+		}
+	}
+}
+
+// Dropped reports how many events this subscriber lost to overwrites.
+func (s *subscriber) Dropped() uint64 { return s.dropped }

@@ -1,0 +1,396 @@
+// Package ops is the live operations surface: an HTTP server exposing
+// a running search — or a whole parallel library audit — to the outside
+// world while it executes.  DART's pitch is coverage, and its
+// industrial descendants treat structural-coverage reporting and live
+// dashboards as the product surface; ops is that layer for this repo.
+//
+// Endpoints:
+//
+//	/healthz        liveness probe
+//	/metrics        Prometheus text exposition of the cumulative search
+//	                metrics (the obs event→metrics bridge, merged across
+//	                all audit workers) plus server gauges
+//	/status         JSON: per-function audit state, runs, bugs,
+//	                restarts, elapsed, plus batch totals and coverage
+//	/events         NDJSON stream of trace events from a bounded
+//	                lock-free ring (add ?follow=1 to tail live; slow
+//	                readers drop events, never block the engine)
+//	/coverage       annotated source branch-coverage report
+//	                (?format=html for the HTML page)
+//	/debug/pprof/   net/http/pprof; audit workers are tagged with a
+//	                dart_fn profile label per function under test
+//
+// The server is fed exclusively through its Sink() — the same obs event
+// stream every other observer consumes — plus ReportCoverage calls as
+// per-function reports complete, so attaching it costs the engine one
+// extra sink in a Tee and nothing else.  With no server configured the
+// engine's observer stays nil and the whole layer is never allocated.
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"dart/internal/coverage"
+	"dart/internal/obs"
+)
+
+// Config describes the program under test to the server.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// Mode labels the run ("directed", "random", "audit").
+	Mode string
+	// Source is the program text /coverage annotates.
+	Source string
+	// Sites is the branch-site index of the compiled program.
+	Sites []coverage.SiteInfo
+	// NumSites is the program's total conditional branch-site count.
+	NumSites int
+	// Functions are the functions under test, in audit order.
+	Functions []string
+	// RingSize bounds the /events buffer (default 4096 events).
+	RingSize int
+}
+
+// fnState is the live audit state of one function.
+type fnState struct {
+	status   string
+	runs     int
+	bugs     int
+	restarts int
+	started  time.Time
+	elapsed  time.Duration // frozen at audit-fn-end
+	ended    bool
+}
+
+// Server is the live ops surface.  All of its state is fed from the
+// event sink and ReportCoverage; every handler reads under the same
+// mutex, so it is safe to hammer while an audit runs.
+type Server struct {
+	cfg   Config
+	start time.Time
+	ring  *ring
+	live  *obs.LiveMetrics
+
+	mu    sync.Mutex
+	fns   map[string]*fnState
+	order []string
+	cov   *coverage.Set
+	done  bool
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds a server without binding a socket; use Handler()
+// with httptest or wire it into an existing mux.  Start is the
+// listening variant.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		ring:  newRing(cfg.RingSize),
+		live:  obs.NewLiveMetrics(),
+		fns:   map[string]*fnState{},
+		cov:   coverage.New(cfg.NumSites),
+	}
+	for _, fn := range cfg.Functions {
+		s.fns[fn] = &fnState{status: "pending"}
+		s.order = append(s.order, fn)
+	}
+	return s
+}
+
+// Start builds the server and begins serving on cfg.Addr.
+func Start(cfg Config) (*Server, error) {
+	s := NewServer(cfg)
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (empty without Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and tears down in-flight streams.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Sink returns the observer feeding the server.  It never blocks: the
+// ring overwrites, the metrics bridge and status table update under a
+// short mutex.
+func (s *Server) Sink() obs.Sink {
+	return obs.SinkFunc(func(ev obs.Event) {
+		s.ring.publish(ev)
+		s.live.Event(ev)
+		s.track(ev)
+	})
+}
+
+// track folds one event into the per-function status table.
+func (s *Server) track(ev obs.Event) {
+	if ev.Fn == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.fns[ev.Fn]
+	if !ok {
+		st = &fnState{status: "pending"}
+		s.fns[ev.Fn] = st
+		s.order = append(s.order, ev.Fn)
+	}
+	switch ev.Kind {
+	case obs.AuditFnStart:
+		st.status = "running"
+		st.started = time.Now()
+		st.ended = false
+	case obs.AuditFnEnd:
+		st.status = ev.Status
+		st.runs = ev.Runs
+		st.bugs = ev.Bugs
+		st.ended = true
+		if !st.started.IsZero() {
+			st.elapsed = time.Since(st.started)
+		}
+	case obs.RunEnd:
+		if !st.ended {
+			if st.status == "pending" {
+				// A single search has no audit brackets; the first run
+				// marks the function live.
+				st.status = "running"
+				st.started = time.Now()
+			}
+			st.runs++
+		}
+	case obs.BugFound:
+		if !st.ended {
+			st.bugs++
+		}
+	case obs.Restart:
+		if !st.ended {
+			st.restarts++
+		}
+	}
+}
+
+// ReportCoverage merges a finished search's coverage into the
+// whole-batch set behind /coverage.  Safe from any audit worker.
+func (s *Server) ReportCoverage(set *coverage.Set) {
+	if set == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cov.Merge(set)
+	s.mu.Unlock()
+}
+
+// Done marks the batch finished on /status.
+func (s *Server) Done() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+}
+
+// Handler returns the ops mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/coverage", s.handleCoverage)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.live.Snapshot()
+	s.mu.Lock()
+	doneCount := 0
+	for _, st := range s.fns {
+		if st.ended {
+			doneCount++
+		}
+	}
+	gauges := map[string]float64{
+		"uptime_seconds":            time.Since(s.start).Seconds(),
+		"functions":                 float64(len(s.fns)),
+		"functions_done":            float64(doneCount),
+		"events_published":          float64(s.ring.published()),
+		"coverage_directions":       float64(s.cov.Covered()),
+		"coverage_directions_total": float64(s.cov.Total()),
+		"coverage_sites_touched":    float64(s.cov.SitesTouched()),
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeProm(w, snap, gauges)
+}
+
+// statusFn is the /status entry for one function.
+type statusFn struct {
+	Function       string  `json:"function"`
+	Status         string  `json:"status"`
+	Runs           int     `json:"runs"`
+	Bugs           int     `json:"bugs"`
+	Restarts       int     `json:"restarts"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// statusResp is the /status document.
+type statusResp struct {
+	Mode             string     `json:"mode"`
+	Done             bool       `json:"done"`
+	UptimeSeconds    float64    `json:"uptime_seconds"`
+	Functions        int        `json:"functions"`
+	FunctionsDone    int        `json:"functions_done"`
+	Runs             int        `json:"runs"`
+	Bugs             int        `json:"bugs"`
+	Restarts         int        `json:"restarts"`
+	EventsPublished  uint64     `json:"events_published"`
+	CoverageCovered  int        `json:"branch_directions_covered"`
+	CoverageTotal    int        `json:"branch_directions_total"`
+	CoverageFraction float64    `json:"branch_coverage_fraction"`
+	Entries          []statusFn `json:"entries"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := statusResp{
+		Mode:            s.cfg.Mode,
+		Done:            s.done,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Functions:       len(s.order),
+		EventsPublished: s.ring.published(),
+		CoverageCovered: s.cov.Covered(),
+		CoverageTotal:   s.cov.Total(),
+		Entries:         []statusFn{},
+	}
+	if resp.CoverageTotal > 0 {
+		resp.CoverageFraction = float64(resp.CoverageCovered) / float64(resp.CoverageTotal)
+	}
+	for _, fn := range s.order {
+		st := s.fns[fn]
+		elapsed := st.elapsed
+		if !st.ended && !st.started.IsZero() {
+			elapsed = time.Since(st.started)
+		}
+		if st.ended {
+			resp.FunctionsDone++
+		}
+		resp.Runs += st.runs
+		resp.Bugs += st.bugs
+		resp.Restarts += st.restarts
+		resp.Entries = append(resp.Entries, statusFn{
+			Function:       fn,
+			Status:         st.status,
+			Runs:           st.runs,
+			Bugs:           st.bugs,
+			Restarts:       st.restarts,
+			ElapsedSeconds: elapsed.Seconds(),
+		})
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// handleEvents streams the ring as NDJSON.  Without ?follow=1 it drains
+// the retained buffer and returns, ending with one ops-eof meta line
+// carrying this subscriber's drop count; with ?follow=1 it tails the
+// stream until the client disconnects, interleaving ops-drop meta lines
+// whenever the subscriber loses events to the producers.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	follow := r.URL.Query().Get("follow") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sub := s.ring.subscribe()
+	enc := json.NewEncoder(w)
+	reported := uint64(0)
+	emitDrops := func() {
+		if d := sub.Dropped(); d > reported {
+			reported = d
+			enc.Encode(map[string]any{"ev": "ops-drop", "dropped": d})
+		}
+	}
+	for {
+		ev, ok := sub.next()
+		if !ok {
+			if !follow {
+				enc.Encode(map[string]any{"ev": "ops-eof", "dropped": sub.Dropped()})
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+			continue
+		}
+		emitDrops()
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	set := s.cov.Clone()
+	s.mu.Unlock()
+	rep := coverage.Annotate(s.cfg.Source, s.cfg.Sites, set)
+	if r.URL.Query().Get("format") == "html" ||
+		(r.URL.Query().Get("format") == "" && acceptsHTML(r)) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(rep.HTML())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(rep.Text()))
+}
+
+// acceptsHTML reports whether the client asked for HTML (a browser);
+// curl and test clients default to the text report.
+func acceptsHTML(r *http.Request) bool {
+	for _, part := range r.Header["Accept"] {
+		if strings.Contains(part, "text/html") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,400 @@
+package ops_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dart"
+)
+
+// auditSrc has one clean function and one buggy one, with enough
+// branch structure that a bounded search keeps producing events.
+const auditSrc = `
+int h(int x, int y) {
+	if (x * x + y * y > 100) {
+		if (x > 9) {
+			return 1;
+		}
+		return 2;
+	}
+	if (y < 0) {
+		return 3;
+	}
+	return 0;
+}
+
+int g(int a) {
+	if (a == 42) {
+		abort();
+	}
+	return a;
+}
+`
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// promCounters parses the dart_<name>_total counter samples of a
+// Prometheus text exposition.
+func promCounters(t *testing.T, page string) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	re := regexp.MustCompile(`^dart_([a-z_]+)_total (\d+)$`)
+	for _, line := range strings.Split(page, "\n") {
+		if m := re.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				t.Fatalf("counter line %q: %v", line, err)
+			}
+			out[m[1]] = v
+		}
+	}
+	return out
+}
+
+// The acceptance test: run a parallel audit with the ops server
+// attached, hammer every endpoint from concurrent pollers while it
+// runs (this is the -race workout), then check the live /metrics
+// counters against the audit's own final merged report.
+func TestServerLiveAudit(t *testing.T) {
+	prog, err := dart.Compile(auditSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dart.ServeOps(dart.OpsConfig{
+		Addr:      "127.0.0.1:0",
+		Mode:      "audit",
+		Source:    auditSrc,
+		Sites:     dart.BranchSites(prog),
+		NumSites:  prog.IR.NumSites,
+		Functions: dart.Functions(prog),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	done := make(chan struct{})
+	var pollers sync.WaitGroup
+	for _, path := range []string{"/healthz", "/metrics", "/status", "/events", "/coverage", "/debug/pprof/"} {
+		pollers.Add(1)
+		go func(path string) {
+			defer pollers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(base + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+
+	res := dart.Audit(prog, dart.AuditOptions{
+		Seed:          1,
+		MaxRuns:       2000,
+		Jobs:          4,
+		Observer:      srv.Sink(),
+		ProfileLabels: true,
+		OnEntry: func(e dart.AuditEntry) {
+			if e.Report != nil {
+				srv.ReportCoverage(e.Report.Coverage)
+			}
+		},
+	})
+	srv.Done()
+	close(done)
+	pollers.Wait()
+
+	// Live counters converge to exactly the final merged report's (no
+	// deadlines here, so no retry divergence).
+	_, page := get(t, base+"/metrics")
+	live := promCounters(t, page)
+	for name, want := range res.Metrics.Counters {
+		if live[name] != want {
+			t.Errorf("live counter %s = %d, report says %d", name, live[name], want)
+		}
+	}
+	if len(res.Metrics.Counters) == 0 || live["runs"] == 0 {
+		t.Fatalf("no counters to compare: report=%v live=%v", res.Metrics.Counters, live)
+	}
+
+	// Histogram samples must be cumulative and end in +Inf with the
+	// total count.
+	if !strings.Contains(page, "# TYPE dart_steps_per_run histogram") {
+		t.Errorf("steps_per_run histogram missing:\n%s", page)
+	}
+	var prev int64 = -1
+	bucketRe := regexp.MustCompile(`^dart_steps_per_run_bucket\{le="([^"]+)"\} (\d+)$`)
+	var infCount, count int64 = -1, -1
+	for _, line := range strings.Split(page, "\n") {
+		if m := bucketRe.FindStringSubmatch(line); m != nil {
+			v, _ := strconv.ParseInt(m[2], 10, 64)
+			if v < prev {
+				t.Errorf("histogram buckets not cumulative at %q", line)
+			}
+			prev = v
+			if m[1] == "+Inf" {
+				infCount = v
+			}
+		}
+		if rest, ok := strings.CutPrefix(line, "dart_steps_per_run_count "); ok {
+			count, _ = strconv.ParseInt(rest, 10, 64)
+		}
+	}
+	if infCount != count || count <= 0 {
+		t.Errorf("+Inf bucket %d != count %d", infCount, count)
+	}
+	if count != res.Metrics.Counters["runs"] {
+		t.Errorf("steps_per_run count %d != runs %d", count, res.Metrics.Counters["runs"])
+	}
+
+	// /status reflects the finished batch.
+	_, body := get(t, base+"/status")
+	var st struct {
+		Mode          string `json:"mode"`
+		Done          bool   `json:"done"`
+		Functions     int    `json:"functions"`
+		FunctionsDone int    `json:"functions_done"`
+		Runs          int    `json:"runs"`
+		Bugs          int    `json:"bugs"`
+		Covered       int    `json:"branch_directions_covered"`
+		Total         int    `json:"branch_directions_total"`
+		Entries       []struct {
+			Function string `json:"function"`
+			Status   string `json:"status"`
+			Runs     int    `json:"runs"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if !st.Done || st.Mode != "audit" {
+		t.Errorf("/status done=%v mode=%q", st.Done, st.Mode)
+	}
+	if st.Functions != res.Functions() || st.FunctionsDone != res.Functions() {
+		t.Errorf("/status functions %d/%d, audit had %d", st.FunctionsDone, st.Functions, res.Functions())
+	}
+	if st.Runs != res.TotalRuns {
+		t.Errorf("/status runs %d, audit spent %d", st.Runs, res.TotalRuns)
+	}
+	byFn := map[string]dart.AuditEntry{}
+	for _, e := range res.Entries {
+		byFn[e.Function] = e
+	}
+	for _, se := range st.Entries {
+		e, ok := byFn[se.Function]
+		if !ok {
+			t.Errorf("/status lists unknown function %q", se.Function)
+			continue
+		}
+		if se.Status != string(e.Status) {
+			t.Errorf("/status %s status %q, audit says %q", se.Function, se.Status, e.Status)
+		}
+		if e.Report != nil && se.Runs != e.Report.Runs {
+			t.Errorf("/status %s runs %d, audit says %d", se.Function, se.Runs, e.Report.Runs)
+		}
+	}
+	if st.Covered != res.Coverage.Covered() || st.Total != res.Coverage.Total() {
+		t.Errorf("/status coverage %d/%d, audit measured %d/%d",
+			st.Covered, st.Total, res.Coverage.Covered(), res.Coverage.Total())
+	}
+
+	// /coverage annotates the real source with the audit's aggregate.
+	_, cov := get(t, base+"/coverage")
+	wantHeader := fmt.Sprintf("branch coverage %d/%d directions", res.Coverage.Covered(), res.Coverage.Total())
+	if !strings.Contains(cov, wantHeader) {
+		t.Errorf("/coverage header missing %q:\n%s", wantHeader, cov)
+	}
+	if !strings.Contains(cov, "int h(int x, int y) {") {
+		t.Errorf("/coverage does not show the source:\n%s", cov)
+	}
+
+	// And as HTML on request.
+	_, covHTML := get(t, base+"/coverage?format=html")
+	if !strings.Contains(covHTML, "<!DOCTYPE html>") {
+		t.Errorf("/coverage?format=html not a page:\n%.200s", covHTML)
+	}
+
+	// /events replays the retained tail and closes with an accounting
+	// line; every data line is a well-formed event.
+	_, events := get(t, base+"/events")
+	lines := strings.Split(strings.TrimSpace(events), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("/events returned %d lines", len(lines))
+	}
+	sawEOF := false
+	for _, line := range lines {
+		var ev struct {
+			Ev      string  `json:"ev"`
+			Dropped *uint64 `json:"dropped"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("/events line not JSON: %v\n%s", err, line)
+		}
+		if ev.Ev == "" {
+			t.Fatalf("/events line without kind: %s", line)
+		}
+		if ev.Ev == "ops-eof" {
+			sawEOF = true
+			if ev.Dropped == nil {
+				t.Errorf("ops-eof without dropped count: %s", line)
+			} else if *ev.Dropped != 0 {
+				// A quiescent dump replays retained history only; this
+				// subscriber can never be lapped.
+				t.Errorf("quiescent /events dropped %d, want 0", *ev.Dropped)
+			}
+		}
+	}
+	if !sawEOF {
+		t.Error("/events dump did not end with ops-eof")
+	}
+}
+
+// /events?follow=1 streams live: a subscriber attached before the
+// search sees events arrive and its connection survives until closed.
+func TestServerEventsFollow(t *testing.T) {
+	prog, err := dart.Compile(auditSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dart.ServeOps(dart.OpsConfig{
+		Addr:     "127.0.0.1:0",
+		Mode:     "directed",
+		Source:   auditSrc,
+		Sites:    dart.BranchSites(prog),
+		NumSites: prog.IR.NumSites,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	if _, err := dart.Run(prog, dart.Options{
+		Toplevel: "h",
+		MaxRuns:  50,
+		Observer: srv.Sink(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	type lineOrErr struct {
+		line string
+		err  error
+	}
+	ch := make(chan lineOrErr, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		if sc.Scan() {
+			ch <- lineOrErr{line: sc.Text()}
+		} else {
+			ch <- lineOrErr{err: sc.Err()}
+		}
+	}()
+	select {
+	case got := <-ch:
+		if got.err != nil {
+			t.Fatalf("follow stream: %v", got.err)
+		}
+		var ev struct {
+			Ev string `json:"ev"`
+			Fn string `json:"fn"`
+		}
+		if err := json.Unmarshal([]byte(got.line), &ev); err != nil {
+			t.Fatalf("follow line not JSON: %v\n%s", err, got.line)
+		}
+		if ev.Fn != "h" {
+			t.Errorf("follow event fn = %q, want h: %s", ev.Fn, got.line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow stream delivered nothing")
+	}
+}
+
+// A single (non-audit) search still populates /status via run events.
+func TestServerStatusSingleSearch(t *testing.T) {
+	prog, err := dart.Compile(auditSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dart.ServeOps(dart.OpsConfig{
+		Addr:      "127.0.0.1:0",
+		Mode:      "directed",
+		Source:    auditSrc,
+		Sites:     dart.BranchSites(prog),
+		NumSites:  prog.IR.NumSites,
+		Functions: []string{"h"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rep, err := dart.Run(prog, dart.Options{Toplevel: "h", MaxRuns: 200, Observer: srv.Sink()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ReportCoverage(rep.Coverage)
+	srv.Done()
+
+	_, body := get(t, "http://"+srv.Addr()+"/status")
+	var st struct {
+		Done    bool `json:"done"`
+		Runs    int  `json:"runs"`
+		Covered int  `json:"branch_directions_covered"`
+		Entries []struct {
+			Function string `json:"function"`
+			Status   string `json:"status"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if !st.Done || st.Runs != rep.Runs {
+		t.Errorf("/status done=%v runs=%d, search ran %d", st.Done, st.Runs, rep.Runs)
+	}
+	if len(st.Entries) != 1 || st.Entries[0].Function != "h" || st.Entries[0].Status != "running" {
+		t.Errorf("/status entries = %+v", st.Entries)
+	}
+	if st.Covered != rep.Coverage.Covered() {
+		t.Errorf("/status coverage %d, search measured %d", st.Covered, rep.Coverage.Covered())
+	}
+}

@@ -21,10 +21,10 @@ func TestSolveWorkTinyBudgetExhausts(t *testing.T) {
 	// A chain of inequalities forces Fourier–Motzkin elimination work;
 	// one unit of budget cannot pay for it.
 	pc := []symbolic.Pred{
-		pred(symbolic.LE, 0, 0, 1, 1, -1),  // x - y <= 0
-		pred(symbolic.LE, 0, 1, 1, 2, -1),  // y - z <= 0
-		pred(symbolic.LE, -5, 2, 1),        // z <= 5
-		pred(symbolic.GE, 5, 0, 1),         // x >= -5
+		pred(symbolic.LE, 0, 0, 1, 1, -1), // x - y <= 0
+		pred(symbolic.LE, 0, 1, 1, 2, -1), // y - z <= 0
+		pred(symbolic.LE, -5, 2, 1),       // z <= 5
+		pred(symbolic.GE, 5, 0, 1),        // x >= -5
 	}
 	_, v := SolveWork(pc, intMeta, nil, 1)
 	if v != BudgetExhausted {

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Performance gate for the observability layer: the two throughput
 # benchmarks that must stay within 2% of the pre-obs baseline when no
-# observer is attached (see BENCH_pr2.json for the recorded pre/post
-# numbers and methodology).
+# observer is attached (see BENCH_pr2.json for the pre/post numbers of
+# the obs layer itself, and BENCH_pr3.json for the serve-off gate of
+# the live ops layer — with no -serve the ops server is never
+# constructed, so the engine path must be byte-for-byte the same cost).
 #
 # Usage: scripts/bench.sh [count]
 #   count — benchmark repetitions per target (default 5).  On noisy
@@ -19,4 +21,4 @@ go test -run '^$' \
     -benchmem -count="$COUNT" . | tee "$OUT"
 
 echo
-echo "wrote $OUT — compare mins against BENCH_pr2.json (gate: <2% on ns/op, allocs/op identical)"
+echo "wrote $OUT — compare mins against BENCH_pr3.json (gate: <2% on ns/op, allocs/op identical)"

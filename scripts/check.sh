@@ -10,3 +10,7 @@ go vet ./...
 # (regenerate deliberately with `go test -run TestTraceGolden -update .`).
 go test -run 'TestTraceGolden' .
 go test -race ./...
+# Ops smoke: a real dart process with -serve answering on every live
+# endpoint mid-audit, plus the in-process endpoint/counter checks.
+go test -count=1 -run 'TestCLIServeEndpoints' .
+go test -count=1 -run 'TestServerLiveAudit' ./internal/ops/
