@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"dart/internal/minisip"
+	"dart/internal/obs"
 	"dart/internal/progs"
 	"dart/internal/protocols"
 )
@@ -278,6 +279,37 @@ func BenchmarkShapeSearchAblation(b *testing.B) {
 				}
 			}
 			b.ReportMetric(100*float64(found)/float64(b.N), "%found")
+		})
+	}
+}
+
+// BenchmarkSolverHeavyGate: the solver fast path on the cache workload —
+// a gauntlet of sequential conditionals whose flips reduce, after
+// independence slicing, to a handful of distinct (slice, hint) keys.
+// Besides time/op it reports the solver work units actually spent
+// (cache hits spend none) and the solver call count; the cache/nocache
+// pair is the A/B the -solve-cache flag exposes.
+func BenchmarkSolverHeavyGate(b *testing.B) {
+	prog := benchProgram(b, progs.SolverGate)
+	for _, v := range []struct {
+		name string
+		cap  int
+	}{{"cache", 0}, {"nocache", -1}} {
+		b.Run(v.name, func(b *testing.B) {
+			var work, calls int64
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(prog, Options{
+					Toplevel: "gate", MaxRuns: 300, Seed: int64(i + 1),
+					SolveCacheCap: v.cap, CollectMetrics: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				work += rep.Metrics.Histograms[obs.HSolverWork].Sum
+				calls += int64(rep.SolverCalls)
+			}
+			b.ReportMetric(float64(work)/float64(b.N), "solverwork/op")
+			b.ReportMetric(float64(calls)/float64(b.N), "solvercalls/op")
 		})
 	}
 }

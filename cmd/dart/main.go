@@ -64,6 +64,7 @@ func run() int {
 		allBugs  = flag.Bool("all-bugs", false, "keep searching after the first bug")
 		hangs    = flag.Bool("hangs", false, "report potential non-termination")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget (whole search, or per function with -audit)")
+		cacheF   = flag.Int("solve-cache", dart.DefaultSolveCacheCap, "per-search solve-cache capacity (0 disables the solver fast-path cache)")
 		auditF   = flag.Bool("audit", false, "audit every function of the program as toplevel in turn")
 		jobs     = flag.Int("jobs", 0, "audit worker-pool size (default all CPUs)")
 		traceF   = flag.String("trace", "", "write an NDJSON trace of search events to `file`")
@@ -131,6 +132,7 @@ func run() int {
 			maxRuns:   *runs,
 			timeout:   *timeout,
 			jobs:      *jobs,
+			cacheCap:  solveCacheCap(*cacheF),
 			random:    *random,
 			json:      *jsonOut,
 			metrics:   *metricsF,
@@ -211,6 +213,7 @@ func run() int {
 		StopAtFirstBug:  !*allBugs,
 		ReportStepLimit: *hangs,
 		Timeout:         *timeout,
+		SolveCacheCap:   solveCacheCap(*cacheF),
 		Observer:        observer,
 		CollectMetrics:  true,
 	}
@@ -481,12 +484,23 @@ func (p *progressSink) redraw() {
 
 // ----------------------------------------------------------------- audit
 
+// solveCacheCap maps the -solve-cache flag onto Options.SolveCacheCap:
+// the flag's 0 means "off" (the library encodes that as negative, with 0
+// reserved for "default capacity").
+func solveCacheCap(flagVal int) int {
+	if flagVal <= 0 {
+		return -1
+	}
+	return flagVal
+}
+
 // auditConfig carries the flag values relevant to -audit mode.
 type auditConfig struct {
 	seed      int64
 	maxRuns   int
 	timeout   time.Duration
 	jobs      int
+	cacheCap  int
 	random    bool
 	json      bool
 	metrics   bool
@@ -513,12 +527,13 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		sinks = append(sinks, pr)
 	}
 	opts := dart.AuditOptions{
-		Toplevels: fns,
-		Seed:      cfg.seed,
-		MaxRuns:   cfg.maxRuns,
-		Timeout:   cfg.timeout,
-		Jobs:      cfg.jobs,
-		UseRandom: cfg.random,
+		Toplevels:     fns,
+		Seed:          cfg.seed,
+		MaxRuns:       cfg.maxRuns,
+		Timeout:       cfg.timeout,
+		Jobs:          cfg.jobs,
+		SolveCacheCap: cfg.cacheCap,
+		UseRandom:     cfg.random,
 	}
 	if srv := cfg.serve; srv != nil {
 		sinks = append(sinks, srv.Sink())
@@ -670,6 +685,10 @@ type jsonReport struct {
 	Restarts               int                   `json:"restarts"`
 	SolverCalls            int                   `json:"solver_calls"`
 	SolverFailures         int                   `json:"solver_failures"`
+	SolveCacheHits         int                   `json:"solve_cache_hits"`
+	SolveCacheMisses       int                   `json:"solve_cache_misses"`
+	SolveCacheEvictions    int                   `json:"solve_cache_evictions"`
+	SlicedPreds            int64                 `json:"solver_sliced_preds"`
 	StopReason             string                `json:"stop_reason"`
 	SolverComplete         bool                  `json:"solver_complete"`
 	Metrics                *dart.MetricsSnapshot `json:"metrics,omitempty"`
@@ -712,6 +731,10 @@ func emitJSON(rep *dart.Report, random bool) int {
 		Restarts:               rep.Restarts,
 		SolverCalls:            rep.SolverCalls,
 		SolverFailures:         rep.SolverFailures,
+		SolveCacheHits:         rep.SolveCacheHits,
+		SolveCacheMisses:       rep.SolveCacheMisses,
+		SolveCacheEvictions:    rep.SolveCacheEvictions,
+		SlicedPreds:            rep.SlicedPreds,
 		StopReason:             string(rep.Stopped),
 		SolverComplete:         rep.SolverComplete,
 		Metrics:                rep.Metrics,

@@ -46,8 +46,14 @@ import (
 	"dart/internal/ops"
 	"dart/internal/parser"
 	"dart/internal/sema"
+	"dart/internal/solver"
 	"dart/internal/types"
 )
+
+// DefaultSolveCacheCap is the default capacity of the per-search solve
+// cache (Options.SolveCacheCap; see the "Solver fast path" note in the
+// README).
+const DefaultSolveCacheCap = solver.DefaultCacheCap
 
 // Program is a compiled MiniC program ready for testing.
 type Program struct {
@@ -224,6 +230,7 @@ const (
 	EvRestart          = obs.Restart
 	EvSolverCall       = obs.SolverCall
 	EvSolverVerdict    = obs.SolverVerdict
+	EvSolveCacheHit    = obs.SolveCacheHit
 	EvFallbackConcrete = obs.FallbackConcrete
 	EvBugFound         = obs.BugFound
 	EvAuditFnStart     = obs.AuditFnStart

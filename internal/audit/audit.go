@@ -71,12 +71,15 @@ type Options struct {
 	Jobs int
 	// UseRandom selects the pure random-testing baseline.
 	UseRandom bool
-	// Depth, Strategy, ReportStepLimit, SolverBudget, and LibImpls pass
-	// through to every per-function search.
+	// Depth, Strategy, ReportStepLimit, SolverBudget, SolveCacheCap, and
+	// LibImpls pass through to every per-function search.  Each function
+	// gets its own solve cache (like its own metrics registry), so the
+	// cache keeps audit results independent of Jobs.
 	Depth           int
 	Strategy        concolic.Strategy
 	ReportStepLimit bool
 	SolverBudget    int64
+	SolveCacheCap   int
 	LibImpls        map[string]machine.LibImpl
 	// Cancel aborts the whole batch when closed; finished entries keep
 	// their results, the rest report Cancelled.
@@ -294,6 +297,7 @@ func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, erro
 		Strategy:        o.Strategy,
 		ReportStepLimit: o.ReportStepLimit,
 		SolverBudget:    o.SolverBudget,
+		SolveCacheCap:   o.SolveCacheCap,
 		LibImpls:        o.LibImpls,
 		Timeout:         o.Timeout,
 		Cancel:          o.Cancel,

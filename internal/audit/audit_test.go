@@ -11,6 +11,7 @@ import (
 	"dart/internal/machine"
 	"dart/internal/obs"
 	"dart/internal/parser"
+	"dart/internal/progs"
 	"dart/internal/sema"
 )
 
@@ -150,6 +151,32 @@ func TestAuditDeterministicAcrossJobs(t *testing.T) {
 	stripTimings(rN)
 	if !reflect.DeepEqual(r1, rN) {
 		t.Errorf("audit results differ between -jobs 1 and -jobs 4:\n%+v\n%+v", r1, rN)
+	}
+}
+
+// TestAuditCacheDeterministicAcrossJobs: each function owns its solve
+// cache (like its own metrics registry), so a cache-heavy audit must
+// still reproduce byte-identically for any worker-pool size.
+func TestAuditCacheDeterministicAcrossJobs(t *testing.T) {
+	prog := compile(t, progs.SolverGate)
+	opts := Options{
+		Toplevels: []string{"gate", "gate"},
+		Seed:      5,
+		MaxRuns:   200,
+	}
+	o1 := opts
+	o1.Jobs = 1
+	oN := opts
+	oN.Jobs = 4
+	r1 := Run(prog, o1)
+	rN := Run(prog, oN)
+	if r1.Metrics.Counters[obs.CSolveCacheHits] == 0 {
+		t.Error("expected cache hits on the gate program (is the default cache on?)")
+	}
+	stripTimings(r1)
+	stripTimings(rN)
+	if !reflect.DeepEqual(r1, rN) {
+		t.Errorf("cache-on audit differs between -jobs 1 and -jobs 4:\n%+v\n%+v", r1, rN)
 	}
 }
 

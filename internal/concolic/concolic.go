@@ -106,6 +106,13 @@ type Options struct {
 	// search toward random testing instead of hanging.  Default
 	// solver.DefaultWork.
 	SolverBudget int64
+	// SolveCacheCap sizes the per-search solve cache of the solver fast
+	// path: 0 selects solver.DefaultCacheCap, a positive value sets the
+	// capacity, and a negative value disables the cache entirely (the
+	// A/B baseline: every solve runs the solver).  The cache never
+	// changes what a search finds — only how much solver work it spends —
+	// so a fixed seed produces the identical Report at any setting.
+	SolveCacheCap int
 	// Observer, when non-nil, receives structured trace events (run
 	// lifecycle, branch flips, solver calls, completeness fallbacks; see
 	// package obs).  A nil observer costs one nil-check per event site —
@@ -232,6 +239,15 @@ type Report struct {
 	// SolverCalls and SolverFailures count constraint-solving activity.
 	SolverCalls    int
 	SolverFailures int
+	// SolveCacheHits, SolveCacheMisses, and SolveCacheEvictions count the
+	// per-search solve cache's activity (all zero when the cache is
+	// disabled).  SlicedPreds counts path-constraint predicates pruned by
+	// independence slicing before solving.  These meter the fast path
+	// only; they never influence what the search finds.
+	SolveCacheHits      int
+	SolveCacheMisses    int
+	SolveCacheEvictions int
+	SlicedPreds         int64
 	// Stopped records why the search ended; a tripped deadline or a
 	// cancellation produces a partial report with the matching reason,
 	// never an error.
@@ -300,6 +316,12 @@ type engine struct {
 	obs     obs.Sink
 	metrics *obs.Metrics
 
+	// cache memoizes sliced solves (nil when disabled by SolveCacheCap).
+	cache *solver.Cache
+	// lastSolve carries fast-path telemetry from solveIsolated to the
+	// SolverVerdict event its caller emits.
+	lastSolve solveInfo
+
 	report *Report
 }
 
@@ -329,6 +351,9 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 	}
 	if o.Timeout > 0 {
 		e.deadline = time.Now().Add(o.Timeout)
+	}
+	if o.SolveCacheCap >= 0 {
+		e.cache = solver.NewCache(o.SolveCacheCap)
 	}
 	if o.Strategy == DFS {
 		e.search()
@@ -427,7 +452,7 @@ func (e *engine) search() {
 				isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
 					(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
 				if isBug {
-					sig := fmt.Sprintf("%s|%s|%s", rerr.Outcome, rerr.Msg, rerr.Pos)
+					sig := bugSig(rerr)
 					if !seenBugs[sig] {
 						seenBugs[sig] = true
 						e.report.Bugs = append(e.report.Bugs, Bug{
@@ -480,6 +505,14 @@ func (e *engine) search() {
 			continue
 		}
 	}
+}
+
+// bugSig is the dedup identity of a program error: outcome, message, and
+// source position.  Every engine (classic stack, frontier, random) must
+// build it through this one helper so the formats can never drift and
+// dedup behaves identically across modes.
+func bugSig(rerr *machine.RunError) string {
+	return rerr.Outcome.String() + "|" + rerr.Msg + "|" + rerr.Pos.String()
 }
 
 func copyIM(im map[string]int64) map[string]int64 {

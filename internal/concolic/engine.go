@@ -146,9 +146,9 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 			target = flipPath(branches, j)
 			e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: j, PCLen: len(pc), Path: target})
 		}
-		sol, verdict, work := e.solveIsolated(pc)
+		sol, verdict, work := e.solveIsolated(pc, j)
 		if e.obs != nil {
-			e.emit(obs.Event{Kind: obs.SolverVerdict, Run: e.report.Runs, Depth: j, Verdict: verdict.String(), Work: work})
+			e.emit(e.verdictEvent(j, verdict, work))
 		}
 		if verdict != solver.Sat {
 			// Infeasible, beyond the solver, or out of budget: this

@@ -90,7 +90,7 @@ func (e *engine) runFrontier() {
 			isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
 				(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
 			if isBug {
-				sig := rerr.Outcome.String() + "|" + rerr.Msg + "|" + rerr.Pos.String()
+				sig := bugSig(rerr)
 				if !seenBugs[sig] {
 					seenBugs[sig] = true
 					e.report.Bugs = append(e.report.Bugs, Bug{
@@ -207,9 +207,9 @@ func (e *engine) runFrontier() {
 			target = itemPath(item)
 			e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: item.depth, PCLen: len(pc), Path: target})
 		}
-		sol, verdict, work := e.solveIsolated(pc)
+		sol, verdict, work := e.solveIsolated(pc, item.depth)
 		if e.obs != nil {
-			e.emit(obs.Event{Kind: obs.SolverVerdict, Run: e.report.Runs, Depth: item.depth, Verdict: verdict.String(), Work: work})
+			e.emit(e.verdictEvent(item.depth, verdict, work))
 		}
 		if verdict != solver.Sat {
 			if verdict == solver.BudgetExhausted {

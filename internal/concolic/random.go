@@ -14,16 +14,37 @@ import (
 )
 
 // randomSource is a pure random input stream: the baseline DART is
-// compared against.  It records nothing and tracks no symbolic state.
+// compared against.  It tracks no symbolic state, but it does record
+// the drawn input vector: a bug found by random testing must be just as
+// replayable as one found by the directed search (Theorem 1(a) is a
+// property of the report, not of the engine that produced it).
 type randomSource struct {
 	rand *rng.R
+	// im is the drawn input vector (key -> value/decision), keyed with
+	// the same scheme the directed engine and Replay use.
+	im map[string]int64
 }
 
-func (r *randomSource) ScalarInput(_ string, b *types.Basic) int64 {
-	return types.Truncate(b, r.rand.Bits(b.Bits()))
+func (r *randomSource) ScalarInput(key string, b *types.Basic) int64 {
+	if v, ok := r.im[key]; ok {
+		return v
+	}
+	v := types.Truncate(b, r.rand.Bits(b.Bits()))
+	r.im[key] = v
+	return v
 }
 
-func (r *randomSource) PointerInput(string) bool { return r.rand.Coin() }
+func (r *randomSource) PointerInput(key string) bool {
+	if v, ok := r.im[key]; ok {
+		return v != 0
+	}
+	var d int64
+	if r.rand.Coin() {
+		d = 1
+	}
+	r.im[key] = d
+	return d != 0
+}
 
 func (r *randomSource) VarOf(string, symbolic.VarKind, *types.Basic) (symbolic.Var, bool) {
 	return 0, false
@@ -81,20 +102,26 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		deadline = time.Now().Add(o.Timeout)
 	}
 
+	// lastInputs is the input vector of the most recent run, for bug
+	// reports and fault diagnostics (both must be replayable).
+	var lastInputs map[string]int64
+
 	// oneRandomRun executes one run behind a recover barrier so that a
 	// faulty library black box cannot take down the whole campaign.
 	oneRandomRun := func() (m *machine.Machine, rerr *machine.RunError, fault *InternalError) {
+		src := &randomSource{rand: rand.Fork(), im: map[string]int64{}}
+		lastInputs = src.im
 		defer func() {
 			if r := recover(); r != nil {
 				fault = &InternalError{
-					Phase: "run",
-					Msg:   fmt.Sprintf("panic: %v", r),
-					Run:   report.Runs,
+					Phase:  "run",
+					Msg:    fmt.Sprintf("panic: %v", r),
+					Run:    report.Runs,
+					Inputs: copyIM(src.im),
 				}
 				m, rerr = nil, nil
 			}
 		}()
-		src := &randomSource{rand: rand.Fork()}
 		var msink obs.Sink
 		if sink != nil {
 			msink = obs.SinkFunc(func(ev obs.Event) {
@@ -121,7 +148,14 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 				if aerr != nil {
 					return m, &machine.RunError{Outcome: machine.Crashed, Msg: aerr.Error()}, nil
 				}
-				key := fmt.Sprintf("d%d.arg%d", d, i)
+				// The key scheme must match the directed engine's (and
+				// Replay's): "d<depth>.<param name>", falling back to the
+				// parameter index.  Recorded vectors are useless otherwise.
+				name := p.Name
+				if name == "" {
+					name = fmt.Sprintf("arg%d", i)
+				}
+				key := fmt.Sprintf("d%d.%s", d, name)
 				if ierr := m.RandomInit(cell, p.Type, key); ierr != nil {
 					return m, &machine.RunError{Outcome: machine.Crashed, Msg: ierr.Error()}, nil
 				}
@@ -178,14 +212,15 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 			isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
 				(rerr.Outcome == machine.StepLimit && o.ReportStepLimit)
 			if isBug {
-				sig := fmt.Sprintf("%s|%s|%s", rerr.Outcome, rerr.Msg, rerr.Pos)
+				sig := bugSig(rerr)
 				if !seenBugs[sig] {
 					seenBugs[sig] = true
 					report.Bugs = append(report.Bugs, Bug{
-						Kind: rerr.Outcome,
-						Msg:  rerr.Msg,
-						Pos:  rerr.Pos,
-						Run:  report.Runs,
+						Kind:   rerr.Outcome,
+						Msg:    rerr.Msg,
+						Pos:    rerr.Pos,
+						Run:    report.Runs,
+						Inputs: copyIM(lastInputs),
 					})
 					metrics.Add(obs.CBugs, 1)
 					emit(obs.Event{Kind: obs.BugFound, Run: report.Runs,

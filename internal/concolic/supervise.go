@@ -110,17 +110,48 @@ func (e *engine) noteFault(f *InternalError) bool {
 	return true
 }
 
-// solveIsolated calls the constraint solver under the configured work
-// budget and behind a recover barrier.  A solver panic is reported as an
-// InternalError, clears SolverComplete (the branch's feasibility is now
-// unknown), and is answered as Unsat so the caller marks the branch done
-// and keeps searching.  It meters each solve into the search metrics:
-// wall-clock latency, work units consumed, and the per-verdict counters.
-func (e *engine) solveIsolated(pc []symbolic.Pred) (sol map[symbolic.Var]int64, verdict solver.Verdict, work int64) {
-	var start time.Time
-	if e.metrics != nil {
-		start = time.Now()
-	}
+// solveIsolated answers one path-constraint solve for the engines
+// (classic stack and frontier) through the solver fast path, under the
+// configured work budget and behind a recover barrier.  A solver panic
+// is reported as an InternalError, clears SolverComplete (the branch's
+// feasibility is now unknown), and is answered as Unsat so the caller
+// marks the branch done and keeps searching.
+//
+// The fast path runs in three steps, identical whether the cache is on
+// or off so a fixed seed produces the identical Report at any setting:
+//
+//  1. Slice: reduce pc to the connected component of its final
+//     (negated) predicate, in pc's own order; the pruned predicates
+//     depend only on variables the solve will not touch, whose concrete
+//     parent-run values IM + IM' preserves.
+//  2. Solve the slice — from the cache when an identical (slice, hint)
+//     key was solved before this search, else the solver, memoizing the
+//     slice-level result.  The key renders the exact solver input, so a
+//     hit returns precisely what the fresh solve would.  The cache sits
+//     out a search's first solveCacheWarmup solves (counted as misses),
+//     keeping the fast path free for tiny searches.
+//  3. When slicing pruned predicates, verify a Sat model against the
+//     *full* original conjunction with overflow-checked evaluation
+//     (downgrading to Unsat on failure), cached or fresh —
+//     re-establishing the solver package's soundness contract at the
+//     full-conjunction level.  An unpruned solve needs no second pass:
+//     the solver's own final verification already covered the whole
+//     conjunction.
+//
+// A cached BudgetExhausted verdict still clears SolverComplete at the
+// call site, exactly like a fresh one.  Each actual solve is metered
+// into the search metrics: wall-clock latency, work units consumed, and
+// the per-verdict counters; cache hits report zero work and skip the
+// latency/work histograms (they measure the solver, not the memo).
+// solveCacheWarmup is the number of solver calls a search performs
+// before its solve cache engages.  Searches this short re-solve nothing,
+// so consulting and filling the memo would be pure overhead; longer
+// searches lose at most this many potential hits (each warmup-era key is
+// memoized on its second occurrence instead of its first).
+const solveCacheWarmup = 8
+
+func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.Var]int64, verdict solver.Verdict, work int64) {
+	e.lastSolve = solveInfo{}
 	defer func() {
 		if r := recover(); r != nil {
 			e.report.InternalErrors = append(e.report.InternalErrors, InternalError{
@@ -130,26 +161,117 @@ func (e *engine) solveIsolated(pc []symbolic.Pred) (sol map[symbolic.Var]int64, 
 				Inputs: copyIM(e.im),
 			})
 			e.report.SolverComplete = false
-			sol, verdict = nil, solver.Unsat
-		}
-		if e.metrics == nil {
-			return
-		}
-		e.metrics.Observe(obs.HSolverLatencyUS, time.Since(start).Microseconds())
-		e.metrics.Observe(obs.HSolverWork, work)
-		switch verdict {
-		case solver.Sat:
-			e.metrics.Add(obs.CSolverSat, 1)
-		case solver.BudgetExhausted:
-			e.metrics.Add(obs.CSolverBudget, 1)
-		default:
-			e.metrics.Add(obs.CSolverUnsat, 1)
+			sol, verdict, work = nil, solver.Unsat, 0
+			e.countVerdict(verdict)
 		}
 	}()
+
+	hint := e.hint()
+	slice, pruned := solver.CanonicalSlice(pc)
+	if pruned > 0 {
+		e.report.SlicedPreds += int64(pruned)
+		e.metrics.Add(obs.CSlicedPreds, int64(pruned))
+		e.lastSolve.sliced = pruned
+	}
+
+	var key string
+	useCache := e.cache != nil && e.report.SolverCalls > solveCacheWarmup
+	if e.cache != nil && !useCache {
+		// Warmup: a solve cache only pays for itself once a search starts
+		// re-solving constraints, so the first few solves skip the memo
+		// entirely — tiny searches (the common case for unit-scale
+		// programs) never pay key-building or storage costs.  A skipped
+		// solve counts as a miss: a hit was impossible.
+		e.report.SolveCacheMisses++
+		e.metrics.Add(obs.CSolveCacheMisses, 1)
+		e.lastSolve.cache = "miss"
+	}
+	if useCache {
+		key = solver.CacheKey(slice, hint)
+		if hit, ok := e.cache.Get(key); ok {
+			e.report.SolveCacheHits++
+			e.metrics.Add(obs.CSolveCacheHits, 1)
+			e.lastSolve.cache = "hit"
+			sol, verdict = hit.Model, hit.Verdict
+			if verdict == solver.Sat && pruned > 0 && !solver.VerifyAssignment(pc, e.meta, sol, hint) {
+				sol, verdict = nil, solver.Unsat
+			}
+			if e.obs != nil {
+				e.emit(obs.Event{Kind: obs.SolveCacheHit, Run: e.report.Runs,
+					Depth: depth, PCLen: len(slice), Verdict: verdict.String()})
+			}
+			e.countVerdict(verdict)
+			return sol, verdict, 0
+		}
+		e.report.SolveCacheMisses++
+		e.metrics.Add(obs.CSolveCacheMisses, 1)
+		e.lastSolve.cache = "miss"
+	}
+
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
 	var stats solver.Stats
-	sol, verdict, stats = solver.SolveWorkStats(pc, e.meta, e.hint(), e.opts.SolverBudget)
+	sol, verdict, stats = solver.SolveWorkStats(slice, e.meta, hint, e.opts.SolverBudget)
 	work = stats.Work
+	if useCache {
+		// Memoize the slice-level result (pre-verification: the pruned
+		// predicates of *this* pc play no part in the entry, so the entry
+		// is valid for any future pc producing the same slice and hint).
+		if e.cache.Put(key, verdict, sol) {
+			e.report.SolveCacheEvictions++
+			e.metrics.Add(obs.CSolveCacheEvicts, 1)
+			e.lastSolve.evicted = true
+		}
+	}
+	if verdict == solver.Sat && pruned > 0 && !solver.VerifyAssignment(pc, e.meta, sol, hint) {
+		sol, verdict = nil, solver.Unsat
+	}
+	if e.metrics != nil {
+		e.metrics.Observe(obs.HSolverLatencyUS, time.Since(start).Microseconds())
+		e.metrics.Observe(obs.HSolverWork, work)
+	}
+	e.countVerdict(verdict)
 	return sol, verdict, work
+}
+
+// solveInfo is the fast-path telemetry of the engine's most recent
+// solveIsolated call, attached by the call sites to the SolverVerdict
+// trace event so a live event-stream consumer (obs.LiveMetrics) can
+// reconstruct the slicing and cache counters of the final report.
+type solveInfo struct {
+	// sliced is the number of predicates independence slicing pruned.
+	sliced int
+	// cache is the solve cache's disposition: "hit", "miss", or "" when
+	// the cache is disabled.
+	cache string
+	// evicted reports that memoizing this solve evicted the LRU entry.
+	evicted bool
+}
+
+// verdictEvent builds the SolverVerdict event for the engine's most
+// recent solve, carrying its fast-path telemetry.
+func (e *engine) verdictEvent(depth int, verdict solver.Verdict, work int64) obs.Event {
+	return obs.Event{
+		Kind: obs.SolverVerdict, Run: e.report.Runs, Depth: depth,
+		Verdict: verdict.String(), Work: work,
+		Sliced: e.lastSolve.sliced, Cache: e.lastSolve.cache,
+		CacheEvict: e.lastSolve.evicted,
+	}
+}
+
+// countVerdict meters one finished solve (fresh or cached) into the
+// per-verdict counters.
+func (e *engine) countVerdict(v solver.Verdict) {
+	switch v {
+	case solver.Sat:
+		e.metrics.Add(obs.CSolverSat, 1)
+	case solver.BudgetExhausted:
+		e.metrics.Add(obs.CSolverBudget, 1)
+	default:
+		e.metrics.Add(obs.CSolverUnsat, 1)
+	}
 }
 
 // searchComplete reports whether an exhausted execution tree proves

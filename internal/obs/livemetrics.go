@@ -57,7 +57,22 @@ func (l *LiveMetrics) Event(ev Event) {
 		default:
 			l.m.Add(CSolverUnsat, 1)
 		}
-		l.m.Observe(HSolverWork, ev.Work)
+		if ev.Cache != "hit" {
+			// A cached verdict skips the work histogram in the registry
+			// too: the histogram measures the solver, not the memo.
+			l.m.Observe(HSolverWork, ev.Work)
+		}
+		if ev.Sliced > 0 {
+			l.m.Add(CSlicedPreds, int64(ev.Sliced))
+		}
+		if ev.Cache == "miss" {
+			l.m.Add(CSolveCacheMisses, 1)
+		}
+		if ev.CacheEvict {
+			l.m.Add(CSolveCacheEvicts, 1)
+		}
+	case SolveCacheHit:
+		l.m.Add(CSolveCacheHits, 1)
 	case BugFound:
 		l.m.Add(CBugs, 1)
 	case FallbackConcrete:

@@ -25,6 +25,12 @@ const (
 	CBugs           = "bugs_found"
 	CFallbackLinear = "fallback_all_linear"
 	CFallbackLocs   = "fallback_all_locs_definite"
+	// Solver fast path: solve-cache activity and predicates pruned by
+	// independence slicing before the solver ran.
+	CSolveCacheHits   = "solve_cache_hits"
+	CSolveCacheMisses = "solve_cache_misses"
+	CSolveCacheEvicts = "solve_cache_evictions"
+	CSlicedPreds      = "solver_sliced_preds"
 
 	// Histograms.
 	HSolverLatencyUS = "solver_latency_us"

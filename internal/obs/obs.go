@@ -45,6 +45,12 @@ const (
 	SolverCall Kind = "solver-call"
 	// SolverVerdict: the solve finished with Verdict after Work units.
 	SolverVerdict Kind = "solver-verdict"
+	// SolveCacheHit: the per-search solve cache answered this solve from
+	// a memoized slice-level result (between the solve's SolverCall and
+	// SolverVerdict events); PCLen is the sliced constraint length and
+	// Verdict the memoized verdict.  Deterministic like every other
+	// payload: a fixed seed hits the cache at the same points every run.
+	SolveCacheHit Kind = "solve-cache-hit"
 	// FallbackConcrete: a symbolic expression left the theory and fell
 	// back to its concrete value; Flag names the completeness flag that
 	// was cleared ("all_linear" or "all_locs_definite").  Emitted once
@@ -86,6 +92,16 @@ type Event struct {
 	Verdict string `json:"verdict,omitempty"`
 	// Work is the solver work spent (solver work units, deterministic).
 	Work int64 `json:"work,omitempty"`
+	// Sliced is the number of path-constraint predicates independence
+	// slicing pruned before this solve (on SolverVerdict).
+	Sliced int `json:"sliced,omitempty"`
+	// Cache is the solve cache's disposition for a SolverVerdict: "hit",
+	// "miss", or absent when the cache is disabled.  A hit is also
+	// announced by its own SolveCacheHit event just before the verdict.
+	Cache string `json:"cache,omitempty"`
+	// CacheEvict marks a SolverVerdict whose memoization evicted the
+	// least-recently-used cache entry.
+	CacheEvict bool `json:"cache_evict,omitempty"`
 	// Steps is the instruction count of a finished run.
 	Steps int64 `json:"steps,omitempty"`
 	// Outcome classifies a finished run ("halt", "abort", "crash", ...).

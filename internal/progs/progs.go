@@ -185,6 +185,43 @@ int poke(struct s *p) {
 }
 `
 
+// Clusters has three independent variable clusters — {a}, {b}, and
+// {c, d} — chained as nested guards.  Flipping the innermost branch
+// (a < 5) only constrains a, so independence slicing prunes the b and
+// c+d predicates from the solve; the parent run's concrete b, c, d
+// already satisfy them.
+const Clusters = `
+int clusters(int a, int b, int c, int d) {
+    if (a > 0) {
+        if (b > 0) {
+            if (c + d > 10) {
+                if (a < 5)
+                    abort();
+            }
+        }
+    }
+    return 0;
+}
+`
+
+// SolverGate is a solver-heavy gauntlet of sequential (non-nested)
+// conditionals over two variable pairs.  Every executed path enqueues a
+// flip per conditional, and after slicing the flips reduce to a handful
+// of distinct (slice, hint) keys — the workload the solve cache is for.
+const SolverGate = `
+int gate(int a, int b, int c, int d) {
+    int hits = 0;
+    if (a + b > 10) hits = hits + 1;
+    if (a - b < -25) hits = hits + 1;
+    if (c + d == 9) hits = hits + 1;
+    if (c - d == 31) hits = hits + 1;
+    if (b + c > 100) hits = hits + 1;
+    if (hits >= 4)
+        abort();
+    return 0;
+}
+`
+
 // Filter is the "input-filtering code" pattern the AC-controller
 // discussion describes: only a narrow input range reaches the core,
 // where the bug hides behind an arithmetic relation.

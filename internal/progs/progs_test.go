@@ -25,6 +25,8 @@ func TestAllProgramsCompile(t *testing.T) {
 		"NullChain":    NullChain,
 		"Filter":       Filter,
 		"StraightLine": StraightLineDeref,
+		"Clusters":     Clusters,
+		"SolverGate":   SolverGate,
 	}
 	for name, src := range all {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,116 @@
+package solver
+
+import (
+	"container/list"
+
+	"dart/internal/symbolic"
+)
+
+// DefaultCacheCap is the solve-cache capacity used when a caller asks
+// for a cache without choosing one.  Directed searches rarely see more
+// than a few thousand distinct (slice, hint) keys before restarting, so
+// this bounds memory without measurable hit-rate loss.
+const DefaultCacheCap = 1024
+
+// CachedSolve is one memoized slice-level solve result: the verdict and,
+// for Sat, the model.  It is the *pre-verification* result — callers
+// re-verify against their full conjunction on every use, so a cached
+// entry never weakens the soundness contract.
+type CachedSolve struct {
+	Verdict Verdict
+	// Model is the satisfying assignment (nil unless Verdict is Sat).
+	Model map[symbolic.Var]int64
+}
+
+// Cache is a bounded LRU memo of sliced solves, keyed by CacheKey.  One
+// search owns one cache (no locking), mirroring the per-search metrics
+// registry, so a parallel audit's results stay independent of its
+// worker count.  Because the key renders the exact solver input — the
+// predicate sequence plus the hint values the solve depends on — a hit
+// is identical to re-running the solver: caching can change how fast a
+// search runs, never what it finds.
+type Cache struct {
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cacheEntry struct {
+	key string
+	res CachedSolve
+}
+
+// NewCache returns a cache holding up to capacity entries (<= 0 selects
+// DefaultCacheCap).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the memoized result for key.  The model is copied, so
+// callers may complete or consume it freely.
+func (c *Cache) Get(key string) (CachedSolve, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return CachedSolve{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	res.Model = copyModel(res.Model)
+	return res, true
+}
+
+// Put memoizes the result for key, evicting the least recently used
+// entry when full; it reports whether an eviction happened.  The model
+// is copied at store time.
+func (c *Cache) Put(key string, verdict Verdict, model map[symbolic.Var]int64) (evicted bool) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = CachedSolve{Verdict: verdict, Model: copyModel(model)}
+		c.lru.MoveToFront(el)
+		return false
+	}
+	if c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		if oldest != nil {
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.lru.Remove(oldest)
+			c.evicted++
+			evicted = true
+		}
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{
+		key: key,
+		res: CachedSolve{Verdict: verdict, Model: copyModel(model)},
+	})
+	return evicted
+}
+
+// Hits, Misses, and Evictions report the cache's lifetime activity.
+func (c *Cache) Hits() int64      { return c.hits }
+func (c *Cache) Misses() int64    { return c.misses }
+func (c *Cache) Evictions() int64 { return c.evicted }
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+func copyModel(m map[symbolic.Var]int64) map[symbolic.Var]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[symbolic.Var]int64, len(m))
+	for v, x := range m {
+		out[v] = x
+	}
+	return out
+}

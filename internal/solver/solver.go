@@ -237,14 +237,25 @@ func solve(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, hint map[symboli
 			}
 		}
 	}
-	// Verify integer predicates exactly. Pointer predicates were decided
-	// by definite three-valued evaluation inside solvePointers.
+	// Verify integer predicates exactly, with overflow-checked
+	// evaluation: a candidate whose affine forms wrap int64 is rejected
+	// (conservative Unsat) rather than accepted on the strength of
+	// arithmetic that wrapped the same way twice.  Pointer predicates
+	// were decided by definite three-valued evaluation inside
+	// solvePointers.
 	for _, p := range intPreds {
-		if !p.Holds(solution) {
+		if !holdsChecked(p, solution) {
 			return nil, false
 		}
 	}
 	return solution, true
+}
+
+// holdsChecked is Pred.Holds with overflow-checked evaluation; an
+// overflowing evaluation counts as not holding.
+func holdsChecked(p symbolic.Pred, assign map[symbolic.Var]int64) bool {
+	v, ok := p.L.EvalChecked(assign)
+	return ok && cmpInt(v, p.Rel)
 }
 
 // ------------------------------------------------------------- pointers

@@ -1,0 +1,34 @@
+package symbolic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvalCheckedAgreesInRange(t *testing.T) {
+	l := &Lin{Const: 3, Coeffs: map[Var]int64{1: 2, 2: -4}}
+	assign := map[Var]int64{1: 4, 2: 10}
+	got, ok := l.EvalChecked(assign)
+	if !ok || got != l.Eval(assign) {
+		t.Errorf("EvalChecked = %d/%v, want %d/true", got, ok, l.Eval(assign))
+	}
+}
+
+func TestEvalCheckedRejectsOverflow(t *testing.T) {
+	cases := []struct {
+		name   string
+		l      *Lin
+		assign map[Var]int64
+	}{
+		{"mul", &Lin{Coeffs: map[Var]int64{1: 2}}, map[Var]int64{1: math.MaxInt64}},
+		{"mul-min-neg1", &Lin{Coeffs: map[Var]int64{1: -1}}, map[Var]int64{1: math.MinInt64}},
+		{"add", &Lin{Const: math.MaxInt64, Coeffs: map[Var]int64{1: 1}}, map[Var]int64{1: 1}},
+		{"sum-of-terms", &Lin{Coeffs: map[Var]int64{1: 1, 2: 1}},
+			map[Var]int64{1: math.MaxInt64, 2: math.MaxInt64}},
+	}
+	for _, c := range cases {
+		if _, ok := c.l.EvalChecked(c.assign); ok {
+			t.Errorf("%s: wrapping evaluation reported ok", c.name)
+		}
+	}
+}

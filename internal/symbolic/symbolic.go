@@ -146,6 +146,26 @@ func (l *Lin) Eval(assign map[Var]int64) int64 {
 	return total
 }
 
+// EvalChecked evaluates the form under the assignment with overflow
+// detection: ok is false when any coefficient product or partial sum
+// leaves int64.  Raw Eval wraps silently in that case, which can make a
+// mathematically false predicate look satisfied; soundness-critical
+// checks (the solver's candidate verification) must use this form.
+func (l *Lin) EvalChecked(assign map[Var]int64) (total int64, ok bool) {
+	total = l.Const
+	for v, k := range l.Coeffs {
+		p, ok := checkedMul(k, assign[v])
+		if !ok {
+			return 0, false
+		}
+		total, ok = checkedAdd(total, p)
+		if !ok {
+			return 0, false
+		}
+	}
+	return total, true
+}
+
 // Equal reports structural equality of two forms.
 func (l *Lin) Equal(o *Lin) bool {
 	if l.Const != o.Const || len(l.Coeffs) != len(o.Coeffs) {
@@ -212,6 +232,33 @@ func mulOverflow(a, b int64) (int64, bool) {
 	}
 	return p, true
 }
+
+// checkedAdd and checkedMul are exact overflow-detecting int64 ops for
+// EvalChecked.  Unlike mulOverflow they also reject MinInt64 * -1 (whose
+// quotient check passes by two's-complement wraparound).
+func checkedAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func checkedMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if (a == -1 && b == minInt64) || (b == -1 && a == minInt64) {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+const minInt64 = -1 << 63
 
 // ---------------------------------------------------------------- preds
 

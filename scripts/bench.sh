@@ -6,6 +6,10 @@
 # the live ops layer — with no -serve the ops server is never
 # constructed, so the engine path must be byte-for-byte the same cost).
 #
+# BenchmarkSolverHeavyGate is the solver fast-path A/B (BENCH_pr4.json):
+# its cache sub-benchmark must spend measurably fewer solverwork/op than
+# nocache, and nocache must not regress the gate benchmarks.
+#
 # Usage: scripts/bench.sh [count]
 #   count — benchmark repetitions per target (default 5).  On noisy
 #   shared machines compare the per-side MINIMUM, not the mean: OS
@@ -17,7 +21,7 @@ COUNT="${1:-5}"
 OUT="${BENCH_OUT:-/tmp/dart_bench.txt}"
 
 go test -run '^$' \
-    -bench 'BenchmarkE2Completeness$|BenchmarkMachineThroughput$' \
+    -bench 'BenchmarkE2Completeness$|BenchmarkMachineThroughput$|BenchmarkSolverHeavyGate' \
     -benchmem -count="$COUNT" . | tee "$OUT"
 
 echo

@@ -14,3 +14,8 @@ go test -race ./...
 # endpoint mid-audit, plus the in-process endpoint/counter checks.
 go test -count=1 -run 'TestCLIServeEndpoints' .
 go test -count=1 -run 'TestServerLiveAudit' ./internal/ops/
+# Solver fast-path gate: slicing + caching must never change what a
+# search finds — cache on/off/tiny report equality under both engines,
+# jobs-independence with the cache on, and replayable random-mode bugs.
+go test -count=1 -run 'TestSolveCache|TestSlicingOnClusters|TestRandomBugsReplay' ./internal/concolic/
+go test -count=1 -run 'TestAuditCacheDeterministicAcrossJobs' ./internal/audit/
