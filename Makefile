@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet experiments
+.PHONY: build test check race vet experiments bench-scale
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,10 @@ check: build vet race
 
 experiments:
 	$(GO) run ./cmd/dart-experiments
+
+# bench-scale measures the parallel frontier's worker scaling curve on a
+# machine-heavy and a solver-heavy workload (1/2/4/8 workers; see
+# BENCH_pr5.json for recorded numbers and scripts/bench.sh for the full
+# gate).  Speedup is bounded by the cores actually available.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkWorkerScaling' -count=3 .

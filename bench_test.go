@@ -12,6 +12,7 @@ package dart
 // benchmarking harness.
 
 import (
+	"fmt"
 	"testing"
 
 	"dart/internal/minisip"
@@ -330,6 +331,48 @@ func BenchmarkMachineThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
 	b.ReportMetric(float64(steps)/float64(runs), "instructions/run")
+}
+
+// BenchmarkWorkerScaling: the parallel frontier's scaling curve over a
+// machine-heavy workload (a depth-2 Dolev-Yao sweep: thousands of
+// concrete executions, cheap solves) and a solver-heavy one (the
+// SolverGate gauntlet: most of the time inside the solver fast path).
+// BFS puts every worker count on the same frontier scheduler, so each
+// sub-benchmark performs the same logical search and time/op isolates
+// the pool's effect.  runs/op must not drift across worker counts (the
+// determinism contract); speedup is bounded by available cores — on a
+// single-CPU container expect a flat curve, and the interesting gate is
+// that workers=2..8 stay within the coordination-overhead noise of
+// workers=1 rather than behind it.
+func BenchmarkWorkerScaling(b *testing.B) {
+	workloads := []struct {
+		name string
+		prog *Program
+		opts Options
+	}{
+		{"machine", benchProgram(b, protocols.Source(protocols.DolevYao, protocols.NoFix)),
+			Options{Toplevel: protocols.Toplevel, Depth: 2, MaxRuns: 5000, Strategy: BFS}},
+		{"solver", benchProgram(b, progs.SolverGate),
+			Options{Toplevel: "gate", MaxRuns: 300, Strategy: BFS}},
+	}
+	for _, wl := range workloads {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", wl.name, workers), func(b *testing.B) {
+				var runs int64
+				for i := 0; i < b.N; i++ {
+					opts := wl.opts
+					opts.Seed = int64(i + 1)
+					opts.Workers = workers
+					rep, err := Run(wl.prog, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					runs += int64(rep.Runs)
+				}
+				b.ReportMetric(float64(runs)/float64(b.N), "runs/op")
+			})
+		}
+	}
 }
 
 // BenchmarkCompile: front-end cost over the largest source (minisip).

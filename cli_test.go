@@ -81,6 +81,49 @@ func TestCLIJSON(t *testing.T) {
 	}
 }
 
+// TestCLIWorkers: -workers 4 runs the parallel frontier, still finds
+// the Section 2.1 bug with its solved input, announces the pool in the
+// human mode line, and surfaces the new JSON accounting fields.
+func TestCLIWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, code := runCLI(t, "-top", "h", "-seed", "1", "-workers", "4")
+	if code != 1 {
+		t.Fatalf("exit code %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "BUG [abort]") || !strings.Contains(out, "d0.x:10") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "(4 workers)") {
+		t.Errorf("human output does not announce the worker pool:\n%s", out)
+	}
+
+	jout, code := runCLI(t, "-top", "h", "-seed", "1", "-workers", "4", "-json")
+	if code != 1 {
+		t.Fatalf("json exit code %d, output:\n%s", code, jout)
+	}
+	var rep struct {
+		Workers         int               `json:"workers"`
+		FrontierDropped *int              `json:"frontier_dropped"`
+		Steals          *int              `json:"frontier_steals"`
+		Mispredicts     *int              `json:"mispredicts"`
+		Bugs            []json.RawMessage `json:"bugs"`
+	}
+	if err := json.Unmarshal([]byte(jout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, jout)
+	}
+	if rep.Workers != 4 {
+		t.Errorf("workers = %d, want 4", rep.Workers)
+	}
+	if rep.FrontierDropped == nil || rep.Steals == nil || rep.Mispredicts == nil {
+		t.Errorf("accounting fields missing from JSON report:\n%s", jout)
+	}
+	if len(rep.Bugs) != 1 {
+		t.Errorf("%d bugs in JSON report, want 1", len(rep.Bugs))
+	}
+}
+
 func TestCLIListAndIface(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the CLI binary")

@@ -18,7 +18,10 @@
 //	-hangs         report step-budget exhaustion (non-termination)
 //	-timeout d     wall-clock budget (whole search, or per function with -audit)
 //	-audit         audit every function of the program as toplevel in turn
-//	-jobs n        audit worker-pool size (default all CPUs)
+//	-jobs n        audit worker-pool size (default all CPUs / -workers)
+//	-workers n     parallel flip-workers per directed search (default 1);
+//	               with -audit, -jobs defaults to CPUs/workers so
+//	               -jobs × -workers respects one total CPU budget
 //	-trace file    write an NDJSON trace of search events to file
 //	-metrics       print the search metrics registry after the run
 //	-progress      live progress line on stderr while -audit runs
@@ -66,7 +69,8 @@ func run() int {
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget (whole search, or per function with -audit)")
 		cacheF   = flag.Int("solve-cache", dart.DefaultSolveCacheCap, "per-search solve-cache capacity (0 disables the solver fast-path cache)")
 		auditF   = flag.Bool("audit", false, "audit every function of the program as toplevel in turn")
-		jobs     = flag.Int("jobs", 0, "audit worker-pool size (default all CPUs)")
+		jobs     = flag.Int("jobs", 0, "audit worker-pool size (default all CPUs / -workers)")
+		workersF = flag.Int("workers", 1, "parallel flip-workers per directed search")
 		traceF   = flag.String("trace", "", "write an NDJSON trace of search events to `file`")
 		metricsF = flag.Bool("metrics", false, "print the search metrics registry after the run")
 		progress = flag.Bool("progress", false, "live progress line on stderr while -audit runs")
@@ -132,6 +136,7 @@ func run() int {
 			maxRuns:   *runs,
 			timeout:   *timeout,
 			jobs:      *jobs,
+			workers:   *workersF,
 			cacheCap:  solveCacheCap(*cacheF),
 			random:    *random,
 			json:      *jsonOut,
@@ -214,6 +219,7 @@ func run() int {
 		ReportStepLimit: *hangs,
 		Timeout:         *timeout,
 		SolveCacheCap:   solveCacheCap(*cacheF),
+		Workers:         *workersF,
 		Observer:        observer,
 		CollectMetrics:  true,
 	}
@@ -249,14 +255,17 @@ func run() int {
 	if *jsonOut {
 		return emitJSON(rep, *random)
 	}
+	if rep.Workers > 1 {
+		mode = fmt.Sprintf("%s (%d workers)", mode, rep.Workers)
+	}
 	fmt.Printf("%s search: %d runs, %d instructions in %s (%s steps/s), branch coverage %d/%d (%.1f%%)\n",
 		mode, rep.Runs, rep.Steps, fmtElapsed(rep.Elapsed), fmtRate(stepsPerSecond(rep)),
 		rep.Coverage.Covered(), rep.Coverage.Total(), 100*rep.Coverage.Fraction())
 	if rep.Complete {
 		fmt.Println("all feasible execution paths explored; no errors are reachable")
 	} else if !*random {
-		fmt.Printf("search incomplete (all_linear=%v all_locs_definite=%v restarts=%d)\n",
-			rep.AllLinear, rep.AllLocsDefinite, rep.Restarts)
+		fmt.Printf("search incomplete (all_linear=%v all_locs_definite=%v restarts=%d mispredicts=%d)\n",
+			rep.AllLinear, rep.AllLocsDefinite, rep.Restarts, rep.Mispredicts)
 	}
 	if rep.Stopped == dart.StopDeadline || rep.Stopped == dart.StopCancelled {
 		fmt.Printf("search stopped early: %s (partial report)\n", rep.Stopped)
@@ -500,6 +509,7 @@ type auditConfig struct {
 	maxRuns   int
 	timeout   time.Duration
 	jobs      int
+	workers   int
 	cacheCap  int
 	random    bool
 	json      bool
@@ -532,6 +542,7 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		MaxRuns:       cfg.maxRuns,
 		Timeout:       cfg.timeout,
 		Jobs:          cfg.jobs,
+		Workers:       cfg.workers,
 		SolveCacheCap: cfg.cacheCap,
 		UseRandom:     cfg.random,
 	}
@@ -683,12 +694,16 @@ type jsonReport struct {
 	CoverageTotal          int                   `json:"branch_directions_total"`
 	BranchCoverageFraction float64               `json:"branch_coverage_fraction"`
 	Restarts               int                   `json:"restarts"`
+	Mispredicts            int                   `json:"mispredicts"`
 	SolverCalls            int                   `json:"solver_calls"`
 	SolverFailures         int                   `json:"solver_failures"`
 	SolveCacheHits         int                   `json:"solve_cache_hits"`
 	SolveCacheMisses       int                   `json:"solve_cache_misses"`
 	SolveCacheEvictions    int                   `json:"solve_cache_evictions"`
 	SlicedPreds            int64                 `json:"solver_sliced_preds"`
+	Workers                int                   `json:"workers"`
+	FrontierDropped        int                   `json:"frontier_dropped"`
+	Steals                 int64                 `json:"frontier_steals"`
 	StopReason             string                `json:"stop_reason"`
 	SolverComplete         bool                  `json:"solver_complete"`
 	Metrics                *dart.MetricsSnapshot `json:"metrics,omitempty"`
@@ -729,12 +744,16 @@ func emitJSON(rep *dart.Report, random bool) int {
 		CoverageTotal:          rep.Coverage.Total(),
 		BranchCoverageFraction: rep.Coverage.Fraction(),
 		Restarts:               rep.Restarts,
+		Mispredicts:            rep.Mispredicts,
 		SolverCalls:            rep.SolverCalls,
 		SolverFailures:         rep.SolverFailures,
 		SolveCacheHits:         rep.SolveCacheHits,
 		SolveCacheMisses:       rep.SolveCacheMisses,
 		SolveCacheEvictions:    rep.SolveCacheEvictions,
 		SlicedPreds:            rep.SlicedPreds,
+		Workers:                rep.Workers,
+		FrontierDropped:        rep.FrontierDropped,
+		Steals:                 rep.Steals,
 		StopReason:             string(rep.Stopped),
 		SolverComplete:         rep.SolverComplete,
 		Metrics:                rep.Metrics,

@@ -67,8 +67,17 @@ type Options struct {
 	// complete-if-shallower result.  Default MaxRuns/10 (min 1); set
 	// negative to disable the retry.
 	RetryRuns int
-	// Jobs is the worker-pool size (default GOMAXPROCS).
+	// Jobs is the worker-pool size: how many functions are audited
+	// concurrently.  Default GOMAXPROCS / Workers (min 1), so the batch
+	// respects one total CPU budget — raising Workers narrows Jobs
+	// instead of oversubscribing.  Set both explicitly to oversubscribe
+	// on purpose.
 	Jobs int
+	// Workers is the per-function search parallelism, passed through to
+	// concolic.Options.Workers (default 1: the sequential engines).
+	// Jobs spreads the CPU across many small functions; Workers
+	// concentrates it inside few large ones.
+	Workers int
 	// UseRandom selects the pure random-testing baseline.
 	UseRandom bool
 	// Depth, Strategy, ReportStepLimit, SolverBudget, SolveCacheCap, and
@@ -86,9 +95,10 @@ type Options struct {
 	Cancel <-chan struct{}
 	// Observer receives the trace events of every per-function search,
 	// plus AuditFnStart/AuditFnEnd lifecycle brackets.  It must be safe
-	// for concurrent use when Jobs > 1 (the bundled obs sinks are).
-	// Events carry no worker identity, so the per-function event multiset
-	// is the same for any Jobs value.
+	// for concurrent use when Jobs > 1 or Workers > 1 (the bundled obs
+	// sinks are).  Events carry no audit-job identity, so the
+	// per-function event multiset is the same for any Jobs value; with
+	// Workers > 1 each event additionally names its search worker.
 	Observer obs.Sink
 	// OnEntry, when non-nil, is called with each function's finished
 	// Entry as it completes (from the worker goroutine that ran it, so
@@ -110,8 +120,14 @@ func (o *Options) withDefaults() Options {
 	if out.Depth <= 0 {
 		out.Depth = 1
 	}
+	if out.Workers <= 0 {
+		out.Workers = 1
+	}
 	if out.Jobs <= 0 {
-		out.Jobs = runtime.GOMAXPROCS(0)
+		out.Jobs = runtime.GOMAXPROCS(0) / out.Workers
+		if out.Jobs < 1 {
+			out.Jobs = 1
+		}
 	}
 	if out.RetryRuns == 0 {
 		out.RetryRuns = out.MaxRuns / 10
@@ -298,6 +314,7 @@ func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, erro
 		ReportStepLimit: o.ReportStepLimit,
 		SolverBudget:    o.SolverBudget,
 		SolveCacheCap:   o.SolveCacheCap,
+		Workers:         o.Workers,
 		LibImpls:        o.LibImpls,
 		Timeout:         o.Timeout,
 		Cancel:          o.Cancel,

@@ -3,6 +3,8 @@ package audit
 import (
 	"fmt"
 	"reflect"
+	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -151,6 +153,76 @@ func TestAuditDeterministicAcrossJobs(t *testing.T) {
 	stripTimings(rN)
 	if !reflect.DeepEqual(r1, rN) {
 		t.Errorf("audit results differ between -jobs 1 and -jobs 4:\n%+v\n%+v", r1, rN)
+	}
+}
+
+// TestAuditJobsDefaultRespectsWorkers: -jobs and -workers share one CPU
+// budget by default — Jobs defaults to GOMAXPROCS/Workers (min 1), so
+// raising per-function parallelism narrows the function-level pool
+// instead of oversubscribing.
+func TestAuditJobsDefaultRespectsWorkers(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		workers, wantJobs int
+	}{
+		{1, procs},
+		{procs, 1},
+		{2 * procs, 1},
+	} {
+		o := (&Options{Workers: tc.workers}).withDefaults()
+		if o.Jobs != tc.wantJobs {
+			t.Errorf("Workers=%d: default Jobs = %d, want %d (GOMAXPROCS=%d)",
+				tc.workers, o.Jobs, tc.wantJobs, procs)
+		}
+	}
+	// Explicit values pass through untouched: oversubscribing is allowed,
+	// just never the default.
+	o := (&Options{Workers: 4, Jobs: 6}).withDefaults()
+	if o.Jobs != 6 || o.Workers != 4 {
+		t.Errorf("explicit Jobs/Workers rewritten to %d/%d", o.Jobs, o.Workers)
+	}
+}
+
+// TestAuditParallelWorkersFindSameBugs: an audit at Workers=2 classifies
+// every function the same as at Workers=1 and reports the same bug
+// positions — the per-function parallel frontier changes the schedule,
+// never the verdicts.
+func TestAuditParallelWorkersFindSameBugs(t *testing.T) {
+	prog := compile(t, library)
+	opts := Options{
+		Toplevels: []string{"fine", "crashy", "fine", "crashy"},
+		Seed:      7,
+		MaxRuns:   100,
+	}
+	o1 := opts
+	o1.Workers = 1
+	o2 := opts
+	o2.Workers = 2
+	r1 := Run(prog, o1)
+	r2 := Run(prog, o2)
+	for i := range r1.Entries {
+		e1, e2 := r1.Entries[i], r2.Entries[i]
+		if e1.Status != e2.Status {
+			t.Errorf("%s: status %s at workers=1, %s at workers=2", e1.Function, e1.Status, e2.Status)
+			continue
+		}
+		if e1.Report == nil || e2.Report == nil {
+			continue
+		}
+		sig := func(rep *concolic.Report) []string {
+			var out []string
+			for _, b := range rep.Bugs {
+				out = append(out, fmt.Sprintf("%s|%s|%s", b.Kind, b.Msg, b.Pos))
+			}
+			sort.Strings(out)
+			return out
+		}
+		if s1, s2 := sig(e1.Report), sig(e2.Report); !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: bug set %v at workers=1, %v at workers=2", e1.Function, s1, s2)
+		}
+		if e2.Report.Workers != 2 {
+			t.Errorf("%s: Report.Workers = %d, want 2", e2.Function, e2.Report.Workers)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ package concolic
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"dart/internal/coverage"
@@ -27,6 +28,7 @@ import (
 	"dart/internal/solver"
 	"dart/internal/symbolic"
 	"dart/internal/token"
+	"dart/internal/types"
 )
 
 // Strategy selects which unexplored branch to force next (the paper's
@@ -86,8 +88,25 @@ type Options struct {
 	MaxShapeDepth int
 	// MaxFrontier bounds the pending-flip work list of the BFS and
 	// RandomBranch strategies (the DFS strategy uses the paper's O(depth)
-	// stack and ignores it). Default 32768.
+	// stack and ignores it; with Workers > 1 every strategy runs on the
+	// frontier, so the bound always applies).  Overflow drops the deepest
+	// pending flips, counted in Report.FrontierDropped and clearing
+	// Complete. Default 32768.
 	MaxFrontier int
+	// Workers is the number of parallel flip-workers of the directed
+	// search.  1 (the default) runs today's sequential engines unchanged.
+	// N > 1 runs the work-stealing parallel frontier engine: N workers
+	// pull pending flips from per-worker deques (stealing when starved),
+	// each with its own machine, symbolic evaluator, and RNG stream, all
+	// sharing one program, one input registry, and one sharded solve
+	// cache.  Distinct pending flips are independent program runs (each
+	// is re-executed from its own recorded input vector), so on searches
+	// that exhaust their execution tree the bug set, branch coverage,
+	// and completeness flags are identical for every Workers value; run
+	// indices, input-vector padding, and cache hit rates may differ.
+	// Under MaxRuns truncation different worker counts explore different
+	// MaxRuns-sized subsets, exactly as different strategies do.
+	Workers int
 	// LibImpls supplies library black boxes (defaults to machine.StdLibImpls).
 	LibImpls map[string]machine.LibImpl
 	// Timeout bounds the whole search in wall-clock time.  A tripped
@@ -150,6 +169,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.SolverBudget <= 0 {
 		out.SolverBudget = solver.DefaultWork
+	}
+	if out.Workers <= 0 {
+		out.Workers = 1
 	}
 	return out
 }
@@ -232,6 +254,14 @@ type Report struct {
 	AllLocsDefinite bool
 	// Restarts counts fresh random restarts forced by mispredictions.
 	Restarts int
+	// Mispredicts counts executions that diverged from the solver's
+	// predicted branch (the machine wrapped where the solver's exact
+	// arithmetic did not, or vice versa).  Each misprediction abandons
+	// the predicted flip unexplored — the classic stack marks the branch
+	// done and restarts, the frontier discards the item — so any
+	// misprediction clears Complete: the execution tree was not provably
+	// exhausted (Theorem 1(b)'s hypothesis failed).
+	Mispredicts int
 	// Steps is the total instruction count across runs.
 	Steps int64
 	// Coverage accumulates branch coverage over all runs.
@@ -248,6 +278,17 @@ type Report struct {
 	SolveCacheMisses    int
 	SolveCacheEvictions int
 	SlicedPreds         int64
+	// Workers is the worker-pool size the search actually ran with
+	// (1 = the sequential engines).
+	Workers int
+	// FrontierDropped counts pending flips discarded because the
+	// frontier worklist overflowed MaxFrontier.  Each dropped flip is an
+	// abandoned unexplored subtree, so any drop clears Complete; the
+	// count keeps the loss visible instead of silent.
+	FrontierDropped int
+	// Steals counts work-stealing transfers between parallel frontier
+	// workers (zero for sequential searches).
+	Steals int64
 	// Stopped records why the search ended; a tripped deadline or a
 	// cancellation produces a partial report with the matching reason,
 	// never an error.
@@ -289,7 +330,10 @@ type varInfo struct {
 	meta solver.VarMeta
 }
 
-// engine is the state of one directed search.
+// engine is the state of one directed search — or, under the parallel
+// frontier engine, of one worker (each worker owns an engine; they
+// share the input registry, the solve cache, and the sharedSearch
+// coordinator).
 type engine struct {
 	prog *ir.Prog
 	opts Options
@@ -298,9 +342,11 @@ type engine struct {
 	// deadline is the absolute wall-clock bound (zero = none).
 	deadline time.Time
 
-	// Input registry: stable across runs.
-	varByKey map[string]symbolic.Var
-	vars     []varInfo
+	// regs is the input registry: stable across runs, owned exclusively
+	// by sequential searches and shared (internally locked) by the
+	// workers of a parallel search, so symbolic variable numbering — and
+	// with it solve-cache keys — is global to the search.
+	regs *varRegistry
 
 	// im is the current input vector (key -> value/decision).
 	im map[string]int64
@@ -311,18 +357,103 @@ type engine struct {
 	forcingOK  bool
 	mispredict bool
 
+	// seenBugs dedups bugs by signature within this engine; a parallel
+	// search dedups across workers through shared instead.
+	seenBugs map[string]bool
+
 	// obs receives trace events (nil = no observation); metrics is the
 	// always-on per-search registry snapshotted into Report.Metrics.
 	obs     obs.Sink
 	metrics *obs.Metrics
 
-	// cache memoizes sliced solves (nil when disabled by SolveCacheCap).
-	cache *solver.Cache
+	// worker is the 1-based parallel worker id stamped on every emitted
+	// event; 0 (omitted from encodings) for sequential searches.
+	worker int
+	// shared coordinates the workers of a parallel search (bug dedup,
+	// run budget, stop reasons); nil for sequential searches.
+	shared *sharedSearch
+
+	// cache memoizes sliced solves (nil when disabled by SolveCacheCap);
+	// a *solver.Cache owned by this search, or the one *solver.ShardedCache
+	// a parallel search's workers share.
+	cache solver.SolveCache
 	// lastSolve carries fast-path telemetry from solveIsolated to the
 	// SolverVerdict event its caller emits.
 	lastSolve solveInfo
 
 	report *Report
+}
+
+// varRegistry is the search-global input registry: input key to
+// symbolic variable, plus each variable's solver domain.  Sequential
+// searches own one outright; the parallel engine shares one across
+// workers so variable numbering (and therefore predicate rendering and
+// cache keys) means the same input everywhere.  Registration is
+// write-rare — each distinct input key registers once per search — so a
+// read-write mutex keeps the read paths (per-solve metadata, hints)
+// cheap.
+type varRegistry struct {
+	mu    sync.RWMutex
+	byKey map[string]symbolic.Var
+	vars  []varInfo
+}
+
+func newVarRegistry() *varRegistry {
+	// The key map is allocated on first registration, so input-less
+	// searches never pay for it.
+	return &varRegistry{}
+}
+
+// varOf returns (registering on first use) the variable for key.
+func (r *varRegistry) varOf(key string, kind symbolic.VarKind, b *types.Basic) symbolic.Var {
+	r.mu.RLock()
+	v, ok := r.byKey[key]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.byKey[key]; ok {
+		return v
+	}
+	if r.byKey == nil {
+		r.byKey = map[string]symbolic.Var{}
+	}
+	v = symbolic.Var(len(r.vars))
+	r.byKey[key] = v
+	r.vars = append(r.vars, varInfo{key: key, meta: domainOf(kind, b)})
+	return v
+}
+
+// snapshot returns the current registered-variable prefix.  Entries are
+// immutable once appended and appends happen under the write lock, so
+// the returned slice is safe to read without further locking.
+func (r *varRegistry) snapshot() []varInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.vars
+}
+
+// keyOf returns the input key of a registered variable.
+func (r *varRegistry) keyOf(v symbolic.Var) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.vars[v].key
+}
+
+// metaOf returns the solver domain of a registered variable.
+func (r *varRegistry) metaOf(v symbolic.Var) solver.VarMeta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.vars[v].meta
+}
+
+// isPointer reports whether v identifies a pointer input.
+func (r *varRegistry) isPointer(v symbolic.Var) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return int(v) < len(r.vars) && r.vars[v].meta.Kind == symbolic.PointerVar
 }
 
 var errMispredicted = errors.New("execution diverged from predicted branch")
@@ -334,11 +465,15 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 	if _, ok := prog.Lookup(o.Toplevel); !ok {
 		return nil, fmt.Errorf("concolic: toplevel function %q is not defined in the program", o.Toplevel)
 	}
+	if o.Workers > 1 {
+		// The work-stealing parallel frontier engine; see parallel.go.
+		return runParallel(prog, o, start), nil
+	}
 	e := &engine{
 		prog:     prog,
 		opts:     o,
 		rand:     rng.New(o.Seed),
-		varByKey: map[string]symbolic.Var{},
+		regs:     newVarRegistry(),
 		im:       map[string]int64{},
 		obs:      o.Observer,
 		metrics:  newMetrics(o),
@@ -346,6 +481,7 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 			AllLinear:       true,
 			AllLocsDefinite: true,
 			SolverComplete:  true,
+			Workers:         1,
 			Coverage:        coverage.New(prog.NumSites),
 		},
 	}
@@ -374,8 +510,6 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 
 // search is run_DART (Fig. 2).
 func (e *engine) search() {
-	seenBugs := map[string]bool{}
-
 	for e.report.Runs < e.opts.MaxRuns {
 		// Outer repeat: fresh random input vector, empty stack.
 		e.stack = nil
@@ -432,6 +566,7 @@ func (e *engine) search() {
 			if e.mispredict {
 				// Fig. 4 raised: forcing_ok was cleared.  Restart the
 				// outer loop with fresh random inputs.
+				e.report.Mispredicts++
 				e.metrics.Add(obs.CMispredicts, 1)
 				if e.obs != nil {
 					e.emit(obs.Event{Kind: obs.Misprediction, Run: e.report.Runs, Depth: e.k - 1})
@@ -452,9 +587,7 @@ func (e *engine) search() {
 				isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
 					(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
 				if isBug {
-					sig := bugSig(rerr)
-					if !seenBugs[sig] {
-						seenBugs[sig] = true
+					if e.claimBug(bugSig(rerr)) {
 						e.report.Bugs = append(e.report.Bugs, Bug{
 							Kind:   rerr.Outcome,
 							Msg:    rerr.Msg,
@@ -555,6 +688,9 @@ func (e *engine) emit(ev obs.Event) {
 		}
 	}()
 	ev.Fn = e.opts.Toplevel
+	if ev.Worker == 0 {
+		ev.Worker = e.worker
+	}
 	e.obs.Event(ev)
 }
 

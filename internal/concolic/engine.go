@@ -108,7 +108,7 @@ func (e *engine) decisionDepth(rec machine.BranchRec) int {
 	if len(vs) != 1 {
 		return 0
 	}
-	return strings.Count(e.vars[vs[0]].key, ".*")
+	return strings.Count(e.regs.keyOf(vs[0]), ".*")
 }
 
 // solveNext is solve_path_constraint (Fig. 5): choose an unexplored
@@ -176,7 +176,7 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 
 		// IM + IM': inputs not involved keep their previous values.
 		for v, val := range sol {
-			e.im[e.vars[v].key] = val
+			e.im[e.regs.keyOf(v)] = val
 		}
 		return true
 	}
@@ -207,9 +207,10 @@ func (e *engine) pickBranch(branches []machine.BranchRec, ktry int) int {
 // hint exposes the current input vector as a variable assignment, used to
 // preserve don't-care inputs and to bias disequality splits.
 func (e *engine) hint() map[symbolic.Var]int64 {
-	h := make(map[symbolic.Var]int64, len(e.vars))
-	for i := range e.vars {
-		if v, ok := e.im[e.vars[i].key]; ok {
+	vars := e.regs.snapshot()
+	h := make(map[symbolic.Var]int64, len(vars))
+	for i := range vars {
+		if v, ok := e.im[vars[i].key]; ok {
 			h[symbolic.Var(i)] = v
 		}
 	}
@@ -218,7 +219,7 @@ func (e *engine) hint() map[symbolic.Var]int64 {
 
 // meta returns the solver domain of a variable.
 func (e *engine) meta(v symbolic.Var) solver.VarMeta {
-	return e.vars[v].meta
+	return e.regs.metaOf(v)
 }
 
 // ---------------------------------------------------------------- inputs
@@ -252,18 +253,15 @@ func (e *engine) PointerInput(key string) bool {
 
 // IsPointerVar reports whether v identifies a pointer input.
 func (e *engine) IsPointerVar(v symbolic.Var) bool {
-	return int(v) < len(e.vars) && e.vars[v].meta.Kind == symbolic.PointerVar
+	return e.regs.isPointer(v)
 }
 
 // VarOf registers (or recalls) the symbolic variable for input key.
+// Registration goes through the search-global registry, so under the
+// parallel engine the same key maps to the same variable in every
+// worker (the property that keeps shared solve-cache keys sound).
 func (e *engine) VarOf(key string, kind symbolic.VarKind, b *types.Basic) (symbolic.Var, bool) {
-	if v, ok := e.varByKey[key]; ok {
-		return v, true
-	}
-	v := symbolic.Var(len(e.vars))
-	e.varByKey[key] = v
-	e.vars = append(e.vars, varInfo{key: key, meta: domainOf(kind, b)})
-	return v, true
+	return e.regs.varOf(key, kind, b), true
 }
 
 // domainOf maps a C type to the solver's variable domain.  Long inputs

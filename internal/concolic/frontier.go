@@ -22,6 +22,14 @@ import (
 // (later popularized by SAGE) under which every feasible path is
 // attempted exactly once regardless of pop order.  BFS pops the
 // shallowest pending flip, RandomBranch a uniformly random one.
+//
+// Because a pending flip is a complete, self-contained program run —
+// recorded prefix, negated predicate, parent input vector — the frontier
+// is also the unit of parallelism: the work-stealing engine of
+// parallel.go hands the same frontierItems to multiple workers, each
+// processing items through the exact methods below (processItem,
+// solveItem, recordRun, childItems), so sequential and parallel searches
+// share one code path for everything but scheduling.
 
 // frontierItem is one pending flip: re-execute the recorded prefix with
 // the flip's predicate negated, then extend.
@@ -45,120 +53,243 @@ type frontierItem struct {
 	depth int
 }
 
-// runFrontier drives the frontier search. It reuses the engine's input
-// registry, machine construction, and report accounting.
-func (e *engine) runFrontier() {
-	seenBugs := map[string]bool{}
-	var queue []frontierItem
-	dropped := false
+// claimBug reports whether this engine is the first in the search to
+// see the bug signature, recording the claim.  Sequential engines claim
+// from their private map; parallel workers claim through the shared
+// coordinator, so each distinct bug enters exactly one worker's report
+// (and emits exactly one BugFound event) across the whole search —
+// keeping live event-derived counters equal to the merged report.
+func (e *engine) claimBug(sig string) bool {
+	if e.shared != nil {
+		return e.shared.claimBug(sig)
+	}
+	if e.seenBugs[sig] {
+		return false
+	}
+	if e.seenBugs == nil {
+		// Lazily allocated: bug-free searches (the common case for the
+		// audit's ok-functions) never pay for the dedup map.
+		e.seenBugs = make(map[string]bool, 1)
+	}
+	e.seenBugs[sig] = true
+	return true
+}
 
-	// reportRun accounts one finished run and returns false when the
-	// search must stop.
-	reportRun := func(m *machine.Machine, rerr *machine.RunError) bool {
-		e.report.Runs++
-		e.report.Steps += m.Steps()
-		e.metrics.Add(obs.CRuns, 1)
-		e.metrics.Observe(obs.HStepsPerRun, m.Steps())
-		if !m.AllLinear() {
-			e.report.AllLinear = false
-			e.metrics.Add(obs.CFallbackLinear, 1)
+// recordRun accounts one finished run into the engine's report and
+// returns false when the search must stop (Stopped is then set).
+func (e *engine) recordRun(m *machine.Machine, rerr *machine.RunError) bool {
+	e.report.Runs++
+	e.report.Steps += m.Steps()
+	e.metrics.Add(obs.CRuns, 1)
+	e.metrics.Observe(obs.HStepsPerRun, m.Steps())
+	if !m.AllLinear() {
+		e.report.AllLinear = false
+		e.metrics.Add(obs.CFallbackLinear, 1)
+	}
+	if !m.AllLocsDefinite() {
+		e.report.AllLocsDefinite = false
+		e.metrics.Add(obs.CFallbackLocs, 1)
+	}
+	for _, rec := range m.Branches {
+		if rec.Site >= 0 {
+			e.report.Coverage.Record(rec.Site, rec.Taken)
 		}
-		if !m.AllLocsDefinite() {
-			e.report.AllLocsDefinite = false
-			e.metrics.Add(obs.CFallbackLocs, 1)
-		}
-		for _, rec := range m.Branches {
-			if rec.Site >= 0 {
-				e.report.Coverage.Record(rec.Site, rec.Taken)
-			}
-		}
+	}
+	if e.obs != nil {
+		e.emit(obs.Event{Kind: obs.RunEnd, Run: e.report.Runs, Steps: m.Steps(),
+			Outcome: runOutcome(rerr), Path: pathString(m.Branches)})
+	}
+	if e.mispredict {
+		e.report.Mispredicts++
+		e.metrics.Add(obs.CMispredicts, 1)
 		if e.obs != nil {
-			e.emit(obs.Event{Kind: obs.RunEnd, Run: e.report.Runs, Steps: m.Steps(),
-				Outcome: runOutcome(rerr), Path: pathString(m.Branches)})
-		}
-		if e.mispredict {
-			e.metrics.Add(obs.CMispredicts, 1)
-			if e.obs != nil {
-				e.emit(obs.Event{Kind: obs.Misprediction, Run: e.report.Runs, Depth: e.k - 1})
-			}
-		}
-		if rerr != nil && rerr.Outcome == machine.Interrupted {
-			e.report.Stopped = e.interruptReason()
-			return false
-		}
-		if rerr != nil && rerr.Outcome != machine.HaltOK && !e.mispredict {
-			isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
-				(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
-			if isBug {
-				sig := bugSig(rerr)
-				if !seenBugs[sig] {
-					seenBugs[sig] = true
-					e.report.Bugs = append(e.report.Bugs, Bug{
-						Kind:   rerr.Outcome,
-						Msg:    rerr.Msg,
-						Pos:    rerr.Pos,
-						Run:    e.report.Runs,
-						Inputs: copyIM(e.im),
-					})
-					e.metrics.Add(obs.CBugs, 1)
-					e.emit(obs.Event{Kind: obs.BugFound, Run: e.report.Runs,
-						Outcome: rerr.Outcome.String(), Msg: rerr.Msg, Pos: rerr.Pos.String()})
-				}
-				if e.opts.StopAtFirstBug {
-					e.report.Stopped = StopFirstBug
-					return false
-				}
-			}
-		}
-		return true
-	}
-
-	// expand enqueues the children of a finished run.
-	expand := func(branches []machine.BranchRec, bound int) {
-		// Shared backing for all children of this run.
-		outcomes := make([]bool, len(branches))
-		var preds []symbolic.Pred
-		// predsBefore[i] = number of predicates among branches[0..i).
-		predsBefore := make([]int, len(branches)+1)
-		for i, rec := range branches {
-			outcomes[i] = rec.Taken
-			predsBefore[i] = len(preds)
-			if rec.HasPred {
-				preds = append(preds, rec.Pred)
-			}
-		}
-		predsBefore[len(branches)] = len(preds)
-		im := copyIM(e.im)
-		for j := bound; j < len(branches); j++ {
-			rec := branches[j]
-			if !rec.HasPred {
-				continue
-			}
-			if rec.Decision && !rec.Taken && e.decisionDepth(rec) >= e.opts.MaxShapeDepth {
-				continue // shape-depth cap
-			}
-			queue = append(queue, frontierItem{
-				prefix:    outcomes[:j],
-				preds:     preds[:predsBefore[j]:predsBefore[j]],
-				flip:      rec.Pred.Negate(),
-				flipTaken: !rec.Taken,
-				bound:     j + 1,
-				im:        im,
-				depth:     j,
-			})
-		}
-		if len(queue) > e.opts.MaxFrontier {
-			// Drop the deepest pending flips; completeness is lost.
-			dropped = true
-			queue = queue[:e.opts.MaxFrontier]
+			e.emit(obs.Event{Kind: obs.Misprediction, Run: e.report.Runs, Depth: e.k - 1})
 		}
 	}
+	if rerr != nil && rerr.Outcome == machine.Interrupted {
+		e.report.Stopped = e.interruptReason()
+		return false
+	}
+	if rerr != nil && rerr.Outcome != machine.HaltOK && !e.mispredict {
+		isBug := rerr.Outcome == machine.Aborted || rerr.Outcome == machine.Crashed ||
+			(rerr.Outcome == machine.StepLimit && e.opts.ReportStepLimit)
+		if isBug {
+			if e.claimBug(bugSig(rerr)) {
+				e.report.Bugs = append(e.report.Bugs, Bug{
+					Kind:   rerr.Outcome,
+					Msg:    rerr.Msg,
+					Pos:    rerr.Pos,
+					Run:    e.report.Runs,
+					Inputs: copyIM(e.im),
+				})
+				e.metrics.Add(obs.CBugs, 1)
+				e.emit(obs.Event{Kind: obs.BugFound, Run: e.report.Runs,
+					Outcome: rerr.Outcome.String(), Msg: rerr.Msg, Pos: rerr.Pos.String()})
+			}
+			if e.opts.StopAtFirstBug {
+				e.report.Stopped = StopFirstBug
+				return false
+			}
+		}
+	}
+	return true
+}
 
-	// Root run: fresh random inputs, no prediction.
-	for e.report.Runs < e.opts.MaxRuns {
+// childItems builds the pending-flip children of a finished run: one
+// item per flippable conditional at index >= bound (the generational
+// expansion rule).  Prefix outcomes and predicates share one backing
+// array across all children of the run.
+func (e *engine) childItems(branches []machine.BranchRec, bound int) []frontierItem {
+	outcomes := make([]bool, len(branches))
+	var preds []symbolic.Pred
+	// predsBefore[i] = number of predicates among branches[0..i).
+	predsBefore := make([]int, len(branches)+1)
+	for i, rec := range branches {
+		outcomes[i] = rec.Taken
+		predsBefore[i] = len(preds)
+		if rec.HasPred {
+			preds = append(preds, rec.Pred)
+		}
+	}
+	predsBefore[len(branches)] = len(preds)
+	im := copyIM(e.im)
+	var kids []frontierItem
+	for j := bound; j < len(branches); j++ {
+		rec := branches[j]
+		if !rec.HasPred {
+			continue
+		}
+		if rec.Decision && !rec.Taken && e.decisionDepth(rec) >= e.opts.MaxShapeDepth {
+			continue // shape-depth cap
+		}
+		kids = append(kids, frontierItem{
+			prefix:    outcomes[:j],
+			preds:     preds[:predsBefore[j]:predsBefore[j]],
+			flip:      rec.Pred.Negate(),
+			flipTaken: !rec.Taken,
+			bound:     j + 1,
+			im:        im,
+			depth:     j,
+		})
+	}
+	return kids
+}
+
+// noteDropped accounts n pending flips discarded on MaxFrontier
+// overflow: the count reaches the report, the metrics registry, and the
+// trace — a completeness loss is never silent.
+func (e *engine) noteDropped(n int) {
+	if n <= 0 {
+		return
+	}
+	e.report.FrontierDropped += n
+	e.metrics.Add(obs.CFrontierDropped, int64(n))
+	if e.obs != nil {
+		e.emit(obs.Event{Kind: obs.FrontierDrop, Run: e.report.Runs, Dropped: n})
+	}
+}
+
+// solveItem solves one pending flip's path constraint.  On Sat it
+// installs the solved values into the engine's input vector (IM + IM':
+// untouched inputs keep the parent run's values) and predicts the
+// prefix-plus-flip branch sequence on the stack, returning true: the
+// item is ready to execute.  Any other verdict marks the item abandoned
+// (false), accounting solver failures and completeness exactly like the
+// classic engine.
+func (e *engine) solveItem(item frontierItem) bool {
+	pc := append(append([]symbolic.Pred{}, item.preds...), item.flip)
+	e.report.SolverCalls++
+	e.metrics.Observe(obs.HPCLen, int64(len(pc)))
+	e.metrics.Observe(obs.HFrontierDepth, int64(item.depth))
+	e.im = copyIM(item.im)
+	var target string
+	if e.obs != nil {
+		target = itemPath(item)
+		e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: item.depth, PCLen: len(pc), Path: target})
+	}
+	sol, verdict, work := e.solveIsolated(pc, item.depth)
+	if e.obs != nil {
+		e.emit(e.verdictEvent(item.depth, verdict, work))
+	}
+	if verdict != solver.Sat {
+		if verdict == solver.BudgetExhausted {
+			e.report.SolverComplete = false
+		}
+		e.report.SolverFailures++
+		return false
+	}
+	e.metrics.Add(obs.CBranchFlips, 1)
+	if e.obs != nil {
+		e.emit(obs.Event{Kind: obs.BranchFlip, Run: e.report.Runs, Depth: item.depth, Path: target})
+	}
+	for v, val := range sol {
+		e.im[e.regs.keyOf(v)] = val
+	}
+
+	// Predict the prefix plus the flipped branch.
+	e.stack = make([]stackEntry, 0, len(item.prefix)+1)
+	for _, b := range item.prefix {
+		e.stack = append(e.stack, stackEntry{branch: b, done: true})
+	}
+	e.stack = append(e.stack, stackEntry{branch: item.flipTaken, done: true})
+	return true
+}
+
+// processItem solves and executes one pending flip, returning the
+// children it spawned and whether the search may continue (false means
+// stop: Stopped is set on the engine's report).  It is the whole
+// per-item pipeline shared by the sequential drain loop and the
+// parallel workers; a parallel engine additionally reserves one slot of
+// the shared run budget before executing (solver-only items — infeasible
+// flips — consume no budget, matching the sequential loop's accounting).
+func (e *engine) processItem(item frontierItem) (kids []frontierItem, cont bool) {
+	if reason, stop := e.tripped(); stop {
+		e.report.Stopped = reason
+		return nil, false
+	}
+	if !e.solveItem(item) {
+		return nil, true
+	}
+	if e.shared != nil && !e.shared.reserveRun() {
+		e.report.Stopped = StopMaxRuns
+		return nil, false
+	}
+	if e.obs != nil {
+		e.emit(obs.Event{Kind: obs.RunStart, Run: e.report.Runs + 1})
+	}
+	m, rerr, fault := e.runIsolated()
+	if fault != nil {
+		if !e.noteFault(fault) {
+			return nil, false // persistent internal failure; Stopped is set
+		}
+		return nil, true // the faulting item is abandoned; keep draining
+	}
+	if !e.recordRun(m, rerr) {
+		return nil, false
+	}
+	if e.mispredict {
+		return nil, true // an imprecise prefix; the item is abandoned
+	}
+	return e.childItems(m.Branches, item.bound), true
+}
+
+// frontierRoot performs the fresh-random root executions of a frontier
+// search until one completes without mispredicting, returning its
+// children (cont=false when the search stopped instead; Stopped is set
+// except on plain budget exhaustion, which Run's fallback labels
+// StopMaxRuns).
+func (e *engine) frontierRoot() (kids []frontierItem, cont bool) {
+	for {
+		if e.shared == nil && e.report.Runs >= e.opts.MaxRuns {
+			return nil, false
+		}
 		if reason, stop := e.tripped(); stop {
 			e.report.Stopped = reason
-			return
+			return nil, false
+		}
+		if e.shared != nil && !e.shared.reserveRun() {
+			e.report.Stopped = StopMaxRuns
+			return nil, false
 		}
 		e.stack = nil
 		e.im = map[string]int64{}
@@ -175,89 +306,63 @@ func (e *engine) runFrontier() {
 		m, rerr, fault := e.runIsolated()
 		if fault != nil {
 			if !e.noteFault(fault) {
-				return // persistent internal failure; Stopped is set
+				return nil, false // persistent internal failure; Stopped is set
 			}
 			continue // retry the root with fresh randoms
 		}
-		if !reportRun(m, rerr) {
-			return
+		if !e.recordRun(m, rerr) {
+			return nil, false
 		}
 		if !e.mispredict {
-			expand(m.Branches, 0)
-			break
+			return e.childItems(m.Branches, 0), true
 		}
 		// A root run cannot mispredict (empty prediction); defensive.
 	}
+}
+
+// runFrontier drives the sequential frontier search. It reuses the
+// engine's input registry, machine construction, and report accounting.
+func (e *engine) runFrontier() {
+	var queue []frontierItem
+
+	// Root run: fresh random inputs, no prediction.
+	kids, cont := e.frontierRoot()
+	if !cont {
+		return
+	}
+	queue = e.enqueue(queue, kids)
 
 	for len(queue) > 0 && e.report.Runs < e.opts.MaxRuns {
-		if reason, stop := e.tripped(); stop {
-			e.report.Stopped = reason
-			return
-		}
 		item := e.popItem(&queue)
-
-		// Solve the item's path constraint lazily at pop time.
-		pc := append(append([]symbolic.Pred{}, item.preds...), item.flip)
-		e.report.SolverCalls++
-		e.metrics.Observe(obs.HPCLen, int64(len(pc)))
-		e.metrics.Observe(obs.HFrontierDepth, int64(item.depth))
-		e.im = copyIM(item.im)
-		var target string
-		if e.obs != nil {
-			target = itemPath(item)
-			e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: item.depth, PCLen: len(pc), Path: target})
-		}
-		sol, verdict, work := e.solveIsolated(pc, item.depth)
-		if e.obs != nil {
-			e.emit(e.verdictEvent(item.depth, verdict, work))
-		}
-		if verdict != solver.Sat {
-			if verdict == solver.BudgetExhausted {
-				e.report.SolverComplete = false
-			}
-			e.report.SolverFailures++
-			continue
-		}
-		e.metrics.Add(obs.CBranchFlips, 1)
-		if e.obs != nil {
-			e.emit(obs.Event{Kind: obs.BranchFlip, Run: e.report.Runs, Depth: item.depth, Path: target})
-		}
-		for v, val := range sol {
-			e.im[e.vars[v].key] = val
-		}
-
-		// Predict the prefix plus the flipped branch.
-		e.stack = make([]stackEntry, 0, len(item.prefix)+1)
-		for _, b := range item.prefix {
-			e.stack = append(e.stack, stackEntry{branch: b, done: true})
-		}
-		e.stack = append(e.stack, stackEntry{branch: item.flipTaken, done: true})
-
-		if e.obs != nil {
-			e.emit(obs.Event{Kind: obs.RunStart, Run: e.report.Runs + 1})
-		}
-		m, rerr, fault := e.runIsolated()
-		if fault != nil {
-			if !e.noteFault(fault) {
-				return // persistent internal failure; Stopped is set
-			}
-			continue // the faulting item is abandoned; keep draining
-		}
-		if !reportRun(m, rerr) {
+		kids, cont := e.processItem(item)
+		if !cont {
 			return
 		}
-		if e.mispredict {
-			continue // an imprecise prefix; the item is abandoned
-		}
-		expand(m.Branches, item.bound)
+		queue = e.enqueue(queue, kids)
 	}
 
 	if len(queue) == 0 {
 		e.report.Stopped = StopExhausted
-		if !dropped && e.searchComplete() && e.report.Runs < e.opts.MaxRuns {
+		if e.report.FrontierDropped == 0 && e.searchComplete() && e.report.Runs < e.opts.MaxRuns {
 			e.report.Complete = true
 		}
 	}
+}
+
+// enqueue appends kids to the sequential work list, enforcing
+// MaxFrontier by dropping the deepest pending flips (counted, never
+// silent) and sampling the backlog histogram.
+func (e *engine) enqueue(queue []frontierItem, kids []frontierItem) []frontierItem {
+	if len(kids) == 0 {
+		return queue
+	}
+	queue = append(queue, kids...)
+	if over := len(queue) - e.opts.MaxFrontier; over > 0 {
+		e.noteDropped(over)
+		queue = queue[:e.opts.MaxFrontier]
+	}
+	e.metrics.Observe(obs.HFrontierQueue, int64(len(queue)))
+	return queue
 }
 
 // itemPath is the forced target path of a frontier item: the recorded

@@ -68,6 +68,7 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		AllLinear:       true,
 		AllLocsDefinite: true,
 		SolverComplete:  true,
+		Workers:         1,
 		Coverage:        coverage.New(prog.NumSites),
 	}
 	metrics := newMetrics(o)

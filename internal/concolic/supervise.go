@@ -95,7 +95,9 @@ func (e *engine) runIsolated() (m *machine.Machine, rerr *machine.RunError, faul
 // continue with fresh randoms.  Machine-construction failures are
 // deterministic (they precede any input-dependent behavior), so they
 // stop the search immediately, as does an accumulation of repeated
-// faults; either way Stopped is set to StopInternal.
+// faults; either way Stopped is set to StopInternal.  Parallel workers
+// count faults against one shared budget — a fault storm hitting every
+// worker is the same persistent failure a sequential search would see.
 func (e *engine) noteFault(f *InternalError) bool {
 	e.report.InternalErrors = append(e.report.InternalErrors, *f)
 	if f.Phase == "run" {
@@ -103,7 +105,11 @@ func (e *engine) noteFault(f *InternalError) bool {
 		// run budget so a persistent fault cannot loop unboundedly.
 		e.report.Runs++
 	}
-	if f.Phase == "init" || len(e.report.InternalErrors) >= maxInternalFaults {
+	faults := len(e.report.InternalErrors)
+	if e.shared != nil {
+		faults = e.shared.addFault()
+	}
+	if f.Phase == "init" || faults >= maxInternalFaults {
 		e.report.Stopped = StopInternal
 		return false
 	}
@@ -195,6 +201,7 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 			sol, verdict = hit.Model, hit.Verdict
 			if verdict == solver.Sat && pruned > 0 && !solver.VerifyAssignment(pc, e.meta, sol, hint) {
 				sol, verdict = nil, solver.Unsat
+				e.report.SolverComplete = false
 			}
 			if e.obs != nil {
 				e.emit(obs.Event{Kind: obs.SolveCacheHit, Run: e.report.Runs,
@@ -226,7 +233,14 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 		}
 	}
 	if verdict == solver.Sat && pruned > 0 && !solver.VerifyAssignment(pc, e.meta, sol, hint) {
+		// The slice's model fails the full conjunction under
+		// overflow-checked evaluation: the parent run's concrete values
+		// reached here through a wrap the solver's exact arithmetic
+		// cannot express.  The branch's feasibility is unknown, not
+		// refuted — answer Unsat so the search moves on, but clear
+		// SolverComplete: Theorem 1(b) no longer holds.
 		sol, verdict = nil, solver.Unsat
+		e.report.SolverComplete = false
 	}
 	if e.metrics != nil {
 		e.metrics.Observe(obs.HSolverLatencyUS, time.Since(start).Microseconds())
@@ -280,7 +294,13 @@ func (e *engine) countVerdict(v solver.Verdict) {
 // abandoned on budget exhaustion, and no internal fault skipped part of
 // the space.
 func (e *engine) searchComplete() bool {
-	return e.report.AllLinear && e.report.AllLocsDefinite &&
-		e.report.SolverComplete &&
-		len(e.report.Bugs) == 0 && len(e.report.InternalErrors) == 0
+	return reportComplete(e.report)
+}
+
+// reportComplete is searchComplete over an explicit report — the merged
+// report of a parallel search uses it directly.
+func reportComplete(r *Report) bool {
+	return r.AllLinear && r.AllLocsDefinite &&
+		r.SolverComplete && r.Mispredicts == 0 &&
+		len(r.Bugs) == 0 && len(r.InternalErrors) == 0
 }

@@ -73,6 +73,12 @@ func (l *LiveMetrics) Event(ev Event) {
 		}
 	case SolveCacheHit:
 		l.m.Add(CSolveCacheHits, 1)
+	case FrontierDrop:
+		l.m.Add(CFrontierDropped, int64(ev.Dropped))
+	case FrontierSteal:
+		l.m.Add(CSteals, 1)
+	case FrontierIdle:
+		l.m.Add(CWorkerIdle, 1)
 	case BugFound:
 		l.m.Add(CBugs, 1)
 	case FallbackConcrete:

@@ -31,6 +31,13 @@ const (
 	CSolveCacheMisses = "solve_cache_misses"
 	CSolveCacheEvicts = "solve_cache_evictions"
 	CSlicedPreds      = "solver_sliced_preds"
+	// Frontier scheduling: pending flips discarded on MaxFrontier
+	// overflow (a completeness loss, never silent), work-stealing
+	// transfers between parallel workers, and worker idle episodes
+	// (every deque empty, worker slept until new work arrived).
+	CFrontierDropped = "frontier_dropped"
+	CSteals          = "frontier_steals"
+	CWorkerIdle      = "frontier_idle_waits"
 
 	// Histograms.
 	HSolverLatencyUS = "solver_latency_us"
@@ -38,6 +45,9 @@ const (
 	HStepsPerRun     = "steps_per_run"
 	HPCLen           = "path_constraint_len"
 	HFrontierDepth   = "frontier_depth"
+	// HFrontierQueue samples the total pending-flip backlog at each
+	// enqueue, the live queue-depth signal of the (parallel) frontier.
+	HFrontierQueue = "frontier_queue_depth"
 )
 
 // powers-of-two style upper bounds for each standard histogram; the
@@ -48,6 +58,7 @@ var stdBuckets = map[string][]int64{
 	HStepsPerRun:     {64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 2_000_000},
 	HPCLen:           {1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024},
 	HFrontierDepth:   {1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024},
+	HFrontierQueue:   {1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536},
 }
 
 // Metrics is one search's registry.  It is not safe for concurrent use;

@@ -51,6 +51,19 @@ const (
 	// Verdict the memoized verdict.  Deterministic like every other
 	// payload: a fixed seed hits the cache at the same points every run.
 	SolveCacheHit Kind = "solve-cache-hit"
+	// FrontierDrop: the pending-flip worklist overflowed MaxFrontier and
+	// Dropped items were discarded.  Dropped flips are abandoned subtrees:
+	// a search that dropped anything can no longer claim completeness, so
+	// the drops are counted (Report.FrontierDropped) instead of silent.
+	FrontierDrop Kind = "frontier-drop"
+	// FrontierSteal: a parallel frontier worker ran out of local work and
+	// stole a pending flip from a sibling's deque (Worker identifies the
+	// thief).
+	FrontierSteal Kind = "frontier-steal"
+	// FrontierIdle: a parallel frontier worker found every deque empty
+	// and slept until new work arrived (one event per idle episode, not
+	// per wakeup).
+	FrontierIdle Kind = "frontier-idle"
 	// FallbackConcrete: a symbolic expression left the theory and fell
 	// back to its concrete value; Flag names the completeness flag that
 	// was cleared ("all_linear" or "all_locs_definite").  Emitted once
@@ -77,8 +90,18 @@ type Event struct {
 	// Fn is the toplevel function under test (always set by the engine;
 	// lets per-function streams be demultiplexed from an audit trace).
 	Fn string `json:"fn,omitempty"`
-	// Run is the 1-based run index within the function's search.
+	// Run is the 1-based run index within the function's search.  Under
+	// the parallel frontier engine it is the index within the emitting
+	// worker's own run stream (each worker numbers its runs from 1), so
+	// (Fn, Worker, Run) identifies a run and per-worker streams stay
+	// individually deterministic.
 	Run int `json:"run,omitempty"`
+	// Worker is the 1-based parallel frontier worker that emitted the
+	// event; absent (0) for sequential searches, so single-worker traces
+	// are byte-identical to pre-parallel ones.
+	Worker int `json:"worker,omitempty"`
+	// Dropped is the number of pending flips a FrontierDrop discarded.
+	Dropped int `json:"dropped,omitempty"`
 	// Depth is the branch index the event refers to (flip index,
 	// misprediction point).
 	Depth int `json:"depth,omitempty"`

@@ -2,6 +2,8 @@ package solver
 
 import (
 	"container/list"
+	"sync"
+	"sync/atomic"
 
 	"dart/internal/symbolic"
 )
@@ -20,6 +22,17 @@ type CachedSolve struct {
 	Verdict Verdict
 	// Model is the satisfying assignment (nil unless Verdict is Sat).
 	Model map[symbolic.Var]int64
+}
+
+// SolveCache is the memoization contract of the solver fast path: Get
+// returns a previously stored slice-level result, Put stores one and
+// reports whether doing so evicted an older entry.  The single-owner
+// Cache implements it lock-free for sequential searches; ShardedCache
+// implements it with per-shard locking for the parallel frontier
+// engine, whose workers share one memo.
+type SolveCache interface {
+	Get(key string) (CachedSolve, bool)
+	Put(key string, verdict Verdict, model map[symbolic.Var]int64) (evicted bool)
 }
 
 // Cache is a bounded LRU memo of sliced solves, keyed by CacheKey.  One
@@ -103,6 +116,110 @@ func (c *Cache) Evictions() int64 { return c.evicted }
 
 // Len returns the number of live entries.
 func (c *Cache) Len() int { return c.lru.Len() }
+
+// ShardedCache is the concurrency-safe solve cache shared by the
+// workers of a parallel frontier search: the key space is split over
+// power-of-two shards by FNV-1a hash, each shard a private LRU Cache
+// behind its own mutex, so workers solving unrelated constraints never
+// contend on one lock.  Hit/miss/eviction totals are atomics, readable
+// while workers run.
+//
+// Sharing is sound for the same reason the per-search cache is: keys
+// render the exact solver input against a variable numbering that is
+// global to the search (the parallel engine shares one input registry
+// across workers), so a hit — whoever stored it — returns precisely
+// what a fresh solve would.
+type ShardedCache struct {
+	shards []cacheShard
+	mask   uint32
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	c  *Cache
+	// padding to keep neighbouring shard locks off one cache line.
+	_ [48]byte
+}
+
+// NewShardedCache returns a sharded cache holding up to capacity entries
+// in total (<= 0 selects DefaultCacheCap), spread over at least shards
+// shards (rounded up to a power of two, minimum 2).
+func NewShardedCache(capacity, shards int) *ShardedCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	n := 2
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	s := &ShardedCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].c = NewCache(per)
+	}
+	return s
+}
+
+// shardOf hashes key with FNV-1a and masks into the shard table.
+func (s *ShardedCache) shardOf(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h&s.mask]
+}
+
+// Get implements SolveCache.  The model is copied by the underlying
+// shard, so callers may mutate it freely.
+func (s *ShardedCache) Get(key string) (CachedSolve, bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	res, ok := sh.c.Get(key)
+	sh.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return res, ok
+}
+
+// Put implements SolveCache.
+func (s *ShardedCache) Put(key string, verdict Verdict, model map[symbolic.Var]int64) (evicted bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	evicted = sh.c.Put(key, verdict, model)
+	sh.mu.Unlock()
+	if evicted {
+		s.evicts.Add(1)
+	}
+	return evicted
+}
+
+// Hits, Misses, and Evictions report the cache's lifetime activity;
+// safe to read while workers are still solving.
+func (s *ShardedCache) Hits() int64      { return s.hits.Load() }
+func (s *ShardedCache) Misses() int64    { return s.misses.Load() }
+func (s *ShardedCache) Evictions() int64 { return s.evicts.Load() }
+
+// Len returns the number of live entries across all shards.
+func (s *ShardedCache) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 func copyModel(m map[symbolic.Var]int64) map[symbolic.Var]int64 {
 	if m == nil {

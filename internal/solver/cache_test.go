@@ -1,0 +1,117 @@
+package solver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dart/internal/symbolic"
+)
+
+func TestShardedCacheGetPut(t *testing.T) {
+	c := NewShardedCache(64, 4)
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	model := map[symbolic.Var]int64{0: 42}
+	c.Put("k1", Sat, model)
+	res, ok := c.Get("k1")
+	if !ok || res.Verdict != Sat || res.Model[0] != 42 {
+		t.Fatalf("Get(k1) = %+v, %v", res, ok)
+	}
+	// The returned model is a copy: mutating it must not poison the entry.
+	res.Model[0] = 7
+	res2, _ := c.Get("k1")
+	if res2.Model[0] != 42 {
+		t.Fatalf("cached model mutated through a Get copy: %v", res2.Model)
+	}
+	// So is the stored model relative to the caller's map.
+	model[0] = 9
+	res3, _ := c.Get("k1")
+	if res3.Model[0] != 42 {
+		t.Fatalf("cached model aliases the caller's map: %v", res3.Model)
+	}
+	c.Put("k2", Unsat, nil)
+	if res, ok := c.Get("k2"); !ok || res.Verdict != Unsat || res.Model != nil {
+		t.Fatalf("Get(k2) = %+v, %v", res, ok)
+	}
+	if c.Hits() != 4 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 4/1", c.Hits(), c.Misses())
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestShardedCacheShardRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		c := NewShardedCache(0, tc.ask)
+		if got := len(c.shards); got != tc.want {
+			t.Errorf("shards=%d: got %d shards, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestShardedCacheEviction(t *testing.T) {
+	// Total capacity 4 over 2 shards: 2 entries per shard.  Inserting
+	// many distinct keys must evict, count the evictions, and keep Len
+	// bounded by the capacity.
+	c := NewShardedCache(4, 2)
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), Unsat, nil)
+	}
+	if c.Evictions() == 0 {
+		t.Error("no evictions after overfilling")
+	}
+	if c.Len() > 4 {
+		t.Errorf("Len = %d exceeds total capacity 4", c.Len())
+	}
+	if c.Evictions() != 32-int64(c.Len()) {
+		t.Errorf("evictions=%d + live=%d != 32 puts", c.Evictions(), c.Len())
+	}
+}
+
+func TestShardedCacheOverwrite(t *testing.T) {
+	c := NewShardedCache(8, 2)
+	c.Put("k", Unsat, nil)
+	if evicted := c.Put("k", Sat, map[symbolic.Var]int64{1: 5}); evicted {
+		t.Error("overwriting a live key reported an eviction")
+	}
+	res, ok := c.Get("k")
+	if !ok || res.Verdict != Sat || res.Model[1] != 5 {
+		t.Fatalf("Get after overwrite = %+v, %v", res, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestShardedCacheConcurrent hammers one cache from many goroutines with
+// overlapping key sets; run under -race this is the data-race gate for
+// the shard locking and the atomic counters.
+func TestShardedCacheConcurrent(t *testing.T) {
+	c := NewShardedCache(128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("key-%d", i%64)
+				if res, ok := c.Get(key); ok {
+					if res.Verdict == Sat && res.Model[0] != int64(i%64) {
+						t.Errorf("goroutine %d: key %s has model %v", g, key, res.Model)
+					}
+					continue
+				}
+				c.Put(key, Sat, map[symbolic.Var]int64{0: int64(i % 64)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Hits() + c.Misses(); got != 8*500 {
+		t.Errorf("hits+misses = %d, want %d", got, 8*500)
+	}
+}

@@ -24,5 +24,16 @@ go test -run '^$' \
     -bench 'BenchmarkE2Completeness$|BenchmarkMachineThroughput$|BenchmarkSolverHeavyGate' \
     -benchmem -count="$COUNT" . | tee "$OUT"
 
+# Parallel scaling curve (BENCH_pr5.json): the same logical search —
+# BFS puts every worker count on the one frontier scheduler — at
+# 1/2/4/8 workers over a machine-heavy and a solver-heavy workload.
+# Gates: runs/op identical across worker counts (the determinism
+# contract), and workers=2..8 within noise of workers=1 when only one
+# core is available (speedup needs real cores; nproc decides the rest).
+go test -run '^$' \
+    -bench 'BenchmarkWorkerScaling' \
+    -count="$COUNT" . | tee -a "$OUT"
+
 echo
 echo "wrote $OUT — compare mins against BENCH_pr3.json (gate: <2% on ns/op, allocs/op identical)"
+echo "scaling curve: compare against BENCH_pr5.json (gate: runs/op constant across workers)"

@@ -19,3 +19,22 @@ go test -count=1 -run 'TestServerLiveAudit' ./internal/ops/
 # jobs-independence with the cache on, and replayable random-mode bugs.
 go test -count=1 -run 'TestSolveCache|TestSlicingOnClusters|TestRandomBugsReplay' ./internal/concolic/
 go test -count=1 -run 'TestAuditCacheDeterministicAcrossJobs' ./internal/audit/
+# Parallel search gate: worker-count determinism, pool invariants, and
+# the shared solve cache under the race detector, then a real CLI audit
+# driving the pool end to end (exit 1 = bugs found, the expected result).
+go test -count=1 -race -run 'TestWorkers|TestParallel|TestFrontierDrop' ./internal/concolic/
+go test -count=1 -race -run 'TestShardedCache' ./internal/solver/
+go test -count=1 -race -run 'TestAuditParallelWorkersFindSameBugs' ./internal/audit/
+tmp="$(mktemp -d)"
+cat > "$tmp/gate.mc" <<'EOF'
+int f(int x) { return 2 * x; }
+
+int h(int x, int y) {
+    if (x != y)
+        if (f(x) == x + 10)
+            abort();
+    return 0;
+}
+EOF
+go run -race ./cmd/dart -workers 4 -audit -seed 1 "$tmp/gate.mc" || [ "$?" -eq 1 ]
+rm -rf "$tmp"
