@@ -6,12 +6,15 @@ package dart
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -510,6 +513,276 @@ func TestCLIServeEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(get("/debug/pprof/"), "profile") {
 		t.Error("/debug/pprof/ index missing")
+	}
+}
+
+// ------------------------------------------------------ job service mode
+
+// startJobService launches `dart -serve` in service mode (no program
+// file) and returns the started process plus the scraped base URL.
+func startJobService(t *testing.T, bin string, extraArgs ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-serve", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "dart: serving ops on http://"); ok {
+				lineCh <- rest
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full stderr pipe.
+		go io.Copy(io.Discard, stderr)
+		close(lineCh)
+	}()
+	select {
+	case addr := <-lineCh:
+		if addr == "" {
+			t.Fatal("serve announcement missing the address")
+		}
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve announcement never appeared on stderr")
+	}
+	return nil, ""
+}
+
+// waitExit waits for the process and returns its exit code.
+func waitExit(t *testing.T, cmd *exec.Cmd) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("wait: %v", err)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("process never exited")
+	}
+	return -1
+}
+
+// TestCLIServeJobService is the end-to-end service-mode test: submit a
+// job over HTTP, read its completed report, then SIGTERM and require a
+// graceful drain with exit code 0.
+func TestCLIServeJobService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	bin := buildCLI(t, dir)
+	cmd, base := startJobService(t, bin)
+
+	resp, err := http.Post(base+"/jobs?runs=200", "text/plain", strings.NewReader(progs.Section21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d\n%s", resp.StatusCode, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("submit response: %v\n%s", err, body)
+	}
+
+	var env struct {
+		State  string `json:"state"`
+		Report *struct {
+			Buggy int `json:"buggy"`
+		} `json:"report"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for env.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		r, err := http.Get(base + "/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err := json.Unmarshal(b, &env); err != nil {
+			t.Fatalf("envelope: %v\n%s", err, b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if env.Report == nil || env.Report.Buggy != 1 {
+		t.Errorf("served report: %+v", env)
+	}
+
+	if r, err := http.Get(base + "/readyz"); err != nil || r.StatusCode != http.StatusOK {
+		t.Errorf("/readyz: %v %v", err, r)
+	} else {
+		r.Body.Close()
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if code := waitExit(t, cmd); code != 0 {
+		t.Errorf("graceful drain exit code %d, want 0", code)
+	}
+}
+
+// buildCLIRace compiles the dart binary with the race detector for the
+// serve gate: the flooded job server runs race-instrumented, and a
+// detected race turns into a nonzero exit the gate catches.
+func buildCLIRace(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "dartbin_race")
+	out, err := exec.Command("go", "build", "-race", "-o", bin, "./cmd/dart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCLIServeGate is the scripts/check.sh serve gate: hammer POST
+// /jobs past the queue depth of a race-instrumented server, require
+// honest 429s counted in /metrics as dart_jobs_rejected_total, then
+// SIGTERM and require a clean drain (exit 0) despite the still-running
+// backlog.
+func TestCLIServeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	bin := buildCLIRace(t, dir)
+	cmd, base := startJobService(t, bin,
+		"-queue-depth", "1", "-executors", "1", "-drain-timeout", "1s")
+
+	// slowSrc's nonlinear predicates keep each audit restarting for its
+	// whole run budget, so the one executor stays busy while we flood.
+	rejected, accepted := 0, 0
+	deadline := time.Now().Add(30 * time.Second)
+	for seed := 1; rejected == 0; seed++ {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never rejected despite the flood")
+		}
+		resp, err := http.Post(
+			fmt.Sprintf("%s/jobs?runs=50000000&seed=%d", base, seed),
+			"text/plain", strings.NewReader(slowSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 missing Retry-After")
+			}
+		default:
+			t.Fatalf("POST /jobs: unexpected status %d", resp.StatusCode)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("nothing was admitted before the first rejection")
+	}
+
+	// The shed is visible in the Prometheus exposition.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "dart_jobs_rejected_total") ||
+		strings.Contains(string(metrics), "dart_jobs_rejected_total 0\n") {
+		t.Errorf("dart_jobs_rejected_total missing or zero after %d rejections:\n%.600s", rejected, metrics)
+	}
+
+	// Saturated service: not ready, but alive.
+	if r, err := http.Get(base + "/readyz"); err == nil {
+		r.Body.Close()
+		if r.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("/readyz while saturated: %d, want 503", r.StatusCode)
+		}
+	}
+
+	// SIGTERM with jobs mid-flight: the drain deadline checkpoints them
+	// and the process still exits 0 — shutdown is not an error.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := waitExit(t, cmd); code != 0 {
+		t.Errorf("drain exit code %d, want 0", code)
+	}
+}
+
+// TestCLIServeBindError: a bind failure is a config error — exit 2,
+// like every other usage problem, never a hung process.
+func TestCLIServeBindError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	bin := buildCLI(t, dir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cmd := exec.Command(bin, "-serve", ln.Addr().String())
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("bind conflict exit = %v, want code 2\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "address already in use") {
+		t.Errorf("bind diagnostic missing:\n%s", stderr.String())
+	}
+}
+
+// TestCLIServeBadConfig: nonsensical service flags are usage errors.
+func TestCLIServeBadConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	dir := t.TempDir()
+	bin := buildCLI(t, dir)
+	for _, args := range [][]string{
+		{"-serve", "127.0.0.1:0", "-queue-depth", "0"},
+		{"-serve", "127.0.0.1:0", "-max-body", "0"},
+	} {
+		cmd := exec.Command(bin, args...)
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: exit = %v, want code 2\n%s", args, err, stderr.String())
+		}
 	}
 }
 

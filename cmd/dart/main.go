@@ -26,7 +26,16 @@
 //	-metrics       print the search metrics registry after the run
 //	-progress      live progress line on stderr while -audit runs
 //	-serve addr    serve live ops endpoints (/metrics /status /events
-//	               /coverage /healthz /debug/pprof) on addr during the run
+//	               /coverage /healthz /readyz /debug/pprof) on addr during
+//	               the run; with NO program file, run the persistent
+//	               audit-as-a-service job server instead: POST /jobs
+//	               accepts MiniC sources (or ?lib=minisip), a bounded
+//	               queue feeds the executor pool, SIGTERM drains
+//	-queue-depth n   job-service queue bound (default 64; full = 429)
+//	-executors n     job-service executor pool (default all CPUs)
+//	-job-timeout d   per-job wall-clock deadline (default 60s)
+//	-max-body n      POST /jobs body cap in bytes (default 1 MiB; 413 past it)
+//	-drain-timeout d shutdown drain deadline (default 10s)
 //	-covreport f   write an annotated source coverage report (.html = HTML)
 //	-tree file     dump the explored execution tree (.dot = Graphviz, else JSON)
 //	-list          list the functions that can serve as toplevel
@@ -44,8 +53,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"dart"
@@ -74,7 +85,12 @@ func run() int {
 		traceF   = flag.String("trace", "", "write an NDJSON trace of search events to `file`")
 		metricsF = flag.Bool("metrics", false, "print the search metrics registry after the run")
 		progress = flag.Bool("progress", false, "live progress line on stderr while -audit runs")
-		serveF   = flag.String("serve", "", "serve live ops HTTP endpoints on `addr` during the run (e.g. 127.0.0.1:8080, :0 picks a port)")
+		serveF   = flag.String("serve", "", "serve live ops HTTP endpoints on `addr` during the run (e.g. 127.0.0.1:8080, :0 picks a port); with no program file, run the persistent job server")
+		queueF   = flag.Int("queue-depth", dart.DefaultJobQueueDepth, "job-service queue bound (full = HTTP 429)")
+		execF    = flag.Int("executors", 0, "job-service executor pool size (default all CPUs)")
+		jobTmoF  = flag.Duration("job-timeout", dart.DefaultJobTimeout, "per-job wall-clock deadline (0 disables)")
+		maxBodyF = flag.Int64("max-body", dart.DefaultJobMaxBody, "POST /jobs body cap in `bytes` (HTTP 413 past it)")
+		drainF   = flag.Duration("drain-timeout", dart.DefaultDrainTimeout, "shutdown drain deadline before in-flight jobs are cancelled")
 		covrepF  = flag.String("covreport", "", "write an annotated source coverage report to `file` (.html = HTML, else text)")
 		treeF    = flag.String("tree", "", "dump the explored execution tree to `file` (.dot = Graphviz, else JSON)")
 		list     = flag.Bool("list", false, "list candidate toplevel functions")
@@ -84,8 +100,21 @@ func run() int {
 	)
 	flag.Parse()
 
+	// -serve with no program file is service mode: a persistent
+	// audit-as-a-service job server instead of a one-shot search.
+	if *serveF != "" && flag.NArg() == 0 {
+		return runJobService(serviceConfig{
+			addr:         *serveF,
+			queueDepth:   *queueF,
+			executors:    *execF,
+			jobTimeout:   *jobTmoF,
+			maxBody:      *maxBodyF,
+			drainTimeout: *drainF,
+		})
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dart [flags] program.mc")
+		fmt.Fprintln(os.Stderr, "usage: dart [flags] program.mc   (or: dart -serve addr  with no file for the job server)")
 		flag.PrintDefaults()
 		return 2
 	}
@@ -283,6 +312,70 @@ func run() int {
 	if len(rep.Bugs) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// ----------------------------------------------------------- job service
+
+// serviceConfig carries the flag values relevant to service mode.
+type serviceConfig struct {
+	addr         string
+	queueDepth   int
+	executors    int
+	jobTimeout   time.Duration
+	maxBody      int64
+	drainTimeout time.Duration
+}
+
+// runJobService runs `dart -serve addr` with no program file: the
+// persistent audit-as-a-service job server.  It binds the ops HTTP
+// surface with the job endpoints mounted, then blocks until SIGTERM or
+// SIGINT, drains the queue within the drain deadline, and exits 0 — a
+// graceful shutdown is a success, not an error.  Bind and configuration
+// failures exit 2 like every other usage error.
+func runJobService(cfg serviceConfig) int {
+	if cfg.queueDepth < 1 {
+		fmt.Fprintln(os.Stderr, "dart: -queue-depth must be at least 1")
+		return 2
+	}
+	if cfg.maxBody < 1 {
+		fmt.Fprintln(os.Stderr, "dart: -max-body must be at least 1")
+		return 2
+	}
+
+	srv := dart.NewOpsServer(dart.OpsConfig{Addr: cfg.addr, Mode: "serve"})
+	jobTimeout := cfg.jobTimeout
+	if jobTimeout == 0 {
+		jobTimeout = -1 // flag 0 = no deadline; the library's 0 = default
+	}
+	svc := dart.NewJobService(dart.JobsConfig{
+		QueueDepth:   cfg.queueDepth,
+		Executors:    cfg.executors,
+		JobTimeout:   jobTimeout,
+		DrainTimeout: cfg.drainTimeout,
+		MaxBody:      cfg.maxBody,
+		Libraries:    dart.BuiltinLibraries(),
+		Sink:         srv.Sink(),
+	})
+	svc.RegisterOn(srv)
+	if err := srv.Listen(); err != nil {
+		svc.Drain(0)
+		fmt.Fprintln(os.Stderr, "dart:", err)
+		return 2
+	}
+	// Same machine-parseable announcement as the ride-along ops mode, so
+	// scripts can scrape the bound port when -serve :0 is used.
+	fmt.Fprintf(os.Stderr, "dart: serving ops on http://%s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	signal.Stop(sig)
+	fmt.Fprintf(os.Stderr, "dart: %s: draining job queue (deadline %s)\n", got, cfg.drainTimeout)
+	svc.Drain(cfg.drainTimeout)
+	srv.Done()
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "dart: drained; exiting")
 	return 0
 }
 

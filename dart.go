@@ -42,10 +42,12 @@ import (
 	"dart/internal/iface"
 	"dart/internal/ir"
 	"dart/internal/machine"
+	"dart/internal/minisip"
 	"dart/internal/obs"
 	"dart/internal/ops"
 	"dart/internal/parser"
 	"dart/internal/sema"
+	"dart/internal/serve"
 	"dart/internal/solver"
 	"dart/internal/types"
 )
@@ -306,6 +308,63 @@ type OpsServer = ops.Server
 // ("127.0.0.1:0" picks a free port; Addr() reports the binding).
 func ServeOps(cfg OpsConfig) (*OpsServer, error) {
 	return ops.Start(cfg)
+}
+
+// NewOpsServer builds an ops server without binding its socket, so a
+// job service can mount its endpoints (JobService.RegisterOn) before
+// Listen starts serving.
+func NewOpsServer(cfg OpsConfig) *OpsServer {
+	return ops.NewServer(cfg)
+}
+
+// JobsConfig configures the audit-as-a-service layer; see the serve
+// package for field documentation (queue depth, executor pool, per-job
+// deadline, retry policy, result-store and history caps).
+type JobsConfig = serve.Config
+
+// JobService is a running audit-as-a-service instance: a bounded job
+// queue feeding a fixed executor pool, with per-job fault isolation and
+// a bounded content-addressed result store.  Mount its HTTP surface on
+// an ops server with RegisterOn, shut it down with Drain.
+type JobService = serve.Service
+
+// JobSubmission is one job request (source or registered library name,
+// plus the search options that form the job's cache identity).
+type JobSubmission = serve.Submission
+
+// JobRecord is one submission's lifecycle record.
+type JobRecord = serve.Job
+
+// JobReport is the deterministic, cacheable outcome of one job.
+type JobReport = serve.JobReport
+
+// Job-admission errors: a full queue and a draining service are
+// backpressure signals (HTTP 429 / 503), not faults.
+var (
+	ErrJobQueueFull = serve.ErrQueueFull
+	ErrJobsDraining = serve.ErrDraining
+)
+
+// Job-service defaults, re-exported so cmd/dart's flag defaults show
+// the real values in -help.
+const (
+	DefaultJobQueueDepth = serve.DefaultQueueDepth
+	DefaultJobTimeout    = serve.DefaultJobTimeout
+	DefaultDrainTimeout  = serve.DefaultDrainTimeout
+	DefaultJobMaxBody    = serve.DefaultMaxBody
+)
+
+// NewJobService starts an audit-as-a-service instance; its executor
+// pool is live on return.
+func NewJobService(cfg JobsConfig) *JobService {
+	return serve.New(cfg)
+}
+
+// BuiltinLibraries returns the registered library sources a job service
+// can audit by name ("minisip": the paper's oSIP stand-in), for
+// JobsConfig.Libraries.
+func BuiltinLibraries() map[string]string {
+	return map[string]string{"minisip": minisip.SourceText()}
 }
 
 // Audit tests every function of the program (or opts.Toplevels when

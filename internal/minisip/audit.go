@@ -13,6 +13,11 @@ import (
 	"dart/internal/sema"
 )
 
+// SourceText returns the complete MiniC source of the library (core +
+// transaction layer): what Compile compiles, exposed so the job service
+// can register "minisip" as a named library.
+func SourceText() string { return Source + transactionSource }
+
 // Compile builds the miniSIP library.
 func Compile() (*ir.Prog, *sema.Program, error) {
 	file, err := parser.Parse(Source + transactionSource)

@@ -81,6 +81,18 @@ func (l *LiveMetrics) Event(ev Event) {
 		l.m.Add(CWorkerIdle, 1)
 	case BugFound:
 		l.m.Add(CBugs, 1)
+	case JobQueued:
+		l.m.Add(CJobsAccepted, 1)
+		l.m.Observe(HJobQueueDepth, int64(ev.Depth))
+	case JobRejected:
+		l.m.Add(CJobsRejected, 1)
+	case JobRetry:
+		l.m.Add(CJobsRetried, 1)
+	case JobEnd:
+		l.m.Add(CJobsCompleted, 1)
+		if ev.Status == "cached" {
+			l.m.Add(CJobsCached, 1)
+		}
 	case FallbackConcrete:
 		switch ev.Flag {
 		case "all_linear":

@@ -38,6 +38,16 @@ const (
 	CFrontierDropped = "frontier_dropped"
 	CSteals          = "frontier_steals"
 	CWorkerIdle      = "frontier_idle_waits"
+	// Serve-layer job lifecycle: submissions admitted to the bounded
+	// queue, refused at admission (queue full, draining, oversized or
+	// malformed bodies), retried after an isolated executor fault,
+	// completed (any terminal disposition), and answered byte-identically
+	// from the content-addressed result store.
+	CJobsAccepted  = "jobs_accepted"
+	CJobsRejected  = "jobs_rejected"
+	CJobsRetried   = "jobs_retried"
+	CJobsCompleted = "jobs_completed"
+	CJobsCached    = "jobs_cached"
 
 	// Histograms.
 	HSolverLatencyUS = "solver_latency_us"
@@ -48,6 +58,10 @@ const (
 	// HFrontierQueue samples the total pending-flip backlog at each
 	// enqueue, the live queue-depth signal of the (parallel) frontier.
 	HFrontierQueue = "frontier_queue_depth"
+	// HJobQueueDepth samples the serve-layer job-queue backlog at each
+	// admission; its distribution shows how close the service runs to
+	// its configured depth (and therefore to shedding load).
+	HJobQueueDepth = "job_queue_depth"
 )
 
 // powers-of-two style upper bounds for each standard histogram; the
@@ -59,6 +73,7 @@ var stdBuckets = map[string][]int64{
 	HPCLen:           {1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024},
 	HFrontierDepth:   {1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024},
 	HFrontierQueue:   {1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536},
+	HJobQueueDepth:   {1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024},
 }
 
 // Metrics is one search's registry.  It is not safe for concurrent use;

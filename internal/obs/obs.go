@@ -74,6 +74,26 @@ const (
 	// AuditFnStart / AuditFnEnd bracket one function of a library audit.
 	AuditFnStart Kind = "audit-fn-start"
 	AuditFnEnd   Kind = "audit-fn-end"
+	// JobQueued: the serve layer admitted a submission into the bounded
+	// job queue (Job carries the id; Depth the queue depth after the
+	// enqueue).  A cache-served submission is also announced as
+	// JobQueued + JobEnd with Status "cached".
+	JobQueued Kind = "job-queued"
+	// JobStart: an executor picked the job up and its audit began.
+	JobStart Kind = "job-start"
+	// JobRetry: the job's attempt died to an isolated executor fault and
+	// is being retried after backoff (Run is the 1-based attempt that
+	// failed, Msg the fault).
+	JobRetry Kind = "job-retry"
+	// JobEnd: the job completed; Status is the job's terminal disposition
+	// ("done", "cached", or a stop reason such as "deadline", "drain",
+	// "internal-fault"), Runs/Bugs summarize its report.
+	JobEnd Kind = "job-end"
+	// JobRejected: a submission was refused at admission; Status says why
+	// ("queue-full", "draining", "too-large", "bad-request").  Rejections
+	// are the service's honest load-shedding signal — every 429/413/503
+	// on POST /jobs emits exactly one.
+	JobRejected Kind = "job-rejected"
 )
 
 // Event is one structured trace record.  A single flat struct (rather
@@ -90,6 +110,10 @@ type Event struct {
 	// Fn is the toplevel function under test (always set by the engine;
 	// lets per-function streams be demultiplexed from an audit trace).
 	Fn string `json:"fn,omitempty"`
+	// Job is the serve-layer job id the event belongs to; absent outside
+	// job execution, so single-search and CLI-audit traces are unchanged.
+	// Per-job streams demultiplex from the shared /events ring on it.
+	Job string `json:"job,omitempty"`
 	// Run is the 1-based run index within the function's search.  Under
 	// the parallel frontier engine it is the index within the emitting
 	// worker's own run stream (each worker numbers its runs from 1), so
@@ -214,6 +238,20 @@ func (g *guarded) Event(ev Event) {
 		}
 	}()
 	g.sink.Event(ev)
+}
+
+// WithJob wraps sink so every event passing through carries the given
+// serve-layer job id, letting one shared event ring (and one metrics
+// bridge) serve many concurrent jobs while keeping each job's stream
+// separable.  WithJob(id, nil) is nil.
+func WithJob(id string, sink Sink) Sink {
+	if sink == nil {
+		return nil
+	}
+	return SinkFunc(func(ev Event) {
+		ev.Job = id
+		sink.Event(ev)
+	})
 }
 
 // NDJSON is a Sink writing one JSON object per line, assigning

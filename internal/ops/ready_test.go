@@ -1,0 +1,112 @@
+package ops_test
+
+// Readiness, attachment, and listener-hardening tests for the ops
+// server extension points the job service builds on.
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dart/internal/ops"
+)
+
+// startOps builds, configures, and binds a server on a free port.
+func startOps(t *testing.T, cfg ops.Config, configure func(*ops.Server)) *ops.Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s := ops.NewServer(cfg)
+	if configure != nil {
+		configure(s)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestReadyzDefault: without a readiness hook, /readyz mirrors
+// /healthz — a plain searching process is always ready.
+func TestReadyzDefault(t *testing.T) {
+	s := startOps(t, ops.Config{Mode: "directed"}, nil)
+	if code, body := get(t, "http://"+s.Addr()+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz: %d %q", code, body)
+	}
+	if code, _ := get(t, "http://"+s.Addr()+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz: %d", code)
+	}
+}
+
+// TestReadyzHook: the hook separates liveness from readiness — the
+// process stays live while /readyz sheds with 503 and the reason.
+func TestReadyzHook(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	s := startOps(t, ops.Config{Mode: "serve"}, func(s *ops.Server) {
+		s.SetReady(func() (bool, string) {
+			if ready.Load() {
+				return true, ""
+			}
+			return false, "queue saturated"
+		})
+	})
+	base := "http://" + s.Addr()
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Errorf("ready /readyz: %d", code)
+	}
+	ready.Store(false)
+	code, body := get(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "queue saturated") {
+		t.Errorf("unready /readyz: %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz must stay 200 while unready: %d", code)
+	}
+}
+
+// TestAttachAndGauges: attached handlers serve on the ops mux and
+// extra gauges land in the Prometheus exposition.
+func TestAttachAndGauges(t *testing.T) {
+	s := startOps(t, ops.Config{Mode: "serve"}, func(s *ops.Server) {
+		s.Attach("/jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTeapot)
+		}))
+		s.SetGauges(func() map[string]float64 {
+			return map[string]float64{"jobs_queue_depth": 3}
+		})
+	})
+	base := "http://" + s.Addr()
+	if code, _ := get(t, base+"/jobs"); code != http.StatusTeapot {
+		t.Errorf("attached handler not served: %d", code)
+	}
+	_, metrics := get(t, base+"/metrics")
+	if !strings.Contains(metrics, "# TYPE dart_jobs_queue_depth gauge") ||
+		!strings.Contains(metrics, "dart_jobs_queue_depth 3") {
+		t.Errorf("extra gauge missing from /metrics:\n%.600s", metrics)
+	}
+}
+
+// TestHeaderCap: MaxHeaderBytes is enforced — an abusive header is
+// refused instead of buffered without bound.
+func TestHeaderCap(t *testing.T) {
+	s := startOps(t, ops.Config{Mode: "serve", MaxHeaderBytes: 1 << 10}, nil)
+	req, err := http.NewRequest(http.MethodGet, "http://"+s.Addr()+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Flood", strings.Repeat("a", 1<<16))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		// The server may simply hang up on the oversized header; either
+		// refusal is a pass — what must not happen is a 200.
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("oversized header accepted: %d", resp.StatusCode)
+	}
+}

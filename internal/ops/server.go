@@ -6,7 +6,11 @@
 //
 // Endpoints:
 //
-//	/healthz        liveness probe
+//	/healthz        liveness probe (the process is up; always 200)
+//	/readyz         readiness probe: 503 while the service cannot take
+//	                more work (job queue saturated, drain in progress),
+//	                so a load balancer stops routing before clients see
+//	                429s; without a readiness hook it mirrors /healthz
 //	/metrics        Prometheus text exposition of the cumulative search
 //	                metrics (the obs event→metrics bridge, merged across
 //	                all audit workers) plus server gauges
@@ -57,7 +61,31 @@ type Config struct {
 	Functions []string
 	// RingSize bounds the /events buffer (default 4096 events).
 	RingSize int
+	// ReadHeaderTimeout, ReadTimeout, IdleTimeout, and MaxHeaderBytes
+	// harden the listener against slow or abusive clients: without them
+	// one client trickling a request header pins a connection (and its
+	// goroutine) forever.  Zero selects the defaults (5s, 30s, 120s,
+	// 64 KiB); the write side stays unbounded because /events?follow=1
+	// is a legitimate long-lived streaming response.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	MaxHeaderBytes    int
 }
+
+// Hardened-listener defaults (Config zero values).
+const (
+	defaultReadHeaderTimeout = 5 * time.Second
+	defaultReadTimeout       = 30 * time.Second
+	defaultIdleTimeout       = 120 * time.Second
+	defaultMaxHeaderBytes    = 64 << 10
+)
+
+// maxTrackedFns bounds the per-function status table.  A long-running
+// job service sees an unbounded stream of submitted programs; /status
+// keeps the first maxTrackedFns distinct function names and drops the
+// rest rather than growing without limit.
+const maxTrackedFns = 4096
 
 // fnState is the live audit state of one function.
 type fnState struct {
@@ -85,6 +113,14 @@ type Server struct {
 	cov   *coverage.Set
 	done  bool
 
+	// ready is the readiness hook (nil = always ready); extra provides
+	// additional /metrics gauges; attached are extra endpoint handlers
+	// (the serve layer's /jobs surface).  All are set before Handler()/
+	// Start and read-only afterwards.
+	ready    func() (bool, string)
+	extra    func() map[string]float64
+	attached map[string]http.Handler
+
 	ln  net.Listener
 	srv *http.Server
 }
@@ -111,14 +147,72 @@ func NewServer(cfg Config) *Server {
 // Start builds the server and begins serving on cfg.Addr.
 func Start(cfg Config) (*Server, error) {
 	s := NewServer(cfg)
-	ln, err := net.Listen("tcp", cfg.Addr)
+	if err := s.Listen(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Listen binds cfg.Addr and begins serving.  Use it after NewServer
+// when endpoints, readiness, or gauges must be attached first (the job
+// service does); Start is the one-call variant.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("ops: %w", err)
+		return fmt.Errorf("ops: %w", err)
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler()}
+	s.srv = s.httpServer()
 	go s.srv.Serve(ln)
-	return s, nil
+	return nil
+}
+
+// httpServer builds the hardened http.Server around Handler(): header
+// and request-read deadlines plus a header size cap, so one slow or
+// abusive client can never pin a connection forever.  WriteTimeout is
+// deliberately zero — /events?follow=1 streams until the client leaves.
+func (s *Server) httpServer() *http.Server {
+	cfg := s.cfg
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = defaultReadHeaderTimeout
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = defaultReadTimeout
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = defaultIdleTimeout
+	}
+	if cfg.MaxHeaderBytes <= 0 {
+		cfg.MaxHeaderBytes = defaultMaxHeaderBytes
+	}
+	return &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		ReadTimeout:       cfg.ReadTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
+		MaxHeaderBytes:    cfg.MaxHeaderBytes,
+	}
+}
+
+// SetReady installs the readiness hook behind /readyz: fn reports
+// whether the service can take more work and, when it cannot, why.
+// Install before Start/Handler.
+func (s *Server) SetReady(fn func() (bool, string)) { s.ready = fn }
+
+// SetGauges installs a provider of additional /metrics gauges (queue
+// depth, running executors, store occupancy).  Install before
+// Start/Handler.
+func (s *Server) SetGauges(fn func() map[string]float64) { s.extra = fn }
+
+// Attach registers an extra handler on the ops mux (the serve layer's
+// /jobs surface).  Attach before Start/Handler; attaching a pattern the
+// ops surface already owns panics at mux-build time, loudly, instead of
+// silently shadowing an endpoint.
+func (s *Server) Attach(pattern string, h http.Handler) {
+	if s.attached == nil {
+		s.attached = map[string]http.Handler{}
+	}
+	s.attached[pattern] = h
 }
 
 // Addr returns the bound listen address (empty without Start).
@@ -157,6 +251,12 @@ func (s *Server) track(ev obs.Event) {
 	defer s.mu.Unlock()
 	st, ok := s.fns[ev.Fn]
 	if !ok {
+		if len(s.fns) >= maxTrackedFns {
+			// A long-running job service sees unboundedly many distinct
+			// function names; /status tracks the first maxTrackedFns and
+			// stays bounded rather than growing with traffic.
+			return
+		}
 		st = &fnState{status: "pending"}
 		s.fns[ev.Fn] = st
 		s.order = append(s.order, ev.Fn)
@@ -217,6 +317,7 @@ func (s *Server) Done() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/events", s.handleEvents)
@@ -226,12 +327,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range s.attached {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: liveness says the process is up,
+// readiness says it can take more work.  While the job queue is
+// saturated or a drain is in progress it answers 503, so a load
+// balancer stops routing new submissions before they would be refused
+// with 429s.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.ready != nil {
+		if ok, reason := s.ready(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, reason)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -253,6 +374,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"coverage_sites_touched":    float64(s.cov.SitesTouched()),
 	}
 	s.mu.Unlock()
+	if s.extra != nil {
+		for name, v := range s.extra() {
+			gauges[name] = v
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	writeProm(w, snap, gauges)
 }

@@ -1,0 +1,248 @@
+// The job HTTP surface, mounted on the ops server's mux:
+//
+//	POST /jobs            submit a MiniC source body (or ?lib=name for a
+//	                      registered library); query params seed, runs,
+//	                      depth, random, fn_timeout.  202 + job id on
+//	                      admission, 200 + id when served from the result
+//	                      store, 400 on bad input, 413 past the body cap,
+//	                      429 + Retry-After when the queue is full, 503 +
+//	                      Retry-After while draining.
+//	GET  /jobs            list live job records (admission order)
+//	GET  /jobs/{id}       one job's envelope: state, timing, stop reason,
+//	                      cached marker, and — when done — the report
+//
+// Backpressure is honest and layered: /readyz flips to 503 while the
+// queue is saturated (the load balancer stops routing), a submission
+// that still arrives gets 429 with Retry-After (the client backs off),
+// and every rejection is counted in /metrics (dart_jobs_rejected_total)
+// and announced on /events.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dart/internal/ops"
+)
+
+// retryAfterSeconds is the Retry-After hint on 429/503 responses: the
+// queue turns over in job units, so a short fixed hint beats a guess.
+const retryAfterSeconds = "1"
+
+// RegisterOn mounts the job endpoints, the readiness probe, and the
+// service gauges on an ops server.  Call before ops.Server.Handler()
+// or Start.
+func (s *Service) RegisterOn(srv *ops.Server) {
+	srv.Attach("/jobs", http.HandlerFunc(s.handleJobs))
+	srv.Attach("/jobs/", http.HandlerFunc(s.handleJob))
+	srv.SetReady(s.Ready)
+	srv.SetGauges(s.Gauges)
+}
+
+// handleJobs serves POST /jobs (submit) and GET /jobs (list).
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		s.handleList(w)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// submitResp is the POST /jobs response document.
+type submitResp struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	// QueueDepth is the backlog length right after this admission.
+	QueueDepth int `json:"queue_depth"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The body cap is enforced while reading: a client streaming an
+	// oversized submission is cut off at MaxBody+1 bytes, 413.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.reject("too-large")
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBody), http.StatusRequestEntityTooLarge)
+			return
+		}
+		s.reject("bad-request")
+		http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	sub := Submission{Source: string(body), Lib: r.URL.Query().Get("lib")}
+	q := r.URL.Query()
+	bad := func(param string, err error) {
+		s.reject("bad-request")
+		http.Error(w, fmt.Sprintf("bad %s: %v", param, err), http.StatusBadRequest)
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			bad("seed", err)
+			return
+		}
+		sub.Seed = n
+	}
+	if v := q.Get("runs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			bad("runs", err)
+			return
+		}
+		sub.Runs = n
+	}
+	if v := q.Get("depth"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			bad("depth", err)
+			return
+		}
+		sub.Depth = n
+	}
+	if v := q.Get("random"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			bad("random", err)
+			return
+		}
+		sub.Random = b
+	}
+	if v := q.Get("fn_timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			bad("fn_timeout", fmt.Errorf("want a positive Go duration: %q", v))
+			return
+		}
+		sub.FnTimeout = d
+	}
+
+	j, err := s.Submit(sub)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		http.Error(w, "job queue full; retry later", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		http.Error(w, "service draining; retry against another instance", http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	resp := submitResp{ID: j.ID, State: string(j.State()), Cached: j.cachedNow(), QueueDepth: s.queueDepth()}
+	code := http.StatusAccepted
+	if resp.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+// jobEnvelope is the GET /jobs/{id} document: the job's lifecycle
+// record around the (deterministic) report.  Timing lives here, never
+// inside the report — the report must stay byte-identical across
+// identical submissions.
+type jobEnvelope struct {
+	ID             string          `json:"id"`
+	State          string          `json:"state"`
+	Cached         bool            `json:"cached"`
+	StopReason     string          `json:"stop_reason,omitempty"`
+	Error          string          `json:"error,omitempty"`
+	Retries        int             `json:"retries,omitempty"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	Report         json.RawMessage `json:"report,omitempty"`
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	j, ok := s.Job(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown job %q (completed jobs are retained up to the history cap)", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.envelope())
+}
+
+// envelope snapshots the job under its lock.
+func (j *Job) envelope() jobEnvelope {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	env := jobEnvelope{
+		ID:         j.ID,
+		State:      string(j.state),
+		Cached:     j.cached,
+		StopReason: j.stopReason,
+		Error:      j.errMsg,
+		Retries:    j.retries,
+		Report:     json.RawMessage(j.report),
+	}
+	switch j.state {
+	case StateDone:
+		env.ElapsedSeconds = j.finished.Sub(j.created).Seconds()
+	default:
+		env.ElapsedSeconds = time.Since(j.created).Seconds()
+	}
+	return env
+}
+
+// listResp is the GET /jobs document.
+type listResp struct {
+	Jobs       []jobSummary `json:"jobs"`
+	QueueDepth int          `json:"queue_depth"`
+	QueueCap   int          `json:"queue_capacity"`
+}
+
+type jobSummary struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+}
+
+func (s *Service) handleList(w http.ResponseWriter) {
+	resp := listResp{Jobs: []jobSummary{}, QueueDepth: s.queueDepth(), QueueCap: s.cfg.QueueDepth}
+	for _, j := range s.Jobs() {
+		j.mu.Lock()
+		resp.Jobs = append(resp.Jobs, jobSummary{ID: j.ID, State: string(j.state), Cached: j.cached})
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cachedNow reads the cached marker under the job lock.
+func (j *Job) cachedNow() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
+
+// queueDepth is the live backlog length.
+func (s *Service) queueDepth() int { return len(s.queue) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,136 @@
+// The job report: the deterministic, cacheable rendering of one job's
+// audit outcome.  Every field is a pure function of (source, seed,
+// options) — statuses, run counts, bugs with their replayable inputs,
+// branch coverage, completeness — and wall-clock data is deliberately
+// absent, so equal submissions marshal to byte-identical reports and
+// the content-addressed store can serve one job's bytes as another's
+// result.  Timing lives on the job envelope (GET /jobs/{id}), never in
+// the report.
+package serve
+
+import (
+	"encoding/json"
+
+	"dart/internal/audit"
+)
+
+// JobReport is the deterministic outcome of one job.
+type JobReport struct {
+	// Functions is how many toplevel functions the audit covered.
+	Functions int `json:"functions"`
+	// TotalRuns sums the executions spent across the job.
+	TotalRuns int `json:"total_runs"`
+	// Per-status function counts (the audit package's verdicts).
+	OK        int `json:"ok"`
+	Buggy     int `json:"buggy"`
+	TimedOut  int `json:"timed_out"`
+	Faulted   int `json:"faulted"`
+	Cancelled int `json:"cancelled"`
+	// Aggregate branch coverage over the whole submitted program.
+	CoverageCovered int `json:"branch_directions_covered"`
+	CoverageTotal   int `json:"branch_directions_total"`
+	// Stopped is true when the job was cut short (deadline, drain, or a
+	// persistent executor fault) and the report is therefore partial;
+	// StopReason says why — the job-level mirror of the per-search
+	// Report.Stopped/StopReason semantics.
+	Stopped    bool   `json:"stopped"`
+	StopReason string `json:"stop_reason,omitempty"`
+	// Error carries the final fault description when StopReason is
+	// "internal-fault" (the retries were exhausted).
+	Error string `json:"error,omitempty"`
+	// Entries has one record per function, in sorted function order.
+	Entries []JobEntry `json:"entries"`
+}
+
+// JobEntry is one function's outcome inside a job.
+type JobEntry struct {
+	Function string `json:"function"`
+	// Status is the audit supervision verdict (ok / bugs / timeout /
+	// internal-fault / cancelled).
+	Status string `json:"status"`
+	Runs   int    `json:"runs"`
+	// StopReason is the per-search stop reason, honest under deadlines
+	// and cancellation (exhausted / max-runs / first-bug / deadline /
+	// cancelled / internal-error).
+	StopReason string `json:"stop_reason,omitempty"`
+	// SolverComplete is false when a constraint solve was abandoned on
+	// budget exhaustion, degrading that search toward random testing.
+	SolverComplete bool `json:"solver_complete"`
+	// Err is the internal-fault description when no report exists.
+	Err  string   `json:"error,omitempty"`
+	Bugs []JobBug `json:"bugs"`
+}
+
+// JobBug is one distinct bug with its replayable input vector.
+type JobBug struct {
+	Kind   string           `json:"kind"`
+	Msg    string           `json:"message"`
+	Pos    string           `json:"position"`
+	Run    int              `json:"run"`
+	Inputs map[string]int64 `json:"inputs"`
+}
+
+// buildReport folds an audit result and the job-level stop disposition
+// into the deterministic report.  res may be nil (every attempt
+// faulted): the report is then empty but honest — Stopped with reason
+// "internal-fault" and the final fault message.
+func buildReport(res *audit.Result, stopReason, faultMsg string) *JobReport {
+	rep := &JobReport{Entries: []JobEntry{}}
+	if res == nil {
+		rep.Stopped = true
+		rep.StopReason = "internal-fault"
+		rep.Error = faultMsg
+		return rep
+	}
+	rep.Functions = res.Functions()
+	rep.TotalRuns = res.TotalRuns
+	rep.OK, rep.Buggy = res.OK, res.Buggy
+	rep.TimedOut, rep.Faulted, rep.Cancelled = res.TimedOut, res.Faulted, res.Cancelled
+	if res.Coverage != nil {
+		rep.CoverageCovered = res.Coverage.Covered()
+		rep.CoverageTotal = res.Coverage.Total()
+	}
+	if stopReason != "" && res.Cancelled > 0 {
+		// The checkpoint demonstrably cut functions short; anything else
+		// means the cancel raced the natural end and changed nothing.
+		rep.Stopped = true
+		rep.StopReason = stopReason
+	}
+	for _, e := range res.Entries {
+		je := JobEntry{
+			Function: e.Function,
+			Status:   string(e.Status),
+			Err:      e.Err,
+			Bugs:     []JobBug{},
+		}
+		if e.Report != nil {
+			je.Runs = e.Report.Runs
+			je.StopReason = string(e.Report.Stopped)
+			je.SolverComplete = e.Report.SolverComplete
+			for _, b := range e.Report.Bugs {
+				je.Bugs = append(je.Bugs, JobBug{
+					Kind:   b.Kind.String(),
+					Msg:    b.Msg,
+					Pos:    b.Pos.String(),
+					Run:    b.Run,
+					Inputs: b.Inputs,
+				})
+			}
+		}
+		rep.Entries = append(rep.Entries, je)
+	}
+	return rep
+}
+
+// marshal renders the report's canonical bytes: encoding/json with the
+// struct field order above and sorted map keys, so equal reports are
+// equal bytes.
+func (r *JobReport) marshal() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// A pure-data struct cannot fail to marshal; keep the job
+		// completable anyway.
+		return []byte(`{"stopped":true,"stop_reason":"internal-fault","error":"report marshal failed"}`)
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+// The result store: a bounded, content-addressed cache of finished job
+// reports.  The key is a digest of everything that determines a job's
+// outcome — the exact source text, the seed, and every search option —
+// so a hit can be served as the completed report of a new submission
+// with no re-execution, and (because reports deliberately contain only
+// deterministic fields) the served bytes are identical to what a fresh
+// run would have produced.  Capacity is a hard entry cap with LRU
+// eviction: a long-running service's memory stays bounded no matter how
+// many distinct programs pass through, and evictions are counted, never
+// silent.
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultStoreCap bounds the result store when Config.StoreCap is zero.
+const DefaultStoreCap = 256
+
+// cacheKey renders the deterministic identity of a submission: the
+// digest of the canonical (source, seed, options) encoding.  Two
+// submissions with equal keys are guaranteed to produce byte-identical
+// reports on a fresh run, which is what licenses serving one from the
+// other's cached result.
+func cacheKey(src string, seed int64, runs, depth int, random bool, fnTimeout time.Duration) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "dart-job-v1\nseed=%d\nruns=%d\ndepth=%d\nrandom=%t\nfn_timeout=%d\nsource=%d\n",
+		seed, runs, depth, random, fnTimeout.Nanoseconds(), len(src))
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// store is the bounded LRU map from cache key to report bytes.
+type store struct {
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*list.Element
+	lru       *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type storeEntry struct {
+	key    string
+	report []byte
+}
+
+// newStore returns a store holding at most cap reports; cap <= 0
+// disables caching entirely (every get misses, every put is dropped).
+func newStore(cap int) *store {
+	return &store{
+		cap:     cap,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached report for key, marking it most recently used.
+func (s *store) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.lru.MoveToFront(el)
+	return el.Value.(*storeEntry).report, true
+}
+
+// put caches report under key, evicting the least recently used entry
+// when the store is full.  Re-putting an existing key refreshes its
+// recency and keeps the first bytes (equal by construction: equal keys
+// imply identical reports).
+func (s *store) put(key string, report []byte) {
+	if s.cap <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	for s.lru.Len() >= s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*storeEntry).key)
+		s.evictions++
+	}
+	s.entries[key] = s.lru.PushFront(&storeEntry{key: key, report: report})
+}
+
+// len reports the current entry count.
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// stats returns the lifetime hit/miss/eviction counters.
+func (s *store) stats() (hits, misses, evictions uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evictions
+}

@@ -34,6 +34,16 @@ go test -run '^$' \
     -bench 'BenchmarkWorkerScaling' \
     -count="$COUNT" . | tee -a "$OUT"
 
+# Job-service throughput (BENCH_pr6.json): jobs/sec through the full
+# admit→compile→audit→report pipeline (fresh) and the content-addressed
+# store fast path (cached).  Gate: cached must be orders of magnitude
+# above fresh — the store turning repeat submissions into lookups is
+# the point of the layer.
+go test -run '^$' \
+    -bench 'BenchmarkJobsThroughput' \
+    -benchmem -count="$COUNT" ./internal/serve/ | tee -a "$OUT"
+
 echo
 echo "wrote $OUT — compare mins against BENCH_pr3.json (gate: <2% on ns/op, allocs/op identical)"
 echo "scaling curve: compare against BENCH_pr5.json (gate: runs/op constant across workers)"
+echo "job service: compare jobs/s against BENCH_pr6.json (gate: cached >> fresh)"

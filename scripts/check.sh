@@ -25,6 +25,14 @@ go test -count=1 -run 'TestAuditCacheDeterministicAcrossJobs' ./internal/audit/
 go test -count=1 -race -run 'TestWorkers|TestParallel|TestFrontierDrop' ./internal/concolic/
 go test -count=1 -race -run 'TestShardedCache' ./internal/solver/
 go test -count=1 -race -run 'TestAuditParallelWorkersFindSameBugs' ./internal/audit/
+# Serve gate (audit as a service): flood POST /jobs past the queue
+# depth of a race-instrumented `dart -serve` process, require honest
+# 429s counted in /metrics as dart_jobs_rejected_total, then SIGTERM
+# and a clean exit-0 drain with jobs still mid-flight.  The in-process
+# half covers poisoned-job isolation, byte-identical cached reports,
+# and the drain checkpoint under the race detector.
+go test -count=1 -run 'TestCLIServeGate|TestCLIServeJobService|TestCLIServeBindError' .
+go test -count=1 -race -run 'TestPoisonedJobIsolation|TestCachedByteIdentical|TestDrainCheckpointsBacklog|TestHTTPQueueFull429|TestConcurrentSubmissions' ./internal/serve/
 tmp="$(mktemp -d)"
 cat > "$tmp/gate.mc" <<'EOF'
 int f(int x) { return 2 * x; }
