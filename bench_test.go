@@ -333,6 +333,40 @@ func BenchmarkMachineThroughput(b *testing.B) {
 	b.ReportMetric(float64(steps)/float64(runs), "instructions/run")
 }
 
+// BenchmarkProfileOverhead: the profiler's cost discipline as a direct
+// A/B.  "off" is the default path — a nil *obs.Profile whose methods
+// are no-ops and which reads no clock, so it must stay within noise of
+// a build that predates the profiler (the BENCH_pr7.json gate, <2% on
+// per-side minimums).  "on" prices what span-attributed timing costs
+// when asked for; it is allowed to be slower, it just has to be honest
+// about it.  The machine-heavy workload maximises spans per second and
+// is therefore the worst case for both sides.
+func BenchmarkProfileOverhead(b *testing.B) {
+	prog := benchProgram(b, protocols.Source(protocols.DolevYao, protocols.NoFix))
+	for _, v := range []struct {
+		name    string
+		collect bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			var runs int64
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(prog, Options{
+					Toplevel: protocols.Toplevel, Depth: 2, MaxRuns: 5000,
+					Seed: int64(i + 1), CollectProfile: v.collect,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.collect && rep.Profile == nil {
+					b.Fatal("profiled run returned no profile")
+				}
+				runs += int64(rep.Runs)
+			}
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}
+
 // BenchmarkWorkerScaling: the parallel frontier's scaling curve over a
 // machine-heavy workload (a depth-2 Dolev-Yao sweep: thousands of
 // concrete executions, cheap solves) and a solver-heavy one (the

@@ -926,3 +926,69 @@ func TestCLIAuditProgressAndElapsed(t *testing.T) {
 		t.Errorf("aggregated metrics missing from audit JSON:\n%s", out)
 	}
 }
+
+// TestCLIProfile: -profile prints the human cost tables after the
+// search, and -json gains a structured profile object whose phase and
+// site entries carry real accounting; without -profile the JSON report
+// stays profile-free.
+func TestCLIProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, _ := runCLI(t, "-top", "h", "-seed", "1", "-profile")
+	if !strings.Contains(out, "phase breakdown") || !strings.Contains(out, "branch sites by solve cost") {
+		t.Errorf("-profile printed no cost tables:\n%s", out)
+	}
+	for _, phase := range []string{"exec", "solve"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("-profile table missing %s phase:\n%s", phase, out)
+		}
+	}
+
+	jout, _ := runCLI(t, "-top", "h", "-seed", "1", "-profile", "-json")
+	var rep struct {
+		Profile *struct {
+			Phases []struct {
+				Phase string `json:"phase"`
+				Count int64  `json:"count"`
+				Nanos int64  `json:"nanos"`
+			} `json:"phases"`
+			Sites []struct {
+				Site   int    `json:"site"`
+				Pos    string `json:"pos"`
+				Fn     string `json:"fn"`
+				Solves int64  `json:"solves"`
+			} `json:"sites"`
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal([]byte(jout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, jout)
+	}
+	if rep.Profile == nil || len(rep.Profile.Phases) == 0 || len(rep.Profile.Sites) == 0 {
+		t.Fatalf("-profile -json report lacks profile data:\n%s", jout)
+	}
+	phases := map[string]int64{}
+	var nanos int64
+	for _, ph := range rep.Profile.Phases {
+		phases[ph.Phase] = ph.Count
+		nanos += ph.Nanos
+	}
+	if phases["exec"] == 0 || phases["solve"] == 0 || nanos == 0 {
+		t.Errorf("profile phases implausible: %+v", rep.Profile.Phases)
+	}
+	for _, s := range rep.Profile.Sites {
+		if s.Fn != "h" || s.Pos == "" || s.Solves == 0 {
+			t.Errorf("profile site implausible: %+v", s)
+		}
+	}
+
+	// Off by default: no profile key in the plain JSON report.
+	plain, _ := runCLI(t, "-top", "h", "-seed", "1", "-json")
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(plain), &probe); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, plain)
+	}
+	if _, ok := probe["profile"]; ok {
+		t.Errorf("JSON report carries a profile without -profile:\n%s", plain)
+	}
+}

@@ -84,6 +84,7 @@ func run() int {
 		workersF = flag.Int("workers", 1, "parallel flip-workers per directed search")
 		traceF   = flag.String("trace", "", "write an NDJSON trace of search events to `file`")
 		metricsF = flag.Bool("metrics", false, "print the search metrics registry after the run")
+		profileF = flag.Bool("profile", false, "collect a search cost profile (per-phase wall breakdown, per-site solver time/work) and print it after the run")
 		progress = flag.Bool("progress", false, "live progress line on stderr while -audit runs")
 		serveF   = flag.String("serve", "", "serve live ops HTTP endpoints on `addr` during the run (e.g. 127.0.0.1:8080, :0 picks a port); with no program file, run the persistent job server")
 		queueF   = flag.Int("queue-depth", dart.DefaultJobQueueDepth, "job-service queue bound (full = HTTP 429)")
@@ -170,6 +171,7 @@ func run() int {
 			random:    *random,
 			json:      *jsonOut,
 			metrics:   *metricsF,
+			profile:   *profileF,
 			progress:  *progress,
 			trace:     trace,
 			serve:     srv,
@@ -251,6 +253,7 @@ func run() int {
 		Workers:         *workersF,
 		Observer:        observer,
 		CollectMetrics:  true,
+		CollectProfile:  *profileF,
 	}
 	var rep *dart.Report
 	if *random {
@@ -264,6 +267,7 @@ func run() int {
 	}
 	if srv != nil {
 		srv.ReportCoverage(rep.Coverage)
+		srv.ReportProfile(rep.Profile)
 		srv.Done()
 		defer srv.Close()
 	}
@@ -301,6 +305,9 @@ func run() int {
 	}
 	if *metricsF && rep.Metrics != nil {
 		fmt.Print(rep.Metrics.Table())
+	}
+	if *profileF && rep.Profile != nil {
+		fmt.Print(rep.Profile.Table(profileTopSites))
 	}
 	for _, ie := range rep.InternalErrors {
 		fmt.Printf("INTERNAL %v\n", ie)
@@ -596,6 +603,9 @@ func solveCacheCap(flagVal int) int {
 	return flagVal
 }
 
+// profileTopSites is how many branch sites the -profile table ranks.
+const profileTopSites = 10
+
 // auditConfig carries the flag values relevant to -audit mode.
 type auditConfig struct {
 	seed      int64
@@ -607,6 +617,7 @@ type auditConfig struct {
 	random    bool
 	json      bool
 	metrics   bool
+	profile   bool
 	progress  bool
 	trace     *traceWriter
 	serve     *dart.OpsServer
@@ -638,14 +649,20 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		Workers:       cfg.workers,
 		SolveCacheCap: cfg.cacheCap,
 		UseRandom:     cfg.random,
+		// A live ops server profiles regardless of -profile: /profile
+		// should answer during any served audit, and audits are long
+		// enough that the profiler's clock reads are noise.
+		CollectProfile: cfg.profile || cfg.serve != nil,
 	}
 	if srv := cfg.serve; srv != nil {
 		sinks = append(sinks, srv.Sink())
-		// Fold each function's coverage into /coverage as it lands, and
-		// tag workers so /debug/pprof attributes CPU per function.
+		// Fold each function's coverage and cost profile into
+		// /coverage and /profile as it lands, and tag workers so
+		// /debug/pprof attributes CPU per function.
 		opts.OnEntry = func(e dart.AuditEntry) {
 			if e.Report != nil {
 				srv.ReportCoverage(e.Report.Coverage)
+				srv.ReportProfile(e.Report.Profile)
 			}
 		}
 		opts.ProfileLabels = true
@@ -687,6 +704,9 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 	if cfg.metrics && res.Metrics != nil {
 		fmt.Print(res.Metrics.Table())
 	}
+	if cfg.profile && res.Profile != nil {
+		fmt.Print(res.Profile.Table(profileTopSites))
+	}
 	if res.Buggy > 0 || res.Faulted > 0 {
 		return 1
 	}
@@ -709,6 +729,7 @@ type jsonAudit struct {
 	CoverageTotal          int                   `json:"branch_directions_total"`
 	BranchCoverageFraction float64               `json:"branch_coverage_fraction"`
 	Metrics                *dart.MetricsSnapshot `json:"metrics,omitempty"`
+	Profile                *dart.ProfileSnapshot `json:"profile,omitempty"`
 	Entries                []jsonAuditEntry      `json:"entries"`
 }
 
@@ -736,6 +757,7 @@ func emitAuditJSON(res *dart.AuditResult) int {
 		CoverageTotal:          res.Coverage.Total(),
 		BranchCoverageFraction: res.Coverage.Fraction(),
 		Metrics:                res.Metrics,
+		Profile:                res.Profile,
 		Entries:                []jsonAuditEntry{},
 	}
 	for _, e := range res.Entries {
@@ -800,6 +822,7 @@ type jsonReport struct {
 	StopReason             string                `json:"stop_reason"`
 	SolverComplete         bool                  `json:"solver_complete"`
 	Metrics                *dart.MetricsSnapshot `json:"metrics,omitempty"`
+	Profile                *dart.ProfileSnapshot `json:"profile,omitempty"`
 	InternalErrors         []jsonInternal        `json:"internal_errors,omitempty"`
 	Bugs                   []jsonBug             `json:"bugs"`
 }
@@ -850,6 +873,7 @@ func emitJSON(rep *dart.Report, random bool) int {
 		StopReason:             string(rep.Stopped),
 		SolverComplete:         rep.SolverComplete,
 		Metrics:                rep.Metrics,
+		Profile:                rep.Profile,
 	}
 	out.Bugs = []jsonBug{}
 	for _, ie := range rep.InternalErrors {

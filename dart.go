@@ -270,6 +270,17 @@ func NewPathTree(maxNodes int) *PathTree { return obs.NewTree(maxNodes) }
 // registry (Report.Metrics, AuditResult.Metrics).
 type MetricsSnapshot = obs.Snapshot
 
+// ProfileSnapshot is a search's cost profile (Report.Profile,
+// AuditResult.Profile; enabled by Options.CollectProfile): the
+// per-phase wall-time breakdown and per-branch-site solver attribution.
+type ProfileSnapshot = obs.ProfileSnapshot
+
+// PhaseProfile and SiteProfile are a ProfileSnapshot's rows.
+type (
+	PhaseProfile = obs.PhaseProfile
+	SiteProfile  = obs.SiteProfile
+)
+
 // CoverageSet accumulates branch-direction coverage over runs
 // (Report.Coverage, AuditResult.Coverage).  Sets from different
 // searches over the same program merge with Merge.

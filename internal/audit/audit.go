@@ -110,6 +110,10 @@ type Options struct {
 	// from /debug/pprof attribute samples per audited function.  Off by
 	// default: label maintenance costs a little on every search.
 	ProfileLabels bool
+	// CollectProfile asks every per-function search for a cost profile
+	// (concolic.Options.CollectProfile); the per-function profiles land
+	// on each Entry's report and merge into Result.Profile.
+	CollectProfile bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -167,6 +171,10 @@ type Result struct {
 	TotalRuns int
 	// Metrics aggregates every per-function search's metrics snapshot.
 	Metrics *obs.Snapshot
+	// Profile aggregates every per-function search's cost profile (nil
+	// unless Options.CollectProfile); sites stay distinguishable after
+	// the merge because each carries its function name.
+	Profile *obs.ProfileSnapshot
 	// Coverage merges every per-function report's branch coverage into
 	// one whole-library set (sites are program-global, so the union is
 	// well-defined across functions).
@@ -232,6 +240,14 @@ func Run(prog *ir.Prog, opts Options) *Result {
 			res.TotalRuns += entries[i].Report.Runs
 			res.Metrics.Merge(entries[i].Report.Metrics)
 			res.Coverage.Merge(entries[i].Report.Coverage)
+			if p := entries[i].Report.Profile; p != nil {
+				if res.Profile == nil {
+					// Start from an empty snapshot and merge in, so the
+					// result never shares slice backing with an entry.
+					res.Profile = &obs.ProfileSnapshot{}
+				}
+				res.Profile.Merge(p)
+			}
 		}
 	}
 	return res
@@ -322,6 +338,7 @@ func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, erro
 		// Per-function searches are long enough that the registry is
 		// noise, and Result.Metrics should not depend on an observer.
 		CollectMetrics: true,
+		CollectProfile: o.CollectProfile,
 	}
 	if o.UseRandom {
 		return concolic.RandomTest(prog, copts)

@@ -145,6 +145,12 @@ type Options struct {
 	// per-search setup and snapshot, while small, are measurable on
 	// sub-millisecond searches.
 	CollectMetrics bool
+	// CollectProfile populates Report.Profile: span-attributed wall
+	// time per search phase and per-branch-site solver cost.  Unlike
+	// CollectMetrics it is NOT implied by an Observer, because the
+	// profile reads the clock around every run and solve; off by
+	// default so the unobserved engine path stays timing-free.
+	CollectProfile bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -308,6 +314,10 @@ type Report struct {
 	// fixed-bucket histograms (solver latency and Fourier–Motzkin work
 	// per solve, steps per run, path-constraint length, frontier depth).
 	Metrics *obs.Snapshot
+	// Profile is the search's cost profile (nil unless CollectProfile):
+	// per-phase wall breakdown plus per-branch-site solver time/work
+	// attribution, merged across workers like the rest of the report.
+	Profile *obs.ProfileSnapshot
 }
 
 // FirstBug returns the first bug or nil.
@@ -365,6 +375,10 @@ type engine struct {
 	// always-on per-search registry snapshotted into Report.Metrics.
 	obs     obs.Sink
 	metrics *obs.Metrics
+	// prof is the per-worker cost profiler (nil unless CollectProfile);
+	// every Profile method no-ops on nil, so call sites guard only the
+	// time.Now captures.
+	prof *obs.Profile
 
 	// worker is the 1-based parallel worker id stamped on every emitted
 	// event; 0 (omitted from encodings) for sequential searches.
@@ -477,6 +491,7 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 		im:       map[string]int64{},
 		obs:      o.Observer,
 		metrics:  newMetrics(o),
+		prof:     newProfile(o, 0),
 		report: &Report{
 			AllLinear:       true,
 			AllLocsDefinite: true,
@@ -505,6 +520,7 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 	}
 	e.report.Elapsed = time.Since(start)
 	e.report.Metrics = e.metrics.Snapshot()
+	e.report.Profile = e.prof.Snapshot()
 	return e.report, nil
 }
 
@@ -667,6 +683,18 @@ func newMetrics(o Options) *obs.Metrics {
 		return nil
 	}
 	return obs.NewMetrics()
+}
+
+// newProfile returns the search's cost profiler for one worker, or nil
+// (every Profile method no-ops on nil) unless CollectProfile asks for
+// one.  Deliberately NOT implied by an Observer: profiling reads the
+// wall clock around every run and solve, and the event stream must
+// stay free of timing for determinism.
+func newProfile(o Options, worker int) *obs.Profile {
+	if !o.CollectProfile {
+		return nil
+	}
+	return obs.NewProfile(o.Toplevel, worker)
 }
 
 // emit forwards one trace event to the observer behind its own recover

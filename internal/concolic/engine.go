@@ -141,15 +141,26 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 		e.report.SolverCalls++
 		e.metrics.Observe(obs.HPCLen, int64(len(pc)))
 		e.metrics.Observe(obs.HFrontierDepth, int64(j))
+		// Site/pos attribution for the profiler and the event stream:
+		// events carry the 1-based site index (deterministic), while the
+		// source position string is computed only when profiling asks.
+		site := branches[j].Site
+		var posStr string
+		if e.prof != nil {
+			posStr = branches[j].Pos.String()
+		}
 		var target string
 		if e.obs != nil {
 			target = flipPath(branches, j)
-			e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: j, PCLen: len(pc), Path: target})
+			e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: j, PCLen: len(pc), Path: target, Site: site + 1})
 		}
 		sol, verdict, work := e.solveIsolated(pc, j)
 		if e.obs != nil {
-			e.emit(e.verdictEvent(j, verdict, work))
+			ev := e.verdictEvent(j, verdict, work)
+			ev.Site = site + 1
+			e.emit(ev)
 		}
+		e.prof.RecordSolve(site, posStr, verdict.String(), work, e.lastSolve.solveNS, e.lastSolve.cache)
 		if verdict != solver.Sat {
 			// Infeasible, beyond the solver, or out of budget: this
 			// branch cannot be flipped under its fixed prefix; mark it
@@ -168,8 +179,9 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 
 		// Truncate the stack to [0..j] and predict the flipped branch.
 		e.metrics.Add(obs.CBranchFlips, 1)
+		e.prof.RecordFlip(site, posStr)
 		if e.obs != nil {
-			e.emit(obs.Event{Kind: obs.BranchFlip, Run: e.report.Runs, Depth: j, Path: target})
+			e.emit(obs.Event{Kind: obs.BranchFlip, Run: e.report.Runs, Depth: j, Path: target, Site: site + 1})
 		}
 		e.stack = e.stack[:j+1]
 		e.stack[j].branch = !branches[j].Taken

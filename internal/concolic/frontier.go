@@ -51,6 +51,12 @@ type frontierItem struct {
 	im map[string]int64
 	// depth is the flip index (for BFS ordering).
 	depth int
+	// site is the flipped conditional's branch site (-1 for shape
+	// decisions); pos its source position, filled only when the search
+	// profiles (site attribution travels with the item because the
+	// solving worker no longer holds the parent run's branch records).
+	site int
+	pos  string
 }
 
 // claimBug reports whether this engine is the first in the search to
@@ -162,6 +168,10 @@ func (e *engine) childItems(branches []machine.BranchRec, bound int) []frontierI
 		if rec.Decision && !rec.Taken && e.decisionDepth(rec) >= e.opts.MaxShapeDepth {
 			continue // shape-depth cap
 		}
+		var pos string
+		if e.prof != nil {
+			pos = rec.Pos.String()
+		}
 		kids = append(kids, frontierItem{
 			prefix:    outcomes[:j],
 			preds:     preds[:predsBefore[j]:predsBefore[j]],
@@ -170,6 +180,8 @@ func (e *engine) childItems(branches []machine.BranchRec, bound int) []frontierI
 			bound:     j + 1,
 			im:        im,
 			depth:     j,
+			site:      rec.Site,
+			pos:       pos,
 		})
 	}
 	return kids
@@ -205,12 +217,15 @@ func (e *engine) solveItem(item frontierItem) bool {
 	var target string
 	if e.obs != nil {
 		target = itemPath(item)
-		e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: item.depth, PCLen: len(pc), Path: target})
+		e.emit(obs.Event{Kind: obs.SolverCall, Run: e.report.Runs, Depth: item.depth, PCLen: len(pc), Path: target, Site: item.site + 1})
 	}
 	sol, verdict, work := e.solveIsolated(pc, item.depth)
 	if e.obs != nil {
-		e.emit(e.verdictEvent(item.depth, verdict, work))
+		ev := e.verdictEvent(item.depth, verdict, work)
+		ev.Site = item.site + 1
+		e.emit(ev)
 	}
+	e.prof.RecordSolve(item.site, item.pos, verdict.String(), work, e.lastSolve.solveNS, e.lastSolve.cache)
 	if verdict != solver.Sat {
 		if verdict == solver.BudgetExhausted {
 			e.report.SolverComplete = false
@@ -219,8 +234,9 @@ func (e *engine) solveItem(item frontierItem) bool {
 		return false
 	}
 	e.metrics.Add(obs.CBranchFlips, 1)
+	e.prof.RecordFlip(item.site, item.pos)
 	if e.obs != nil {
-		e.emit(obs.Event{Kind: obs.BranchFlip, Run: e.report.Runs, Depth: item.depth, Path: target})
+		e.emit(obs.Event{Kind: obs.BranchFlip, Run: e.report.Runs, Depth: item.depth, Path: target, Site: item.site + 1})
 	}
 	for v, val := range sol {
 		e.im[e.regs.keyOf(v)] = val

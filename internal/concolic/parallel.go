@@ -307,6 +307,7 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 			deadline: deadline,
 			obs:      o.Observer,
 			metrics:  newMetrics(o),
+			prof:     newProfile(o, i+1),
 			worker:   i + 1,
 			shared:   shared,
 			cache:    cache,
@@ -362,7 +363,16 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 // children, repeat until the worklist drains or the search aborts.
 func workerLoop(e *engine, sc *sched, shared *sharedSearch, w int) {
 	for {
+		var t0 time.Time
+		if e.prof != nil {
+			t0 = time.Now()
+		}
 		item, ok, stole, idled := sc.next(w, e.rand)
+		if e.prof != nil {
+			// The parallelism tax: time this worker spent blocked on the
+			// scheduler (stealing and idling included).
+			e.prof.Span(obs.SpanFrontierWait, time.Since(t0))
+		}
 		if idled {
 			e.metrics.Add(obs.CWorkerIdle, 1)
 			if e.obs != nil {
@@ -432,6 +442,13 @@ func mergeReports(prog *ir.Prog, o Options, workers []*engine, shared *sharedSea
 				metrics = s
 			} else {
 				metrics.Merge(s)
+			}
+		}
+		if s := w.prof.Snapshot(); s != nil {
+			if merged.Profile == nil {
+				merged.Profile = s
+			} else {
+				merged.Profile.Merge(s)
 			}
 		}
 	}

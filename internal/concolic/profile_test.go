@@ -1,0 +1,193 @@
+package concolic
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dart/internal/obs"
+	"dart/internal/progs"
+)
+
+// stripTimings zeroes the honest wall-clock fields of a profile,
+// leaving only the deterministic counters the cross-worker contract
+// covers: per-site solver work, verdicts, cache traffic, and flips.
+// Phases are dropped entirely — their counts depend on scheduling
+// (frontier waits, per-worker exec splits), and their nanos are clock.
+func stripTimings(p *obs.ProfileSnapshot) []obs.SiteProfile {
+	sites := make([]obs.SiteProfile, len(p.Sites))
+	copy(sites, p.Sites)
+	for i := range sites {
+		sites[i].SolveNanos = 0
+	}
+	return sites
+}
+
+// TestProfileDeterministicAcrossWorkers: the per-site solver-work
+// attribution is a function of the search seed alone.  With the solve
+// cache disabled (cross-worker sharing changes who pays for a key),
+// workers = 1, 2, 8 must produce byte-identical site rows once timing
+// fields are zeroed — the profile analog of TestWorkersDeterminism,
+// and the property that makes a profile trustworthy for optimization
+// decisions.  Run under -race in CI.
+func TestProfileDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name, src, top string
+	}{
+		{"clusters", progs.Clusters, "clusters"},
+		{"solver-gate", progs.SolverGate, "gate"},
+		{"multi-bug", multiBug, "multi"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := compile(t, tc.src)
+			var base []obs.SiteProfile
+			for _, workers := range []int{1, 2, 8} {
+				rep, err := Run(prog, Options{
+					Toplevel:       tc.top,
+					MaxRuns:        2000,
+					Seed:           3,
+					Strategy:       BFS,
+					Workers:        workers,
+					SolveCacheCap:  -1,
+					CollectProfile: true,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if rep.Profile == nil {
+					t.Fatalf("workers=%d: no profile collected", workers)
+				}
+				if rep.Profile.Workers != workers {
+					t.Errorf("workers=%d: Profile.Workers = %d", workers, rep.Profile.Workers)
+				}
+				sites := stripTimings(rep.Profile)
+				if len(sites) == 0 {
+					t.Fatalf("workers=%d: no site attribution", workers)
+				}
+				var solves int64
+				for _, s := range sites {
+					solves += s.Solves
+					if s.Fn != tc.top {
+						t.Errorf("workers=%d: site %d attributed to %q, want %q", workers, s.Site, s.Fn, tc.top)
+					}
+				}
+				if solves == 0 {
+					t.Fatalf("workers=%d: zero solves attributed", workers)
+				}
+				if base == nil {
+					base = sites
+					continue
+				}
+				if !reflect.DeepEqual(sites, base) {
+					t.Errorf("workers=%d: site attribution diverged (stopped=%q runs=%d dropped=%d mispredicts=%d faults=%d)\n got: %s\nwant: %s",
+						workers, rep.Stopped, rep.Runs, rep.FrontierDropped,
+						rep.Mispredicts, len(rep.InternalErrors), fmtSites(sites), fmtSites(base))
+				}
+			}
+		})
+	}
+}
+
+func fmtSites(sites []obs.SiteProfile) string {
+	s := ""
+	for _, st := range sites {
+		s += fmt.Sprintf("\n  %+v", st)
+	}
+	return s
+}
+
+// TestProfileOffByDefault: without CollectProfile the report carries no
+// profile and the engine never reads the clock for spans — the PR 2
+// nil-observer discipline extended to the profiler.
+func TestProfileOffByDefault(t *testing.T) {
+	rep, err := Run(compile(t, progs.Clusters), Options{Toplevel: "clusters", MaxRuns: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profile != nil {
+		t.Fatalf("profile collected without CollectProfile: %+v", rep.Profile)
+	}
+	// An observer alone must not switch profiling on (events stay
+	// wall-clock free; profiles are opt-in).
+	var c obs.Collector
+	rep, err = Run(compile(t, progs.Clusters), Options{
+		Toplevel: "clusters", MaxRuns: 500, Seed: 3, Observer: &c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profile != nil {
+		t.Fatal("Observer implied CollectProfile")
+	}
+}
+
+// TestProfilePhases: a sequential profiled search accounts the core
+// phases — execution, solving, verification — with plausible counts,
+// and agrees with the report's own counters where they overlap.
+func TestProfilePhases(t *testing.T) {
+	rep, err := Run(compile(t, progs.Clusters), Options{
+		Toplevel: "clusters", MaxRuns: 500, Seed: 3, CollectProfile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Profile
+	if p == nil {
+		t.Fatal("no profile")
+	}
+	phases := make(map[string]obs.PhaseProfile, len(p.Phases))
+	for _, ph := range p.Phases {
+		phases[ph.Phase] = ph
+	}
+	if got := phases[obs.SpanExec].Count; got != int64(rep.Runs) {
+		t.Errorf("exec spans = %d, report ran %d executions", got, rep.Runs)
+	}
+	if phases[obs.SpanSolve].Count == 0 {
+		t.Error("no solve spans in a search that solved constraints")
+	}
+	// Every solver call is attributed to exactly one site; cache hits
+	// answer without entering the solver, so they are solves with no
+	// solve span.
+	var solves, hits int64
+	for _, s := range p.Sites {
+		solves += s.Solves
+		hits += s.CacheHits
+	}
+	if solves != phases[obs.SpanSolve].Count+hits {
+		t.Errorf("site solves sum %d != solve spans %d + cache hits %d",
+			solves, phases[obs.SpanSolve].Count, hits)
+	}
+	// A cache-enabled run records cache lookups.
+	if phases[obs.SpanCacheLookup].Count == 0 {
+		t.Error("no cache_lookup spans with the solve cache enabled")
+	}
+	// Sequential search never waits on the frontier scheduler.
+	if _, ok := phases[obs.SpanFrontierWait]; ok {
+		t.Error("sequential search recorded frontier_wait")
+	}
+}
+
+// TestProfileCacheAttribution: cache hits and misses land on the site
+// that issued the solve, and hits cost zero solver work.
+func TestProfileCacheAttribution(t *testing.T) {
+	rep, err := Run(compile(t, progs.SolverGate), Options{
+		Toplevel: "gate", MaxRuns: 2000, Seed: 7, CollectProfile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Profile
+	if p == nil {
+		t.Fatal("no profile")
+	}
+	var hits, misses int64
+	for _, s := range p.Sites {
+		hits += s.CacheHits
+		misses += s.CacheMisses
+	}
+	if hits != int64(rep.SolveCacheHits) || misses != int64(rep.SolveCacheMisses) {
+		t.Errorf("profile cache traffic %d/%d, report %d/%d",
+			hits, misses, rep.SolveCacheHits, rep.SolveCacheMisses)
+	}
+}

@@ -66,6 +66,13 @@ func (e *engine) interruptReason() StopReason {
 // machine-construction failures and internal panics into structured
 // InternalError diagnostics instead of crashing the process.
 func (e *engine) runIsolated() (m *machine.Machine, rerr *machine.RunError, fault *InternalError) {
+	if e.prof != nil {
+		// One fused span per run: the machine evaluates the concrete
+		// execution and its symbolic shadow in the same instruction
+		// loop, so splitting them would need per-instruction hooks.
+		t0 := time.Now()
+		defer func() { e.prof.Span(obs.SpanExec, time.Since(t0)) }()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			fault = &InternalError{
@@ -173,7 +180,14 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 	}()
 
 	hint := e.hint()
+	var t0 time.Time
+	if e.prof != nil {
+		t0 = time.Now()
+	}
 	slice, pruned := solver.CanonicalSlice(pc)
+	if e.prof != nil {
+		e.prof.Span(obs.SpanSlice, time.Since(t0))
+	}
 	if pruned > 0 {
 		e.report.SlicedPreds += int64(pruned)
 		e.metrics.Add(obs.CSlicedPreds, int64(pruned))
@@ -193,13 +207,20 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 		e.lastSolve.cache = "miss"
 	}
 	if useCache {
+		if e.prof != nil {
+			t0 = time.Now()
+		}
 		key = solver.CacheKey(slice, hint)
-		if hit, ok := e.cache.Get(key); ok {
+		hit, ok := e.cache.Get(key)
+		if e.prof != nil {
+			e.prof.Span(obs.SpanCacheLookup, time.Since(t0))
+		}
+		if ok {
 			e.report.SolveCacheHits++
 			e.metrics.Add(obs.CSolveCacheHits, 1)
 			e.lastSolve.cache = "hit"
 			sol, verdict = hit.Model, hit.Verdict
-			if verdict == solver.Sat && pruned > 0 && !solver.VerifyAssignment(pc, e.meta, sol, hint) {
+			if verdict == solver.Sat && pruned > 0 && !e.verifyTimed(pc, sol, hint) {
 				sol, verdict = nil, solver.Unsat
 				e.report.SolverComplete = false
 			}
@@ -216,12 +237,17 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 	}
 
 	var start time.Time
-	if e.metrics != nil {
+	if e.metrics != nil || e.prof != nil {
 		start = time.Now()
 	}
 	var stats solver.Stats
 	sol, verdict, stats = solver.SolveWorkStats(slice, e.meta, hint, e.opts.SolverBudget)
 	work = stats.Work
+	if e.prof != nil {
+		d := time.Since(start)
+		e.prof.Span(obs.SpanSolve, d)
+		e.lastSolve.solveNS = int64(d)
+	}
 	if useCache {
 		// Memoize the slice-level result (pre-verification: the pruned
 		// predicates of *this* pc play no part in the entry, so the entry
@@ -232,7 +258,7 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 			e.lastSolve.evicted = true
 		}
 	}
-	if verdict == solver.Sat && pruned > 0 && !solver.VerifyAssignment(pc, e.meta, sol, hint) {
+	if verdict == solver.Sat && pruned > 0 && !e.verifyTimed(pc, sol, hint) {
 		// The slice's model fails the full conjunction under
 		// overflow-checked evaluation: the parent run's concrete values
 		// reached here through a wrap the solver's exact arithmetic
@@ -250,6 +276,18 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 	return sol, verdict, work
 }
 
+// verifyTimed is VerifyAssignment under the profiler's verify span (a
+// plain passthrough when profiling is off).
+func (e *engine) verifyTimed(pc []symbolic.Pred, sol, hint map[symbolic.Var]int64) bool {
+	if e.prof == nil {
+		return solver.VerifyAssignment(pc, e.meta, sol, hint)
+	}
+	t0 := time.Now()
+	ok := solver.VerifyAssignment(pc, e.meta, sol, hint)
+	e.prof.Span(obs.SpanVerify, time.Since(t0))
+	return ok
+}
+
 // solveInfo is the fast-path telemetry of the engine's most recent
 // solveIsolated call, attached by the call sites to the SolverVerdict
 // trace event so a live event-stream consumer (obs.LiveMetrics) can
@@ -262,6 +300,10 @@ type solveInfo struct {
 	cache string
 	// evicted reports that memoizing this solve evicted the LRU entry.
 	evicted bool
+	// solveNS is the wall time of the solver call proper (zero for
+	// cache hits and when profiling is off) — profiler-only telemetry,
+	// never emitted as an event.
+	solveNS int64
 }
 
 // verdictEvent builds the SolverVerdict event for the engine's most

@@ -129,6 +129,12 @@ type Event struct {
 	// Depth is the branch index the event refers to (flip index,
 	// misprediction point).
 	Depth int `json:"depth,omitempty"`
+	// Site is the 1-based branch-site index a SolverCall, SolverVerdict,
+	// or BranchFlip targets (the machine's site number plus one, so the
+	// zero value means "not site-attributed" — decision records and
+	// non-branch events).  Deterministic: it names a static program
+	// point, letting cost profiles be rebuilt from the event stream.
+	Site int `json:"site,omitempty"`
 	// PCLen is the path-constraint length of a solver call.
 	PCLen int `json:"pc_len,omitempty"`
 	// Path is a branch-outcome bit string ("1" taken, "0" not taken):

@@ -45,6 +45,9 @@ type treeNode struct {
 	runs int
 	// outcome is the terminal outcome of runs ending exactly here.
 	outcome string
+	// work is the solver work spent trying to force this node (summed
+	// over SolverVerdicts targeting it) — the cost axis of Flame.
+	work int64
 }
 
 // Tree is a Sink that reconstructs the explored execution tree.  It is
@@ -104,6 +107,7 @@ func (t *Tree) Event(ev Event) {
 		}
 		if n := t.node(path); n != nil {
 			t.upgrade(n, status)
+			n.work += ev.Work
 		}
 	}
 }
@@ -212,6 +216,78 @@ func (t *Tree) JSON() ([]byte, error) {
 		return nodes[i].Path < nodes[j].Path
 	})
 	return json.MarshalIndent(jsonTree{Nodes: t.nodes, Truncated: t.truncated, Tree: nodes}, "", "  ")
+}
+
+// flameMaxLines caps the Flame rendering so a pathological tree can't
+// flood an HTTP response; deeper frames past the cap are elided.
+const flameMaxLines = 200
+
+// cumWork is own-plus-descendant solver work — the flamegraph width.
+func cumWork(n *treeNode) int64 {
+	w := n.work
+	for bit := 0; bit < 2; bit++ {
+		if c := n.children[bit]; c != nil {
+			w += cumWork(c)
+		}
+	}
+	return w
+}
+
+// Flame renders the tree as a cost-weighted text flamegraph: one line
+// per branch prefix whose subtree consumed solver work, indented by
+// depth, with a bar proportional to the subtree's share of total work.
+// Zero-work subtrees are pruned — the point is to show where the
+// solver budget went, and for DART that is typically a handful of hot
+// prefixes among thousands of free flips.
+func (t *Tree) Flame() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	total := cumWork(t.root)
+	fmt.Fprintf(&b, "solver work flamegraph: %d work total, %d nodes", total, t.nodes)
+	if t.truncated {
+		b.WriteString(" (truncated)")
+	}
+	b.WriteString("\n")
+	if total == 0 {
+		b.WriteString("(no solver work recorded)\n")
+		return []byte(b.String())
+	}
+	const barWidth = 40
+	lines := 0
+	var rec func(n *treeNode, path string)
+	rec = func(n *treeNode, path string) {
+		cum := cumWork(n)
+		if cum == 0 {
+			return
+		}
+		if lines >= flameMaxLines {
+			return
+		}
+		lines++
+		share := float64(cum) / float64(total)
+		bar := int(share*barWidth + 0.5)
+		if bar == 0 {
+			bar = 1
+		}
+		label := path
+		if label == "" {
+			label = "(root)"
+		}
+		fmt.Fprintf(&b, "%s%-*s %8d %5.1f%% %s\n",
+			strings.Repeat(" ", len(path)), 24-len(path), label,
+			cum, 100*share, strings.Repeat("#", bar))
+		for bit := 0; bit < 2; bit++ {
+			if c := n.children[bit]; c != nil {
+				rec(c, path+string('0'+byte(bit)))
+			}
+		}
+	}
+	rec(t.root, "")
+	if lines >= flameMaxLines {
+		fmt.Fprintf(&b, "... (capped at %d lines)\n", flameMaxLines)
+	}
+	return []byte(b.String())
 }
 
 // dotColor maps a node status to a Graphviz fill color.

@@ -28,6 +28,9 @@ type ring struct {
 	slots []ringSlot
 	mask  uint64
 	head  atomic.Uint64 // next ticket to publish
+	// dropped aggregates every subscriber's overwrite losses — the
+	// ring-wide drop counter behind dart_events_dropped_total.
+	dropped atomic.Uint64
 }
 
 // defaultRingSize retains the last 4096 events for late subscribers.
@@ -61,6 +64,10 @@ func (r *ring) publish(ev obs.Event) {
 // published returns the total number of events ever published.
 func (r *ring) published() uint64 { return r.head.Load() }
 
+// droppedTotal returns the events lost to overwrites summed across all
+// subscribers (0 with no subscribers: an unread ring drops nothing).
+func (r *ring) droppedTotal() uint64 { return r.dropped.Load() }
+
 // subscriber is one consumer's cursor into the ring.
 type subscriber struct {
 	r       *ring
@@ -93,6 +100,7 @@ func (s *subscriber) next() (ev obs.Event, ok bool) {
 			// Producers lapped us: everything up to head-size is gone.
 			skip := lag - uint64(len(s.r.slots))
 			s.dropped += skip
+			s.r.dropped.Add(skip)
 			s.cursor += skip
 		}
 		slot := &s.r.slots[s.cursor&s.r.mask]
@@ -104,6 +112,7 @@ func (s *subscriber) next() (ev obs.Event, ok bool) {
 				// Overwritten between the check and the load; the event
 				// for this ticket is unrecoverable.
 				s.dropped++
+				s.r.dropped.Add(1)
 				s.cursor++
 				continue
 			}
@@ -112,6 +121,7 @@ func (s *subscriber) next() (ev obs.Event, ok bool) {
 		case seq > s.cursor+1:
 			// The slot was already lapped; this ticket's event is gone.
 			s.dropped++
+			s.r.dropped.Add(1)
 			s.cursor++
 		default:
 			// The publish for this ticket is still in flight.

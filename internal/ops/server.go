@@ -21,6 +21,11 @@
 //	                readers drop events, never block the engine)
 //	/coverage       annotated source branch-coverage report
 //	                (?format=html for the HTML page)
+//	/profile        JSON search-cost profile: per-phase wall breakdown
+//	                and per-branch-site solver time/work from reported
+//	                snapshots, plus live event-derived site attribution
+//	                (?format=flame for a solver-work-weighted text
+//	                flamegraph of the execution tree)
 //	/debug/pprof/   net/http/pprof; audit workers are tagged with a
 //	                dart_fn profile label per function under test
 //
@@ -81,6 +86,11 @@ const (
 	defaultMaxHeaderBytes    = 64 << 10
 )
 
+// liveTreeMaxNodes bounds the /profile flamegraph's execution-tree
+// model — far below obs.DefaultMaxTreeNodes because it lives for the
+// whole server lifetime and backs a capped rendering anyway.
+const liveTreeMaxNodes = 1 << 16
+
 // maxTrackedFns bounds the per-function status table.  A long-running
 // job service sees an unbounded stream of submitted programs; /status
 // keeps the first maxTrackedFns distinct function names and drops the
@@ -106,12 +116,21 @@ type Server struct {
 	start time.Time
 	ring  *ring
 	live  *obs.LiveMetrics
+	// liveProf and tree fold the event stream into per-site solver
+	// attribution and a work-weighted execution tree for /profile (the
+	// tree is capped well below the offline default: it backs a live
+	// flamegraph, not an exhaustive dump).
+	liveProf *obs.LiveProfile
+	tree     *obs.Tree
 
 	mu    sync.Mutex
 	fns   map[string]*fnState
 	order []string
 	cov   *coverage.Set
 	done  bool
+	// prof merges the engine-side profile snapshots handed to
+	// ReportProfile — the timing-bearing half of /profile.
+	prof *obs.ProfileSnapshot
 
 	// ready is the readiness hook (nil = always ready); extra provides
 	// additional /metrics gauges; attached are extra endpoint handlers
@@ -130,12 +149,14 @@ type Server struct {
 // listening variant.
 func NewServer(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg,
-		start: time.Now(),
-		ring:  newRing(cfg.RingSize),
-		live:  obs.NewLiveMetrics(),
-		fns:   map[string]*fnState{},
-		cov:   coverage.New(cfg.NumSites),
+		cfg:      cfg,
+		start:    time.Now(),
+		ring:     newRing(cfg.RingSize),
+		live:     obs.NewLiveMetrics(),
+		liveProf: obs.NewLiveProfile(),
+		tree:     obs.NewTree(liveTreeMaxNodes),
+		fns:      map[string]*fnState{},
+		cov:      coverage.New(cfg.NumSites),
 	}
 	for _, fn := range cfg.Functions {
 		s.fns[fn] = &fnState{status: "pending"}
@@ -238,6 +259,8 @@ func (s *Server) Sink() obs.Sink {
 	return obs.SinkFunc(func(ev obs.Event) {
 		s.ring.publish(ev)
 		s.live.Event(ev)
+		s.liveProf.Event(ev)
+		s.tree.Event(ev)
 		s.track(ev)
 	})
 }
@@ -306,6 +329,21 @@ func (s *Server) ReportCoverage(set *coverage.Set) {
 	s.mu.Unlock()
 }
 
+// ReportProfile merges a finished search's cost profile into the
+// timing-bearing half of /profile.  Safe from any audit worker; nil
+// snapshots (profiling off) are ignored.
+func (s *Server) ReportProfile(snap *obs.ProfileSnapshot) {
+	if snap == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.prof == nil {
+		s.prof = &obs.ProfileSnapshot{}
+	}
+	s.prof.Merge(snap)
+	s.mu.Unlock()
+}
+
 // Done marks the batch finished on /status.
 func (s *Server) Done() {
 	s.mu.Lock()
@@ -322,6 +360,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/coverage", s.handleCoverage)
+	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -357,6 +396,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.live.Snapshot()
+	if snap.Counters == nil {
+		snap.Counters = map[string]int64{}
+	}
+	// The ring's aggregate overwrite losses, always exposed (zero
+	// included) so dart_events_dropped_total exists before the first
+	// drop and alerting rules can rely on it.
+	snap.Counters["events_dropped"] = int64(s.ring.droppedTotal())
 	s.mu.Lock()
 	doneCount := 0
 	for _, st := range s.fns {
@@ -478,6 +524,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				enc.Encode(map[string]any{"ev": "ops-eof", "dropped": sub.Dropped()})
 				return
 			}
+			// Caught up: announce any drops now, before going quiet —
+			// otherwise losses at the tail of a burst stay invisible
+			// until the next delivered event (which may never come).
+			emitDrops()
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -493,6 +543,44 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// profileResp is the /profile JSON document: the merged engine-side
+// snapshots (wall timings included) plus the live event-derived site
+// attribution (work counters only — events carry no timing).
+type profileResp struct {
+	Phases []obs.PhaseProfile `json:"phases"`
+	Sites  []obs.SiteProfile  `json:"sites"`
+	Live   struct {
+		Sites []obs.SiteProfile `json:"sites"`
+	} `json:"live"`
+}
+
+// handleProfile serves the search-cost profile.  Default: JSON.
+// ?format=flame renders the solver-work-weighted execution tree as a
+// text flamegraph instead.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "flame" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(s.tree.Flame())
+		return
+	}
+	resp := profileResp{Phases: []obs.PhaseProfile{}, Sites: []obs.SiteProfile{}}
+	s.mu.Lock()
+	if s.prof != nil {
+		resp.Phases = append(resp.Phases, s.prof.Phases...)
+		resp.Sites = append(resp.Sites, s.prof.Sites...)
+	}
+	s.mu.Unlock()
+	live := s.liveProf.Snapshot()
+	resp.Live.Sites = live.Sites
+	if resp.Live.Sites == nil {
+		resp.Live.Sites = []obs.SiteProfile{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
 }
 
 func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,131 @@
+package ops_test
+
+// GET /profile tests: the JSON cost document (engine-side snapshot
+// merged via ReportProfile plus the live event-derived attribution) and
+// the ?format=flame rendering, against a real profiled search.  Also
+// strengthens the Prometheus histogram checks with the _sum series.
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dart"
+)
+
+func TestServerProfileEndpoint(t *testing.T) {
+	prog, err := dart.Compile(auditSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dart.ServeOps(dart.OpsConfig{
+		Addr:      "127.0.0.1:0",
+		Mode:      "directed",
+		Source:    auditSrc,
+		Sites:     dart.BranchSites(prog),
+		NumSites:  prog.IR.NumSites,
+		Functions: []string{"h"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Before any search: the endpoint answers with empty arrays, never
+	// null, and the flame view says so in words.
+	_, body := get(t, base+"/profile")
+	if !strings.Contains(body, `"phases": []`) && !strings.Contains(body, `"phases":[]`) {
+		t.Errorf("idle /profile phases not an empty array:\n%s", body)
+	}
+	_, flame := get(t, base+"/profile?format=flame")
+	if !strings.Contains(flame, "no solver work recorded") {
+		t.Errorf("idle flame view:\n%s", flame)
+	}
+
+	rep, err := dart.Run(prog, dart.Options{
+		Toplevel:       "h",
+		MaxRuns:        500,
+		Seed:           3,
+		Observer:       srv.Sink(),
+		CollectProfile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profile == nil {
+		t.Fatal("search collected no profile")
+	}
+	srv.ReportProfile(rep.Profile)
+	srv.Done()
+
+	var doc struct {
+		Phases []dart.PhaseProfile `json:"phases"`
+		Sites  []dart.SiteProfile  `json:"sites"`
+		Live   struct {
+			Sites []dart.SiteProfile `json:"sites"`
+		} `json:"live"`
+	}
+	_, body = get(t, base+"/profile")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/profile not JSON: %v\n%s", err, body)
+	}
+	phases := map[string]dart.PhaseProfile{}
+	for _, ph := range doc.Phases {
+		phases[ph.Phase] = ph
+	}
+	if phases["exec"].Count == 0 || phases["solve"].Count == 0 {
+		t.Errorf("/profile phases missing exec/solve: %+v", doc.Phases)
+	}
+	if len(doc.Sites) == 0 {
+		t.Fatalf("/profile has no site attribution:\n%s", body)
+	}
+
+	// The live (event-derived) attribution carries the same exact work
+	// counters as the engine-side profile — timing excluded by design.
+	liveBySite := map[int]dart.SiteProfile{}
+	for _, s := range doc.Live.Sites {
+		if s.Fn == "h" {
+			liveBySite[s.Site] = s
+		}
+	}
+	for _, s := range doc.Sites {
+		l, ok := liveBySite[s.Site]
+		if !ok {
+			t.Errorf("engine site %d absent from live attribution", s.Site)
+			continue
+		}
+		if l.Solves != s.Solves || l.Work != s.Work || l.Flips != s.Flips {
+			t.Errorf("site %d: live (solves=%d work=%d flips=%d) != engine (%d %d %d)",
+				s.Site, l.Solves, l.Work, l.Flips, s.Solves, s.Work, s.Flips)
+		}
+		if l.SolveNanos != 0 {
+			t.Errorf("live site %d has wall-clock %d; events must stay timing-free", s.Site, l.SolveNanos)
+		}
+		if s.Pos == "" {
+			t.Errorf("engine site %d has no source position", s.Site)
+		}
+	}
+
+	// The flame view now shows cost-weighted branch prefixes.
+	_, flame = get(t, base+"/profile?format=flame")
+	if !strings.Contains(flame, "solver work flamegraph:") || !strings.Contains(flame, "(root)") {
+		t.Errorf("flame view after search:\n%s", flame)
+	}
+	if !strings.Contains(flame, "#") {
+		t.Errorf("flame view has no bars:\n%s", flame)
+	}
+
+	// Prometheus histograms on /metrics include the _sum series (the
+	// _bucket/_count invariants are covered by TestServerLiveAudit).
+	_, page := get(t, base+"/metrics")
+	sumRe := regexp.MustCompile(`(?m)^dart_steps_per_run_sum (\d+)$`)
+	m := sumRe.FindStringSubmatch(page)
+	if m == nil {
+		t.Fatalf("/metrics missing dart_steps_per_run_sum:\n%s", page)
+	}
+	if m[1] == "0" {
+		t.Error("dart_steps_per_run_sum is zero after a search")
+	}
+}

@@ -9,7 +9,15 @@
 //	                      Retry-After while draining.
 //	GET  /jobs            list live job records (admission order)
 //	GET  /jobs/{id}       one job's envelope: state, timing, stop reason,
-//	                      cached marker, and — when done — the report
+//	                      cached marker, and — when done — the report and
+//	                      the job's cost profile.  ?wait=SECONDS long-polls
+//	                      until completion (or the timeout, returning the
+//	                      current envelope either way); with
+//	                      Accept: text/event-stream the handler streams
+//	                      SSE instead: an immediate "state" event, then a
+//	                      "done" event carrying the completed envelope.
+//	                      Blocking waiters are bounded by Config.MaxWaiters;
+//	                      past the cap a wait request gets 429 + Retry-After.
 //
 // Backpressure is honest and layered: /readyz flips to 503 while the
 // queue is saturated (the load balancer stops routing), a submission
@@ -28,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"dart/internal/obs"
 	"dart/internal/ops"
 )
 
@@ -43,6 +52,7 @@ func (s *Service) RegisterOn(srv *ops.Server) {
 	srv.Attach("/jobs/", http.HandlerFunc(s.handleJob))
 	srv.SetReady(s.Ready)
 	srv.SetGauges(s.Gauges)
+	s.profileSink = srv.ReportProfile
 }
 
 // handleJobs serves POST /jobs (submit) and GET /jobs (list).
@@ -167,6 +177,11 @@ type jobEnvelope struct {
 	Retries        int             `json:"retries,omitempty"`
 	ElapsedSeconds float64         `json:"elapsed_seconds"`
 	Report         json.RawMessage `json:"report,omitempty"`
+	// Profile is the job's search-cost profile (phase wall breakdown,
+	// per-site solver attribution, queue wait).  Envelope-only: it
+	// carries wall-clock, so it can never live inside the cacheable
+	// report, and cache-served jobs have none.
+	Profile *obs.ProfileSnapshot `json:"profile,omitempty"`
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -181,7 +196,97 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown job %q (completed jobs are retained up to the history cap)", id), http.StatusNotFound)
 		return
 	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamJob(w, r, j)
+		return
+	}
+	if v := r.URL.Query().Get("wait"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil || secs < 0 {
+			http.Error(w, fmt.Sprintf("bad wait: want non-negative seconds, got %q", v), http.StatusBadRequest)
+			return
+		}
+		if !s.waitJob(w, r, j, secs) {
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, j.envelope())
+}
+
+// waitJob blocks until the job completes, the wait window expires, or
+// the client goes away — the long-poll half of job-completion
+// streaming.  It reports whether a response should still be written
+// (false only when a 429 was already sent or the client disconnected).
+func (s *Service) waitJob(w http.ResponseWriter, r *http.Request, j *Job, secs float64) bool {
+	select {
+	case <-j.Done():
+		return true // already complete: no waiter slot needed
+	default:
+	}
+	if !s.acquireWaiter() {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		http.Error(w, "too many completion waiters; poll without wait or retry later", http.StatusTooManyRequests)
+		return false
+	}
+	defer s.releaseWaiter()
+	timer := time.NewTimer(time.Duration(secs * float64(time.Second)))
+	defer timer.Stop()
+	select {
+	case <-j.Done():
+	case <-timer.C:
+		// Timeout is not an error: the current (still-running) envelope
+		// is the honest long-poll answer.
+	case <-r.Context().Done():
+		return false
+	}
+	return true
+}
+
+// streamJob serves GET /jobs/{id} as a Server-Sent-Events stream: an
+// immediate "state" event with the current envelope, then a terminal
+// "done" event with the completed one.  Like long-polls, open streams
+// occupy a bounded waiter slot.
+func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	done := false
+	select {
+	case <-j.Done():
+		done = true
+	default:
+		if !s.acquireWaiter() {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			http.Error(w, "too many completion waiters; poll without wait or retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer s.releaseWaiter()
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, "state", j.envelope())
+	flusher.Flush()
+	if !done {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeSSE(w, "done", j.envelope())
+	flusher.Flush()
+}
+
+// writeSSE emits one SSE event with a JSON data payload.
+func writeSSE(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 }
 
 // envelope snapshots the job under its lock.
@@ -196,6 +301,7 @@ func (j *Job) envelope() jobEnvelope {
 		Error:      j.errMsg,
 		Retries:    j.retries,
 		Report:     json.RawMessage(j.report),
+		Profile:    j.profile,
 	}
 	switch j.state {
 	case StateDone:

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dart/internal/audit"
@@ -55,6 +56,7 @@ const (
 	DefaultMaxBody      = 1 << 20
 	DefaultHistoryCap   = 512
 	DefaultAuditRuns    = 1000
+	DefaultMaxWaiters   = 256
 	defaultMaxRetries   = 2
 	defaultRetryBackoff = 25 * time.Millisecond
 )
@@ -106,6 +108,12 @@ type Config struct {
 	// per-search event of every job, each tagged with its job id.
 	// Usually the ops server's Sink().  May be nil.
 	Sink obs.Sink
+	// MaxWaiters bounds the total number of blocking GET /jobs/{id}
+	// completion waiters — long-polls and SSE streams — held open at
+	// once (default 256; negative disables waiting entirely).  Beyond
+	// the cap, wait requests degrade to 429 so slow readers cannot pin
+	// unbounded handler goroutines.
+	MaxWaiters int
 }
 
 func (c *Config) withDefaults() Config {
@@ -139,6 +147,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.RetryBackoff <= 0 {
 		out.RetryBackoff = defaultRetryBackoff
+	}
+	if out.MaxWaiters == 0 {
+		out.MaxWaiters = DefaultMaxWaiters
 	}
 	return out
 }
@@ -216,6 +227,11 @@ type Job struct {
 	state      JobState
 	cached     bool
 	report     []byte // deterministic report JSON, set at completion
+	// profile is the job's merged search-cost profile plus its queue
+	// wait, set at completion.  It lives on the job envelope only —
+	// never inside the cacheable report, which must stay wall-clock
+	// free (see report.go) — so cache-served jobs have none.
+	profile *obs.ProfileSnapshot
 	errMsg     string
 	stopReason string // "", "deadline", "drain", "internal-fault"
 	retries    int
@@ -282,9 +298,19 @@ type Service struct {
 	drainKill chan struct{}
 	wg        sync.WaitGroup
 
+	// waiters counts blocking GET /jobs/{id} completion waiters
+	// (long-polls plus SSE streams) held open across all jobs, bounded
+	// by cfg.MaxWaiters.
+	waiters atomic.Int64
+
 	// beforeRun, when non-nil, runs inside each attempt's recover
 	// barrier just before the audit; tests use it to poison a job.
 	beforeRun func(*Job)
+
+	// profileSink, when non-nil, receives each completed job's cost
+	// profile; RegisterOn points it at the ops server so GET /profile
+	// aggregates across every submission, not just the last envelope.
+	profileSink func(*obs.ProfileSnapshot)
 }
 
 // New starts a service: the executor pool is live on return.
@@ -627,6 +653,10 @@ func (s *Service) attempt(j *Job) (res *audit.Result, err error) {
 		Workers:   1,
 		Cancel:    j.cancel,
 		Observer:  obs.WithJob(j.ID, s.sink),
+		// Every job gets a cost profile: it rides the job envelope
+		// (wall-clock is fine there), and audits are long enough that
+		// the profiler's per-run clock reads are noise.
+		CollectProfile: true,
 	})
 	return res, nil
 }
@@ -654,12 +684,27 @@ func (s *Service) finalize(j *Job, res *audit.Result, faultMsg string) {
 		s.store.put(j.key, bytes)
 	}
 
+	// The job's cost profile: the audit's merged per-search profile
+	// plus a synthesized job_queue_wait phase (admission → executor
+	// pickup) — envelope-only data, never part of the cacheable report.
+	profile := &obs.ProfileSnapshot{}
+	if res != nil && res.Profile != nil {
+		profile.Merge(res.Profile)
+	}
+	j.mu.Lock()
+	queueWait := j.started.Sub(j.created)
+	j.mu.Unlock()
+	profile.Merge(&obs.ProfileSnapshot{Phases: []obs.PhaseProfile{
+		{Phase: obs.SpanJobQueueWait, Count: 1, Nanos: queueWait.Nanoseconds()},
+	}})
+
 	s.mu.Lock()
 	s.running--
 	j.mu.Lock()
 	j.state = StateDone
 	j.report = bytes
 	j.errMsg = faultMsg
+	j.profile = profile
 	j.finished = time.Now()
 	j.prog, j.sem = nil, nil // release: memory stays bounded
 	j.mu.Unlock()
@@ -667,12 +712,42 @@ func (s *Service) finalize(j *Job, res *audit.Result, faultMsg string) {
 	s.mu.Unlock()
 	close(j.done)
 
+	if s.profileSink != nil {
+		s.profileSink(profile)
+	}
+
 	ev := obs.Event{Kind: obs.JobEnd, Job: j.ID, Status: status, Runs: rep.TotalRuns}
 	ev.Bugs = 0
 	for i := range rep.Entries {
 		ev.Bugs += len(rep.Entries[i].Bugs)
 	}
 	s.emit(ev)
+}
+
+// acquireWaiter reserves one slot of the bounded completion-waiter
+// pool (long-poll and SSE handlers).  It returns false — the caller
+// must degrade to an immediate response — when the pool is exhausted
+// or waiting is disabled.
+func (s *Service) acquireWaiter() bool {
+	if s.cfg.MaxWaiters < 0 {
+		return false
+	}
+	if s.waiters.Add(1) > int64(s.cfg.MaxWaiters) {
+		s.waiters.Add(-1)
+		return false
+	}
+	return true
+}
+
+// releaseWaiter returns a slot taken by acquireWaiter.
+func (s *Service) releaseWaiter() { s.waiters.Add(-1) }
+
+// Profile returns the job's completed cost profile (nil while running
+// and for cache-served jobs).
+func (j *Job) Profile() *obs.ProfileSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.profile
 }
 
 // cacheable reports whether rep may be served to future identical

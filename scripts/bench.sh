@@ -20,8 +20,11 @@ cd "$(dirname "$0")/.."
 COUNT="${1:-5}"
 OUT="${BENCH_OUT:-/tmp/dart_bench.txt}"
 
+# BenchmarkProfileOverhead is the profiler A/B (BENCH_pr7.json): the
+# "off" side must stay within 2% of the pre-profiler baseline (nil
+# no-op methods, no clock reads), and "on" prices span timing honestly.
 go test -run '^$' \
-    -bench 'BenchmarkE2Completeness$|BenchmarkMachineThroughput$|BenchmarkSolverHeavyGate' \
+    -bench 'BenchmarkE2Completeness$|BenchmarkMachineThroughput$|BenchmarkSolverHeavyGate|BenchmarkProfileOverhead' \
     -benchmem -count="$COUNT" . | tee "$OUT"
 
 # Parallel scaling curve (BENCH_pr5.json): the same logical search —
@@ -47,3 +50,4 @@ echo
 echo "wrote $OUT — compare mins against BENCH_pr3.json (gate: <2% on ns/op, allocs/op identical)"
 echo "scaling curve: compare against BENCH_pr5.json (gate: runs/op constant across workers)"
 echo "job service: compare jobs/s against BENCH_pr6.json (gate: cached >> fresh)"
+echo "profiler: compare ProfileOverhead/off against BENCH_pr7.json (gate: <2% vs pre-profiler baseline)"

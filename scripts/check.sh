@@ -33,6 +33,20 @@ go test -count=1 -race -run 'TestAuditParallelWorkersFindSameBugs' ./internal/au
 # and the drain checkpoint under the race detector.
 go test -count=1 -run 'TestCLIServeGate|TestCLIServeJobService|TestCLIServeBindError' .
 go test -count=1 -race -run 'TestPoisonedJobIsolation|TestCachedByteIdentical|TestDrainCheckpointsBacklog|TestHTTPQueueFull429|TestConcurrentSubmissions' ./internal/serve/
+# Profiler gate (search cost accounting): per-site solver attribution
+# must be byte-identical at -workers 1/2/8 under the race detector (the
+# counter plane is deterministic; only nanos are wall clock), profiling
+# must stay off unless asked for, /profile + flame + per-job envelope
+# profiles must serve real data, ring drops must be visible as seq gaps
+# plus dart_events_dropped_total, and long-poll/SSE job completion must
+# block, stream, and shed load honestly.
+go test -count=1 -race -run 'TestProfileDeterministicAcrossWorkers|TestProfileOffByDefault|TestProfilePhases|TestProfileCacheAttribution' ./internal/concolic/
+go test -count=1 -run 'TestProfile|TestLiveProfile|TestTreeFlame' ./internal/obs/
+go test -count=1 -race -run 'TestRingSeqGapsMatchDrops|TestEventsFollowTrailingDrops|TestServerProfileEndpoint' ./internal/ops/
+go test -count=1 -race -run 'TestJobWait|TestJobSSEStream|TestCachedJobHasNoProfile|TestJobProfileFeedsServerProfile' ./internal/serve/
+# CLI end to end: -profile must print both cost tables and -json must
+# carry the structured profile object.
+go test -count=1 -run 'TestCLIProfile' .
 tmp="$(mktemp -d)"
 cat > "$tmp/gate.mc" <<'EOF'
 int f(int x) { return 2 * x; }
