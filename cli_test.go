@@ -507,6 +507,18 @@ func TestCLIServeEndpoints(t *testing.T) {
 	if !strings.Contains(get("/coverage"), "branch coverage") {
 		t.Error("/coverage missing the summary header")
 	}
+	var exp struct {
+		Directions int `json:"directions"`
+	}
+	if err := json.Unmarshal([]byte(get("/explain")), &exp); err != nil || exp.Directions == 0 {
+		t.Errorf("/explain mid-audit: %v, %+v", err, exp)
+	}
+	if !strings.Contains(get("/explain?format=annot"), "coverage explanation:") {
+		t.Error("/explain?format=annot missing the reason table")
+	}
+	if !strings.Contains(metrics, "# TYPE dart_build_info gauge") {
+		t.Errorf("/metrics missing dart_build_info:\n%.400s", metrics)
+	}
 	events := get("/events")
 	if !strings.Contains(events, `"ev":`) || !strings.Contains(events, "ops-eof") {
 		t.Errorf("/events dump malformed:\n%.400s", events)
@@ -990,5 +1002,60 @@ func TestCLIProfile(t *testing.T) {
 	}
 	if _, ok := probe["profile"]; ok {
 		t.Errorf("JSON report carries a profile without -profile:\n%s", plain)
+	}
+}
+
+func TestCLIExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI binary")
+	}
+	out, _ := runCLI(t, "-top", "h", "-seed", "1", "-explain")
+	if !strings.Contains(out, "coverage explanation:") {
+		t.Errorf("-explain printed no explanation:\n%s", out)
+	}
+
+	jout, _ := runCLI(t, "-top", "h", "-seed", "1", "-explain", "-json")
+	var rep struct {
+		Explain *struct {
+			Directions int            `json:"directions"`
+			Covered    int            `json:"covered"`
+			Buckets    map[string]int `json:"buckets"`
+			Sites      []struct {
+				Site int    `json:"site"`
+				Fn   string `json:"fn"`
+				Pos  string `json:"pos"`
+			} `json:"sites"`
+		} `json:"explain"`
+	}
+	if err := json.Unmarshal([]byte(jout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, jout)
+	}
+	if rep.Explain == nil || rep.Explain.Directions == 0 || len(rep.Explain.Sites) == 0 {
+		t.Fatalf("-explain -json report lacks explain data:\n%s", jout)
+	}
+	sum := rep.Explain.Covered
+	for _, n := range rep.Explain.Buckets {
+		sum += n
+	}
+	if sum != rep.Explain.Directions {
+		t.Errorf("accounting leak: covered %d + buckets %v != %d directions",
+			rep.Explain.Covered, rep.Explain.Buckets, rep.Explain.Directions)
+	}
+	for _, s := range rep.Explain.Sites {
+		if s.Fn == "" || s.Pos == "" {
+			t.Errorf("explain site lacks fn/pos: %+v", s)
+		}
+	}
+
+	// Off by default: no explain key in the plain JSON report.
+	plain, _ := runCLI(t, "-top", "h", "-seed", "1", "-json")
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(plain), &probe); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, plain)
+	}
+	for _, key := range []string{"explain", "explain_timeline"} {
+		if _, ok := probe[key]; ok {
+			t.Errorf("JSON report carries %q without -explain:\n%s", key, plain)
+		}
 	}
 }

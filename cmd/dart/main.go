@@ -24,6 +24,13 @@
 //	               -jobs × -workers respects one total CPU budget
 //	-trace file    write an NDJSON trace of search events to file
 //	-metrics       print the search metrics registry after the run
+//	-explain       explain coverage: account every branch direction as
+//	               covered or exactly one "why not" reason (solver-unsat,
+//	               never-reached, fallbacks, ...) and print the table
+//	               after the run; with -json the resolved explanation and
+//	               the search timeline ride the report
+//	-stall-window n  coverage-stall detector window in runs (0 = default
+//	               256, negative disables); needs -explain
 //	-progress      live progress line on stderr while -audit runs
 //	-serve addr    serve live ops endpoints (/metrics /status /events
 //	               /coverage /healthz /readyz /debug/pprof) on addr during
@@ -84,6 +91,8 @@ func run() int {
 		workersF = flag.Int("workers", 1, "parallel flip-workers per directed search")
 		traceF   = flag.String("trace", "", "write an NDJSON trace of search events to `file`")
 		metricsF = flag.Bool("metrics", false, "print the search metrics registry after the run")
+		explainF = flag.Bool("explain", false, "explain coverage: per-site \"why not covered\" ledger and search timeline, printed after the run (attached to -json output)")
+		stallF   = flag.Int64("stall-window", 0, "coverage-stall detector window in `runs` (0 = default, negative disables); needs -explain")
 		profileF = flag.Bool("profile", false, "collect a search cost profile (per-phase wall breakdown, per-site solver time/work) and print it after the run")
 		progress = flag.Bool("progress", false, "live progress line on stderr while -audit runs")
 		serveF   = flag.String("serve", "", "serve live ops HTTP endpoints on `addr` during the run (e.g. 127.0.0.1:8080, :0 picks a port); with no program file, run the persistent job server")
@@ -162,21 +171,23 @@ func run() int {
 			return 2
 		}
 		code := runAudit(prog, auditConfig{
-			seed:      *seed,
-			maxRuns:   *runs,
-			timeout:   *timeout,
-			jobs:      *jobs,
-			workers:   *workersF,
-			cacheCap:  solveCacheCap(*cacheF),
-			random:    *random,
-			json:      *jsonOut,
-			metrics:   *metricsF,
-			profile:   *profileF,
-			progress:  *progress,
-			trace:     trace,
-			serve:     srv,
-			covreport: *covrepF,
-			source:    string(src),
+			seed:        *seed,
+			maxRuns:     *runs,
+			timeout:     *timeout,
+			jobs:        *jobs,
+			workers:     *workersF,
+			cacheCap:    solveCacheCap(*cacheF),
+			random:      *random,
+			json:        *jsonOut,
+			metrics:     *metricsF,
+			explain:     *explainF,
+			stallWindow: *stallF,
+			profile:     *profileF,
+			progress:    *progress,
+			trace:       trace,
+			serve:       srv,
+			covreport:   *covrepF,
+			source:      string(src),
 		})
 		if srv != nil {
 			srv.Done()
@@ -254,6 +265,10 @@ func run() int {
 		Observer:        observer,
 		CollectMetrics:  true,
 		CollectProfile:  *profileF,
+		// A live ops server explains regardless of -explain, so /explain
+		// answers during any served search.
+		CollectExplain: *explainF || srv != nil,
+		StallWindow:    *stallF,
 	}
 	var rep *dart.Report
 	if *random {
@@ -268,6 +283,7 @@ func run() int {
 	if srv != nil {
 		srv.ReportCoverage(rep.Coverage)
 		srv.ReportProfile(rep.Profile)
+		srv.ReportExplain(rep.Explain)
 		srv.Done()
 		defer srv.Close()
 	}
@@ -285,8 +301,16 @@ func run() int {
 		}
 	}
 
+	// The resolved coverage explanation: pure ledger over the program's
+	// whole site universe, byte-identical across worker counts — what
+	// -explain prints and what the "explain" key of -json carries.
+	var explain *dart.ExplainReport
+	if rep.Explain != nil {
+		explain = dart.ResolveExplain(prog, rep.Explain, rep.Coverage)
+	}
+
 	if *jsonOut {
-		return emitJSON(rep, *random)
+		return emitJSON(rep, *random, explain)
 	}
 	if rep.Workers > 1 {
 		mode = fmt.Sprintf("%s (%d workers)", mode, rep.Workers)
@@ -308,6 +332,9 @@ func run() int {
 	}
 	if *profileF && rep.Profile != nil {
 		fmt.Print(rep.Profile.Table(profileTopSites))
+	}
+	if *explainF && explain != nil {
+		fmt.Print(explain.Table(explainTopRows))
 	}
 	for _, ie := range rep.InternalErrors {
 		fmt.Printf("INTERNAL %v\n", ie)
@@ -606,23 +633,29 @@ func solveCacheCap(flagVal int) int {
 // profileTopSites is how many branch sites the -profile table ranks.
 const profileTopSites = 10
 
+// explainTopRows is how many uncovered directions the -explain table
+// lists before eliding the rest (the bucket summary always covers 100%).
+const explainTopRows = 25
+
 // auditConfig carries the flag values relevant to -audit mode.
 type auditConfig struct {
-	seed      int64
-	maxRuns   int
-	timeout   time.Duration
-	jobs      int
-	workers   int
-	cacheCap  int
-	random    bool
-	json      bool
-	metrics   bool
-	profile   bool
-	progress  bool
-	trace     *traceWriter
-	serve     *dart.OpsServer
-	covreport string
-	source    string
+	seed        int64
+	maxRuns     int
+	timeout     time.Duration
+	jobs        int
+	workers     int
+	cacheCap    int
+	random      bool
+	json        bool
+	metrics     bool
+	explain     bool
+	stallWindow int64
+	profile     bool
+	progress    bool
+	trace       *traceWriter
+	serve       *dart.OpsServer
+	covreport   string
+	source      string
 }
 
 // runAudit tests every function of the program as toplevel in turn over
@@ -653,16 +686,20 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		// should answer during any served audit, and audits are long
 		// enough that the profiler's clock reads are noise.
 		CollectProfile: cfg.profile || cfg.serve != nil,
+		// Likewise /explain answers during any served audit.
+		CollectExplain: cfg.explain || cfg.serve != nil,
+		StallWindow:    cfg.stallWindow,
 	}
 	if srv := cfg.serve; srv != nil {
 		sinks = append(sinks, srv.Sink())
-		// Fold each function's coverage and cost profile into
-		// /coverage and /profile as it lands, and tag workers so
-		// /debug/pprof attributes CPU per function.
+		// Fold each function's coverage, cost profile, and explainer
+		// ledger into /coverage, /profile, and /explain as it lands,
+		// and tag workers so /debug/pprof attributes CPU per function.
 		opts.OnEntry = func(e dart.AuditEntry) {
 			if e.Report != nil {
 				srv.ReportCoverage(e.Report.Coverage)
 				srv.ReportProfile(e.Report.Profile)
+				srv.ReportExplain(e.Report.Explain)
 			}
 		}
 		opts.ProfileLabels = true
@@ -678,8 +715,14 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 			return 2
 		}
 	}
+	// The whole-library coverage explanation: merged ledger resolved
+	// against merged coverage over the program's full site universe.
+	var explain *dart.ExplainReport
+	if res.Explain != nil {
+		explain = dart.ResolveExplain(prog, res.Explain, res.Coverage)
+	}
 	if cfg.json {
-		return emitAuditJSON(res)
+		return emitAuditJSON(res, explain)
 	}
 	for _, e := range res.Entries {
 		if e.Report == nil {
@@ -707,6 +750,9 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 	if cfg.profile && res.Profile != nil {
 		fmt.Print(res.Profile.Table(profileTopSites))
 	}
+	if cfg.explain && explain != nil {
+		fmt.Print(explain.Table(explainTopRows))
+	}
 	if res.Buggy > 0 || res.Faulted > 0 {
 		return 1
 	}
@@ -730,7 +776,11 @@ type jsonAudit struct {
 	BranchCoverageFraction float64               `json:"branch_coverage_fraction"`
 	Metrics                *dart.MetricsSnapshot `json:"metrics,omitempty"`
 	Profile                *dart.ProfileSnapshot `json:"profile,omitempty"`
-	Entries                []jsonAuditEntry      `json:"entries"`
+	// Explain is the whole-library coverage explanation: merged
+	// per-function ledgers resolved against the merged coverage (pure
+	// ledger, no timeline).
+	Explain *dart.ExplainReport `json:"explain,omitempty"`
+	Entries []jsonAuditEntry    `json:"entries"`
 }
 
 type jsonAuditEntry struct {
@@ -743,7 +793,7 @@ type jsonAuditEntry struct {
 	Bugs           []jsonBug `json:"bugs"`
 }
 
-func emitAuditJSON(res *dart.AuditResult) int {
+func emitAuditJSON(res *dart.AuditResult, explain *dart.ExplainReport) int {
 	out := jsonAudit{
 		Mode:                   "audit",
 		Functions:              res.Functions(),
@@ -758,6 +808,7 @@ func emitAuditJSON(res *dart.AuditResult) int {
 		BranchCoverageFraction: res.Coverage.Fraction(),
 		Metrics:                res.Metrics,
 		Profile:                res.Profile,
+		Explain:                explain,
 		Entries:                []jsonAuditEntry{},
 	}
 	for _, e := range res.Entries {
@@ -823,8 +874,23 @@ type jsonReport struct {
 	SolverComplete         bool                  `json:"solver_complete"`
 	Metrics                *dart.MetricsSnapshot `json:"metrics,omitempty"`
 	Profile                *dart.ProfileSnapshot `json:"profile,omitempty"`
-	InternalErrors         []jsonInternal        `json:"internal_errors,omitempty"`
-	Bugs                   []jsonBug             `json:"bugs"`
+	// Explain is the resolved coverage explanation: pure ledger over the
+	// whole site universe, byte-identical across -workers values (the
+	// check.sh explain gate diffs exactly this object).
+	Explain *dart.ExplainReport `json:"explain,omitempty"`
+	// ExplainTimeline is the search's run-indexed progress ring and
+	// stall count — honest schedule texture, excluded from byte
+	// comparisons, hence a sibling of the deterministic Explain.
+	ExplainTimeline *jsonTimeline  `json:"explain_timeline,omitempty"`
+	InternalErrors  []jsonInternal `json:"internal_errors,omitempty"`
+	Bugs            []jsonBug      `json:"bugs"`
+}
+
+// jsonTimeline is the timeline half of an ExplainSnapshot on the JSON
+// report.
+type jsonTimeline struct {
+	Timeline []dart.TimelineSample `json:"timeline,omitempty"`
+	Stalls   int64                 `json:"stalls,omitempty"`
 }
 
 type jsonInternal struct {
@@ -842,7 +908,7 @@ type jsonBug struct {
 	Inputs map[string]int64 `json:"inputs"`
 }
 
-func emitJSON(rep *dart.Report, random bool) int {
+func emitJSON(rep *dart.Report, random bool, explain *dart.ExplainReport) int {
 	mode := "directed"
 	if random {
 		mode = "random"
@@ -874,6 +940,10 @@ func emitJSON(rep *dart.Report, random bool) int {
 		SolverComplete:         rep.SolverComplete,
 		Metrics:                rep.Metrics,
 		Profile:                rep.Profile,
+		Explain:                explain,
+	}
+	if snap := rep.Explain; snap != nil && (len(snap.Timeline) > 0 || snap.Stalls > 0) {
+		out.ExplainTimeline = &jsonTimeline{Timeline: snap.Timeline, Stalls: snap.Stalls}
 	}
 	out.Bugs = []jsonBug{}
 	for _, ie := range rep.InternalErrors {

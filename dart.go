@@ -281,6 +281,36 @@ type (
 	SiteProfile  = obs.SiteProfile
 )
 
+// ExplainSnapshot is a search's raw coverage-explainer ledger plus its
+// run-indexed timeline (Report.Explain, AuditResult.Explain; enabled by
+// Options.CollectExplain).  The ledger half is deterministic — an exact
+// function of the seed on tree-exhausting searches, byte-identical
+// across worker counts — while the timeline and stall count are honest
+// schedule texture.
+type ExplainSnapshot = obs.ExplainSnapshot
+
+// ExplainReport is the resolved coverage explanation: every branch
+// direction of the program accounted covered or carrying exactly one
+// "why not covered" reason.  Render it with Table.
+type ExplainReport = obs.ExplainReport
+
+// SiteOutcome and DirOutcome are an ExplainReport's rows; TimelineSample
+// and TimelineStall are the timeline's entries.
+type (
+	SiteOutcome    = obs.SiteOutcome
+	DirOutcome     = obs.DirOutcome
+	TimelineSample = obs.TimelineSample
+	TimelineStall  = obs.TimelineStall
+)
+
+// ResolveExplain resolves a raw explainer ledger against the program's
+// full branch-site universe and the accumulated coverage: the report
+// accounts covered + every reason bucket to exactly 100% of the
+// program's branch directions.
+func ResolveExplain(p *Program, snap *ExplainSnapshot, cov *CoverageSet) *ExplainReport {
+	return concolic.ResolveExplain(p.IR, snap, cov)
+}
+
 // CoverageSet accumulates branch-direction coverage over runs
 // (Report.Coverage, AuditResult.Coverage).  Sets from different
 // searches over the same program merge with Merge.

@@ -114,6 +114,14 @@ type Options struct {
 	// (concolic.Options.CollectProfile); the per-function profiles land
 	// on each Entry's report and merge into Result.Profile.
 	CollectProfile bool
+	// CollectExplain asks every per-function search for a coverage
+	// explainer ledger (concolic.Options.CollectExplain); the
+	// per-function ledgers land on each Entry's report and merge into
+	// Result.Explain, where concolic.ResolveExplain against the merged
+	// Coverage yields the whole-library "why not covered" verdicts.
+	CollectExplain bool
+	// StallWindow passes through to concolic.Options.StallWindow.
+	StallWindow int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -179,6 +187,12 @@ type Result struct {
 	// one whole-library set (sites are program-global, so the union is
 	// well-defined across functions).
 	Coverage *coverage.Set
+	// Explain merges every per-function report's coverage-explainer
+	// ledger (nil unless Options.CollectExplain); sites are
+	// program-global, so cause tallies sum exactly like Coverage unions.
+	// Per-search timelines are per-function texture and do not merge;
+	// the summed stall count survives.
+	Explain *obs.ExplainSnapshot
 }
 
 // Functions returns how many functions were audited.
@@ -247,6 +261,13 @@ func Run(prog *ir.Prog, opts Options) *Result {
 					res.Profile = &obs.ProfileSnapshot{}
 				}
 				res.Profile.Merge(p)
+			}
+			if x := entries[i].Report.Explain; x != nil {
+				if res.Explain == nil {
+					// Same no-shared-backing discipline as Profile.
+					res.Explain = &obs.ExplainSnapshot{}
+				}
+				res.Explain.Merge(x)
 			}
 		}
 	}
@@ -339,6 +360,8 @@ func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, erro
 		// noise, and Result.Metrics should not depend on an observer.
 		CollectMetrics: true,
 		CollectProfile: o.CollectProfile,
+		CollectExplain: o.CollectExplain,
+		StallWindow:    o.StallWindow,
 	}
 	if o.UseRandom {
 		return concolic.RandomTest(prog, copts)

@@ -151,6 +151,21 @@ type Options struct {
 	// profile reads the clock around every run and solve; off by
 	// default so the unobserved engine path stays timing-free.
 	CollectProfile bool
+	// CollectExplain populates Report.Explain: the coverage explainer's
+	// per-branch-site cause ledger (why each uncovered direction stayed
+	// dark) plus the run-indexed coverage timeline with plateau
+	// detection.  Like CollectProfile it is not implied by an Observer;
+	// off by default so the unobserved engine path records nothing.
+	// The ledger is an exact function of the seed on tree-exhausting
+	// searches — byte-identical at any Workers value — while the
+	// timeline is honest schedule texture.
+	CollectExplain bool
+	// StallWindow is the plateau window of the explainer's stall
+	// detector, in completed runs: a CoverageStall event fires each time
+	// coverage has not moved for a further full window.  Zero selects
+	// obs.DefaultStallWindow; negative disables the detector.  Only
+	// meaningful with CollectExplain.
+	StallWindow int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -318,6 +333,12 @@ type Report struct {
 	// per-phase wall breakdown plus per-branch-site solver time/work
 	// attribution, merged across workers like the rest of the report.
 	Profile *obs.ProfileSnapshot
+	// Explain is the coverage explainer's raw output (nil unless
+	// CollectExplain): the per-site cause ledger, merged across workers
+	// like the rest of the report, plus the search's coverage timeline
+	// and stall count.  Resolve it against the program's site universe
+	// with ResolveExplain for the per-direction verdicts.
+	Explain *obs.ExplainSnapshot
 }
 
 // FirstBug returns the first bug or nil.
@@ -332,6 +353,14 @@ func (r *Report) FirstBug() *Bug {
 type stackEntry struct {
 	branch bool
 	done   bool
+}
+
+// flipRef locates the branch direction a solved flip targeted.
+type flipRef struct {
+	ok    bool
+	site  int
+	pos   string
+	taken bool
 }
 
 // varInfo describes a registered input variable.
@@ -379,6 +408,24 @@ type engine struct {
 	// every Profile method no-ops on nil, so call sites guard only the
 	// time.Now captures.
 	prof *obs.Profile
+	// exp is the per-worker coverage-explainer ledger (nil unless
+	// CollectExplain); timeline is the search-global coverage timeline
+	// the workers of one search share (internally locked, nil when the
+	// explainer is off).
+	exp      *obs.Explain
+	timeline *obs.Timeline
+	// lastFlip remembers the classic stack engine's most recent solved
+	// flip target, so a misprediction on the very next run can be
+	// attributed to the site whose forced path diverged (the frontier
+	// engines carry the target on the item instead).
+	lastFlip flipRef
+	// lastTickSolves is the SolverCalls total at the previous timeline
+	// tick (per-run solve deltas feed the timeline's cumulative count).
+	lastTickSolves int
+	// qlen reports the current pending-flip backlog for timeline
+	// samples: set by the frontier engines (nil for the classic stack
+	// engine, which derives its backlog from the stack).
+	qlen func() int
 
 	// worker is the 1-based parallel worker id stamped on every emitted
 	// event; 0 (omitted from encodings) for sequential searches.
@@ -492,6 +539,8 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 		obs:      o.Observer,
 		metrics:  newMetrics(o),
 		prof:     newProfile(o, 0),
+		exp:      newExplain(o, 0),
+		timeline: newTimeline(o),
 		report: &Report{
 			AllLinear:       true,
 			AllLocsDefinite: true,
@@ -518,10 +567,56 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 	if e.report.Stopped == "" {
 		e.report.Stopped = StopMaxRuns
 	}
+	e.finishExplain()
 	e.report.Elapsed = time.Since(start)
 	e.report.Metrics = e.metrics.Snapshot()
 	e.report.Profile = e.prof.Snapshot()
 	return e.report, nil
+}
+
+// finishExplain closes a sequential search's explainer: the ledger is
+// frozen, the timeline stamped onto it, and the resolved reason buckets
+// emitted as UncoveredReason events and mirrored into the metrics
+// registry — before the registry is snapshotted, so live event-derived
+// counters equal the report's.
+func (e *engine) finishExplain() {
+	if e.exp == nil {
+		return
+	}
+	snap := e.exp.Snapshot()
+	e.timeline.Stamp(snap)
+	e.report.Explain = snap
+	rep := ResolveExplain(e.prog, snap, e.report.Coverage)
+	for _, reason := range obs.ReasonPrecedence {
+		n := rep.Buckets[reason]
+		if n == 0 {
+			continue
+		}
+		e.metrics.Add(obs.UncoveredPrefix+reason, int64(n))
+		if e.obs != nil {
+			e.emit(obs.Event{Kind: obs.UncoveredReason, Run: e.report.Runs, Reason: reason, Count: n})
+		}
+	}
+}
+
+// ResolveExplain resolves a search's raw explain ledger against prog's
+// full branch-site universe and the covered directions of cov, turning
+// the cause tallies into one terminal reason per uncovered direction.
+// The result is pure ledger — no timeline, no wall clock — so it is
+// byte-identical across worker counts whenever the ledger is.
+func ResolveExplain(prog *ir.Prog, snap *obs.ExplainSnapshot, cov *coverage.Set) *obs.ExplainReport {
+	sites := coverage.ProgSites(prog)
+	refs := make([]obs.ExplainSiteRef, len(sites))
+	for i, s := range sites {
+		refs[i] = obs.ExplainSiteRef{Site: s.Site, Fn: s.Fn, Pos: s.Pos.String()}
+	}
+	return snap.Resolve(refs, func(site int, taken bool) bool {
+		tk, ntk := cov.Site(site)
+		if taken {
+			return tk
+		}
+		return ntk
+	})
 }
 
 // search is run_DART (Fig. 2).
@@ -530,6 +625,7 @@ func (e *engine) search() {
 		// Outer repeat: fresh random input vector, empty stack.
 		e.stack = nil
 		e.im = map[string]int64{}
+		e.lastFlip.ok = false
 		if e.report.Runs > 0 {
 			e.report.Restarts++
 			e.metrics.Add(obs.CRestarts, 1)
@@ -569,11 +665,20 @@ func (e *engine) search() {
 				e.report.AllLocsDefinite = false
 				e.metrics.Add(obs.CFallbackLocs, 1)
 			}
+			newly := 0
 			for _, rec := range m.Branches {
 				if rec.Site >= 0 {
-					e.report.Coverage.Record(rec.Site, rec.Taken)
+					if e.report.Coverage.Record(rec.Site, rec.Taken) {
+						newly++
+					}
+					if e.exp != nil && !rec.HasPred {
+						// The unexecuted direction of a predicate-less
+						// conditional can never be forced: ledger why.
+						e.exp.RecordFallback(rec.Site, rec.Pos.String(), !rec.Taken, rec.Fallback)
+					}
 				}
 			}
+			e.tickTimeline(newly)
 			if e.obs != nil {
 				e.emit(obs.Event{Kind: obs.RunEnd, Run: e.report.Runs, Steps: m.Steps(),
 					Outcome: runOutcome(rerr), Path: pathString(m.Branches)})
@@ -584,6 +689,11 @@ func (e *engine) search() {
 				// outer loop with fresh random inputs.
 				e.report.Mispredicts++
 				e.metrics.Add(obs.CMispredicts, 1)
+				if e.exp != nil && e.lastFlip.ok && e.lastFlip.site >= 0 {
+					// The diverged run was forcing lastFlip's direction;
+					// that flip is now abandoned unexplored.
+					e.exp.RecordMispredict(e.lastFlip.site, e.lastFlip.pos, e.lastFlip.taken)
+				}
 				if e.obs != nil {
 					e.emit(obs.Event{Kind: obs.Misprediction, Run: e.report.Runs, Depth: e.k - 1})
 				}
@@ -695,6 +805,73 @@ func newProfile(o Options, worker int) *obs.Profile {
 		return nil
 	}
 	return obs.NewProfile(o.Toplevel, worker)
+}
+
+// newExplain returns one worker's coverage-explainer ledger, or nil
+// (every Explain method no-ops on nil) unless CollectExplain asks for
+// one.  Like the profiler it is NOT implied by an Observer: the ledger
+// records per-branch occurrence tallies the unobserved engine path
+// should not pay for.
+func newExplain(o Options, worker int) *obs.Explain {
+	if !o.CollectExplain {
+		return nil
+	}
+	return obs.NewExplain(worker)
+}
+
+// newTimeline returns the search-global coverage timeline, or nil when
+// the explainer is off.  StallWindow zero selects the default plateau
+// window; negative disables the stall detector.
+func newTimeline(o Options) *obs.Timeline {
+	if !o.CollectExplain {
+		return nil
+	}
+	w := o.StallWindow
+	if w == 0 {
+		w = obs.DefaultStallWindow
+	} else if w < 0 {
+		w = 0
+	}
+	return obs.NewTimeline(0, w, 0)
+}
+
+// tickTimeline records one completed run on the search's coverage
+// timeline: the run's newly covered directions (search-global under a
+// parallel engine: the shared coverage view dedups across workers), the
+// pending-flip backlog, and the worker's solver-call delta.  A fired
+// plateau is emitted and metered by the ticking worker, so per-worker
+// registries stay race-free.  No-op when the explainer is off.
+func (e *engine) tickTimeline(newly int) {
+	if e.timeline == nil {
+		return
+	}
+	delta := e.report.SolverCalls - e.lastTickSolves
+	e.lastTickSolves = e.report.SolverCalls
+	stall, fired := e.timeline.Tick(newly, e.pendingFlips(), int64(delta))
+	if !fired {
+		return
+	}
+	e.metrics.Add(obs.CStalls, 1)
+	if e.obs != nil {
+		e.emit(obs.Event{Kind: obs.CoverageStall, Run: int(stall.Run),
+			Covered: stall.Covered, Window: stall.Window})
+	}
+}
+
+// pendingFlips is the search's current pending-flip backlog for the
+// timeline: the classic stack engine's not-done entries, a frontier
+// engine's queue length (search-global under the parallel scheduler).
+func (e *engine) pendingFlips() int {
+	if e.qlen != nil {
+		return e.qlen()
+	}
+	n := 0
+	for _, s := range e.stack {
+		if !s.done {
+			n++
+		}
+	}
+	return n
 }
 
 // emit forwards one trace event to the observer behind its own recover

@@ -141,12 +141,13 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 		e.report.SolverCalls++
 		e.metrics.Observe(obs.HPCLen, int64(len(pc)))
 		e.metrics.Observe(obs.HFrontierDepth, int64(j))
-		// Site/pos attribution for the profiler and the event stream:
-		// events carry the 1-based site index (deterministic), while the
-		// source position string is computed only when profiling asks.
+		// Site/pos attribution for the profiler, the explainer, and the
+		// event stream: events carry the 1-based site index
+		// (deterministic), while the source position string is computed
+		// only when a collector asks.
 		site := branches[j].Site
 		var posStr string
-		if e.prof != nil {
+		if e.prof != nil || e.exp != nil {
 			posStr = branches[j].Pos.String()
 		}
 		var target string
@@ -161,6 +162,11 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 			e.emit(ev)
 		}
 		e.prof.RecordSolve(site, posStr, verdict.String(), work, e.lastSolve.solveNS, e.lastSolve.cache)
+		if site >= 0 {
+			// The flip targets the unexecuted direction of branches[j];
+			// ledger the attempt (and, on unsat, the infeasibility proof).
+			e.exp.RecordSolve(site, posStr, !branches[j].Taken, verdict.String(), e.lastSolve.unsatSlice)
+		}
 		if verdict != solver.Sat {
 			// Infeasible, beyond the solver, or out of budget: this
 			// branch cannot be flipped under its fixed prefix; mark it
@@ -185,6 +191,9 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 		}
 		e.stack = e.stack[:j+1]
 		e.stack[j].branch = !branches[j].Taken
+		// Remember the forced target: if the next run diverges from the
+		// prediction, the explainer attributes the misprediction here.
+		e.lastFlip = flipRef{ok: true, site: site, pos: posStr, taken: !branches[j].Taken}
 
 		// IM + IM': inputs not involved keep their previous values.
 		for v, val := range sol {
@@ -232,6 +241,13 @@ func (e *engine) hint() map[symbolic.Var]int64 {
 // meta returns the solver domain of a variable.
 func (e *engine) meta(v symbolic.Var) solver.VarMeta {
 	return e.regs.metaOf(v)
+}
+
+// varName names a variable by its stable input key for the explainer's
+// unsat-slice renderings (Var numbering is first-use order and differs
+// across worker counts; input keys do not).
+func (e *engine) varName(v symbolic.Var) string {
+	return e.regs.keyOf(v)
 }
 
 // ---------------------------------------------------------------- inputs

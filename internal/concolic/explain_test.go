@@ -1,0 +1,240 @@
+package concolic
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dart/internal/obs"
+	"dart/internal/progs"
+)
+
+// TestExplainDeterministicAcrossWorkers: the resolved explanation — one
+// terminal reason per uncovered direction — is an exact function of the
+// seed on tree-exhausting searches: workers 1 (classic stack engine),
+// 2, and 8 (frontier engine) must produce byte-identical reports.  The
+// explain analog of TestProfileDeterministicAcrossWorkers; run under
+// -race in CI.
+func TestExplainDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name, src, top string
+	}{
+		{"clusters", progs.Clusters, "clusters"},
+		{"solver-gate", progs.SolverGate, "gate"},
+		{"maze", maze, "explore"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := compile(t, tc.src)
+			var base string
+			for _, workers := range []int{1, 2, 8} {
+				rep, err := Run(prog, Options{
+					Toplevel:       tc.top,
+					MaxRuns:        2000,
+					Seed:           3,
+					Workers:        workers,
+					SolveCacheCap:  -1,
+					CollectExplain: true,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if rep.Explain == nil {
+					t.Fatalf("workers=%d: no explain ledger collected", workers)
+				}
+				resolved := ResolveExplain(prog, rep.Explain, rep.Coverage)
+				raw, err := json.Marshal(resolved)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers == 1 {
+					base = string(raw)
+					continue
+				}
+				if string(raw) != base {
+					t.Errorf("workers=%d report diverges from workers=1:\n  w1: %s\n  w%d: %s",
+						workers, base, workers, raw)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainAccountingCloses: covered + every reason bucket equals the
+// direction universe (2 × branch sites), with no silent remainder, and
+// the report's covered count agrees with the coverage set.
+func TestExplainAccountingCloses(t *testing.T) {
+	prog := compile(t, progs.Clusters)
+	rep, err := Run(prog, Options{
+		Toplevel: "clusters", MaxRuns: 500, Seed: 1, CollectExplain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ResolveExplain(prog, rep.Explain, rep.Coverage)
+	if res.Directions == 0 || res.Directions%2 != 0 {
+		t.Fatalf("direction universe = %d", res.Directions)
+	}
+	sum := res.Covered
+	for _, n := range res.Buckets {
+		sum += n
+	}
+	if sum != res.Directions {
+		t.Errorf("accounting leak: covered %d + buckets = %d, want %d (buckets %v)",
+			res.Covered, sum, res.Directions, res.Buckets)
+	}
+	if res.Covered != rep.Coverage.Covered() {
+		t.Errorf("report covered %d, coverage set says %d", res.Covered, rep.Coverage.Covered())
+	}
+	// The ledger rides Report.Explain with the timeline stamped on.
+	if len(rep.Explain.Timeline) == 0 {
+		t.Error("no timeline samples stamped on the snapshot")
+	}
+}
+
+// TestExplainUncoveredReasonEvents: a finished search's resolved reason
+// buckets are emitted as UncoveredReason events and mirrored into the
+// metrics registry — the three surfaces must agree.
+func TestExplainUncoveredReasonEvents(t *testing.T) {
+	prog := compile(t, progs.Clusters)
+	var c obs.Collector
+	rep, err := Run(prog, Options{
+		Toplevel: "clusters", MaxRuns: 500, Seed: 1,
+		CollectExplain: true, Observer: &c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ResolveExplain(prog, rep.Explain, rep.Coverage)
+	fromEvents := map[string]int{}
+	for _, ev := range c.Events() {
+		if ev.Kind == obs.UncoveredReason {
+			fromEvents[ev.Reason] += ev.Count
+		}
+	}
+	for reason, n := range res.Buckets {
+		if fromEvents[reason] != n {
+			t.Errorf("reason %q: events say %d, report says %d", reason, fromEvents[reason], n)
+		}
+		if got := rep.Metrics.Counters[obs.UncoveredPrefix+reason]; got != int64(n) {
+			t.Errorf("reason %q: metrics say %d, report says %d", reason, got, n)
+		}
+	}
+	if len(fromEvents) != len(res.Buckets) {
+		t.Errorf("event buckets %v, report buckets %v", fromEvents, res.Buckets)
+	}
+}
+
+// nonlinearPlateau degenerates the directed search to random restarts:
+// the guard leaves the linear theory, so no flip can target it and
+// coverage goes flat while the run budget burns — the stall detector's
+// home turf.
+const nonlinearPlateau = `
+int plateau(int x) {
+    if (x * x == 1073741824)
+        abort();
+    return 0;
+}
+`
+
+// TestExplainStallDetector: a plateauing search fires coverage-stall
+// events; the event count, the snapshot's stall counter, and the
+// metrics counter must agree, and a fixed seed reproduces the count.
+func TestExplainStallDetector(t *testing.T) {
+	prog := compile(t, nonlinearPlateau)
+	run := func() (*Report, int) {
+		var c obs.Collector
+		rep, err := Run(prog, Options{
+			Toplevel: "plateau", MaxRuns: 600, Seed: 7,
+			CollectExplain: true, StallWindow: 100, Observer: &c,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stallEvents := 0
+		for _, ev := range c.Events() {
+			if ev.Kind == obs.CoverageStall {
+				stallEvents++
+				if ev.Window != 100 {
+					t.Errorf("stall event window = %d, want 100", ev.Window)
+				}
+			}
+		}
+		return rep, stallEvents
+	}
+	rep, stallEvents := run()
+	if rep.Explain.Stalls == 0 {
+		t.Fatal("plateauing search fired no stalls")
+	}
+	if int64(stallEvents) != rep.Explain.Stalls {
+		t.Errorf("stall events %d, snapshot says %d", stallEvents, rep.Explain.Stalls)
+	}
+	if got := rep.Metrics.Counters[obs.CStalls]; got != rep.Explain.Stalls {
+		t.Errorf("metrics stalls %d, snapshot says %d", got, rep.Explain.Stalls)
+	}
+	// ~500 flat runs after the initial coverage: windows of 100 close
+	// every 100 flat runs, never more than runs/window times.
+	if rep.Explain.Stalls > int64(rep.Runs)/100 {
+		t.Errorf("stalls %d exceed runs/window = %d", rep.Explain.Stalls, rep.Runs/100)
+	}
+	rep2, _ := run()
+	if rep2.Explain.Stalls != rep.Explain.Stalls {
+		t.Errorf("same seed, different stall counts: %d vs %d", rep2.Explain.Stalls, rep.Explain.Stalls)
+	}
+}
+
+// TestExplainStallWindowDisabled: a negative StallWindow turns the
+// detector off — no stalls, no events — while the ledger still
+// collects.
+func TestExplainStallWindowDisabled(t *testing.T) {
+	prog := compile(t, nonlinearPlateau)
+	var c obs.Collector
+	rep, err := Run(prog, Options{
+		Toplevel: "plateau", MaxRuns: 600, Seed: 7,
+		CollectExplain: true, StallWindow: -1, Observer: &c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explain == nil {
+		t.Fatal("explain ledger missing")
+	}
+	if rep.Explain.Stalls != 0 {
+		t.Errorf("disabled detector counted %d stalls", rep.Explain.Stalls)
+	}
+	for _, ev := range c.Events() {
+		if ev.Kind == obs.CoverageStall {
+			t.Fatal("disabled detector emitted a stall event")
+		}
+	}
+}
+
+// TestExplainRandomMode: the random baseline carries the timeline and
+// resolves honestly — reached-but-dark directions are "not-attempted"
+// (random testing attempts no flips), unreached sites "never-reached".
+func TestExplainRandomMode(t *testing.T) {
+	prog := compile(t, progs.Clusters)
+	rep, err := RandomTest(prog, Options{
+		Toplevel: "clusters", MaxRuns: 200, Seed: 1,
+		CollectExplain: true, StallWindow: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explain == nil {
+		t.Fatal("random mode collected no explain snapshot")
+	}
+	if len(rep.Explain.Timeline) == 0 {
+		t.Error("random mode stamped no timeline")
+	}
+	res := ResolveExplain(prog, rep.Explain, rep.Coverage)
+	sum := res.Covered
+	for reason, n := range res.Buckets {
+		sum += n
+		if reason != obs.ReasonNotAttempted && reason != obs.ReasonNeverReached {
+			t.Errorf("random mode resolved flip-cause bucket %q (%d)", reason, n)
+		}
+	}
+	if sum != res.Directions {
+		t.Errorf("accounting leak: %d covered + buckets = %d, want %d", res.Covered, sum, res.Directions)
+	}
+}

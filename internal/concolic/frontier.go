@@ -96,11 +96,25 @@ func (e *engine) recordRun(m *machine.Machine, rerr *machine.RunError) bool {
 		e.report.AllLocsDefinite = false
 		e.metrics.Add(obs.CFallbackLocs, 1)
 	}
+	newly := 0
 	for _, rec := range m.Branches {
 		if rec.Site >= 0 {
-			e.report.Coverage.Record(rec.Site, rec.Taken)
+			if e.report.Coverage.Record(rec.Site, rec.Taken) {
+				newly++
+			}
+			if e.exp != nil && !rec.HasPred {
+				// The unexecuted direction of a predicate-less
+				// conditional can never be forced: ledger why.
+				e.exp.RecordFallback(rec.Site, rec.Pos.String(), !rec.Taken, rec.Fallback)
+			}
 		}
 	}
+	if e.shared != nil && e.timeline != nil {
+		// Parallel: the per-worker set overcounts directions another
+		// worker covered first; the shared view dedups search-wide.
+		newly = e.shared.recordCov(m.Branches)
+	}
+	e.tickTimeline(newly)
 	if e.obs != nil {
 		e.emit(obs.Event{Kind: obs.RunEnd, Run: e.report.Runs, Steps: m.Steps(),
 			Outcome: runOutcome(rerr), Path: pathString(m.Branches)})
@@ -166,10 +180,13 @@ func (e *engine) childItems(branches []machine.BranchRec, bound int) []frontierI
 			continue
 		}
 		if rec.Decision && !rec.Taken && e.decisionDepth(rec) >= e.opts.MaxShapeDepth {
+			if rec.Site >= 0 {
+				e.exp.RecordDepthLimit(rec.Site, rec.Pos.String(), !rec.Taken)
+			}
 			continue // shape-depth cap
 		}
 		var pos string
-		if e.prof != nil {
+		if e.prof != nil || e.exp != nil {
 			pos = rec.Pos.String()
 		}
 		kids = append(kids, frontierItem{
@@ -187,15 +204,25 @@ func (e *engine) childItems(branches []machine.BranchRec, bound int) []frontierI
 	return kids
 }
 
-// noteDropped accounts n pending flips discarded on MaxFrontier
-// overflow: the count reaches the report, the metrics registry, and the
-// trace — a completeness loss is never silent.
-func (e *engine) noteDropped(n int) {
+// noteDropped accounts pending flips discarded on MaxFrontier overflow:
+// the count reaches the report, the metrics registry, the trace, and —
+// per discarded item — the explainer's ledger (each dropped flip is an
+// abandoned subtree at a known site).  A completeness loss is never
+// silent.
+func (e *engine) noteDropped(items []frontierItem) {
+	n := len(items)
 	if n <= 0 {
 		return
 	}
 	e.report.FrontierDropped += n
 	e.metrics.Add(obs.CFrontierDropped, int64(n))
+	if e.exp != nil {
+		for _, it := range items {
+			if it.site >= 0 {
+				e.exp.RecordDropped(it.site, it.pos, it.flipTaken)
+			}
+		}
+	}
 	if e.obs != nil {
 		e.emit(obs.Event{Kind: obs.FrontierDrop, Run: e.report.Runs, Dropped: n})
 	}
@@ -226,6 +253,9 @@ func (e *engine) solveItem(item frontierItem) bool {
 		e.emit(ev)
 	}
 	e.prof.RecordSolve(item.site, item.pos, verdict.String(), work, e.lastSolve.solveNS, e.lastSolve.cache)
+	if item.site >= 0 {
+		e.exp.RecordSolve(item.site, item.pos, item.flipTaken, verdict.String(), e.lastSolve.unsatSlice)
+	}
 	if verdict != solver.Sat {
 		if verdict == solver.BudgetExhausted {
 			e.report.SolverComplete = false
@@ -284,6 +314,11 @@ func (e *engine) processItem(item frontierItem) (kids []frontierItem, cont bool)
 		return nil, false
 	}
 	if e.mispredict {
+		if e.exp != nil && item.site >= 0 {
+			// The diverged run was forcing this item's flip; it is now
+			// abandoned unexplored.
+			e.exp.RecordMispredict(item.site, item.pos, item.flipTaken)
+		}
 		return nil, true // an imprecise prefix; the item is abandoned
 	}
 	return e.childItems(m.Branches, item.bound), true
@@ -340,6 +375,10 @@ func (e *engine) frontierRoot() (kids []frontierItem, cont bool) {
 // engine's input registry, machine construction, and report accounting.
 func (e *engine) runFrontier() {
 	var queue []frontierItem
+	if e.timeline != nil {
+		// Timeline samples carry the pending-flip backlog.
+		e.qlen = func() int { return len(queue) }
+	}
 
 	// Root run: fresh random inputs, no prediction.
 	kids, cont := e.frontierRoot()
@@ -373,8 +412,8 @@ func (e *engine) enqueue(queue []frontierItem, kids []frontierItem) []frontierIt
 		return queue
 	}
 	queue = append(queue, kids...)
-	if over := len(queue) - e.opts.MaxFrontier; over > 0 {
-		e.noteDropped(over)
+	if len(queue) > e.opts.MaxFrontier {
+		e.noteDropped(queue[e.opts.MaxFrontier:])
 		queue = queue[:e.opts.MaxFrontier]
 	}
 	e.metrics.Observe(obs.HFrontierQueue, int64(len(queue)))

@@ -33,6 +33,7 @@ import (
 
 	"dart/internal/coverage"
 	"dart/internal/ir"
+	"dart/internal/machine"
 	"dart/internal/obs"
 	"dart/internal/rng"
 	"dart/internal/solver"
@@ -48,6 +49,10 @@ type sharedSearch struct {
 	faults   int
 	stopped  StopReason
 	runsLeft int64
+	// cov is the coverage explainer's search-global coverage view (the
+	// per-worker report sets overcount directions another worker covered
+	// first); nil unless the explainer is on.
+	cov *coverage.Set
 }
 
 func newSharedSearch(maxRuns int) *sharedSearch {
@@ -77,6 +82,21 @@ func (s *sharedSearch) reserveRun() bool {
 	}
 	s.runsLeft--
 	return true
+}
+
+// recordCov folds one run's branch records into the search-global
+// coverage view, returning how many directions it newly covered — the
+// timeline's dedup across workers.
+func (s *sharedSearch) recordCov(branches []machine.BranchRec) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, rec := range branches {
+		if s.cov.Record(rec.Site, rec.Taken) {
+			n++
+		}
+	}
+	return n
 }
 
 // addFault counts one isolated internal fault against the search-wide
@@ -143,9 +163,10 @@ func newSched(workers, maxFrontier int, strategy Strategy) *sched {
 }
 
 // seed scatters the root run's children round-robin across the deques
-// so every worker starts with local work; it returns how many were
-// dropped to the MaxFrontier cap and the resulting backlog.
-func (s *sched) seed(kids []frontierItem) (dropped, qlen int) {
+// so every worker starts with local work; it returns the items dropped
+// to the MaxFrontier cap (for the caller to account) and the resulting
+// backlog.
+func (s *sched) seed(kids []frontierItem) (dropped []frontierItem, qlen int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	kids, dropped = s.capKids(kids)
@@ -158,16 +179,24 @@ func (s *sched) seed(kids []frontierItem) (dropped, qlen int) {
 }
 
 // capKids truncates kids to the global MaxFrontier cap (deepest pending
-// flips dropped first, like the sequential enqueue).  Caller holds mu.
-func (s *sched) capKids(kids []frontierItem) ([]frontierItem, int) {
+// flips dropped first, like the sequential enqueue), returning the kept
+// prefix and the dropped tail.  Caller holds mu.
+func (s *sched) capKids(kids []frontierItem) (kept, dropped []frontierItem) {
 	over := s.size + len(kids) - s.max
 	if over <= 0 {
-		return kids, 0
+		return kids, nil
 	}
 	if over >= len(kids) {
-		return nil, len(kids)
+		return nil, kids
 	}
-	return kids[:len(kids)-over], over
+	return kids[:len(kids)-over], kids[len(kids)-over:]
+}
+
+// qlen is the current total backlog across deques.
+func (s *sched) qlen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
 }
 
 // next hands worker w its next pending flip.  It prefers the worker's
@@ -234,9 +263,9 @@ func (s *sched) next(w int, rnd *rng.R) (item frontierItem, ok, stole, idled boo
 }
 
 // finish returns worker w's item to the scheduler with the children it
-// produced, enforcing the global MaxFrontier cap; it returns the drop
-// count (for the worker to account) and the new backlog.
-func (s *sched) finish(w int, kids []frontierItem) (dropped, qlen int) {
+// produced, enforcing the global MaxFrontier cap; it returns the
+// dropped items (for the worker to account) and the new backlog.
+func (s *sched) finish(w int, kids []frontierItem) (dropped []frontierItem, qlen int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inflight--
@@ -296,6 +325,13 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 	// contract's anchor).  Sibling workers fork their streams from it
 	// only after the root run, below.
 	base := rng.New(o.Seed)
+	// One search-global timeline (internally locked) and one shared
+	// coverage view dedup the workers' coverage ticks; each worker owns
+	// its private cause ledger, merged canonically below.
+	tl := newTimeline(o)
+	if tl != nil {
+		shared.cov = coverage.New(prog.NumSites)
+	}
 	workers := make([]*engine, nw)
 	for i := range workers {
 		workers[i] = &engine{
@@ -308,6 +344,8 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 			obs:      o.Observer,
 			metrics:  newMetrics(o),
 			prof:     newProfile(o, i+1),
+			exp:      newExplain(o, i+1),
+			timeline: tl,
 			worker:   i + 1,
 			shared:   shared,
 			cache:    cache,
@@ -322,6 +360,11 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 	}
 
 	sc := newSched(nw, o.MaxFrontier, o.Strategy)
+	if tl != nil {
+		for _, w := range workers {
+			w.qlen = sc.qlen
+		}
+	}
 
 	// Root run: worker 1 executes the fresh-random root; its children
 	// seed every deque round-robin so the pool starts with spread work.
@@ -451,9 +494,37 @@ func mergeReports(prog *ir.Prog, o Options, workers []*engine, shared *sharedSea
 				merged.Profile.Merge(s)
 			}
 		}
+		if s := w.exp.Snapshot(); s != nil {
+			if merged.Explain == nil {
+				merged.Explain = s
+			} else {
+				merged.Explain.Merge(s)
+			}
+		}
 	}
 	sortBugs(merged.Bugs)
 	merged.Metrics = metrics
+	if merged.Explain != nil {
+		// Stamp the search-global timeline, then resolve the merged
+		// ledger and emit/mirror the reason buckets exactly like a
+		// sequential search's finishExplain — into the merged snapshot,
+		// which is already frozen.
+		workers[0].timeline.Stamp(merged.Explain)
+		rep := ResolveExplain(prog, merged.Explain, merged.Coverage)
+		for _, reason := range obs.ReasonPrecedence {
+			n := rep.Buckets[reason]
+			if n == 0 {
+				continue
+			}
+			if metrics != nil {
+				metrics.Counters[obs.UncoveredPrefix+reason] += int64(n)
+			}
+			if o.Observer != nil {
+				workers[0].emit(obs.Event{Kind: obs.UncoveredReason, Run: merged.Runs,
+					Reason: reason, Count: n})
+			}
+		}
+	}
 	merged.Stopped = shared.stopReason()
 	if merged.Stopped == "" {
 		if exhausted {

@@ -72,10 +72,11 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		Coverage:        coverage.New(prog.NumSites),
 	}
 	metrics := newMetrics(o)
-	defer func() {
-		report.Elapsed = time.Since(start)
-		report.Metrics = metrics.Snapshot()
-	}()
+	// The random baseline attempts no flips, so its explainer output is
+	// the timeline (coverage progress and stalls are just as meaningful
+	// for random testing) over an empty cause ledger: reached-but-dark
+	// directions honestly resolve to "not-attempted".
+	tl := newTimeline(o)
 	// emit forwards trace events behind the same observer isolation the
 	// directed engine uses: a panicking sink becomes an InternalError
 	// and observation is disabled for the rest of the campaign.
@@ -97,6 +98,22 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		ev.Fn = o.Toplevel
 		sink.Event(ev)
 	}
+	defer func() {
+		if tl != nil {
+			snap := &obs.ExplainSnapshot{Workers: 1}
+			tl.Stamp(snap)
+			report.Explain = snap
+			rep := ResolveExplain(prog, snap, report.Coverage)
+			for _, reason := range obs.ReasonPrecedence {
+				if n := rep.Buckets[reason]; n > 0 {
+					metrics.Add(obs.UncoveredPrefix+reason, int64(n))
+					emit(obs.Event{Kind: obs.UncoveredReason, Run: report.Runs, Reason: reason, Count: n})
+				}
+			}
+		}
+		report.Elapsed = time.Since(start)
+		report.Metrics = metrics.Snapshot()
+	}()
 	seenBugs := map[string]bool{}
 	var deadline time.Time
 	if o.Timeout > 0 {
@@ -193,8 +210,15 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		report.Steps += m.Steps()
 		metrics.Add(obs.CRuns, 1)
 		metrics.Observe(obs.HStepsPerRun, m.Steps())
+		newly := 0
 		for _, rec := range m.Branches {
-			report.Coverage.Record(rec.Site, rec.Taken)
+			if report.Coverage.Record(rec.Site, rec.Taken) {
+				newly++
+			}
+		}
+		if st, fired := tl.Tick(newly, 0, 0); fired {
+			metrics.Add(obs.CStalls, 1)
+			emit(obs.Event{Kind: obs.CoverageStall, Run: int(st.Run), Covered: st.Covered, Window: st.Window})
 		}
 		if sink != nil {
 			emit(obs.Event{Kind: obs.RunEnd, Run: report.Runs, Steps: m.Steps(),

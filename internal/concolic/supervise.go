@@ -220,6 +220,9 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 			e.metrics.Add(obs.CSolveCacheHits, 1)
 			e.lastSolve.cache = "hit"
 			sol, verdict = hit.Model, hit.Verdict
+			if verdict == solver.Unsat && e.exp != nil {
+				e.lastSolve.unsatSlice = symbolic.PathConstraint(slice).StringNamed(e.varName)
+			}
 			if verdict == solver.Sat && pruned > 0 && !e.verifyTimed(pc, sol, hint) {
 				sol, verdict = nil, solver.Unsat
 				e.report.SolverComplete = false
@@ -243,6 +246,9 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 	var stats solver.Stats
 	sol, verdict, stats = solver.SolveWorkStats(slice, e.meta, hint, e.opts.SolverBudget)
 	work = stats.Work
+	if verdict == solver.Unsat && e.exp != nil {
+		e.lastSolve.unsatSlice = symbolic.PathConstraint(slice).StringNamed(e.varName)
+	}
 	if e.prof != nil {
 		d := time.Since(start)
 		e.prof.Span(obs.SpanSolve, d)
@@ -304,6 +310,14 @@ type solveInfo struct {
 	// cache hits and when profiling is off) — profiler-only telemetry,
 	// never emitted as an event.
 	solveNS int64
+	// unsatSlice is the genuine-unsat infeasibility proof for the
+	// coverage explainer: the solved slice rendered with stable input-key
+	// variable names (Var numbering is first-use order and races across
+	// parallel workers; key names do not).  Empty unless the explainer
+	// is on and the solver itself answered Unsat — verdicts downgraded
+	// to Unsat by post-solve verification or panic recovery are not
+	// proofs and leave it empty.
+	unsatSlice string
 }
 
 // verdictEvent builds the SolverVerdict event for the engine's most

@@ -16,18 +16,24 @@ func New(sites int) *Set {
 	return &Set{taken: map[int]bool{}, notTaken: map[int]bool{}, sites: sites}
 }
 
-// Record notes that site executed with the given outcome.  Negative
-// sites (the machine's pointer-shape Decision records, which are not
-// program branch sites) are ignored.
-func (s *Set) Record(site int, taken bool) {
+// Record notes that site executed with the given outcome, reporting
+// whether the direction is newly covered (the coverage-explainer
+// timeline ticks on exactly these transitions).  Negative sites (the
+// machine's pointer-shape Decision records, which are not program
+// branch sites) are ignored.
+func (s *Set) Record(site int, taken bool) bool {
 	if site < 0 {
-		return
+		return false
 	}
+	m := s.notTaken
 	if taken {
-		s.taken[site] = true
-	} else {
-		s.notTaken[site] = true
+		m = s.taken
 	}
+	if m[site] {
+		return false
+	}
+	m[site] = true
+	return true
 }
 
 // Merge folds other's covered directions into s (set union).  The audit

@@ -1,0 +1,56 @@
+package coverage_test
+
+// Rendering regression tests for the annotated coverage report.
+
+import (
+	"strings"
+	"testing"
+
+	"dart"
+	"dart/internal/coverage"
+)
+
+// TestAnnotateHTMLEscapes: source text flows verbatim into the HTML
+// report's line spans and tooltips, so every metacharacter-bearing
+// line — `a < b && b > c`, quotes, ampersands — must be escaped in the
+// output; raw `<`, `>`, `&`, or `"` from the program would let a
+// hostile source file inject markup into the coverage page.
+func TestAnnotateHTMLEscapes(t *testing.T) {
+	src := `
+int esc(int a, int b) {
+	if (a < b && b > 40) {
+		return 1;
+	}
+	if (a > 0 && b < 9) {
+		return 2;
+	}
+	return 0;
+}
+`
+	prog, err := dart.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dart.Run(prog, dart.Options{Toplevel: "esc", MaxRuns: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(coverage.Annotate(src, coverage.ProgSites(prog.IR), rep.Coverage).HTML())
+
+	for _, raw := range []string{"a < b", "b > 40", "&& b", "b < 9"} {
+		if strings.Contains(page, raw) {
+			t.Errorf("HTML report carries unescaped source %q", raw)
+		}
+	}
+	for _, esc := range []string{"a &lt; b", "b &gt; 40", "&amp;&amp; b", "b &lt; 9"} {
+		if !strings.Contains(page, esc) {
+			t.Errorf("HTML report missing escaped form %q", esc)
+		}
+	}
+	// Covered-line markup survives alongside the escaping: the guarded
+	// lines are annotated, not dropped.
+	if !strings.Contains(page, `class="full"`) && !strings.Contains(page, `class="partial"`) &&
+		!strings.Contains(page, `class="none"`) {
+		t.Errorf("HTML report has no annotated line spans:\n%s", page)
+	}
+}

@@ -239,7 +239,7 @@ func TestBranchPredPolarity(t *testing.T) {
 	for _, c := range cases {
 		m, x := evalMachine(t, 5)
 		cond := &ir.Bin{Op: c.op, A: x, B: &ir.Const{V: 9}}
-		p, ok := m.branchPred(cond, 0, c.taken)
+		p, ok, _ := m.branchPred(cond, 0, c.taken)
 		if !ok {
 			t.Fatalf("%v taken=%v: no predicate", c.op, c.taken)
 		}
@@ -256,7 +256,7 @@ func TestBranchPredThroughNot(t *testing.T) {
 	m, x := evalMachine(t, 5)
 	cond := &ir.Un{Op: ir.Not, A: &ir.Bin{Op: ir.Eq, A: x, B: &ir.Const{V: 9}}}
 	// !(x == 9) taken  ⇔  x == 9 not taken  ⇔  x - 9 != 0.
-	p, ok := m.branchPred(cond, 0, true)
+	p, ok, _ := m.branchPred(cond, 0, true)
 	if !ok || p.Rel != symbolic.NE {
 		t.Errorf("pred %v ok=%v", p, ok)
 	}
@@ -265,11 +265,11 @@ func TestBranchPredThroughNot(t *testing.T) {
 func TestBranchPredPlainValue(t *testing.T) {
 	m, x := evalMachine(t, 5)
 	// if (x): taken ⇒ x != 0; not taken ⇒ x == 0.
-	p, ok := m.branchPred(x, 0, true)
+	p, ok, _ := m.branchPred(x, 0, true)
 	if !ok || p.Rel != symbolic.NE {
 		t.Errorf("taken: %v ok=%v", p, ok)
 	}
-	p, ok = m.branchPred(x, 0, false)
+	p, ok, _ = m.branchPred(x, 0, false)
 	if !ok || p.Rel != symbolic.EQ {
 		t.Errorf("not taken: %v ok=%v", p, ok)
 	}
@@ -278,7 +278,7 @@ func TestBranchPredPlainValue(t *testing.T) {
 func TestBranchPredConstant(t *testing.T) {
 	m, _ := evalMachine(t, 5)
 	cond := &ir.Bin{Op: ir.Eq, A: &ir.Const{V: 1}, B: &ir.Const{V: 1}}
-	if _, ok := m.branchPred(cond, 0, true); ok {
+	if _, ok, _ := m.branchPred(cond, 0, true); ok {
 		t.Error("constant condition should have no predicate")
 	}
 	if !m.AllLinear() {

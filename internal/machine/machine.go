@@ -87,7 +87,16 @@ type BranchRec struct {
 	Taken   bool
 	Pred    symbolic.Pred
 	HasPred bool
-	Pos     token.Pos
+	// Fallback classifies why HasPred is false ("" otherwise):
+	// "nonlinear" (the condition left the linear theory at this branch,
+	// or upstream of it while all_linear was already cleared), "pointer"
+	// (the condition depends on memory read through an indefinite
+	// location), or "concrete" (the condition does not depend on inputs
+	// at all).  The split between the first two is best-effort when the
+	// condition's symbolic value was dropped upstream: the machine's
+	// completeness flags say which regime the run had already left.
+	Fallback string
+	Pos      token.Pos
 	// Decision marks a synthetic record emitted when the program first
 	// reads a pointer input: the NULL-vs-allocate coin toss enters the
 	// search tree so the directed search can flip input shapes
@@ -724,8 +733,8 @@ func (m *Machine) doBranch(ins *ir.IfGoto, frame int64) (bool, *RunError) {
 		return false, m.memErr(err, ins.Pos)
 	}
 	taken := cv != 0
-	pred, hasPred := m.branchPred(ins.Cond, frame, taken)
-	rec := BranchRec{Site: ins.Site, Taken: taken, Pred: pred, HasPred: hasPred, Pos: ins.Pos}
+	pred, hasPred, fallback := m.branchPred(ins.Cond, frame, taken)
+	rec := BranchRec{Site: ins.Site, Taken: taken, Pred: pred, HasPred: hasPred, Fallback: fallback, Pos: ins.Pos}
 	m.Branches = append(m.Branches, rec)
 	if m.onBranch != nil {
 		if herr := m.onBranch(rec); herr != nil {
@@ -737,8 +746,9 @@ func (m *Machine) doBranch(ins *ir.IfGoto, frame int64) (bool, *RunError) {
 
 // branchPred derives the path-constraint predicate for a condition under
 // the branch actually taken.  It returns hasPred=false when the condition
-// does not depend on inputs (constant) or fell outside the theory.
-func (m *Machine) branchPred(cond ir.Expr, frame int64, taken bool) (symbolic.Pred, bool) {
+// does not depend on inputs (constant) or fell outside the theory, with
+// the BranchRec.Fallback classification as the third result.
+func (m *Machine) branchPred(cond ir.Expr, frame int64, taken bool) (symbolic.Pred, bool, string) {
 	switch c := cond.(type) {
 	case *ir.Un:
 		if c.Op == ir.Not {
@@ -746,36 +756,81 @@ func (m *Machine) branchPred(cond ir.Expr, frame int64, taken bool) (symbolic.Pr
 		}
 	case *ir.Bin:
 		if c.Op.IsComparison() {
+			linBefore, locBefore := m.allLinear, m.allLocsDefinite
 			la := m.evalSymbolic(c.A, frame)
 			lb := m.evalSymbolic(c.B, frame)
 			if la == nil || lb == nil {
-				return symbolic.Pred{}, false
+				return symbolic.Pred{}, false, m.fallbackKind()
 			}
 			if la.IsConst() && lb.IsConst() {
-				return symbolic.Pred{}, false
+				return symbolic.Pred{}, false, m.constFallback(linBefore, locBefore)
 			}
 			diff := symbolic.Sub(la, lb)
 			if diff == nil {
 				m.clearAllLinear()
-				return symbolic.Pred{}, false
+				return symbolic.Pred{}, false, FallbackNonlinear
 			}
 			rel := relOf(c.Op)
 			p := symbolic.Pred{L: diff, Rel: rel}
 			if !taken {
 				p = p.Negate()
 			}
-			return p, true
+			return p, true, ""
 		}
 	}
+	linBefore, locBefore := m.allLinear, m.allLocsDefinite
 	l := m.evalSymbolic(cond, frame)
-	if l == nil || l.IsConst() {
-		return symbolic.Pred{}, false
+	if l == nil {
+		return symbolic.Pred{}, false, m.fallbackKind()
+	}
+	if l.IsConst() {
+		return symbolic.Pred{}, false, m.constFallback(linBefore, locBefore)
 	}
 	p := symbolic.Pred{L: l, Rel: symbolic.NE}
 	if !taken {
 		p = symbolic.Pred{L: l, Rel: symbolic.EQ}
 	}
-	return p, true
+	return p, true, ""
+}
+
+// BranchRec.Fallback values.
+const (
+	FallbackNonlinear = "nonlinear"
+	FallbackPointer   = "pointer"
+	FallbackConcrete  = "concrete"
+)
+
+// fallbackKind classifies an untracked condition value: when a
+// completeness flag is already down, the regime the run left is the
+// best available attribution; with both flags up the value simply
+// never depended on inputs.
+func (m *Machine) fallbackKind() string {
+	switch {
+	case !m.allLocsDefinite:
+		return FallbackPointer
+	case !m.allLinear:
+		return FallbackNonlinear
+	default:
+		return FallbackConcrete
+	}
+}
+
+// constFallback classifies a condition whose sides all evaluated to
+// constants.  Falling outside the theory replaces a symbolic value with
+// its concrete one (Fig. 1's simplification), so constness after a flag
+// dropped DURING this condition's own evaluation is the fallback's
+// artifact, not input-independence — attribute it to the regime that
+// was just left.  Constness with no in-condition transition is honestly
+// concrete.
+func (m *Machine) constFallback(linBefore, locBefore bool) string {
+	switch {
+	case locBefore && !m.allLocsDefinite:
+		return FallbackPointer
+	case linBefore && !m.allLinear:
+		return FallbackNonlinear
+	default:
+		return FallbackConcrete
+	}
 }
 
 func relOf(op ir.Op) symbolic.Rel {

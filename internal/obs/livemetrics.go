@@ -93,6 +93,10 @@ func (l *LiveMetrics) Event(ev Event) {
 		if ev.Status == "cached" {
 			l.m.Add(CJobsCached, 1)
 		}
+	case CoverageStall:
+		l.m.Add(CStalls, 1)
+	case UncoveredReason:
+		l.m.Add(UncoveredPrefix+ev.Reason, int64(ev.Count))
 	case FallbackConcrete:
 		switch ev.Flag {
 		case "all_linear":

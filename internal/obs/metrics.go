@@ -48,6 +48,12 @@ const (
 	CJobsRetried   = "jobs_retried"
 	CJobsCompleted = "jobs_completed"
 	CJobsCached    = "jobs_cached"
+	// Coverage explainer: plateau events the stall detector fired.
+	// Per-reason dark-direction counts are dynamic counters named
+	// UncoveredPrefix + reason (e.g. "uncovered_solver-unsat"); the
+	// Prometheus exposition folds them into one labeled family,
+	// dart_uncovered_total{reason=...}.
+	CStalls = "coverage_stalls"
 
 	// Histograms.
 	HSolverLatencyUS = "solver_latency_us"
@@ -63,6 +69,10 @@ const (
 	// its configured depth (and therefore to shedding load).
 	HJobQueueDepth = "job_queue_depth"
 )
+
+// UncoveredPrefix prefixes the per-reason explain counters (see
+// CStalls above).
+const UncoveredPrefix = "uncovered_"
 
 // powers-of-two style upper bounds for each standard histogram; the
 // last implicit bucket is +Inf.

@@ -94,6 +94,19 @@ const (
 	// are the service's honest load-shedding signal — every 429/413/503
 	// on POST /jobs emits exactly one.
 	JobRejected Kind = "job-rejected"
+	// CoverageStall: the explainer's plateau detector saw branch
+	// coverage flat for a further full window of runs (Runs = completed
+	// runs, Covered = the flat direction count, Window = the configured
+	// window).  Fires once per full window and re-arms when coverage
+	// moves.  Run counts, not wall clock: the payload stays
+	// deterministic for a fixed schedule.
+	CoverageStall Kind = "coverage-stall"
+	// UncoveredReason: one resolved reason bucket of a finished search's
+	// coverage explanation (Reason = the bucket, Count = its dark
+	// direction count).  Emitted once per non-zero bucket at search end,
+	// mirroring the report's explain ledger, so LiveMetrics can expose
+	// dart_uncovered_total{reason=...} without replaying the ledger.
+	UncoveredReason Kind = "uncovered-reason"
 )
 
 // Event is one structured trace record.  A single flat struct (rather
@@ -169,8 +182,18 @@ type Event struct {
 	Status string `json:"status,omitempty"`
 	// Bugs is the bug count of an AuditFnEnd.
 	Bugs int `json:"bugs,omitempty"`
-	// Runs is the run count of an AuditFnEnd.
+	// Runs is the run count of an AuditFnEnd, and the completed-run
+	// count of a CoverageStall.
 	Runs int `json:"runs,omitempty"`
+	// Reason is the explain bucket of an UncoveredReason event.
+	Reason string `json:"reason,omitempty"`
+	// Count is the dark-direction count of an UncoveredReason event.
+	Count int `json:"count,omitempty"`
+	// Window is the stall detector's plateau window (runs) on a
+	// CoverageStall.
+	Window int64 `json:"window,omitempty"`
+	// Covered is the flat covered-direction count on a CoverageStall.
+	Covered int `json:"covered,omitempty"`
 }
 
 // Sink receives trace events.  Implementations used from a parallel

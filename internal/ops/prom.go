@@ -3,13 +3,19 @@
 // Prometheus and its ecosystem scrape.  Counters become
 // dart_<name>_total, histograms become native Prometheus histograms
 // with cumulative le buckets; map iteration is sorted so consecutive
-// scrapes of an idle server are byte-identical.
+// scrapes of an idle server are byte-identical.  Uncovered-direction
+// reason counters (the obs.UncoveredPrefix family) fold into one
+// labeled dart_uncovered_total{reason="..."} series, and every scrape
+// carries a dart_build_info gauge identifying the binary.
 package ops
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 
 	"dart/internal/obs"
 )
@@ -17,13 +23,25 @@ import (
 // writeProm renders the snapshot and the gauge map.
 func writeProm(w io.Writer, snap *obs.Snapshot, gauges map[string]float64) {
 	names := make([]string, 0, len(snap.Counters))
+	var reasons []string
 	for name := range snap.Counters {
+		if strings.HasPrefix(name, obs.UncoveredPrefix) {
+			reasons = append(reasons, strings.TrimPrefix(name, obs.UncoveredPrefix))
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(w, "# TYPE dart_%s_total counter\n", name)
 		fmt.Fprintf(w, "dart_%s_total %d\n", name, snap.Counters[name])
+	}
+	if len(reasons) > 0 {
+		sort.Strings(reasons)
+		fmt.Fprintf(w, "# TYPE dart_uncovered_total counter\n")
+		for _, reason := range reasons {
+			fmt.Fprintf(w, "dart_uncovered_total{reason=%q} %d\n", reason, snap.Counters[obs.UncoveredPrefix+reason])
+		}
 	}
 
 	hnames := make([]string, 0, len(snap.Histograms))
@@ -56,4 +74,25 @@ func writeProm(w io.Writer, snap *obs.Snapshot, gauges map[string]float64) {
 		fmt.Fprintf(w, "# TYPE dart_%s gauge\n", name)
 		fmt.Fprintf(w, "dart_%s %g\n", name, gauges[name])
 	}
+
+	writeBuildInfo(w)
+}
+
+// writeBuildInfo emits the dart_build_info identity gauge: Go version,
+// GOMAXPROCS, and the module version when the binary carries one (test
+// binaries and devel builds report "(devel)" or "unknown").
+func writeBuildInfo(w io.Writer) {
+	goVersion := runtime.Version()
+	modVersion := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		if bi.Main.Version != "" {
+			modVersion = bi.Main.Version
+		}
+	}
+	fmt.Fprintf(w, "# TYPE dart_build_info gauge\n")
+	fmt.Fprintf(w, "dart_build_info{go_version=%q,gomaxprocs=\"%d\",module_version=%q} 1\n",
+		goVersion, runtime.GOMAXPROCS(0), modVersion)
 }

@@ -21,6 +21,10 @@
 //	                readers drop events, never block the engine)
 //	/coverage       annotated source branch-coverage report
 //	                (?format=html for the HTML page)
+//	/explain        resolved coverage explanation: every branch direction
+//	                of the program covered or carrying exactly one "why
+//	                not" reason, grouped per function (?format=annot for
+//	                the source-annotated text view)
 //	/profile        JSON search-cost profile: per-phase wall breakdown
 //	                and per-branch-site solver time/work from reported
 //	                snapshots, plus live event-derived site attribution
@@ -66,6 +70,11 @@ type Config struct {
 	Functions []string
 	// RingSize bounds the /events buffer (default 4096 events).
 	RingSize int
+	// Heartbeat is the keep-alive interval for /events?follow=1
+	// (default 15s; negative disables): after every interval of
+	// idleness the stream carries an ops-heartbeat meta line, so
+	// proxies and slow consumers do not reap a healthy tail.
+	Heartbeat time.Duration
 	// ReadHeaderTimeout, ReadTimeout, IdleTimeout, and MaxHeaderBytes
 	// harden the listener against slow or abusive clients: without them
 	// one client trickling a request header pins a connection (and its
@@ -84,6 +93,7 @@ const (
 	defaultReadTimeout       = 30 * time.Second
 	defaultIdleTimeout       = 120 * time.Second
 	defaultMaxHeaderBytes    = 64 << 10
+	defaultHeartbeat         = 15 * time.Second
 )
 
 // liveTreeMaxNodes bounds the /profile flamegraph's execution-tree
@@ -131,6 +141,10 @@ type Server struct {
 	// prof merges the engine-side profile snapshots handed to
 	// ReportProfile — the timing-bearing half of /profile.
 	prof *obs.ProfileSnapshot
+	// exp merges the engine-side explainer ledgers handed to
+	// ReportExplain; /explain resolves the merged ledger against the
+	// merged coverage and the configured site universe on demand.
+	exp *obs.ExplainSnapshot
 
 	// ready is the readiness hook (nil = always ready); extra provides
 	// additional /metrics gauges; attached are extra endpoint handlers
@@ -344,6 +358,21 @@ func (s *Server) ReportProfile(snap *obs.ProfileSnapshot) {
 	s.mu.Unlock()
 }
 
+// ReportExplain merges a finished search's coverage-explainer ledger
+// into the merged ledger behind /explain.  Safe from any audit worker;
+// nil snapshots (explainer off) are ignored.
+func (s *Server) ReportExplain(snap *obs.ExplainSnapshot) {
+	if snap == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.exp == nil {
+		s.exp = &obs.ExplainSnapshot{}
+	}
+	s.exp.Merge(snap)
+	s.mu.Unlock()
+}
+
 // Done marks the batch finished on /status.
 func (s *Server) Done() {
 	s.mu.Lock()
@@ -360,6 +389,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/coverage", s.handleCoverage)
+	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -517,6 +547,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			enc.Encode(map[string]any{"ev": "ops-drop", "dropped": d})
 		}
 	}
+	heartbeat := s.cfg.Heartbeat
+	if heartbeat == 0 {
+		heartbeat = defaultHeartbeat
+	}
+	lastWrite := time.Now()
 	for {
 		ev, ok := sub.next()
 		if !ok {
@@ -528,6 +563,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			// otherwise losses at the tail of a burst stay invisible
 			// until the next delivered event (which may never come).
 			emitDrops()
+			// An idle tail gets a keep-alive meta line per heartbeat
+			// interval, so proxies and slow consumers see a live stream
+			// even when the search is quiet.
+			if heartbeat > 0 && time.Since(lastWrite) >= heartbeat {
+				lastWrite = time.Now()
+				if err := enc.Encode(map[string]any{"ev": "ops-heartbeat"}); err != nil {
+					return
+				}
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -539,6 +583,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		emitDrops()
+		lastWrite = time.Now()
 		if err := enc.Encode(ev); err != nil {
 			return
 		}
@@ -576,6 +621,87 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	resp.Live.Sites = live.Sites
 	if resp.Live.Sites == nil {
 		resp.Live.Sites = []obs.SiteProfile{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// explainFn is the /explain entry for one function: its branch sites'
+// resolved outcomes, in site order.
+type explainFn struct {
+	Function string            `json:"function"`
+	Sites    []obs.SiteOutcome `json:"sites"`
+}
+
+// explainResp is the /explain JSON document: the whole-batch resolution
+// of the merged explainer ledger against the merged coverage, grouped
+// per function.
+type explainResp struct {
+	Directions     int            `json:"directions"`
+	Covered        int            `json:"covered"`
+	CoveredPercent float64        `json:"covered_percent"`
+	Buckets        map[string]int `json:"buckets,omitempty"`
+	Stalls         int64          `json:"stalls,omitempty"`
+	Functions      []explainFn    `json:"functions"`
+}
+
+// handleExplain serves the resolved coverage explanation.  Default:
+// per-function JSON.  ?format=annot renders the annotated source
+// coverage view followed by the per-direction reason table instead.
+// In job-service mode there is no single program (cfg.Sites is empty),
+// so the document is empty there — per-job explanations live on the
+// job envelopes, and the reason buckets on /metrics.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	refs := make([]obs.ExplainSiteRef, len(s.cfg.Sites))
+	for i, si := range s.cfg.Sites {
+		refs[i] = obs.ExplainSiteRef{Site: si.Site, Fn: si.Fn, Pos: si.Pos.String()}
+	}
+	s.mu.Lock()
+	set := s.cov.Clone()
+	snap := s.exp
+	var stalls int64
+	if snap != nil {
+		stalls = snap.Stalls
+	}
+	rep := snap.Resolve(refs, func(site int, taken bool) bool {
+		tk, ntk := set.Site(site)
+		if taken {
+			return tk
+		}
+		return ntk
+	})
+	s.mu.Unlock()
+
+	if r.URL.Query().Get("format") == "annot" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cov := coverage.Annotate(s.cfg.Source, s.cfg.Sites, set)
+		w.Write([]byte(cov.Text()))
+		w.Write([]byte("\n"))
+		w.Write([]byte(rep.Table(0)))
+		return
+	}
+
+	resp := explainResp{
+		Directions:     rep.Directions,
+		Covered:        rep.Covered,
+		CoveredPercent: rep.CoveredPercent(),
+		Buckets:        rep.Buckets,
+		Stalls:         stalls,
+		Functions:      []explainFn{},
+	}
+	// Group resolved sites per containing function, preserving site
+	// order within and first-appearance order across functions.
+	byFn := map[string]int{}
+	for _, so := range rep.Sites {
+		i, ok := byFn[so.Fn]
+		if !ok {
+			i = len(resp.Functions)
+			byFn[so.Fn] = i
+			resp.Functions = append(resp.Functions, explainFn{Function: so.Fn})
+		}
+		resp.Functions[i].Sites = append(resp.Functions[i].Sites, so)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -1,0 +1,199 @@
+package ops_test
+
+// GET /explain tests: the resolved coverage-explanation document (the
+// merged explainer ledger against the merged live coverage and the
+// configured site universe), the ?format=annot rendering, the
+// dart_uncovered_total{reason} and dart_build_info /metrics families,
+// and the /events?follow=1 keep-alive heartbeat.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"dart"
+)
+
+type explainDoc struct {
+	Directions     int            `json:"directions"`
+	Covered        int            `json:"covered"`
+	CoveredPercent float64        `json:"covered_percent"`
+	Buckets        map[string]int `json:"buckets"`
+	Functions      []struct {
+		Function string             `json:"function"`
+		Sites    []dart.SiteOutcome `json:"sites"`
+	} `json:"functions"`
+}
+
+func TestServerExplainEndpoint(t *testing.T) {
+	prog, err := dart.Compile(auditSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dart.ServeOps(dart.OpsConfig{
+		Addr:      "127.0.0.1:0",
+		Mode:      "directed",
+		Source:    auditSrc,
+		Sites:     dart.BranchSites(prog),
+		NumSites:  prog.IR.NumSites,
+		Functions: []string{"h"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	decode := func(body string) explainDoc {
+		t.Helper()
+		var doc explainDoc
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("/explain not JSON: %v\n%s", err, body)
+		}
+		return doc
+	}
+
+	// Before any search: the full site universe resolves honestly —
+	// nothing covered, every direction never-reached, totals closed.
+	_, body := get(t, base+"/explain")
+	idle := decode(body)
+	if idle.Directions == 0 || idle.Covered != 0 {
+		t.Fatalf("idle /explain: %+v", idle)
+	}
+	if idle.Buckets["never-reached"] != idle.Directions {
+		t.Errorf("idle buckets = %v, want all %d never-reached", idle.Buckets, idle.Directions)
+	}
+
+	rep, err := dart.Run(prog, dart.Options{
+		Toplevel:       "h",
+		MaxRuns:        500,
+		Seed:           3,
+		Observer:       srv.Sink(),
+		CollectExplain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explain == nil {
+		t.Fatal("search collected no explain ledger")
+	}
+	srv.ReportCoverage(rep.Coverage)
+	srv.ReportExplain(rep.Explain)
+	srv.Done()
+
+	_, body = get(t, base+"/explain")
+	doc := decode(body)
+	if doc.Directions != idle.Directions {
+		t.Errorf("direction universe moved: %d -> %d", idle.Directions, doc.Directions)
+	}
+	if doc.Covered == 0 {
+		t.Fatalf("search covered nothing according to /explain:\n%s", body)
+	}
+	sum := doc.Covered
+	for _, n := range doc.Buckets {
+		sum += n
+	}
+	if sum != doc.Directions {
+		t.Errorf("accounting leak: covered %d + buckets = %d, want %d (buckets %v)",
+			doc.Covered, sum, doc.Directions, doc.Buckets)
+	}
+	// g was never run: all of its directions are never-reached, and the
+	// per-function grouping carries both functions.
+	fns := map[string]int{}
+	for _, fn := range doc.Functions {
+		fns[fn.Function] = len(fn.Sites)
+	}
+	if fns["h"] == 0 || fns["g"] == 0 {
+		t.Errorf("per-function grouping = %v, want h and g", fns)
+	}
+	if doc.Buckets["never-reached"] == 0 {
+		t.Errorf("unreached g produced no never-reached bucket: %v", doc.Buckets)
+	}
+
+	// ?format=annot: the annotated-source coverage view plus the reason
+	// table, as text.
+	code, annot := get(t, base+"/explain?format=annot")
+	if code != http.StatusOK {
+		t.Fatalf("/explain?format=annot: %d", code)
+	}
+	for _, want := range []string{"coverage explanation:", "never-reached"} {
+		if !strings.Contains(annot, want) {
+			t.Errorf("annot view missing %q:\n%s", want, annot)
+		}
+	}
+
+	// /metrics: the reason buckets as one labeled counter family, plus
+	// the build-info identity gauge on every scrape.
+	_, page := get(t, base+"/metrics")
+	reasonRe := regexp.MustCompile(`(?m)^dart_uncovered_total\{reason="([a-z-]+)"\} (\d+)$`)
+	found := map[string]string{}
+	for _, m := range reasonRe.FindAllStringSubmatch(page, -1) {
+		found[m[1]] = m[2]
+	}
+	if len(found) == 0 {
+		t.Errorf("/metrics has no dart_uncovered_total{reason} family:\n%s", page)
+	}
+	if !regexp.MustCompile(`(?m)^dart_build_info\{go_version="go[^"]+",gomaxprocs="\d+",module_version="[^"]+"\} 1$`).MatchString(page) {
+		t.Errorf("/metrics missing dart_build_info gauge:\n%s", page)
+	}
+}
+
+// TestServerEventsFollowHeartbeat: an idle follow stream still writes —
+// ops-heartbeat meta lines at the configured cadence — so proxies and
+// slow consumers do not reap a healthy connection.
+func TestServerEventsFollowHeartbeat(t *testing.T) {
+	srv, err := dart.ServeOps(dart.OpsConfig{
+		Addr:      "127.0.0.1:0",
+		Mode:      "directed",
+		Heartbeat: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type lineOrErr struct {
+		line string
+		err  error
+	}
+	ch := make(chan lineOrErr, 8)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			ch <- lineOrErr{line: sc.Text()}
+		}
+		ch <- lineOrErr{err: sc.Err()}
+	}()
+
+	beats := 0
+	deadline := time.After(10 * time.Second)
+	for beats < 2 {
+		select {
+		case got := <-ch:
+			if got.err != nil {
+				t.Fatalf("follow stream: %v", got.err)
+			}
+			var ev struct {
+				Ev string `json:"ev"`
+			}
+			if err := json.Unmarshal([]byte(got.line), &ev); err != nil {
+				t.Fatalf("follow line not JSON: %v\n%s", err, got.line)
+			}
+			if ev.Ev == "ops-heartbeat" {
+				beats++
+			}
+		case <-deadline:
+			t.Fatalf("saw %d heartbeats within 10s, want >= 2", beats)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+// Coverage-explainer and keep-alive tests for the job service: the
+// per-job explain report on the envelope (execution data, absent on
+// store-served jobs) and the SSE heartbeat that keeps idle streams
+// alive through proxies and slow consumers.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dart/internal/obs"
+	"dart/internal/progs"
+)
+
+// explainEnv is the explain subset of the job envelope.
+type explainEnv struct {
+	ID      string             `json:"id"`
+	State   string             `json:"state"`
+	Cached  bool               `json:"cached"`
+	Explain *obs.ExplainReport `json:"explain"`
+}
+
+func decodeExplainEnv(t *testing.T, body string) explainEnv {
+	t.Helper()
+	var env explainEnv
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("envelope: %v\n%s", err, body)
+	}
+	return env
+}
+
+// TestJobEnvelopeCarriesExplain: a freshly executed job's envelope
+// resolves the search's coverage explanation — every branch direction
+// covered or exactly one reason — while a store-served resubmission
+// (which never executed) carries none, mirroring the profile rule.
+func TestJobEnvelopeCarriesExplain(t *testing.T) {
+	_, ts := newHTTPService(t, Config{})
+
+	id := submitOne(t, ts.URL)
+	resp, body := get(t, ts.URL+"/jobs/"+id+"?wait=30")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait: %d\n%s", resp.StatusCode, body)
+	}
+	env := decodeExplainEnv(t, body)
+	if env.State != "done" || env.Explain == nil {
+		t.Fatalf("fresh job envelope: state=%q explain=%v", env.State, env.Explain)
+	}
+	rep := env.Explain
+	if rep.Directions == 0 || rep.Directions%2 != 0 {
+		t.Fatalf("direction universe = %d", rep.Directions)
+	}
+	sum := rep.Covered
+	for _, n := range rep.Buckets {
+		sum += n
+	}
+	if sum != rep.Directions {
+		t.Errorf("accounting leak: covered %d + buckets = %d, want %d (buckets %v)",
+			rep.Covered, sum, rep.Directions, rep.Buckets)
+	}
+
+	// Identical resubmission: served from the store, no explain.
+	resp, body = post(t, ts.URL+"/jobs?runs=100", progs.Section21)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached POST: %d\n%s", resp.StatusCode, body)
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal([]byte(body), &sub); err != nil || !sub.Cached {
+		t.Fatalf("cached submit: %v\n%s", err, body)
+	}
+	_, body = get(t, ts.URL+"/jobs/"+sub.ID)
+	if env := decodeExplainEnv(t, body); !env.Cached || env.Explain != nil {
+		t.Fatalf("cached envelope: cached=%v explain=%+v", env.Cached, env.Explain)
+	}
+}
+
+// TestJobSSEHeartbeat: while a job stream has nothing to say, the
+// server emits ": keep-alive" SSE comments at the configured cadence,
+// so idle connections survive proxy timeouts; the terminal done event
+// still arrives afterward.  A slow consumer only delays itself — the
+// comment lines are valid SSE that clients must ignore.
+func TestJobSSEHeartbeat(t *testing.T) {
+	g := newGate()
+	svc, ts := newHTTPService(t, Config{Executors: 1, Heartbeat: 30 * time.Millisecond})
+	svc.beforeRun = func(j *Job) { g.hold(j) }
+	defer g.release()
+
+	id := submitOne(t, ts.URL)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/jobs/"+id, nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type line struct{ text string }
+	lines := make(chan line, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines <- line{sc.Text()}
+		}
+	}()
+
+	// The held job streams no events after the initial state, so the
+	// next traffic must be heartbeats.  Slow-consume deliberately: read
+	// with pauses and require at least two beats.
+	beats, sawDone := 0, false
+	deadline := time.After(10 * time.Second)
+collect:
+	for beats < 2 {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatal("stream ended before two heartbeats")
+			}
+			if strings.HasPrefix(l.text, ": keep-alive") {
+				beats++
+				time.Sleep(10 * time.Millisecond)
+			}
+		case <-deadline:
+			break collect
+		}
+	}
+	if beats < 2 {
+		t.Fatalf("saw %d heartbeats within 10s, want >= 2", beats)
+	}
+
+	g.release()
+	deadline = time.After(30 * time.Second)
+	for !sawDone {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatal("stream ended without a done event")
+			}
+			if l.text == "event: done" {
+				sawDone = true
+			}
+		case <-deadline:
+			t.Fatal("no done event within 30s of release")
+		}
+	}
+}

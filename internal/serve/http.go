@@ -9,13 +9,16 @@
 //	                      Retry-After while draining.
 //	GET  /jobs            list live job records (admission order)
 //	GET  /jobs/{id}       one job's envelope: state, timing, stop reason,
-//	                      cached marker, and — when done — the report and
-//	                      the job's cost profile.  ?wait=SECONDS long-polls
+//	                      cached marker, and — when done — the report, the
+//	                      job's cost profile, and its resolved coverage
+//	                      explanation.  ?wait=SECONDS long-polls
 //	                      until completion (or the timeout, returning the
 //	                      current envelope either way); with
 //	                      Accept: text/event-stream the handler streams
 //	                      SSE instead: an immediate "state" event, then a
-//	                      "done" event carrying the completed envelope.
+//	                      "done" event carrying the completed envelope,
+//	                      with a keep-alive comment frame every
+//	                      Config.Heartbeat of idleness in between.
 //	                      Blocking waiters are bounded by Config.MaxWaiters;
 //	                      past the cap a wait request gets 429 + Retry-After.
 //
@@ -182,6 +185,11 @@ type jobEnvelope struct {
 	// carries wall-clock, so it can never live inside the cacheable
 	// report, and cache-served jobs have none.
 	Profile *obs.ProfileSnapshot `json:"profile,omitempty"`
+	// Explain is the job's resolved coverage explanation: every branch
+	// direction of the submitted program covered or carrying exactly one
+	// "why not" reason.  Envelope-only like Profile; cache-served jobs
+	// have none.
+	Explain *obs.ExplainReport `json:"explain,omitempty"`
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -270,10 +278,26 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, j *Job) {
 	writeSSE(w, "state", j.envelope())
 	flusher.Flush()
 	if !done {
-		select {
-		case <-j.Done():
-		case <-r.Context().Done():
-			return
+		// While the stream waits on completion, a keep-alive comment
+		// frame goes out after every Heartbeat of idleness so proxies
+		// and slow consumers do not reap a healthy stream.
+		var beat <-chan time.Time
+		if s.cfg.Heartbeat > 0 {
+			t := time.NewTicker(s.cfg.Heartbeat)
+			defer t.Stop()
+			beat = t.C
+		}
+	wait:
+		for {
+			select {
+			case <-j.Done():
+				break wait
+			case <-beat:
+				fmt.Fprint(w, ": keep-alive\n\n")
+				flusher.Flush()
+			case <-r.Context().Done():
+				return
+			}
 		}
 	}
 	writeSSE(w, "done", j.envelope())
@@ -302,6 +326,7 @@ func (j *Job) envelope() jobEnvelope {
 		Retries:    j.retries,
 		Report:     json.RawMessage(j.report),
 		Profile:    j.profile,
+		Explain:    j.explain,
 	}
 	switch j.state {
 	case StateDone:

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"dart/internal/audit"
+	"dart/internal/concolic"
 	"dart/internal/iface"
 	"dart/internal/ir"
 	"dart/internal/machine"
@@ -59,6 +60,10 @@ const (
 	DefaultMaxWaiters   = 256
 	defaultMaxRetries   = 2
 	defaultRetryBackoff = 25 * time.Millisecond
+	// DefaultHeartbeat is the keep-alive interval on streaming responses
+	// (GET /jobs/{id} as SSE): a comment frame every interval of idleness
+	// keeps proxies and slow consumers from reaping a healthy stream.
+	DefaultHeartbeat = 15 * time.Second
 )
 
 // Config configures the job service.
@@ -114,6 +119,11 @@ type Config struct {
 	// the cap, wait requests degrade to 429 so slow readers cannot pin
 	// unbounded handler goroutines.
 	MaxWaiters int
+	// Heartbeat is the keep-alive interval for streaming responses
+	// (default DefaultHeartbeat; negative disables): an SSE comment
+	// frame is emitted after every interval of idleness while a stream
+	// waits on job completion.
+	Heartbeat time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -150,6 +160,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxWaiters == 0 {
 		out.MaxWaiters = DefaultMaxWaiters
+	}
+	if out.Heartbeat == 0 {
+		out.Heartbeat = DefaultHeartbeat
 	}
 	return out
 }
@@ -232,6 +245,12 @@ type Job struct {
 	// never inside the cacheable report, which must stay wall-clock
 	// free (see report.go) — so cache-served jobs have none.
 	profile *obs.ProfileSnapshot
+	// explain is the job's resolved coverage explanation — every branch
+	// direction of the submitted program accounted covered or carrying
+	// exactly one "why not" reason.  Resolved at completion against the
+	// job's compiled program (before its release) and served on the job
+	// envelope; cache-served jobs have none.
+	explain    *obs.ExplainReport
 	errMsg     string
 	stopReason string // "", "deadline", "drain", "internal-fault"
 	retries    int
@@ -657,6 +676,11 @@ func (s *Service) attempt(j *Job) (res *audit.Result, err error) {
 		// (wall-clock is fine there), and audits are long enough that
 		// the profiler's per-run clock reads are noise.
 		CollectProfile: true,
+		// And a coverage explanation: the resolved "why not covered"
+		// ledger is deterministic data, but it rides the envelope (not
+		// the cacheable report) because it is a derived view, not the
+		// report's identity.
+		CollectExplain: true,
 	})
 	return res, nil
 }
@@ -698,6 +722,14 @@ func (s *Service) finalize(j *Job, res *audit.Result, faultMsg string) {
 		{Phase: obs.SpanJobQueueWait, Count: 1, Nanos: queueWait.Nanoseconds()},
 	}})
 
+	// The job's coverage explanation, resolved while the compiled
+	// program (the site universe) is still alive — the release below is
+	// exactly why this cannot be deferred to request time.
+	var explain *obs.ExplainReport
+	if res != nil && res.Explain != nil && j.prog != nil {
+		explain = concolic.ResolveExplain(j.prog, res.Explain, res.Coverage)
+	}
+
 	s.mu.Lock()
 	s.running--
 	j.mu.Lock()
@@ -705,6 +737,7 @@ func (s *Service) finalize(j *Job, res *audit.Result, faultMsg string) {
 	j.report = bytes
 	j.errMsg = faultMsg
 	j.profile = profile
+	j.explain = explain
 	j.finished = time.Now()
 	j.prog, j.sem = nil, nil // release: memory stays bounded
 	j.mu.Unlock()
@@ -748,6 +781,14 @@ func (j *Job) Profile() *obs.ProfileSnapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.profile
+}
+
+// Explain returns the job's resolved coverage explanation (nil while
+// running and for cache-served jobs).
+func (j *Job) Explain() *obs.ExplainReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.explain
 }
 
 // cacheable reports whether rep may be served to future identical

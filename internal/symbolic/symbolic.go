@@ -329,6 +329,64 @@ func (p Pred) Holds(assign map[Var]int64) bool {
 
 func (p Pred) String() string { return fmt.Sprintf("%s %s 0", p.L, p.Rel) }
 
+// StringNamed renders the form with name supplying each variable's
+// display name (nil falls back to the x%d default).  Var numbering is
+// first-use order and races across parallel workers, so any rendering
+// that must be schedule-independent — the coverage explainer's unsat
+// slices — names variables by their stable input keys instead.
+func (l *Lin) StringNamed(name func(Var) string) string {
+	if l == nil {
+		return "<fallback>"
+	}
+	if name == nil {
+		return l.String()
+	}
+	var b strings.Builder
+	first := true
+	for _, v := range l.Vars() {
+		k := l.Coeffs[v]
+		n := name(v)
+		switch {
+		case first && k == 1:
+			b.WriteString(n)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", k, n)
+		case k == 1:
+			fmt.Fprintf(&b, " + %s", n)
+		case k == -1:
+			fmt.Fprintf(&b, " - %s", n)
+		case k > 0:
+			fmt.Fprintf(&b, " + %d*%s", k, n)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -k, n)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&b, "%d", l.Const)
+	case l.Const > 0:
+		fmt.Fprintf(&b, " + %d", l.Const)
+	case l.Const < 0:
+		fmt.Fprintf(&b, " - %d", -l.Const)
+	}
+	return b.String()
+}
+
+// StringNamed renders the predicate with named variables.
+func (p Pred) StringNamed(name func(Var) string) string {
+	return fmt.Sprintf("%s %s 0", p.L.StringNamed(name), p.Rel)
+}
+
+// StringNamed renders the conjunction with named variables.
+func (pc PathConstraint) StringNamed(name func(Var) string) string {
+	parts := make([]string, len(pc))
+	for i, p := range pc {
+		parts[i] = p.StringNamed(name)
+	}
+	return "(" + strings.Join(parts, ") ∧ (") + ")"
+}
+
 // PathConstraint is the ordered conjunction of branch predicates observed
 // along one execution.
 type PathConstraint []Pred

@@ -47,6 +47,21 @@ go test -count=1 -race -run 'TestJobWait|TestJobSSEStream|TestCachedJobHasNoProf
 # CLI end to end: -profile must print both cost tables and -json must
 # carry the structured profile object.
 go test -count=1 -run 'TestCLIProfile' .
+# Explainer gate (coverage accounting): the resolved explanation — one
+# terminal reason per uncovered direction — must be byte-identical at
+# -workers 1/2/8 under the race detector (verdicts are the
+# deterministic plane; the timeline is schedule texture), the stall
+# detector must fire exactly per flat window and stay off when
+# disabled, /explain + the per-job envelope explain must serve real
+# data, idle SSE streams must heartbeat, /metrics must carry the
+# dart_uncovered_total{reason} family and dart_build_info, and the
+# HTML coverage report must escape hostile source.
+go test -count=1 -race -run 'TestExplain' ./internal/concolic/
+go test -count=1 -run 'TestExplain|TestTimeline' ./internal/obs/
+go test -count=1 -race -run 'TestServerExplainEndpoint|TestServerEventsFollowHeartbeat' ./internal/ops/
+go test -count=1 -race -run 'TestJobEnvelopeCarriesExplain|TestJobSSEHeartbeat' ./internal/serve/
+go test -count=1 -run 'TestAnnotateHTML' ./internal/coverage/
+go test -count=1 -run 'TestCLIExplain' .
 tmp="$(mktemp -d)"
 cat > "$tmp/gate.mc" <<'EOF'
 int f(int x) { return 2 * x; }
@@ -59,4 +74,25 @@ int h(int x, int y) {
 }
 EOF
 go run -race ./cmd/dart -workers 4 -audit -seed 1 "$tmp/gate.mc" || [ "$?" -eq 1 ]
+# CLI explain determinism: the "explain" object of -json must not move
+# between the sequential engine (-workers 1) and the frontier pool
+# (-workers 4) on a tree-exhausting fixture.
+cat > "$tmp/explain.mc" <<'EOF'
+int blend(int x, int y) {
+    int r = 0;
+    if (x > 3) {
+        if (y == 7) {
+            if (y > 10) { r = 1; }
+        }
+        if (x + y > 50) { r = r + 2; }
+    }
+    return r;
+}
+EOF
+go run ./cmd/dart -top blend -explain -json -workers 1 "$tmp/explain.mc" \
+    | sed -n '/^  "explain": {/,/^  },$/p' > "$tmp/explain-w1.json"
+go run ./cmd/dart -top blend -explain -json -workers 4 "$tmp/explain.mc" \
+    | sed -n '/^  "explain": {/,/^  },$/p' > "$tmp/explain-w4.json"
+grep -q '"solver-unsat"' "$tmp/explain-w1.json"
+diff "$tmp/explain-w1.json" "$tmp/explain-w4.json"
 rm -rf "$tmp"
