@@ -317,20 +317,32 @@ func BenchmarkSolverHeavyGate(b *testing.B) {
 
 // BenchmarkMachineThroughput: raw concolic-execution speed — one full
 // depth-2 Dolev-Yao sweep (1228 runs) per iteration, reporting runs per
-// second (the paper's search did ~300 runs/s on 2005 hardware).
+// second (the paper's search did ~300 runs/s on 2005 hardware).  The
+// compiled/interp split is the PR 9 engine A/B: identical search (the
+// differential gate proves the reports byte-identical), only the
+// execution engine differs.  The BENCH_pr9.json gate requires compiled
+// ≥2× the BENCH_pr7 baseline with allocs/op down ≥10×.
 func BenchmarkMachineThroughput(b *testing.B) {
 	prog := benchProgram(b, protocols.Source(protocols.DolevYao, protocols.NoFix))
-	var runs, steps int64
-	for i := 0; i < b.N; i++ {
-		rep, err := Run(prog, Options{Toplevel: protocols.Toplevel, Depth: 2, MaxRuns: 5000, Seed: int64(i + 1)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		runs += int64(rep.Runs)
-		steps += rep.Steps
+	for _, v := range []struct {
+		name   string
+		interp bool
+	}{{"compiled", false}, {"interp", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			var runs, steps int64
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(prog, Options{Toplevel: protocols.Toplevel, Depth: 2,
+					MaxRuns: 5000, Seed: int64(i + 1), Interpreter: v.interp})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runs += int64(rep.Runs)
+				steps += rep.Steps
+			}
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+			b.ReportMetric(float64(steps)/float64(runs), "instructions/run")
+		})
 	}
-	b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
-	b.ReportMetric(float64(steps)/float64(runs), "instructions/run")
 }
 
 // BenchmarkProfileOverhead: the profiler's cost discipline as a direct

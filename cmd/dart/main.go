@@ -107,6 +107,8 @@ func run() int {
 		ifaceF   = flag.Bool("iface", false, "print the extracted interface")
 		dumpIR   = flag.Bool("dump-ir", false, "print compiled RAM-machine code")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		interpF  = flag.Bool("interp", false, "execute on the reference interpreter instead of the compiled engine")
+		xcheckF  = flag.Bool("xcheck", false, "differential gate: run the search under both engines and fail on any report divergence (disables the solve cache)")
 	)
 	flag.Parse()
 
@@ -165,6 +167,11 @@ func run() int {
 		}
 	}
 
+	if *xcheckF && (*auditF || *random) {
+		fmt.Fprintln(os.Stderr, "dart: -xcheck applies to a single directed search (drop -audit/-random)")
+		return 2
+	}
+
 	if *auditF {
 		srv, ok := startOps(*serveF, "audit", string(src), prog, dart.Functions(prog))
 		if !ok {
@@ -184,6 +191,7 @@ func run() int {
 			stallWindow: *stallF,
 			profile:     *profileF,
 			progress:    *progress,
+			interp:      *interpF,
 			trace:       trace,
 			serve:       srv,
 			covreport:   *covrepF,
@@ -269,6 +277,10 @@ func run() int {
 		// answers during any served search.
 		CollectExplain: *explainF || srv != nil,
 		StallWindow:    *stallF,
+		Interpreter:    *interpF,
+	}
+	if *xcheckF {
+		return runXcheck(prog, opts)
 	}
 	var rep *dart.Report
 	if *random {
@@ -346,6 +358,42 @@ func run() int {
 	if len(rep.Bugs) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runXcheck is the CLI face of the differential gate: the same
+// directed search is run twice — once on the compiled closure-threaded
+// engine, once on the reference interpreter — and the deterministic
+// report signature planes (bugs, coverage, completeness flags, explain
+// ledger, per-site solver counters; exact run/step/solver tallies at
+// one worker) must match byte for byte.  The solve cache is disabled
+// because its per-site hit/miss counters are engine-independent only
+// without the cross-run fast path.
+func runXcheck(prog *dart.Program, opts dart.Options) int {
+	opts.Observer = nil
+	opts.CollectProfile = true
+	opts.CollectExplain = true
+	opts.SolveCacheCap = -1
+	var sigs [2]string
+	for i, interp := range []bool{false, true} {
+		opts.Interpreter = interp
+		rep, err := dart.Run(prog, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
+		sigs[i] = rep.EngineSignature(prog.IR)
+	}
+	if sigs[0] != sigs[1] {
+		fmt.Println("xcheck: ENGINES DIVERGED")
+		fmt.Println("--- compiled engine")
+		fmt.Print(sigs[0])
+		fmt.Println("--- reference interpreter")
+		fmt.Print(sigs[1])
+		return 1
+	}
+	fmt.Println("xcheck: compiled engine and reference interpreter agree")
+	fmt.Print(sigs[0])
 	return 0
 }
 
@@ -652,6 +700,7 @@ type auditConfig struct {
 	stallWindow int64
 	profile     bool
 	progress    bool
+	interp      bool
 	trace       *traceWriter
 	serve       *dart.OpsServer
 	covreport   string
@@ -682,6 +731,7 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		Workers:       cfg.workers,
 		SolveCacheCap: cfg.cacheCap,
 		UseRandom:     cfg.random,
+		Interpreter:   cfg.interp,
 		// A live ops server profiles regardless of -profile: /profile
 		// should answer during any served audit, and audits are long
 		// enough that the profiler's clock reads are noise.

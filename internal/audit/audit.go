@@ -80,6 +80,10 @@ type Options struct {
 	Workers int
 	// UseRandom selects the pure random-testing baseline.
 	UseRandom bool
+	// Interpreter runs every per-function search on the reference
+	// tree-walking interpreter instead of the compiled engine (the
+	// -xcheck differential gate's other half).
+	Interpreter bool
 	// Depth, Strategy, ReportStepLimit, SolverBudget, SolveCacheCap, and
 	// LibImpls pass through to every per-function search.  Each function
 	// gets its own solve cache (like its own metrics registry), so the
@@ -362,6 +366,7 @@ func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, erro
 		CollectProfile: o.CollectProfile,
 		CollectExplain: o.CollectExplain,
 		StallWindow:    o.StallWindow,
+		Interpreter:    o.Interpreter,
 	}
 	if o.UseRandom {
 		return concolic.RandomTest(prog, copts)

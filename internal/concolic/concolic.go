@@ -160,6 +160,12 @@ type Options struct {
 	// searches — byte-identical at any Workers value — while the
 	// timeline is honest schedule texture.
 	CollectExplain bool
+	// Interpreter selects the reference tree-walking interpreter instead
+	// of the default closure-threaded compiled engine.  Both produce
+	// byte-identical reports (the -xcheck differential gate holds them
+	// to that); the interpreter exists as the semantic reference and for
+	// flushing out divergence bugs.
+	Interpreter bool
 	// StallWindow is the plateau window of the explainer's stall
 	// detector, in completed runs: a CoverageStall event fires each time
 	// coverage has not moved for a further full window.  Zero selects
@@ -390,6 +396,36 @@ type engine struct {
 	// im is the current input vector (key -> value/decision).
 	im map[string]int64
 
+	// code is the program's closure-threaded compiled form, shared
+	// read-only by all engines of a search (nil = interpreter).
+	code *machine.Compiled
+	// mach is this engine's pooled machine: created on the first run,
+	// Reset between runs so a search's N runs reuse one allocation
+	// footprint.  Never shared across engines.
+	mach *machine.Machine
+	// pcbuf is scratch for solveNext's path-constraint prefix.  The
+	// solver consumes the slice within the call (retained artifacts —
+	// cache entries, unsat-slice renderings — are copies or strings),
+	// so one buffer serves every flip attempt of the search.
+	pcbuf []symbolic.Pred
+	// candbuf is pickBranch's candidate scratch (indices only, never
+	// retained past the call).
+	candbuf []int
+	// hintbuf is hint's reusable assignment map: the solver reads it
+	// during the solve and copies what it keeps into fresh models.
+	hintbuf map[symbolic.Var]int64
+	// argbuf is oneRun's reusable argument slice; RunCall copies the
+	// values into the callee frame and does not retain the slice.
+	argbuf []machine.Value
+	// argKeys caches the per-(depth, param) input keys ("d0.x", …),
+	// which are pure functions of the toplevel signature and Depth.
+	argKeys [][]string
+	// ufbuf and verifybuf are scratch for the solver's independence
+	// slicing and full-conjunction verification (cleared on each use,
+	// nothing retained across calls).
+	ufbuf     map[symbolic.Var]symbolic.Var
+	verifybuf map[symbolic.Var]int64
+
 	// Per-run state.
 	stack      []stackEntry
 	k          int
@@ -519,6 +555,15 @@ func (r *varRegistry) isPointer(v symbolic.Var) bool {
 
 var errMispredicted = errors.New("execution diverged from predicted branch")
 
+// compileFor lowers prog once for a search's execution engines; nil
+// selects the reference tree-walking interpreter.
+func compileFor(prog *ir.Prog, o Options) *machine.Compiled {
+	if o.Interpreter {
+		return nil
+	}
+	return machine.Compile(prog)
+}
+
 // Run performs the directed search over prog.
 func Run(prog *ir.Prog, opts Options) (*Report, error) {
 	start := time.Now()
@@ -532,6 +577,7 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 	}
 	e := &engine{
 		prog:     prog,
+		code:     compileFor(prog, o),
 		opts:     o,
 		rand:     rng.New(o.Seed),
 		regs:     newVarRegistry(),

@@ -24,30 +24,56 @@ func (e *engine) oneRun() (*machine.Machine, *machine.RunError, error) {
 	e.mispredict = false
 	e.forcingOK = true
 
-	m, err := machine.New(machine.Config{
-		Prog:        e.prog,
-		Inputs:      e,
-		OnBranch:    e.onBranch,
-		LibImpls:    e.opts.LibImpls,
-		MaxSteps:    e.opts.MaxSteps,
-		ShapeSearch: !e.opts.DisableShapeSearch,
-		Deadline:    e.deadline,
-		Cancel:      e.opts.Cancel,
-		Observer:    e.machineSink(),
-	})
-	if err != nil {
-		return nil, nil, fmt.Errorf("machine construction: %w", err)
+	// The machine is pooled: built once per engine, Reset between runs
+	// so the search's N runs reuse one allocation footprint (memory
+	// arrays, branch records, scratch stacks).
+	var m *machine.Machine
+	if e.mach == nil {
+		var err error
+		m, err = machine.New(machine.Config{
+			Prog:        e.prog,
+			Inputs:      e,
+			OnBranch:    e.onBranch,
+			LibImpls:    e.opts.LibImpls,
+			MaxSteps:    e.opts.MaxSteps,
+			ShapeSearch: !e.opts.DisableShapeSearch,
+			Deadline:    e.deadline,
+			Cancel:      e.opts.Cancel,
+			Observer:    e.machineSink(),
+			Code:        e.code,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("machine construction: %w", err)
+		}
+		e.mach = m
+	} else {
+		m = e.mach
+		if err := m.Reset(e); err != nil {
+			return nil, nil, fmt.Errorf("machine reset: %w", err)
+		}
 	}
 
 	fn, _ := e.prog.Lookup(e.opts.Toplevel)
-	for d := 0; d < e.opts.Depth; d++ {
-		args := make([]machine.Value, len(fn.Params))
-		for i, p := range fn.Params {
-			name := p.Name
-			if name == "" {
-				name = fmt.Sprintf("arg%d", i)
+	if e.argKeys == nil {
+		// Input keys are a pure function of (depth, param): render them
+		// once per engine instead of once per run.
+		e.argKeys = make([][]string, e.opts.Depth)
+		for d := range e.argKeys {
+			e.argKeys[d] = make([]string, len(fn.Params))
+			for i, p := range fn.Params {
+				name := p.Name
+				if name == "" {
+					name = fmt.Sprintf("arg%d", i)
+				}
+				e.argKeys[d][i] = fmt.Sprintf("d%d.%s", d, name)
 			}
-			key := fmt.Sprintf("d%d.%s", d, name)
+		}
+		e.argbuf = make([]machine.Value, len(fn.Params))
+	}
+	for d := 0; d < e.opts.Depth; d++ {
+		args := e.argbuf
+		for i, p := range fn.Params {
+			key := e.argKeys[d][i]
 			cell, aerr := m.Mem().Alloc(1)
 			if aerr != nil {
 				return m, &machine.RunError{Outcome: machine.Crashed, Msg: aerr.Error()}, nil
@@ -129,14 +155,16 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 			return false
 		}
 		// Path constraint prefix: predicates of conditionals before j,
-		// plus the negation of j's predicate.
-		var pc []symbolic.Pred
+		// plus the negation of j's predicate.  Built in the engine's
+		// scratch buffer — the solver does not retain the slice.
+		pc := e.pcbuf[:0]
 		for i := 0; i < j; i++ {
 			if branches[i].HasPred {
 				pc = append(pc, branches[i].Pred)
 			}
 		}
 		pc = append(pc, branches[j].Pred.Negate())
+		e.pcbuf = pc[:0]
 
 		e.report.SolverCalls++
 		e.metrics.Observe(obs.HPCLen, int64(len(pc)))
@@ -206,12 +234,13 @@ func (e *engine) solveNext(branches []machine.BranchRec) bool {
 // pickBranch selects the next not-done branch index below ktry according
 // to the strategy.
 func (e *engine) pickBranch(branches []machine.BranchRec, ktry int) int {
-	var candidates []int
+	candidates := e.candbuf[:0]
 	for j := 0; j < ktry; j++ {
 		if !e.stack[j].done && branches[j].HasPred {
 			candidates = append(candidates, j)
 		}
 	}
+	e.candbuf = candidates[:0]
 	if len(candidates) == 0 {
 		return -1
 	}
@@ -229,7 +258,12 @@ func (e *engine) pickBranch(branches []machine.BranchRec, ktry int) int {
 // preserve don't-care inputs and to bias disequality splits.
 func (e *engine) hint() map[symbolic.Var]int64 {
 	vars := e.regs.snapshot()
-	h := make(map[symbolic.Var]int64, len(vars))
+	if e.hintbuf == nil {
+		e.hintbuf = make(map[symbolic.Var]int64, len(vars))
+	} else {
+		clear(e.hintbuf)
+	}
+	h := e.hintbuf
 	for i := range vars {
 		if v, ok := e.im[vars[i].key]; ok {
 			h[symbolic.Var(i)] = v

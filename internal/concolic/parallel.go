@@ -332,10 +332,15 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 	if tl != nil {
 		shared.cov = coverage.New(prog.NumSites)
 	}
+	// One compiled program image serves every worker: a Compiled is
+	// immutable after Compile, so sharing is race-free (the machine-pool
+	// race gate in scripts/check.sh holds it to that).
+	code := compileFor(prog, o)
 	workers := make([]*engine, nw)
 	for i := range workers {
 		workers[i] = &engine{
 			prog:     prog,
+			code:     code,
 			opts:     o,
 			rand:     base,
 			regs:     regs,

@@ -124,6 +124,20 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 	// reports and fault diagnostics (both must be replayable).
 	var lastInputs map[string]int64
 
+	// The machine is pooled across the campaign: built on the first run,
+	// Reset with a fresh random source for each subsequent one.  The
+	// observer closure reads report.Runs at event time, so one sink
+	// serves every run.
+	var pooled *machine.Machine
+	var msink obs.Sink
+	if sink != nil {
+		msink = obs.SinkFunc(func(ev obs.Event) {
+			ev.Run = report.Runs
+			emit(ev)
+		})
+	}
+	code := compileFor(prog, o)
+
 	// oneRandomRun executes one run behind a recover barrier so that a
 	// faulty library black box cannot take down the whole campaign.
 	oneRandomRun := func() (m *machine.Machine, rerr *machine.RunError, fault *InternalError) {
@@ -140,25 +154,26 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 				m, rerr = nil, nil
 			}
 		}()
-		var msink obs.Sink
-		if sink != nil {
-			msink = obs.SinkFunc(func(ev obs.Event) {
-				ev.Run = report.Runs
-				emit(ev)
+		if pooled == nil {
+			var err error
+			pooled, err = machine.New(machine.Config{
+				Prog:     prog,
+				Inputs:   src,
+				LibImpls: o.LibImpls,
+				MaxSteps: o.MaxSteps,
+				Deadline: deadline,
+				Cancel:   o.Cancel,
+				Observer: msink,
+				Code:     code,
 			})
-		}
-		m, err := machine.New(machine.Config{
-			Prog:     prog,
-			Inputs:   src,
-			LibImpls: o.LibImpls,
-			MaxSteps: o.MaxSteps,
-			Deadline: deadline,
-			Cancel:   o.Cancel,
-			Observer: msink,
-		})
-		if err != nil {
+			if err != nil {
+				pooled = nil
+				return nil, nil, &InternalError{Phase: "init", Msg: err.Error(), Run: report.Runs}
+			}
+		} else if err := pooled.Reset(src); err != nil {
 			return nil, nil, &InternalError{Phase: "init", Msg: err.Error(), Run: report.Runs}
 		}
+		m = pooled
 		for d := 0; d < o.Depth; d++ {
 			args := make([]machine.Value, len(fn.Params))
 			for i, p := range fn.Params {

@@ -95,6 +95,12 @@ func (e *engine) runIsolated() (m *machine.Machine, rerr *machine.RunError, faul
 		}
 		m, rerr = nil, nil
 	}
+	if m != nil {
+		// Shadow-evaluation count: the taint bitmap's pay-as-you-go
+		// measure (zero on fully concrete programs under the compiled
+		// engine).
+		e.prof.AddCount(obs.SpanShadow, m.ShadowEvals())
+	}
 	return m, rerr, fault
 }
 
@@ -184,7 +190,10 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 	if e.prof != nil {
 		t0 = time.Now()
 	}
-	slice, pruned := solver.CanonicalSlice(pc)
+	if e.ufbuf == nil {
+		e.ufbuf = map[symbolic.Var]symbolic.Var{}
+	}
+	slice, pruned := solver.CanonicalSliceScratch(pc, e.ufbuf)
 	if e.prof != nil {
 		e.prof.Span(obs.SpanSlice, time.Since(t0))
 	}
@@ -285,11 +294,14 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 // verifyTimed is VerifyAssignment under the profiler's verify span (a
 // plain passthrough when profiling is off).
 func (e *engine) verifyTimed(pc []symbolic.Pred, sol, hint map[symbolic.Var]int64) bool {
+	if e.verifybuf == nil {
+		e.verifybuf = map[symbolic.Var]int64{}
+	}
 	if e.prof == nil {
-		return solver.VerifyAssignment(pc, e.meta, sol, hint)
+		return solver.VerifyAssignmentScratch(pc, e.meta, sol, hint, e.verifybuf)
 	}
 	t0 := time.Now()
-	ok := solver.VerifyAssignment(pc, e.meta, sol, hint)
+	ok := solver.VerifyAssignmentScratch(pc, e.meta, sol, hint, e.verifybuf)
 	e.prof.Span(obs.SpanVerify, time.Since(t0))
 	return ok
 }

@@ -1,0 +1,111 @@
+package concolic
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dart/internal/ir"
+)
+
+// EngineSignature renders the report planes that are deterministic
+// functions of (program, options, seed) — independent of which
+// execution engine ran and, at Workers > 1, of scheduling texture —
+// so the differential gate (-xcheck / TestCompiledMatchesInterp) can
+// require byte equality between the compiled engine and the reference
+// interpreter.
+//
+// Included at every worker count: bugs (kind, message, position),
+// branch coverage, completeness flags, the stop reason, and the
+// resolved explain ledger.  At Workers == 1 the signature additionally
+// pins the exact run/step/solver tallies, the profile's per-site solver
+// counters (wall clock zeroed), and each bug's first-exposing run and
+// input vector; at Workers > 1 those are schedule texture and are
+// omitted — work stealing changes which parent input vector a flip
+// inherits, so don't-care padding (and with it the number of solve
+// attempts a site sees before exhaustion) varies run to run, while the
+// generational rule still makes the bug set, coverage, and flags
+// identical.  Always excluded: Elapsed, metrics latency histograms,
+// profile nanos and phase rows (the interpreter legitimately performs
+// more shadow evaluations), and the coverage timeline.
+func (r *Report) EngineSignature(prog *ir.Prog) string {
+	var b strings.Builder
+	exact := r.Workers <= 1
+
+	fmt.Fprintf(&b, "workers=%d stopped=%s\n", r.Workers, r.Stopped)
+	fmt.Fprintf(&b, "flags all_linear=%t all_locs_definite=%t solver_complete=%t complete=%t\n",
+		r.AllLinear, r.AllLocsDefinite, r.SolverComplete, r.Complete)
+	if exact {
+		fmt.Fprintf(&b, "runs=%d steps=%d restarts=%d mispredicts=%d\n",
+			r.Runs, r.Steps, r.Restarts, r.Mispredicts)
+		fmt.Fprintf(&b, "solver calls=%d failures=%d sliced=%d\n",
+			r.SolverCalls, r.SolverFailures, r.SlicedPreds)
+	}
+	fmt.Fprintf(&b, "internal_errors=%d\n", len(r.InternalErrors))
+
+	fmt.Fprintf(&b, "bugs=%d\n", len(r.Bugs))
+	for _, bug := range r.Bugs {
+		fmt.Fprintf(&b, "  [%s] %s at %s", bug.Kind, bug.Msg, bug.Pos)
+		if exact {
+			fmt.Fprintf(&b, " run=%d inputs=%s", bug.Run, fmtInputs(bug.Inputs))
+		}
+		b.WriteByte('\n')
+	}
+
+	if r.Coverage != nil {
+		fmt.Fprintf(&b, "coverage %d/%d:", r.Coverage.Covered(), r.Coverage.Total())
+		for site := 0; site < r.Coverage.Sites(); site++ {
+			tk, ntk := r.Coverage.Site(site)
+			if tk || ntk {
+				fmt.Fprintf(&b, " %d=%c%c", site, mark(tk, 'T'), mark(ntk, 'N'))
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	if r.Explain != nil {
+		resolved := ResolveExplain(prog, r.Explain, r.Coverage)
+		js, err := json.Marshal(resolved)
+		if err != nil {
+			js = []byte(fmt.Sprintf("explain marshal error: %v", err))
+		}
+		fmt.Fprintf(&b, "explain %s\n", js)
+	}
+
+	if r.Profile != nil && exact {
+		sites := make([]string, 0, len(r.Profile.Sites))
+		for _, s := range r.Profile.Sites {
+			sites = append(sites, fmt.Sprintf(
+				"site=%d fn=%s pos=%s solves=%d work=%d hits=%d misses=%d sat=%d unsat=%d budget=%d flips=%d",
+				s.Site, s.Fn, s.Pos, s.Solves, s.Work, s.CacheHits, s.CacheMisses,
+				s.Sat, s.Unsat, s.Budget, s.Flips))
+		}
+		sort.Strings(sites)
+		fmt.Fprintf(&b, "profile sites=%d\n", len(sites))
+		for _, s := range sites {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+	return b.String()
+}
+
+func mark(on bool, c byte) byte {
+	if on {
+		return c
+	}
+	return '-'
+}
+
+func fmtInputs(im map[string]int64) string {
+	keys := make([]string, 0, len(im))
+	for k := range im {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, im[k])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -25,11 +25,11 @@ func (m *Machine) evalConcrete(e ir.Expr, frame int64) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		v, err := m.mem.Load(addr)
+		v, tainted, err := m.mem.LoadT(addr)
 		if err != nil {
 			return 0, err
 		}
-		if err := m.noteDecision(addr, v); err != nil {
+		if err := m.noteDecision(addr, v, tainted); err != nil {
 			return 0, err
 		}
 		return v, nil
@@ -129,32 +129,54 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-// evalSymbolic is Fig. 1's evaluate_symbolic(e, M, S).  It returns an
-// affine form over input variables; whenever the expression leaves the
-// linear theory it falls back to the concrete value (a constant form) and
-// clears the corresponding completeness flag.  It returns nil only when
-// the underlying concrete evaluation faults, in which case the caller's
+// evalSymbolic is Fig. 1's evaluate_symbolic(e, M, S), boxing the
+// tri-state evalSym result into a Lin.  It returns an affine form over
+// input variables; whenever the expression leaves the linear theory it
+// falls back to the concrete value (a constant form) and clears the
+// corresponding completeness flag.  It returns nil only when the
+// underlying concrete evaluation faults, in which case the caller's
 // concrete evaluation reports the fault.
 func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
+	l, k, fault := m.evalSym(e, frame)
+	if fault {
+		return nil
+	}
+	if l == nil {
+		return symbolic.NewConst(k)
+	}
+	return l
+}
+
+// evalSym is evaluate_symbolic with constant forms carried unboxed: the
+// result is either a genuinely symbolic affine form (l != nil; never a
+// constant — collapsed forms are normalized to the k representation), a
+// constant (l == nil, value k), or a fault of the underlying concrete
+// evaluation (fault == true).  Constants dominate real expression trees
+// — literals, frame/global addresses, untainted loads, out-of-theory
+// fallbacks — so keeping them out of Lin boxes removes the bulk of the
+// shadow's allocation traffic; a box is materialized only where a
+// constant meets a symbolic operand in +/−/neg (and then usually from
+// the interned pool).
+func (m *Machine) evalSym(e ir.Expr, frame int64) (l *symbolic.Lin, k int64, fault bool) {
 	switch e := e.(type) {
 	case *ir.Const:
-		return symbolic.NewConst(e.V)
+		return nil, e.V, false
 	case *ir.FrameAddr:
-		return symbolic.NewConst(frame + e.Slot)
+		return nil, frame + e.Slot, false
 	case *ir.GlobalAddr:
-		return symbolic.NewConst(m.globalBase + e.Off)
+		return nil, m.globalBase + e.Off, false
 	case *ir.Load:
-		la := m.evalSymbolic(e.Addr, frame)
-		if la == nil {
-			return nil
+		la, ka, fa := m.evalSym(e.Addr, frame)
+		if fa {
+			return nil, 0, true
 		}
-		if !la.IsConst() {
+		if la != nil {
 			if !m.pointerShapeOnly(la) {
 				// Dereference through an arithmetic-input-dependent
 				// address: the paper's all_locs_definite case — fall
 				// back to the concrete value.
 				m.clearAllLocsDefinite()
-				return m.concreteConst(e, frame)
+				return m.concreteK(e, frame)
 			}
 			// Refinement (invited by Sec. 2.3): the address depends only
 			// on pointer-shape inputs, whose values are pinned for the
@@ -162,77 +184,95 @@ func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
 			// input vector, so the concrete address is definite.
 			addr, err := m.evalConcrete(e.Addr, frame)
 			if err != nil {
-				return nil
+				return nil, 0, true
 			}
-			return m.loadSym(addr)
+			return m.loadSymK(addr)
 		}
-		return m.loadSym(la.ConstVal())
+		return m.loadSymK(ka)
 	case *ir.Un:
-		a := m.evalSymbolic(e.A, frame)
-		if a == nil {
-			return nil
+		la, ka, fa := m.evalSym(e.A, frame)
+		if fa {
+			return nil, 0, true
 		}
 		switch e.Op {
 		case ir.Neg:
+			a := la
+			if a == nil {
+				a = symbolic.NewConst(ka)
+			}
 			if r := symbolic.Scale(a, -1); r != nil {
-				return m.wrapConst(r, e.Ty)
+				return m.wrapK(r, e.Ty)
 			}
 			m.clearAllLinear()
-			return m.concreteConst(e, frame)
+			return m.concreteK(e, frame)
 		case ir.Conv:
-			if a.IsConst() {
-				return symbolic.NewConst(types.Truncate(e.Ty, a.ConstVal()))
+			if la == nil {
+				return nil, types.Truncate(e.Ty, ka), false
 			}
 			// Width truncation of a symbolic value is non-linear; treat
 			// the common no-op case (value provably in range is unknowable
 			// here) conservatively.
 			m.clearAllLinear()
-			return m.concreteConst(e, frame)
+			return m.concreteK(e, frame)
 		default: // Not, Compl
-			if a.IsConst() {
-				return m.concreteConst(e, frame)
+			if la == nil {
+				return m.concreteK(e, frame)
 			}
 			m.clearAllLinear()
-			return m.concreteConst(e, frame)
+			return m.concreteK(e, frame)
 		}
 	case *ir.Bin:
-		a := m.evalSymbolic(e.A, frame)
-		if a == nil {
-			return nil
+		la, ka, fa := m.evalSym(e.A, frame)
+		if fa {
+			return nil, 0, true
 		}
-		b := m.evalSymbolic(e.B, frame)
-		if b == nil {
-			return nil
+		lb, kb, fb := m.evalSym(e.B, frame)
+		if fb {
+			return nil, 0, true
 		}
-		if a.IsConst() && b.IsConst() {
-			return m.concreteConst(e, frame)
+		if la == nil && lb == nil {
+			return m.concreteK(e, frame)
 		}
 		switch e.Op {
 		case ir.Add:
+			a, b := la, lb
+			if a == nil {
+				a = symbolic.NewConst(ka)
+			}
+			if b == nil {
+				b = symbolic.NewConst(kb)
+			}
 			if r := symbolic.Add(a, b); r != nil {
-				return m.wrapConst(r, e.Ty)
+				return m.wrapK(r, e.Ty)
 			}
 		case ir.Sub:
+			a, b := la, lb
+			if a == nil {
+				a = symbolic.NewConst(ka)
+			}
+			if b == nil {
+				b = symbolic.NewConst(kb)
+			}
 			if r := symbolic.Sub(a, b); r != nil {
-				return m.wrapConst(r, e.Ty)
+				return m.wrapK(r, e.Ty)
 			}
 		case ir.Mul:
 			// Fig. 1: symbolic*symbolic is outside the theory; constant
 			// scaling stays inside.
-			if a.IsConst() {
-				if r := symbolic.Scale(b, a.ConstVal()); r != nil {
-					return m.wrapConst(r, e.Ty)
+			if la == nil {
+				if r := symbolic.Scale(lb, ka); r != nil {
+					return m.wrapK(r, e.Ty)
 				}
-			} else if b.IsConst() {
-				if r := symbolic.Scale(a, b.ConstVal()); r != nil {
-					return m.wrapConst(r, e.Ty)
+			} else if lb == nil {
+				if r := symbolic.Scale(la, kb); r != nil {
+					return m.wrapK(r, e.Ty)
 				}
 			}
 		case ir.Shl:
 			// x << k with constant k is scaling by 2^k: still linear.
-			if b.IsConst() && b.ConstVal() >= 0 && b.ConstVal() < 62 {
-				if r := symbolic.Scale(a, int64(1)<<uint(b.ConstVal())); r != nil {
-					return m.wrapConst(r, e.Ty)
+			if lb == nil && kb >= 0 && kb < 62 {
+				if r := symbolic.Scale(la, int64(1)<<uint(kb)); r != nil {
+					return m.wrapK(r, e.Ty)
 				}
 			}
 		}
@@ -240,31 +280,42 @@ func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
 		// values, shifts by symbolic amounts, symbolic*symbolic: all
 		// outside linear integer arithmetic.
 		m.clearAllLinear()
-		return m.concreteConst(e, frame)
+		return m.concreteK(e, frame)
 	}
-	return nil
+	return nil, 0, true
 }
 
-// wrapConst applies width truncation when the affine form collapsed to a
-// constant; symbolic forms are left untruncated (the linear theory models
+// wrapK applies width truncation when the affine form collapsed to a
+// constant (normalizing it back to evalSym's unboxed representation);
+// symbolic forms are left untruncated (the linear theory models
 // unbounded integers, as the paper's lp_solve backend did).
-func (m *Machine) wrapConst(l *symbolic.Lin, ty *types.Basic) *symbolic.Lin {
-	if ty != nil && l.IsConst() {
-		return symbolic.NewConst(types.Truncate(ty, l.ConstVal()))
+func (m *Machine) wrapK(l *symbolic.Lin, ty *types.Basic) (*symbolic.Lin, int64, bool) {
+	if l.IsConst() {
+		k := l.ConstVal()
+		if ty != nil {
+			k = types.Truncate(ty, k)
+		}
+		return nil, k, false
 	}
-	return l
+	return l, 0, false
 }
 
-// loadSym reads the symbolic (or concrete) content of a definite address.
-func (m *Machine) loadSym(addr int64) *symbolic.Lin {
-	if s, ok := m.sym[addr]; ok {
-		return s
-	}
-	v, err := m.mem.Load(addr)
+// loadSymK reads the symbolic (or concrete) content of a definite
+// address.  The taint bit gates the shadow map: a clear bit means the
+// cell is concrete even if a stale map entry survives from an earlier
+// frame or overwrite.  (Shadow entries are non-const by the setSym
+// call sites' discipline, preserving evalSym's normalization.)
+func (m *Machine) loadSymK(addr int64) (*symbolic.Lin, int64, bool) {
+	v, tainted, err := m.mem.LoadT(addr)
 	if err != nil {
-		return nil
+		return nil, 0, true
 	}
-	return symbolic.NewConst(v)
+	if tainted {
+		if s, ok := m.sym[addr]; ok {
+			return s, 0, false
+		}
+	}
+	return nil, v, false
 }
 
 // pointerShapeOnly reports whether every variable of the form is a
@@ -278,12 +329,12 @@ func (m *Machine) pointerShapeOnly(l *symbolic.Lin) bool {
 	return true
 }
 
-// concreteConst is the fallback of Fig. 1: the expression's concrete
-// value as a constant form.
-func (m *Machine) concreteConst(e ir.Expr, frame int64) *symbolic.Lin {
+// concreteK is the fallback of Fig. 1: the expression's concrete value
+// as an (unboxed) constant form.
+func (m *Machine) concreteK(e ir.Expr, frame int64) (*symbolic.Lin, int64, bool) {
 	v, err := m.evalConcrete(e, frame)
 	if err != nil {
-		return nil
+		return nil, 0, true
 	}
-	return symbolic.NewConst(v)
+	return nil, v, false
 }

@@ -162,6 +162,12 @@ type Config struct {
 	// the true-to-false transition of a completeness flag (at most one
 	// per flag per run, so observation never sits on the step loop).
 	Observer obs.Sink
+	// Code, when non-nil, selects the closure-threaded compiled engine
+	// (see compile.go); it must have been produced by Compile on the same
+	// Prog.  Nil selects the reference tree-walking interpreter.  One
+	// Compiled is immutable and may be shared across machines and
+	// goroutines.
+	Code *Compiled
 }
 
 // DefaultMaxSteps is the non-termination watchdog budget.
@@ -207,6 +213,39 @@ type Machine struct {
 	decided     map[symbolic.Var]bool
 
 	callDepth int
+
+	// code is the compiled form of prog (nil = interpreter).
+	code *Compiled
+	// taintHit is set by compiled Load ops when the loaded cell carried a
+	// taint bit; compiled instructions reset it before evaluating their
+	// operands and skip shadow evaluation when it stays false.
+	taintHit bool
+	// shadowEvals counts instruction-level symbolic shadow evaluations
+	// (assign sources, call arguments, return values, branch conditions).
+	// The taint bitmap's payoff is this number dropping to zero on fully
+	// concrete programs under the compiled engine.
+	shadowEvals int64
+	// retV carries the compiled engine's return value out of the step
+	// loop (the Ret op's channel to execCompiled).
+	retV Value
+	// argStack is scratch for compiled call-argument evaluation; segments
+	// are pushed per call and popped on return so nested calls reuse one
+	// backing array.
+	argStack []Value
+	// varLins interns the 1·v form per input variable.  A search's runs
+	// re-initialize the same inputs thousands of times and the form is a
+	// pure function of the Var, so the cache survives Reset.
+	varLins map[symbolic.Var]*symbolic.Lin
+}
+
+// varLin returns the interned form 1·v + 0.
+func (m *Machine) varLin(v symbolic.Var) *symbolic.Lin {
+	if l, ok := m.varLins[v]; ok {
+		return l
+	}
+	l := symbolic.NewVar(v)
+	m.varLins[v] = l
+	return l
 }
 
 // maxCallDepth bounds MiniC recursion so runaway recursion is reported
@@ -230,6 +269,7 @@ func New(cfg Config) (*Machine, error) {
 		extCounts:       map[string]int{},
 		shapeSearch:     cfg.ShapeSearch,
 		decided:         map[symbolic.Var]bool{},
+		varLins:         map[symbolic.Var]*symbolic.Lin{},
 		supervised:      !cfg.Deadline.IsZero() || cfg.Cancel != nil,
 		deadline:        cfg.Deadline,
 		cancel:          cfg.Cancel,
@@ -238,21 +278,58 @@ func New(cfg Config) (*Machine, error) {
 	if m.maxSteps == 0 {
 		m.maxSteps = DefaultMaxSteps
 	}
-	m.globalBase = m.mem.MapGlobals(cfg.Prog.GlobalSize)
-	for _, g := range cfg.Prog.Globals {
+	m.code = cfg.Code
+	if err := m.initGlobals(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// initGlobals maps the global region and initializes it: initialized
+// globals get their constant values; extern globals are environment
+// inputs drawn through the current InputSource.
+func (m *Machine) initGlobals() error {
+	m.globalBase = m.mem.MapGlobals(m.prog.GlobalSize)
+	for _, g := range m.prog.Globals {
 		addr := m.globalBase + g.Off
 		switch {
 		case g.Extern:
 			if err := m.RandomInit(addr, g.Type, "g:"+g.Name); err != nil {
-				return nil, err
+				return err
 			}
 		case g.HasInit:
 			if err := m.mem.Store(addr, truncStore(g.Type, g.Init)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return m, nil
+	return nil
+}
+
+// Reset rewinds the machine to the just-constructed state for a new run
+// with a fresh input source, reusing every backing allocation (memory
+// arrays, branch records, scratch stacks).  It restores exactly what New
+// establishes: empty memory with re-initialized globals, zeroed step and
+// shadow counters, raised completeness flags, and no branch, decision,
+// or external-call state left over from the previous run — including
+// after a run that ended in a fault, a step-limit trip, or a recovered
+// panic.
+func (m *Machine) Reset(inputs InputSource) error {
+	m.inputs = inputs
+	m.steps = 0
+	m.callDepth = 0
+	m.allLinear = true
+	m.allLocsDefinite = true
+	m.Branches = m.Branches[:0]
+	m.taintHit = false
+	m.shadowEvals = 0
+	m.retV = Value{}
+	m.argStack = m.argStack[:0]
+	clear(m.extCounts)
+	clear(m.decided)
+	clear(m.sym)
+	m.mem.Reset()
+	return m.initGlobals()
 }
 
 // AllLinear reports whether every symbolic expression stayed within the
@@ -298,10 +375,46 @@ func (m *Machine) GlobalAddr(off int64) int64 { return m.globalBase + off }
 // Mem exposes the concrete memory (used by library implementations).
 func (m *Machine) Mem() *mem.M { return m.mem }
 
-// SymAt returns the symbolic value stored for addr, if any.
+// SymAt returns the symbolic value stored for addr, if any.  The taint
+// bit is authoritative: entries left in the map for cells whose taint
+// bit was cleared (by a concrete overwrite, frame pop, or free) are
+// dead.
 func (m *Machine) SymAt(addr int64) (*symbolic.Lin, bool) {
+	if !m.mem.Tainted(addr) {
+		return nil, false
+	}
 	l, ok := m.sym[addr]
 	return l, ok
+}
+
+// ShadowEvals returns the number of instruction-level symbolic shadow
+// evaluations this run performed.  Under the compiled engine, untainted
+// operands skip shadow evaluation entirely, so a fully concrete program
+// reports zero.
+func (m *Machine) ShadowEvals() int64 { return m.shadowEvals }
+
+// setSym records a live symbolic shadow for addr: the map entry holds
+// the value, the taint bit makes it visible.
+func (m *Machine) setSym(addr int64, l *symbolic.Lin) {
+	m.sym[addr] = l
+	m.mem.SetTaint(addr)
+}
+
+// clearSym marks addr concrete.  Only the taint bit is cleared; the map
+// entry (if any) becomes unreachable and is dropped wholesale on Reset.
+func (m *Machine) clearSym(addr int64) {
+	m.mem.ClearTaint(addr)
+}
+
+// shadowEval is the counted instruction-level entry into evaluate_symbolic.
+// It returns a form only when the expression is genuinely input-dependent;
+// constant results and shadow-evaluation faults both come back nil, which
+// every call site treats as "no live shadow" (exactly how they already
+// treated const forms).
+func (m *Machine) shadowEval(e ir.Expr, frame int64) *symbolic.Lin {
+	m.shadowEvals++
+	l, _, _ := m.evalSym(e, frame)
+	return l
 }
 
 func truncStore(t types.Type, v int64) int64 {
@@ -326,12 +439,12 @@ func (m *Machine) RandomInit(addr int64, t types.Type, key string) error {
 			return err
 		}
 		if sv, ok := m.inputs.VarOf(key, symbolic.ScalarVar, t); ok {
-			m.sym[addr] = symbolic.NewVar(sv)
+			m.setSym(addr, m.varLin(sv))
 		}
 		return nil
 	case *types.Pointer:
 		if sv, ok := m.inputs.VarOf(key, symbolic.PointerVar, nil); ok {
-			m.sym[addr] = symbolic.NewVar(sv)
+			m.setSym(addr, m.varLin(sv))
 		}
 		if !m.inputs.PointerInput(key) {
 			return m.mem.Store(addr, 0)
@@ -379,11 +492,15 @@ type Value struct {
 
 // ArgValue reads the input cell at addr as a call argument.
 func (m *Machine) ArgValue(addr int64) (Value, error) {
-	v, err := m.mem.Load(addr)
+	v, tainted, err := m.mem.LoadT(addr)
 	if err != nil {
 		return Value{}, err
 	}
-	return Value{V: v, Sym: m.sym[addr]}, nil
+	var sym *symbolic.Lin
+	if tainted {
+		sym = m.sym[addr]
+	}
+	return Value{V: v, Sym: sym}, nil
 }
 
 // ---------------------------------------------------------------- run
@@ -401,6 +518,9 @@ func (m *Machine) RunCall(fn string, args []Value) (Value, *RunError) {
 			Msg:     fmt.Sprintf("%s expects %d arguments, got %d", fn, len(f.Params), len(args)),
 		}
 	}
+	if m.code != nil {
+		return m.execCompiled(m.code.funcs[fn], args)
+	}
 	return m.exec(f, args)
 }
 
@@ -413,14 +533,10 @@ func (m *Machine) exec(f *ir.Func, args []Value) (Value, *RunError) {
 	defer func() { m.callDepth-- }()
 
 	frame := m.mem.PushFrame(f.FrameSize)
-	defer func() {
-		// Clear symbolic shadows before the addresses are recycled by a
-		// later frame.
-		for i := int64(0); i < f.FrameSize; i++ {
-			delete(m.sym, frame+i)
-		}
-		m.mem.PopFrame(frame, f.FrameSize)
-	}()
+	// PopFrame clears the frame's taint bits, which kills any symbolic
+	// shadows before the addresses are recycled by a later frame (the
+	// shadow map entries become unreachable; Reset drops them wholesale).
+	defer m.mem.PopFrame(frame, f.FrameSize)
 
 	for i, p := range f.Params {
 		addr := frame + p.Slot
@@ -428,7 +544,7 @@ func (m *Machine) exec(f *ir.Func, args []Value) (Value, *RunError) {
 			return Value{}, m.memErr(err, token.Pos{})
 		}
 		if args[i].Sym != nil && !args[i].Sym.IsConst() {
-			m.sym[addr] = args[i].Sym
+			m.setSym(addr, args[i].Sym)
 		}
 	}
 
@@ -488,7 +604,7 @@ func (m *Machine) exec(f *ir.Func, args []Value) (Value, *RunError) {
 			if err != nil {
 				return Value{}, m.memErr(err, ins.Pos)
 			}
-			return Value{V: v, Sym: m.evalSymbolic(ins.Val, frame)}, nil
+			return Value{V: v, Sym: m.shadowEval(ins.Val, frame)}, nil
 		case *ir.Alloc:
 			if err := m.doAlloc(ins, frame); err != nil {
 				return Value{}, err
@@ -542,17 +658,23 @@ func (m *Machine) memErr(err error, pos token.Pos) *RunError {
 }
 
 // noteDecision emits the synthetic Decision record for a pointer input
-// whose value was just read, once per run.
-func (m *Machine) noteDecision(addr, v int64) error {
-	if !m.shapeSearch {
+// whose value was just read, once per run.  tainted is the loaded
+// cell's taint bit: untainted cells carry no live shadow, so they can
+// never be a pointer input's home.
+func (m *Machine) noteDecision(addr, v int64, tainted bool) error {
+	if !m.shapeSearch || !tainted {
 		return nil
 	}
 	l, ok := m.sym[addr]
 	if !ok || len(l.Coeffs) != 1 || l.Const != 0 {
 		return nil
 	}
-	sv := l.Vars()[0]
-	if l.Coeffs[sv] != 1 || !m.inputs.IsPointerVar(sv) || m.decided[sv] {
+	var sv symbolic.Var
+	var coeff int64
+	for v, k := range l.Coeffs {
+		sv, coeff = v, k
+	}
+	if coeff != 1 || !m.inputs.IsPointerVar(sv) || m.decided[sv] {
 		return nil
 	}
 	m.decided[sv] = true
@@ -564,7 +686,7 @@ func (m *Machine) noteDecision(addr, v int64) error {
 	rec := BranchRec{
 		Site:     -1,
 		Taken:    taken,
-		Pred:     symbolic.Pred{L: symbolic.NewVar(sv), Rel: rel},
+		Pred:     symbolic.Pred{L: m.varLin(sv), Rel: rel},
 		HasPred:  true,
 		Decision: true,
 	}
@@ -592,14 +714,14 @@ func (m *Machine) doAssign(ins *ir.Assign, frame int64) *RunError {
 	// S := S + [m -> evaluate_symbolic(e, M, S)]  (Fig. 3); constants are
 	// removed from S rather than stored, keeping S the set of
 	// input-dependent locations.
-	sym := m.evalSymbolic(ins.Src, frame)
+	sym := m.shadowEval(ins.Src, frame)
 	if err := m.mem.Store(addr, v); err != nil {
 		return m.memErr(err, ins.Pos)
 	}
 	if sym != nil && !sym.IsConst() {
-		m.sym[addr] = sym
+		m.setSym(addr, sym)
 	} else {
-		delete(m.sym, addr)
+		m.clearSym(addr)
 	}
 	return nil
 }
@@ -623,7 +745,7 @@ func (m *Machine) doAlloc(ins *ir.Alloc, frame int64) *RunError {
 	if err := m.mem.Store(addr, region); err != nil {
 		return m.memErr(err, ins.Pos)
 	}
-	delete(m.sym, addr)
+	m.clearSym(addr)
 	return nil
 }
 
@@ -638,7 +760,7 @@ func (m *Machine) doCall(ins *ir.Call, frame int64) *RunError {
 		if err != nil {
 			return m.memErr(err, ins.Pos)
 		}
-		args[i] = Value{V: v, Sym: m.evalSymbolic(a, frame)}
+		args[i] = Value{V: v, Sym: m.shadowEval(a, frame)}
 	}
 	// The destination is a caller-frame temporary; resolve it before the
 	// callee's frame is live.
@@ -659,9 +781,9 @@ func (m *Machine) doCall(ins *ir.Call, frame int64) *RunError {
 			return m.memErr(err, ins.Pos)
 		}
 		if ret.Sym != nil && !ret.Sym.IsConst() {
-			m.sym[dstAddr] = ret.Sym
+			m.setSym(dstAddr, ret.Sym)
 		} else {
-			delete(m.sym, dstAddr)
+			m.clearSym(dstAddr)
 		}
 	}
 	return nil
@@ -699,7 +821,7 @@ func (m *Machine) doCallLib(ins *ir.CallLib, frame int64) *RunError {
 			return m.memErr(err, ins.Pos)
 		}
 		args[i] = v
-		if s := m.evalSymbolic(a, frame); s != nil && !s.IsConst() {
+		if s := m.shadowEval(a, frame); s != nil && !s.IsConst() {
 			anySymbolic = true
 		}
 	}
@@ -720,7 +842,7 @@ func (m *Machine) doCallLib(ins *ir.CallLib, frame int64) *RunError {
 		if serr := m.mem.Store(addr, ret); serr != nil {
 			return m.memErr(serr, ins.Pos)
 		}
-		delete(m.sym, addr)
+		m.clearSym(addr)
 	}
 	return nil
 }
@@ -733,6 +855,7 @@ func (m *Machine) doBranch(ins *ir.IfGoto, frame int64) (bool, *RunError) {
 		return false, m.memErr(err, ins.Pos)
 	}
 	taken := cv != 0
+	m.shadowEvals++
 	pred, hasPred, fallback := m.branchPred(ins.Cond, frame, taken)
 	rec := BranchRec{Site: ins.Site, Taken: taken, Pred: pred, HasPred: hasPred, Fallback: fallback, Pos: ins.Pos}
 	m.Branches = append(m.Branches, rec)
@@ -757,13 +880,19 @@ func (m *Machine) branchPred(cond ir.Expr, frame int64, taken bool) (symbolic.Pr
 	case *ir.Bin:
 		if c.Op.IsComparison() {
 			linBefore, locBefore := m.allLinear, m.allLocsDefinite
-			la := m.evalSymbolic(c.A, frame)
-			lb := m.evalSymbolic(c.B, frame)
-			if la == nil || lb == nil {
+			la, ka, fa := m.evalSym(c.A, frame)
+			lb, kb, fb := m.evalSym(c.B, frame)
+			if fa || fb {
 				return symbolic.Pred{}, false, m.fallbackKind()
 			}
-			if la.IsConst() && lb.IsConst() {
+			if la == nil && lb == nil {
 				return symbolic.Pred{}, false, m.constFallback(linBefore, locBefore)
+			}
+			if la == nil {
+				la = symbolic.NewConst(ka)
+			}
+			if lb == nil {
+				lb = symbolic.NewConst(kb)
 			}
 			diff := symbolic.Sub(la, lb)
 			if diff == nil {
@@ -779,11 +908,11 @@ func (m *Machine) branchPred(cond ir.Expr, frame int64, taken bool) (symbolic.Pr
 		}
 	}
 	linBefore, locBefore := m.allLinear, m.allLocsDefinite
-	l := m.evalSymbolic(cond, frame)
-	if l == nil {
+	l, _, fault := m.evalSym(cond, frame)
+	if fault {
 		return symbolic.Pred{}, false, m.fallbackKind()
 	}
-	if l.IsConst() {
+	if l == nil {
 		return symbolic.Pred{}, false, m.constFallback(linBefore, locBefore)
 	}
 	p := symbolic.Pred{L: l, Rel: symbolic.NE}

@@ -7,6 +7,15 @@
 // bugs (NULL and wild pointer dereferences) of the oSIP experiment.
 // Heap regions are separated by guard gaps so small overflows fault
 // instead of silently landing in a neighboring object.
+//
+// Each of the three regions is a flat array of cells plus two bitmaps:
+// "mapped" (is the cell accessible) and "taint" (does the cell carry a
+// live symbolic shadow value in the machine's S map).  The taint bitmap
+// is what lets the execution engine skip symbolic shadow evaluation for
+// instructions whose operands are provably concrete: a load from an
+// untainted cell can only produce a constant shadow.  Unmapping (frame
+// pop, free, Reset) clears taint word-at-a-time, so stale shadow map
+// entries above a popped frame are dead by construction.
 package mem
 
 import "fmt"
@@ -59,9 +68,101 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("segmentation fault: %s at address %d", f.Kind, f.Addr)
 }
 
+// region is one contiguous slab of the address space.  vals holds cell
+// values; mapped and taint are per-cell bitmaps (64 cells per word).
+// Slices only ever grow (high-water mark); Reset zeroes the bitmaps but
+// keeps the capacity so a pooled machine's N runs share one footprint.
+type region struct {
+	base   int64
+	vals   []int64
+	mapped []uint64
+	taint  []uint64
+}
+
+func words(cells int64) int64 { return (cells + 63) >> 6 }
+
+func getBit(w []uint64, i int64) bool { return w[i>>6]&(1<<uint(i&63)) != 0 }
+func setBit(w []uint64, i int64)      { w[i>>6] |= 1 << uint(i&63) }
+func clearBit(w []uint64, i int64)    { w[i>>6] &^= 1 << uint(i&63) }
+
+// setRange sets bits [lo, hi) word-at-a-time.
+func setRange(w []uint64, lo, hi int64) {
+	for i := lo; i < hi; {
+		if i&63 == 0 && hi-i >= 64 {
+			w[i>>6] = ^uint64(0)
+			i += 64
+			continue
+		}
+		setBit(w, i)
+		i++
+	}
+}
+
+// clearRange clears bits [lo, hi) word-at-a-time.
+func clearRange(w []uint64, lo, hi int64) {
+	for i := lo; i < hi; {
+		if i&63 == 0 && hi-i >= 64 {
+			w[i>>6] = 0
+			i += 64
+			continue
+		}
+		clearBit(w, i)
+		i++
+	}
+}
+
+// ensure grows the region's backing arrays to cover at least n cells.
+func (r *region) ensure(n int64) {
+	if int64(len(r.vals)) >= n {
+		return
+	}
+	if int64(cap(r.vals)) >= n {
+		r.vals = r.vals[:n]
+	} else {
+		nv := make([]int64, n, n+n/2)
+		copy(nv, r.vals)
+		r.vals = nv
+	}
+	nw := words(int64(len(r.vals)))
+	for int64(len(r.mapped)) < nw {
+		r.mapped = append(r.mapped, 0)
+	}
+	for int64(len(r.taint)) < nw {
+		r.taint = append(r.taint, 0)
+	}
+}
+
+// mapRange makes cells [off, off+n) accessible, zero-filled and untainted.
+func (r *region) mapRange(off, n int64) {
+	r.ensure(off + n)
+	for i := off; i < off+n; i++ {
+		r.vals[i] = 0
+	}
+	setRange(r.mapped, off, off+n)
+	clearRange(r.taint, off, off+n)
+}
+
+// unmapRange makes cells [off, off+n) inaccessible and drops their taint.
+func (r *region) unmapRange(off, n int64) {
+	clearRange(r.mapped, off, off+n)
+	clearRange(r.taint, off, off+n)
+}
+
+// reset unmaps everything, keeping the high-water capacity.
+func (r *region) reset() {
+	for i := range r.mapped {
+		r.mapped[i] = 0
+	}
+	for i := range r.taint {
+		r.taint[i] = 0
+	}
+}
+
 // M is the machine memory.
 type M struct {
-	cells map[int64]int64
+	global region
+	stack  region
+	heap   region
 
 	globalNext int64
 	stackNext  int64
@@ -74,7 +175,9 @@ type M struct {
 // New returns an empty memory.
 func New() *M {
 	return &M{
-		cells:      map[int64]int64{},
+		global:     region{base: GlobalBase},
+		stack:      region{base: StackBase},
+		heap:       region{base: HeapBase},
 		globalNext: GlobalBase,
 		stackNext:  StackBase,
 		heapNext:   HeapBase,
@@ -82,13 +185,43 @@ func New() *M {
 	}
 }
 
+// Reset unmaps everything — globals, frames, heap regions, and all taint
+// bits — restoring the address allocators, while keeping the backing
+// arrays' capacity so a pooled machine reuses one allocation footprint.
+func (m *M) Reset() {
+	m.global.reset()
+	m.stack.reset()
+	m.heap.reset()
+	m.globalNext = GlobalBase
+	m.stackNext = StackBase
+	m.heapNext = HeapBase
+	clear(m.regions)
+}
+
+// locate resolves addr to its region and cell offset; ok is false when
+// the address lies outside every region's mapped span.
+func (m *M) locate(addr int64) (r *region, off int64, ok bool) {
+	switch {
+	case addr >= HeapBase:
+		r, off = &m.heap, addr-HeapBase
+	case addr >= StackBase:
+		r, off = &m.stack, addr-StackBase
+	case addr >= GlobalBase:
+		r, off = &m.global, addr-GlobalBase
+	default:
+		return nil, 0, false
+	}
+	if off >= int64(len(r.vals)) || !getBit(r.mapped, off) {
+		return nil, 0, false
+	}
+	return r, off, true
+}
+
 // MapGlobals maps the global region of the given size (zero-filled) and
 // returns its base address.
 func (m *M) MapGlobals(size int64) int64 {
 	base := m.globalNext
-	for i := int64(0); i < size; i++ {
-		m.cells[base+i] = 0
-	}
+	m.global.mapRange(base-GlobalBase, size)
 	m.globalNext += size + guardGap
 	return base
 }
@@ -96,18 +229,19 @@ func (m *M) MapGlobals(size int64) int64 {
 // PushFrame maps a fresh zero-filled call frame and returns its base.
 func (m *M) PushFrame(size int64) int64 {
 	base := m.stackNext
-	for i := int64(0); i < size; i++ {
-		m.cells[base+i] = 0
+	if base+size >= HeapBase {
+		// The machine's call-depth limit trips long before 16M stack
+		// cells; running past the heap base would alias regions.
+		panic("mem: stack region exhausted")
 	}
+	m.stack.mapRange(base-StackBase, size)
 	m.stackNext += size + guardGap
 	return base
 }
 
 // PopFrame unmaps the topmost frame previously pushed at base.
 func (m *M) PopFrame(base, size int64) {
-	for i := int64(0); i < size; i++ {
-		delete(m.cells, base+i)
-	}
+	m.stack.unmapRange(base-StackBase, size)
 	m.stackNext = base
 }
 
@@ -122,9 +256,7 @@ func (m *M) Alloc(size int64) (int64, error) {
 		size = 1
 	}
 	base := m.heapNext
-	for i := int64(0); i < size; i++ {
-		m.cells[base+i] = 0
-	}
+	m.heap.mapRange(base-HeapBase, size)
 	m.heapNext += size + guardGap
 	m.regions[base] = size
 	return base, nil
@@ -141,34 +273,65 @@ func (m *M) Free(base int64) error {
 	if !ok {
 		return &Fault{Kind: FreeFault, Addr: base}
 	}
-	for i := int64(0); i < size; i++ {
-		delete(m.cells, base+i)
-	}
+	m.heap.unmapRange(base-HeapBase, size)
 	delete(m.regions, base)
 	return nil
 }
 
 // Load reads the cell at addr.
 func (m *M) Load(addr int64) (int64, error) {
-	v, ok := m.cells[addr]
+	r, off, ok := m.locate(addr)
 	if !ok {
 		return 0, &Fault{Kind: LoadFault, Addr: addr}
 	}
-	return v, nil
+	return r.vals[off], nil
+}
+
+// LoadT reads the cell at addr together with its taint bit, in one
+// address decode — the hot-path entry for the compiled engine.
+func (m *M) LoadT(addr int64) (v int64, tainted bool, err error) {
+	r, off, ok := m.locate(addr)
+	if !ok {
+		return 0, false, &Fault{Kind: LoadFault, Addr: addr}
+	}
+	return r.vals[off], getBit(r.taint, off), nil
 }
 
 // Store writes v to the cell at addr.
 func (m *M) Store(addr, v int64) error {
-	if _, ok := m.cells[addr]; !ok {
+	r, off, ok := m.locate(addr)
+	if !ok {
 		return &Fault{Kind: StoreFault, Addr: addr}
 	}
-	m.cells[addr] = v
+	r.vals[off] = v
 	return nil
+}
+
+// SetTaint marks the mapped cell at addr as carrying a live symbolic
+// shadow value. Unmapped addresses are ignored (the paired Store faulted
+// first).
+func (m *M) SetTaint(addr int64) {
+	if r, off, ok := m.locate(addr); ok {
+		setBit(r.taint, off)
+	}
+}
+
+// ClearTaint marks the cell at addr as concrete.
+func (m *M) ClearTaint(addr int64) {
+	if r, off, ok := m.locate(addr); ok {
+		clearBit(r.taint, off)
+	}
+}
+
+// Tainted reports whether the cell at addr carries a live shadow value.
+func (m *M) Tainted(addr int64) bool {
+	r, off, ok := m.locate(addr)
+	return ok && getBit(r.taint, off)
 }
 
 // Mapped reports whether addr is currently accessible.
 func (m *M) Mapped(addr int64) bool {
-	_, ok := m.cells[addr]
+	_, _, ok := m.locate(addr)
 	return ok
 }
 

@@ -38,6 +38,13 @@ const (
 	// SpanJobQueueWait: a serve-layer job waiting in the bounded queue
 	// between admission and its executor picking it up.
 	SpanJobQueueWait = "job_queue_wait"
+	// SpanShadow: instruction-level symbolic shadow evaluations, as a
+	// pure count (zero nanos — the shadow is fused into SpanExec's wall
+	// time).  The compiled engine's taint bitmap makes this
+	// pay-as-you-go, so the count is the direct measure of how much
+	// shadow work the bitmap saved; the reference interpreter evaluates
+	// the shadow unconditionally and records correspondingly more.
+	SpanShadow = "shadow_eval"
 )
 
 // PhaseProfile is the aggregate cost of one span phase.
@@ -139,6 +146,20 @@ func (p *Profile) Span(phase string, d time.Duration) {
 	}
 	ph.Count++
 	ph.Nanos += int64(d)
+}
+
+// AddCount adds n untimed events to phase (Nanos stays zero — used for
+// pure counters like SpanShadow). No-op on a nil receiver.
+func (p *Profile) AddCount(phase string, n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	ph := p.phases[phase]
+	if ph == nil {
+		ph = &PhaseProfile{Phase: phase}
+		p.phases[phase] = ph
+	}
+	ph.Count += n
 }
 
 // site returns the (lazily created) per-site cell.

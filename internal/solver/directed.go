@@ -39,7 +39,6 @@
 package solver
 
 import (
-	"sort"
 	"strconv"
 	"strings"
 
@@ -59,6 +58,13 @@ import (
 // When nothing is pruned the returned slice is pc itself; callers must
 // not mutate it.
 func CanonicalSlice(pc []symbolic.Pred) (slice []symbolic.Pred, pruned int) {
+	return CanonicalSliceScratch(pc, nil)
+}
+
+// CanonicalSliceScratch is CanonicalSlice with caller-provided union-find
+// scratch: parent (if non-nil) is cleared and reused, so a search's many
+// slicing calls share one map.  The scratch holds nothing after return.
+func CanonicalSliceScratch(pc []symbolic.Pred, parent map[symbolic.Var]symbolic.Var) (slice []symbolic.Pred, pruned int) {
 	if len(pc) <= 1 {
 		return pc, 0
 	}
@@ -82,26 +88,26 @@ func CanonicalSlice(pc []symbolic.Pred) (slice []symbolic.Pred, pruned int) {
 	}
 
 	// Union-find over variables; each predicate unions its variables.
-	parent := map[symbolic.Var]symbolic.Var{}
-	var find func(v symbolic.Var) symbolic.Var
-	find = func(v symbolic.Var) symbolic.Var {
+	// (Iterative find: no closure allocations on the solve path.  Any
+	// root choice yields the same partition, which is all the slice
+	// depends on.)
+	if parent == nil {
+		parent = map[symbolic.Var]symbolic.Var{}
+	} else {
+		clear(parent)
+	}
+	find := func(v symbolic.Var) symbolic.Var {
 		r, ok := parent[v]
 		if !ok {
 			parent[v] = v
 			return v
 		}
-		if r == v {
-			return v
+		for r != parent[r] {
+			parent[r] = parent[parent[r]]
+			r = parent[r]
 		}
-		root := find(r)
-		parent[v] = root
-		return root
-	}
-	union := func(a, b symbolic.Var) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
+		parent[v] = r
+		return r
 	}
 	for _, p := range pc {
 		var first symbolic.Var
@@ -115,7 +121,10 @@ func CanonicalSlice(pc []symbolic.Pred) (slice []symbolic.Pred, pruned int) {
 				find(v)
 				continue
 			}
-			union(first, v)
+			ra, rb := find(first), find(v)
+			if ra != rb {
+				parent[ra] = rb
+			}
 		}
 	}
 
@@ -173,14 +182,14 @@ func CanonicalSlice(pc []symbolic.Pred) (slice []symbolic.Pred, pruned int) {
 // from it; variables absent from the hint are recorded as such.
 func CacheKey(slice []symbolic.Pred, hint map[symbolic.Var]int64) string {
 	var b strings.Builder
-	b.Grow(24 * (len(slice) + 1))
-	var vs []symbolic.Var // every slice variable, with repeats
+	b.Grow(32 * (len(slice) + 1))
+	vs := make([]symbolic.Var, 0, 16) // every slice variable, with repeats
 	for _, p := range slice {
 		vs = appendPredKey(&b, p, vs)
 		b.WriteByte('&')
 	}
 	b.WriteByte('#')
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	sortVars(vs)
 	for i, v := range vs {
 		if i > 0 && vs[i-1] == v {
 			continue
@@ -195,6 +204,18 @@ func CacheKey(slice []symbolic.Pred, hint map[symbolic.Var]int64) string {
 		b.WriteByte(';')
 	}
 	return b.String()
+}
+
+// sortVars is an allocation-free insertion sort: key building sits on
+// the solve path and the var lists are short, so reflection-based
+// sort.Slice (closure + swapper allocations per call) costs more than
+// the sort itself.
+func sortVars(vs []symbolic.Var) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
 }
 
 // appendPredKey appends p's canonical rendering to b — relation code,
@@ -218,7 +239,7 @@ func appendPredKey(b *strings.Builder, p symbolic.Pred, vs []symbolic.Var) []sym
 		}
 	}
 	own := vs[start:]
-	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+	sortVars(own)
 	for _, v := range own {
 		b.WriteByte('|')
 		b.WriteString(strconv.Itoa(int(v)))
@@ -246,7 +267,17 @@ func predKey(p symbolic.Pred) string {
 // pruned, re-establishing the package-doc soundness contract at the
 // full-conjunction level.
 func VerifyAssignment(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, sol, hint map[symbolic.Var]int64) bool {
-	var assign map[symbolic.Var]int64
+	return VerifyAssignmentScratch(pc, meta, sol, hint, nil)
+}
+
+// VerifyAssignmentScratch is VerifyAssignment with a caller-provided
+// scratch map for the completed assignment: assign (if non-nil) is
+// cleared and reused, so a search's many verifications share one map.
+// The scratch holds nothing the caller must preserve after return.
+func VerifyAssignmentScratch(pc []symbolic.Pred, meta func(symbolic.Var) VarMeta, sol, hint, assign map[symbolic.Var]int64) bool {
+	if assign != nil {
+		clear(assign)
+	}
 	for _, p := range pc {
 		if p.L == nil {
 			return false

@@ -43,8 +43,31 @@ type Lin struct {
 	Const  int64
 }
 
+// Shared constant forms for the small values the shadow evaluator
+// produces constantly (untainted leaves, literals, comparison results).
+// Every Lin is immutable once published — all mutating operations work
+// on clones — so interning is safe, and it removes an allocation from
+// the machine's per-instruction shadow path.
+const (
+	internLo = -256
+	internHi = 1024
+)
+
+var internedConsts [internHi - internLo + 1]Lin
+
+func init() {
+	for i := range internedConsts {
+		internedConsts[i].Const = int64(i) + internLo
+	}
+}
+
 // NewConst returns the constant form k.
-func NewConst(k int64) *Lin { return &Lin{Const: k} }
+func NewConst(k int64) *Lin {
+	if k >= internLo && k <= internHi {
+		return &internedConsts[k-internLo]
+	}
+	return &Lin{Const: k}
+}
 
 // NewVar returns the form 1·v + 0.
 func NewVar(v Var) *Lin {
@@ -92,6 +115,22 @@ func (l *Lin) set(v Var, k int64) {
 
 // Add returns a+b, or nil on coefficient overflow.
 func Add(a, b *Lin) *Lin {
+	// Constant operands share the other side's coefficient map (Lins
+	// are immutable once published; see Sub).
+	if len(b.Coeffs) == 0 {
+		k, ok := addOverflow(a.Const, b.Const)
+		if !ok {
+			return nil
+		}
+		return &Lin{Coeffs: a.Coeffs, Const: k}
+	}
+	if len(a.Coeffs) == 0 {
+		k, ok := addOverflow(a.Const, b.Const)
+		if !ok {
+			return nil
+		}
+		return &Lin{Coeffs: b.Coeffs, Const: k}
+	}
 	c := a.Clone()
 	for v, k := range b.Coeffs {
 		nk, ok := addOverflow(c.Coeff(v), k)
@@ -108,17 +147,49 @@ func Add(a, b *Lin) *Lin {
 	return c
 }
 
-// Sub returns a-b, or nil on overflow.
+// Sub returns a-b, or nil on overflow.  This sits on the machine's
+// branch-predicate path (every tainted conditional computes lhs-rhs),
+// so it builds the result in one allocation instead of going through
+// Scale + Add's clone — and when b is constant (comparisons against
+// literals, the overwhelmingly common branch shape) it shares a's
+// coefficient map outright: published Lins are immutable, so two forms
+// may alias one map.
 func Sub(a, b *Lin) *Lin {
-	nb := Scale(b, -1)
-	if nb == nil {
+	if len(b.Coeffs) == 0 {
+		k, ok := subOverflow(a.Const, b.Const)
+		if !ok {
+			return nil
+		}
+		return &Lin{Coeffs: a.Coeffs, Const: k}
+	}
+	c := &Lin{Coeffs: make(map[Var]int64, len(a.Coeffs)+len(b.Coeffs))}
+	for v, k := range a.Coeffs {
+		c.Coeffs[v] = k
+	}
+	for v, k := range b.Coeffs {
+		nk, ok := subOverflow(c.Coeffs[v], k)
+		if !ok {
+			return nil
+		}
+		if nk == 0 {
+			delete(c.Coeffs, v)
+		} else {
+			c.Coeffs[v] = nk
+		}
+	}
+	var ok bool
+	c.Const, ok = subOverflow(a.Const, b.Const)
+	if !ok {
 		return nil
 	}
-	return Add(a, nb)
+	return c
 }
 
 // Scale returns k·a, or nil on overflow.
 func Scale(a *Lin, k int64) *Lin {
+	if k == 1 {
+		return a
+	}
 	c := &Lin{Coeffs: make(map[Var]int64, len(a.Coeffs))}
 	for v, cv := range a.Coeffs {
 		nk, ok := mulOverflow(cv, k)
@@ -212,6 +283,14 @@ func (l *Lin) String() string {
 		fmt.Fprintf(&b, " - %d", -l.Const)
 	}
 	return b.String()
+}
+
+func subOverflow(a, b int64) (int64, bool) {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		return 0, false
+	}
+	return d, true
 }
 
 func addOverflow(a, b int64) (int64, bool) {

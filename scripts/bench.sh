@@ -23,6 +23,13 @@ OUT="${BENCH_OUT:-/tmp/dart_bench.txt}"
 # BenchmarkProfileOverhead is the profiler A/B (BENCH_pr7.json): the
 # "off" side must stay within 2% of the pre-profiler baseline (nil
 # no-op methods, no clock reads), and "on" prices span timing honestly.
+#
+# BenchmarkMachineThroughput is the execution-engine A/B
+# (BENCH_pr9.json): /compiled (closure-threaded code, pooled machine,
+# taint-gated shadow) against /interp (the reference interpreter on the
+# same pooling and taint gating).  Gate: /compiled ns/op and allocs/op
+# must beat the BENCH_pr7 pre-compilation baseline by the margins
+# recorded in BENCH_pr9.json, and /compiled must not lose to /interp.
 go test -run '^$' \
     -bench 'BenchmarkE2Completeness$|BenchmarkMachineThroughput$|BenchmarkSolverHeavyGate|BenchmarkProfileOverhead' \
     -benchmem -count="$COUNT" . | tee "$OUT"
@@ -51,3 +58,4 @@ echo "wrote $OUT — compare mins against BENCH_pr3.json (gate: <2% on ns/op, al
 echo "scaling curve: compare against BENCH_pr5.json (gate: runs/op constant across workers)"
 echo "job service: compare jobs/s against BENCH_pr6.json (gate: cached >> fresh)"
 echo "profiler: compare ProfileOverhead/off against BENCH_pr7.json (gate: <2% vs pre-profiler baseline)"
+echo "execution engine: compare MachineThroughput/compiled against BENCH_pr9.json (gate: >=2x ns/op vs the BENCH_pr7 baseline, allocs/op down, compiled <= interp)"

@@ -95,4 +95,18 @@ go run ./cmd/dart -top blend -explain -json -workers 4 "$tmp/explain.mc" \
     | sed -n '/^  "explain": {/,/^  },$/p' > "$tmp/explain-w4.json"
 grep -q '"solver-unsat"' "$tmp/explain-w1.json"
 diff "$tmp/explain-w1.json" "$tmp/explain-w4.json"
+# Execution-engine gate (compiled vs reference interpreter): the
+# differential signature must be byte-identical across engines over the
+# progs corpus and the minisip audit at -workers 1/2/8 under the race
+# detector; the pooled machine must not leak state between runs
+# (poisoned-run reuse, step-counter reset, narrow-store sign
+# extension), pooled reports must not alias machine state, and the
+# taint bitmap must skip the shadow on concrete runs without moving
+# the explain ledger.
+go test -count=1 -race -run 'TestCompiledMatchesInterp' .
+go test -count=1 -race -run 'TestBugsSurvivePooledReuse|TestConcreteSearchZeroShadowPhase|TestTaintSpreadExplainParity' .
+go test -count=1 -run 'TestNarrowStoreParity|TestResetClearsStepCounter|TestResetAfterPoisonedRun|TestBranchSnapshotDetachedFromPool|TestConcreteRunSkipsShadow|TestCompiledErrorMessagesMatchInterp|TestCompile' ./internal/machine/
+# CLI: -xcheck runs both engines back to back and exits nonzero on any
+# signature divergence.
+go run ./cmd/dart -xcheck -top blend "$tmp/explain.mc"
 rm -rf "$tmp"

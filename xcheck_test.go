@@ -1,0 +1,121 @@
+package dart
+
+import (
+	"sort"
+	"testing"
+
+	"dart/internal/audit"
+	"dart/internal/iface"
+	"dart/internal/minisip"
+	"dart/internal/progs"
+)
+
+// xcheckCorpus is the differential gate's program set: every progs
+// fixture, covering aborts, crashes (NULL, wild pointer, division),
+// non-linear fallbacks, pointer-shape search, external environment
+// inputs, library black boxes, and the solver-gate/cluster searches.
+var xcheckCorpus = []struct {
+	name, src, top string
+	depth          int
+}{
+	{"section21", progs.Section21, "h", 0},
+	{"section24", progs.Section24, "f", 0},
+	{"section25-cast", progs.Section25Cast, "bar", 0},
+	{"foobar", progs.Foobar, "foobar", 0},
+	{"foobar-lib", progs.FoobarLib, "foobar", 0},
+	{"ac-controller", progs.ACController, "ac_controller", 2},
+	{"external-env", progs.ExternalEnv, "watch", 0},
+	{"list-sum", progs.ListSum, "sum2", 0},
+	{"div-by-zero", progs.DivByZero, "quotient", 0},
+	{"null-chain", progs.NullChain, "walk", 0},
+	{"straight-line", progs.StraightLineDeref, "poke", 0},
+	{"clusters", progs.Clusters, "clusters", 0},
+	{"solver-gate", progs.SolverGate, "gate", 0},
+	{"filter", progs.Filter, "entry", 0},
+}
+
+// TestCompiledMatchesInterp is the differential gate: the compiled
+// closure-threaded engine and the reference interpreter must produce
+// byte-identical report signatures — bugs, coverage, completeness
+// flags, resolved explain ledger, profile site counters, and (at one
+// worker) the exact run/step/solver tallies — over the whole progs
+// corpus at workers 1, 2, and 8.  The solve cache is disabled so the
+// per-site counter plane is deterministic across worker counts.
+func TestCompiledMatchesInterp(t *testing.T) {
+	for _, tc := range xcheckCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := compileT(t, tc.src)
+			for _, workers := range []int{1, 2, 8} {
+				var sigs [2]string
+				for i, interp := range []bool{false, true} {
+					rep, err := Run(prog, Options{
+						Toplevel:       tc.top,
+						Depth:          tc.depth,
+						MaxRuns:        800,
+						Seed:           3,
+						Workers:        workers,
+						SolveCacheCap:  -1,
+						CollectProfile: true,
+						CollectExplain: true,
+						Interpreter:    interp,
+					})
+					if err != nil {
+						t.Fatalf("workers=%d interp=%t: %v", workers, interp, err)
+					}
+					sigs[i] = rep.EngineSignature(prog.IR)
+				}
+				if sigs[0] != sigs[1] {
+					t.Errorf("workers=%d: engines diverged\ncompiled:\n%s\ninterp:\n%s",
+						workers, sigs[0], sigs[1])
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledMatchesInterpMinisip runs the differential gate over the
+// bundled minisip library audit: every candidate function, both
+// engines, signatures compared entry by entry.
+func TestCompiledMatchesInterpMinisip(t *testing.T) {
+	progIR, sem, err := minisip.Compile()
+	if err != nil {
+		t.Fatalf("minisip compile: %v", err)
+	}
+	tops := iface.Candidates(sem)
+	sort.Strings(tops)
+	if len(tops) == 0 {
+		t.Fatal("no audit candidates in minisip")
+	}
+	for _, workers := range []int{1, 2} {
+		var sigs [2][]string
+		for i, interp := range []bool{false, true} {
+			res := audit.Run(progIR, audit.Options{
+				Toplevels:      tops,
+				Seed:           1,
+				MaxRuns:        200,
+				Workers:        workers,
+				Jobs:           2,
+				SolveCacheCap:  -1,
+				CollectProfile: true,
+				CollectExplain: true,
+				Interpreter:    interp,
+			})
+			for _, e := range res.Entries {
+				sig := e.Function + ": " + string(e.Status)
+				if e.Report != nil {
+					sig += "\n" + e.Report.EngineSignature(progIR)
+				}
+				sigs[i] = append(sigs[i], sig)
+			}
+		}
+		if len(sigs[0]) != len(sigs[1]) {
+			t.Fatalf("workers=%d: entry count mismatch: %d vs %d", workers, len(sigs[0]), len(sigs[1]))
+		}
+		for j := range sigs[0] {
+			if sigs[0][j] != sigs[1][j] {
+				t.Errorf("workers=%d: engines diverged on %s\ncompiled:\n%s\ninterp:\n%s",
+					workers, tops[j], sigs[0][j], sigs[1][j])
+			}
+		}
+	}
+}
