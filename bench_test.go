@@ -13,8 +13,12 @@ package dart
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
+	"dart/internal/audit"
+	"dart/internal/corpus"
+	"dart/internal/iface"
 	"dart/internal/minisip"
 	"dart/internal/obs"
 	"dart/internal/progs"
@@ -428,4 +432,55 @@ func BenchmarkCompile(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkIncrementalReaudit: the incremental re-audit cold/warm A/B
+// on the paper's flagship target.  cold audits the full miniSIP
+// library into a fresh corpus — search, set-cover distillation, entry
+// store.  warm re-audits the unchanged library from a populated corpus
+// — IR hash check, distilled-suite replay, bug-fixture validation.
+// The 1000-run budget is the paper's own (Sec. 4.3); replay cost is
+// proportional to the distilled suite, not the search budget, which is
+// the point of distillation.  Gate (BENCH_pr10.json): warm ns/op at
+// least 10x below cold; verdict equality itself is
+// TestIncrementalSIPWarmMatchesCold's job.
+func BenchmarkIncrementalReaudit(b *testing.B) {
+	prog, sem, err := minisip.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fns := iface.Candidates(sem)
+	sort.Strings(fns)
+	newOpts := func(c *corpus.Corpus) audit.Options {
+		return audit.Options{Toplevels: fns, Seed: 1, MaxRuns: 1000, Corpus: c}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c, err := corpus.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if res := audit.Run(prog, newOpts(c)); res.CorpusHits != 0 {
+				b.Fatal("cold run hit the corpus")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c, err := corpus.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := audit.Run(prog, newOpts(c))
+		if seed.CorpusStores == 0 {
+			b.Fatal("seeding run stored nothing")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := audit.Run(prog, newOpts(c)); res.CorpusHits != seed.CorpusStores {
+				b.Fatalf("warm run hit %d of %d entries", res.CorpusHits, seed.CorpusStores)
+			}
+		}
+	})
 }

@@ -18,6 +18,14 @@
 //	-hangs         report step-budget exhaustion (non-termination)
 //	-timeout d     wall-clock budget (whole search, or per function with -audit)
 //	-audit         audit every function of the program as toplevel in turn
+//	-corpus dir    incremental re-audit corpus: with -audit, functions
+//	               whose IR content hash is unchanged replay their
+//	               distilled suite (and bug fixtures) instead of
+//	               re-searching, and solver results persist on disk
+//	               under the in-memory cache; with the job server,
+//	               cached reports survive restarts.  Corrupt corpus
+//	               files degrade to a full re-search, never a wrong
+//	               verdict
 //	-jobs n        audit worker-pool size (default all CPUs / -workers)
 //	-workers n     parallel flip-workers per directed search (default 1);
 //	               with -audit, -jobs defaults to CPUs/workers so
@@ -86,6 +94,7 @@ func run() int {
 		hangs    = flag.Bool("hangs", false, "report potential non-termination")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget (whole search, or per function with -audit)")
 		cacheF   = flag.Int("solve-cache", dart.DefaultSolveCacheCap, "per-search solve-cache capacity (0 disables the solver fast-path cache)")
+		corpusF  = flag.String("corpus", "", "incremental re-audit corpus `dir`: unchanged functions replay their distilled suites instead of re-searching, solver results persist across processes, and the job server's cached reports survive restarts")
 		auditF   = flag.Bool("audit", false, "audit every function of the program as toplevel in turn")
 		jobs     = flag.Int("jobs", 0, "audit worker-pool size (default all CPUs / -workers)")
 		workersF = flag.Int("workers", 1, "parallel flip-workers per directed search")
@@ -122,6 +131,7 @@ func run() int {
 			jobTimeout:   *jobTmoF,
 			maxBody:      *maxBodyF,
 			drainTimeout: *drainF,
+			corpusDir:    *corpusF,
 		})
 	}
 
@@ -172,6 +182,16 @@ func run() int {
 		return 2
 	}
 
+	// The incremental corpus, shared by every mode that can use it.
+	var corp *dart.Corpus
+	if *corpusF != "" {
+		corp, err = dart.OpenCorpus(*corpusF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
+	}
+
 	if *auditF {
 		srv, ok := startOps(*serveF, "audit", string(src), prog, dart.Functions(prog))
 		if !ok {
@@ -196,6 +216,7 @@ func run() int {
 			serve:       srv,
 			covreport:   *covrepF,
 			source:      string(src),
+			corpus:      corp,
 		})
 		if srv != nil {
 			srv.Done()
@@ -280,13 +301,26 @@ func run() int {
 		Interpreter:    *interpF,
 	}
 	if *xcheckF {
+		// No persistent cache here: the second engine would see disk
+		// hits the first one seeded, skewing the compared counters.
 		return runXcheck(prog, opts)
+	}
+	if corp != nil {
+		// A single search gets the persistent solve cache (repeated
+		// constraint systems answered from disk); the distilled-suite
+		// fast path is audit-only.
+		opts.Persistent = corp
 	}
 	var rep *dart.Report
 	if *random {
 		rep, err = dart.RandomTest(prog, opts)
 	} else {
 		rep, err = dart.Run(prog, opts)
+	}
+	if corp != nil {
+		if ferr := corp.FlushSolves(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "dart: warning:", ferr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dart:", err)
@@ -407,6 +441,7 @@ type serviceConfig struct {
 	jobTimeout   time.Duration
 	maxBody      int64
 	drainTimeout time.Duration
+	corpusDir    string
 }
 
 // runJobService runs `dart -serve addr` with no program file: the
@@ -425,6 +460,16 @@ func runJobService(cfg serviceConfig) int {
 		return 2
 	}
 
+	var corp *dart.Corpus
+	if cfg.corpusDir != "" {
+		var err error
+		corp, err = dart.OpenCorpus(cfg.corpusDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dart:", err)
+			return 2
+		}
+	}
+
 	srv := dart.NewOpsServer(dart.OpsConfig{Addr: cfg.addr, Mode: "serve"})
 	jobTimeout := cfg.jobTimeout
 	if jobTimeout == 0 {
@@ -438,6 +483,7 @@ func runJobService(cfg serviceConfig) int {
 		MaxBody:      cfg.maxBody,
 		Libraries:    dart.BuiltinLibraries(),
 		Sink:         srv.Sink(),
+		Corpus:       corp,
 	})
 	svc.RegisterOn(srv)
 	if err := srv.Listen(); err != nil {
@@ -705,6 +751,7 @@ type auditConfig struct {
 	serve       *dart.OpsServer
 	covreport   string
 	source      string
+	corpus      *dart.Corpus
 }
 
 // runAudit tests every function of the program as toplevel in turn over
@@ -739,6 +786,7 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		// Likewise /explain answers during any served audit.
 		CollectExplain: cfg.explain || cfg.serve != nil,
 		StallWindow:    cfg.stallWindow,
+		Corpus:         cfg.corpus,
 	}
 	if srv := cfg.serve; srv != nil {
 		sinks = append(sinks, srv.Sink())
@@ -758,6 +806,11 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 	res := dart.Audit(prog, opts)
 	if pr != nil {
 		pr.finish()
+	}
+	// Corpus degradation notes (corrupt files, flush failures) are
+	// warnings: the audit's verdicts stand either way.
+	for _, n := range res.CorpusNotes {
+		fmt.Fprintln(os.Stderr, "dart: warning:", n)
 	}
 	if cfg.covreport != "" {
 		if err := writeCovReport(cfg.covreport, cfg.source, prog, res.Coverage); err != nil {
@@ -786,11 +839,18 @@ func runAudit(prog *dart.Program, cfg auditConfig) int {
 		if e.Retried {
 			extra += "  retried"
 		}
+		if e.CachedByCorpus {
+			extra += "  cached"
+		}
 		fmt.Printf("%-24s %-14s runs=%-6d time=%-10s%s\n",
 			e.Function, e.Status, e.Report.Runs, fmtElapsed(e.Elapsed), extra)
 	}
 	fmt.Printf("audit: %d functions, %d runs: %d ok, %d with bugs, %d timed out, %d faulted, %d cancelled\n",
 		res.Functions(), res.TotalRuns, res.OK, res.Buggy, res.TimedOut, res.Faulted, res.Cancelled)
+	if cfg.corpus != nil {
+		fmt.Printf("audit: corpus: %d functions replayed from corpus, %d entries stored, %d solves persisted\n",
+			res.CorpusHits, res.CorpusStores, cfg.corpus.SolveCount())
+	}
 	fmt.Printf("audit: aggregate branch coverage %d/%d directions (%.1f%%), %d/%d sites touched\n",
 		res.Coverage.Covered(), res.Coverage.Total(), 100*res.Coverage.Fraction(),
 		res.Coverage.SitesTouched(), res.Coverage.Sites())
@@ -819,6 +879,11 @@ type jsonAudit struct {
 	TimedOut  int    `json:"timed_out"`
 	Faulted   int    `json:"faulted"`
 	Cancelled int    `json:"cancelled"`
+	// Incremental re-audit provenance (only with -corpus): how many
+	// functions were answered by distilled-suite replay and how many
+	// fresh entries this batch stored.
+	CorpusHits   int `json:"corpus_hits,omitempty"`
+	CorpusStores int `json:"corpus_stores,omitempty"`
 	// Aggregate branch coverage over the whole library (union of every
 	// per-function search; sites are program-global).
 	CoverageCovered        int                   `json:"branch_directions_covered"`
@@ -839,6 +904,7 @@ type jsonAuditEntry struct {
 	Runs           int       `json:"runs"`
 	ElapsedSeconds float64   `json:"elapsed_seconds"`
 	Retried        bool      `json:"retried,omitempty"`
+	CachedByCorpus bool      `json:"cached_by_corpus,omitempty"`
 	Err            string    `json:"error,omitempty"`
 	Bugs           []jsonBug `json:"bugs"`
 }
@@ -853,6 +919,8 @@ func emitAuditJSON(res *dart.AuditResult, explain *dart.ExplainReport) int {
 		TimedOut:               res.TimedOut,
 		Faulted:                res.Faulted,
 		Cancelled:              res.Cancelled,
+		CorpusHits:             res.CorpusHits,
+		CorpusStores:           res.CorpusStores,
 		CoverageCovered:        res.Coverage.Covered(),
 		CoverageTotal:          res.Coverage.Total(),
 		BranchCoverageFraction: res.Coverage.Fraction(),
@@ -867,6 +935,7 @@ func emitAuditJSON(res *dart.AuditResult, explain *dart.ExplainReport) int {
 			Status:         string(e.Status),
 			ElapsedSeconds: e.Elapsed.Seconds(),
 			Retried:        e.Retried,
+			CachedByCorpus: e.CachedByCorpus,
 			Err:            e.Err,
 			Bugs:           []jsonBug{},
 		}

@@ -38,6 +38,7 @@ import (
 
 	"dart/internal/audit"
 	"dart/internal/concolic"
+	"dart/internal/corpus"
 	"dart/internal/coverage"
 	"dart/internal/iface"
 	"dart/internal/ir"
@@ -406,6 +407,20 @@ func NewJobService(cfg JobsConfig) *JobService {
 // JobsConfig.Libraries.
 func BuiltinLibraries() map[string]string {
 	return map[string]string{"minisip": minisip.SourceText()}
+}
+
+// Corpus is an open incremental re-audit corpus: a versioned,
+// checksummed directory holding each audited function's distilled
+// replay suite and bug fixtures (keyed by IR content hash and options
+// signature), the persistent solve cache layered under the in-memory
+// LRU, and the job service's report spill.  Attach one via
+// AuditOptions.Corpus or JobsConfig.Corpus; any corrupt file degrades
+// to a full re-search, never a wrong verdict.
+type Corpus = corpus.Corpus
+
+// OpenCorpus opens (creating when absent) the corpus directory at dir.
+func OpenCorpus(dir string) (*Corpus, error) {
+	return corpus.Open(dir)
 }
 
 // Audit tests every function of the program (or opts.Toplevels when

@@ -1,0 +1,90 @@
+package dart
+
+// Incremental re-audit gate on the paper's flagship target: a warm
+// audit of the unmodified miniSIP library — answered entirely by
+// distilled-suite replay from the corpus — must reproduce the cold
+// audit's verdict plane (per-function status, bug set, completeness
+// flags, aggregate coverage) exactly, at every supported per-function
+// worker count.  The progs-corpus half of this gate lives in
+// internal/audit (TestAuditWarmMatchesCold).
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dart/internal/audit"
+	"dart/internal/corpus"
+	"dart/internal/iface"
+	"dart/internal/minisip"
+)
+
+// sipSig renders the deterministic verdict plane of a miniSIP batch.
+func sipSig(r *audit.Result) string {
+	var out string
+	for _, e := range r.Entries {
+		out += fmt.Sprintf("%s status=%s retried=%v", e.Function, e.Status, e.Retried)
+		if rep := e.Report; rep != nil {
+			out += fmt.Sprintf(" runs=%d complete=%v linear=%v locs=%v solver=%v stopped=%q",
+				rep.Runs, rep.Complete, rep.AllLinear, rep.AllLocsDefinite,
+				rep.SolverComplete, rep.Stopped)
+			var bugs []string
+			for _, b := range rep.Bugs {
+				bugs = append(bugs, fmt.Sprintf("%s|%s|run%d|%v", b.Kind, b.Msg, b.Run, b.Inputs))
+			}
+			sort.Strings(bugs)
+			out += fmt.Sprintf(" bugs=%v", bugs)
+		}
+		out += "\n"
+	}
+	out += fmt.Sprintf("coverage %d/%d touched=%d\n",
+		r.Coverage.Covered(), r.Coverage.Total(), r.Coverage.SitesTouched())
+	return out
+}
+
+func TestIncrementalSIPWarmMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-library warm/cold audit")
+	}
+	prog, sem, err := minisip.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := iface.Candidates(sem)
+	sort.Strings(fns)
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c, err := corpus.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := audit.Options{
+				Toplevels: fns,
+				Seed:      1,
+				MaxRuns:   150,
+				Workers:   workers,
+				Corpus:    c,
+			}
+			cold := audit.Run(prog, opts)
+			if cold.CorpusHits != 0 {
+				t.Fatalf("cold run claims %d corpus hits", cold.CorpusHits)
+			}
+			if cold.CorpusStores == 0 {
+				t.Fatal("cold run stored nothing")
+			}
+			warm := audit.Run(prog, opts)
+			if got, want := sipSig(warm), sipSig(cold); got != want {
+				t.Errorf("warm verdicts diverge from cold:\ncold:\n%swarm:\n%s", want, got)
+			}
+			if warm.CorpusHits != cold.CorpusStores {
+				t.Errorf("warm hits = %d, want %d (every stored entry)",
+					warm.CorpusHits, cold.CorpusStores)
+			}
+			if !reflect.DeepEqual(warm.Coverage, cold.Coverage) {
+				t.Error("warm coverage set differs from cold")
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dart/internal/concolic"
+	"dart/internal/corpus"
 	"dart/internal/coverage"
 	"dart/internal/ir"
 	"dart/internal/machine"
@@ -126,6 +127,18 @@ type Options struct {
 	CollectExplain bool
 	// StallWindow passes through to concolic.Options.StallWindow.
 	StallWindow int64
+	// Corpus, when non-nil, enables incremental re-audit.  Before each
+	// function is searched its stored entry is consulted: if the
+	// function's IR content hash and the batch's options signature both
+	// match, the entry's distilled suite and bug fixtures are replayed
+	// (pure concrete execution, no solver) and — only if they reproduce
+	// the stored coverage and failures exactly — substituted for the
+	// search.  Functions that do search record their runs, distill them
+	// into a suite, and store a fresh entry; every search also layers
+	// the corpus's persistent solve cache under its in-memory LRU.  A
+	// corrupt or stale corpus degrades to the full search, never to a
+	// wrong verdict.
+	Corpus *corpus.Corpus
 }
 
 func (o *Options) withDefaults() Options {
@@ -167,6 +180,10 @@ type Entry struct {
 	// Retried reports that the function first timed out and was re-run
 	// once with the reduced RetryRuns budget.
 	Retried bool
+	// CachedByCorpus reports that this entry was answered by replaying
+	// the function's corpus suite instead of searching (its Report is
+	// the validated stored result).
+	CachedByCorpus bool
 	// Elapsed is the wall-clock time this function's audit took
 	// (including the retry, when one happened).
 	Elapsed time.Duration
@@ -179,6 +196,12 @@ type Result struct {
 	Entries []Entry
 	// Per-status counts.
 	OK, Buggy, TimedOut, Faulted, Cancelled int
+	// CorpusHits counts entries answered by corpus replay; CorpusStores
+	// counts entries written or refreshed (both zero without a corpus).
+	CorpusHits, CorpusStores int
+	// CorpusNotes carries corpus-layer diagnostics (corrupt artifacts
+	// discarded, flush failures) — informational, never verdicts.
+	CorpusNotes []string
 	// TotalRuns sums the executions spent across the batch.
 	TotalRuns int
 	// Metrics aggregates every per-function search's metrics snapshot.
@@ -212,6 +235,8 @@ func Run(prog *ir.Prog, opts Options) *Result {
 	// Guarded instead of the engine's recover barriers.
 	lifecycle := obs.Guarded(o.Observer)
 
+	cctx := newCorpusCtx(prog, o.Corpus)
+
 	jobs := o.Jobs
 	if jobs > len(o.Toplevels) && len(o.Toplevels) > 0 {
 		jobs = len(o.Toplevels)
@@ -223,7 +248,7 @@ func Run(prog *ir.Prog, opts Options) *Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				entries[i] = auditOne(prog, o, i, lifecycle)
+				entries[i] = auditOne(prog, o, i, lifecycle, cctx)
 				if o.OnEntry != nil {
 					notifyEntry(o.OnEntry, entries[i])
 				}
@@ -254,6 +279,9 @@ func Run(prog *ir.Prog, opts Options) *Result {
 		case Cancelled:
 			res.Cancelled++
 		}
+		if entries[i].CachedByCorpus {
+			res.CorpusHits++
+		}
 		if entries[i].Report != nil {
 			res.TotalRuns += entries[i].Report.Runs
 			res.Metrics.Merge(entries[i].Report.Metrics)
@@ -275,6 +303,13 @@ func Run(prog *ir.Prog, opts Options) *Result {
 			}
 		}
 	}
+	if cctx != nil {
+		res.CorpusStores = int(cctx.stores.Load())
+		if err := cctx.c.FlushSolves(); err != nil {
+			res.CorpusNotes = append(res.CorpusNotes, err.Error())
+		}
+		res.CorpusNotes = append(res.CorpusNotes, cctx.c.Notes()...)
+	}
 	return res
 }
 
@@ -290,7 +325,7 @@ func notifyEntry(fn func(Entry), e Entry) {
 // barrier.  The engine already isolates per-run and per-solve panics;
 // this barrier is the last line of defense for anything that escapes it,
 // so a worker goroutine can never die and wedge the pool.
-func auditOne(prog *ir.Prog, o Options, i int, lifecycle obs.Sink) (entry Entry) {
+func auditOne(prog *ir.Prog, o Options, i int, lifecycle obs.Sink, cctx *corpusCtx) (entry Entry) {
 	entry = Entry{Function: o.Toplevels[i]}
 	start := time.Now()
 	if lifecycle != nil {
@@ -313,7 +348,15 @@ func auditOne(prog *ir.Prog, o Options, i int, lifecycle obs.Sink) (entry Entry)
 	}()
 
 	search := func() {
-		rep, err := searchOne(prog, o, i, o.MaxRuns)
+		if cctx != nil {
+			if rep, ok := cctx.tryWarm(prog, o, i, lifecycle); ok {
+				entry.Report = rep
+				entry.Status = statusOf(rep)
+				entry.CachedByCorpus = true
+				return
+			}
+		}
+		rep, err := searchOne(prog, o, i, o.MaxRuns, cctx)
 		if err != nil {
 			entry.Status, entry.Err = Faulted, err.Error()
 			return
@@ -323,12 +366,15 @@ func auditOne(prog *ir.Prog, o Options, i int, lifecycle obs.Sink) (entry Entry)
 			// but a smaller search may finish inside it, upgrading a timeout
 			// into a (shallower) complete result.
 			entry.Retried = true
-			if rep2, err2 := searchOne(prog, o, i, o.RetryRuns); err2 == nil {
+			if rep2, err2 := searchOne(prog, o, i, o.RetryRuns, cctx); err2 == nil {
 				rep = rep2
 			}
 		}
 		entry.Report = rep
 		entry.Status = statusOf(rep)
+		if cctx != nil {
+			cctx.store(prog, o, i, rep, entry.Status, entry.Retried, lifecycle)
+		}
 	}
 	if o.ProfileLabels {
 		// Tag every sample this worker produces while searching this
@@ -344,7 +390,7 @@ func auditOne(prog *ir.Prog, o Options, i int, lifecycle obs.Sink) (entry Entry)
 
 // searchOne runs the directed (or random) search for function i with the
 // batch-derived seed and the per-function supervision budgets.
-func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, error) {
+func searchOne(prog *ir.Prog, o Options, i, maxRuns int, cctx *corpusCtx) (*concolic.Report, error) {
 	copts := concolic.Options{
 		Toplevel:        o.Toplevels[i],
 		Depth:           o.Depth,
@@ -367,6 +413,12 @@ func searchOne(prog *ir.Prog, o Options, i, maxRuns int) (*concolic.Report, erro
 		CollectExplain: o.CollectExplain,
 		StallWindow:    o.StallWindow,
 		Interpreter:    o.Interpreter,
+	}
+	if cctx != nil {
+		// Record runs for suite distillation and layer the corpus's
+		// persistent solve cache under the search's in-memory LRU.
+		copts.RecordRuns = true
+		copts.Persistent = cctx.c
 	}
 	if o.UseRandom {
 		return concolic.RandomTest(prog, copts)

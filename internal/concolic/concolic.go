@@ -160,6 +160,20 @@ type Options struct {
 	// searches — byte-identical at any Workers value — while the
 	// timeline is honest schedule texture.
 	CollectExplain bool
+	// RecordRuns keeps a run log on the report — the (inputs → branch
+	// set) pairs of every run that covered a direction no earlier kept
+	// run covered (an online filter bounding the log by the program's
+	// direction count).  The incremental re-audit pipeline distills the
+	// log into a minimized replay suite; off by default because the kept
+	// runs retain their input vectors.
+	RecordRuns bool
+	// Persistent, when non-nil, is the disk-backed solve memo consulted
+	// on in-memory solve-cache misses and filled by fresh solves, keyed
+	// portably (stable input names + domains + budget; see
+	// solver.PortableKey) so entries are valid across functions,
+	// searches, and processes.  Like the in-memory cache it can change
+	// only how much solver work a search spends, never what it finds.
+	Persistent solver.PersistentCache
 	// Interpreter selects the reference tree-walking interpreter instead
 	// of the default closure-threaded compiled engine.  Both produce
 	// byte-identical reports (the -xcheck differential gate holds them
@@ -305,6 +319,9 @@ type Report struct {
 	SolveCacheMisses    int
 	SolveCacheEvictions int
 	SlicedPreds         int64
+	// SolveCacheDiskHits counts solves answered by the persistent
+	// (disk-backed) solve cache; zero unless Options.Persistent is set.
+	SolveCacheDiskHits int
 	// Workers is the worker-pool size the search actually ran with
 	// (1 = the sequential engines).
 	Workers int
@@ -316,6 +333,11 @@ type Report struct {
 	// Steals counts work-stealing transfers between parallel frontier
 	// workers (zero for sequential searches).
 	Steals int64
+	// RunLog is the recorded (inputs → branch set) pairs for suite
+	// distillation (nil unless Options.RecordRuns): every run that first
+	// covered some branch direction, in keep order.  Never encoded to
+	// JSON — it exists for internal/distill.
+	RunLog []RunRecord `json:"-"`
 	// Stopped records why the search ended; a tripped deadline or a
 	// cancellation produces a partial report with the matching reason,
 	// never an error.
@@ -474,6 +496,12 @@ type engine struct {
 	// a *solver.Cache owned by this search, or the one *solver.ShardedCache
 	// a parallel search's workers share.
 	cache solver.SolveCache
+	// persist is the cross-process solve memo (nil unless the search
+	// runs under a corpus); consulted on in-memory misses.
+	persist solver.PersistentCache
+	// rec is the run log for suite distillation (nil unless RecordRuns);
+	// shared, internally locked, across a parallel search's workers.
+	rec *runRecorder
 	// lastSolve carries fast-path telemetry from solveIsolated to the
 	// SolverVerdict event its caller emits.
 	lastSolve solveInfo
@@ -539,6 +567,16 @@ func (r *varRegistry) keyOf(v symbolic.Var) string {
 	return r.vars[v].key
 }
 
+// lookup resolves an input key back to its registered variable — the
+// inverse of varOf, used to translate a persistent solve-cache model
+// (keyed by stable input names) into this search's Var numbering.
+func (r *varRegistry) lookup(key string) (symbolic.Var, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.byKey[key]
+	return v, ok
+}
+
 // metaOf returns the solver domain of a registered variable.
 func (r *varRegistry) metaOf(v symbolic.Var) solver.VarMeta {
 	r.mu.RLock()
@@ -601,6 +639,10 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 	if o.SolveCacheCap >= 0 {
 		e.cache = solver.NewCache(o.SolveCacheCap)
 	}
+	e.persist = o.Persistent
+	if o.RecordRuns {
+		e.rec = newRunRecorder(prog.NumSites)
+	}
 	if o.Strategy == DFS {
 		e.search()
 	} else {
@@ -614,6 +656,7 @@ func Run(prog *ir.Prog, opts Options) (*Report, error) {
 		e.report.Stopped = StopMaxRuns
 	}
 	e.finishExplain()
+	e.report.RunLog = e.rec.log()
 	e.report.Elapsed = time.Since(start)
 	e.report.Metrics = e.metrics.Snapshot()
 	e.report.Profile = e.prof.Snapshot()
@@ -724,6 +767,7 @@ func (e *engine) search() {
 					}
 				}
 			}
+			e.rec.observe(e.im, m.Branches)
 			e.tickTimeline(newly)
 			if e.obs != nil {
 				e.emit(obs.Event{Kind: obs.RunEnd, Run: e.report.Runs, Steps: m.Steps(),

@@ -114,6 +114,7 @@ func (e *engine) recordRun(m *machine.Machine, rerr *machine.RunError) bool {
 		// worker covered first; the shared view dedups search-wide.
 		newly = e.shared.recordCov(m.Branches)
 	}
+	e.rec.observe(e.im, m.Branches)
 	e.tickTimeline(newly)
 	if e.obs != nil {
 		e.emit(obs.Event{Kind: obs.RunEnd, Run: e.report.Runs, Steps: m.Steps(),

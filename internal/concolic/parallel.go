@@ -336,6 +336,12 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 	// immutable after Compile, so sharing is race-free (the machine-pool
 	// race gate in scripts/check.sh holds it to that).
 	code := compileFor(prog, o)
+	// One run recorder (internally locked) spans the pool: the distilled
+	// suite must cover the union coverage, which no per-worker log sees.
+	var rec *runRecorder
+	if o.RecordRuns {
+		rec = newRunRecorder(prog.NumSites)
+	}
 	workers := make([]*engine, nw)
 	for i := range workers {
 		workers[i] = &engine{
@@ -354,6 +360,8 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 			worker:   i + 1,
 			shared:   shared,
 			cache:    cache,
+			persist:  o.Persistent,
+			rec:      rec,
 			report: &Report{
 				AllLinear:       true,
 				AllLocsDefinite: true,
@@ -403,7 +411,9 @@ func runParallel(prog *ir.Prog, o Options, start time.Time) *Report {
 		shared.noteStop(root.report.Stopped)
 	}
 
-	return mergeReports(prog, o, workers, shared, exhausted, start)
+	merged := mergeReports(prog, o, workers, shared, exhausted, start)
+	merged.RunLog = rec.log()
+	return merged
 }
 
 // workerLoop is one worker's life: pull a pending flip (stealing when
@@ -476,6 +486,7 @@ func mergeReports(prog *ir.Prog, o Options, workers []*engine, shared *sharedSea
 		merged.SolveCacheHits += r.SolveCacheHits
 		merged.SolveCacheMisses += r.SolveCacheMisses
 		merged.SolveCacheEvictions += r.SolveCacheEvictions
+		merged.SolveCacheDiskHits += r.SolveCacheDiskHits
 		merged.SlicedPreds += r.SlicedPreds
 		merged.FrontierDropped += r.FrontierDropped
 		merged.Steals += r.Steals

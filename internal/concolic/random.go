@@ -72,6 +72,10 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		Coverage:        coverage.New(prog.NumSites),
 	}
 	metrics := newMetrics(o)
+	var rec *runRecorder
+	if o.RecordRuns {
+		rec = newRunRecorder(prog.NumSites)
+	}
 	// The random baseline attempts no flips, so its explainer output is
 	// the timeline (coverage progress and stalls are just as meaningful
 	// for random testing) over an empty cause ledger: reached-but-dark
@@ -111,6 +115,7 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 				}
 			}
 		}
+		report.RunLog = rec.log()
 		report.Elapsed = time.Since(start)
 		report.Metrics = metrics.Snapshot()
 	}()
@@ -226,11 +231,12 @@ func RandomTest(prog *ir.Prog, opts Options) (*Report, error) {
 		metrics.Add(obs.CRuns, 1)
 		metrics.Observe(obs.HStepsPerRun, m.Steps())
 		newly := 0
-		for _, rec := range m.Branches {
-			if report.Coverage.Record(rec.Site, rec.Taken) {
+		for _, br := range m.Branches {
+			if report.Coverage.Record(br.Site, br.Taken) {
 				newly++
 			}
 		}
+		rec.observe(lastInputs, m.Branches)
 		if st, fired := tl.Tick(newly, 0, 0); fired {
 			metrics.Add(obs.CStalls, 1)
 			emit(obs.Event{Kind: obs.CoverageStall, Run: int(st.Run), Covered: st.Covered, Window: st.Window})

@@ -205,16 +205,6 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 
 	var key string
 	useCache := e.cache != nil && e.report.SolverCalls > solveCacheWarmup
-	if e.cache != nil && !useCache {
-		// Warmup: a solve cache only pays for itself once a search starts
-		// re-solving constraints, so the first few solves skip the memo
-		// entirely — tiny searches (the common case for unit-scale
-		// programs) never pay key-building or storage costs.  A skipped
-		// solve counts as a miss: a hit was impossible.
-		e.report.SolveCacheMisses++
-		e.metrics.Add(obs.CSolveCacheMisses, 1)
-		e.lastSolve.cache = "miss"
-	}
 	if useCache {
 		if e.prof != nil {
 			t0 = time.Now()
@@ -243,6 +233,55 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 			e.countVerdict(verdict)
 			return sol, verdict, 0
 		}
+	}
+	// The in-memory LRU came up cold (warmup era, disabled, or a genuine
+	// miss): consult the persistent disk layer before paying for a fresh
+	// solve.  Its key renders the exact solver input — predicates, domains,
+	// hint, budget — under stable input names, so a hit returns precisely
+	// what the fresh solve would, across searches and across processes.
+	var pkey string
+	if e.persist != nil {
+		if e.prof != nil {
+			t0 = time.Now()
+		}
+		pkey = solver.PortableKey(slice, hint, e.opts.SolverBudget, e.varName, e.meta)
+		pr, ok := e.persist.GetPortable(pkey)
+		var psol map[symbolic.Var]int64
+		if ok {
+			psol, ok = e.portableModel(pr.Model)
+		}
+		if e.prof != nil {
+			e.prof.Span(obs.SpanCacheLookup, time.Since(t0))
+		}
+		if ok {
+			e.report.SolveCacheDiskHits++
+			e.metrics.Add(obs.CSolveCacheDisk, 1)
+			e.lastSolve.cache = "disk"
+			sol, verdict = psol, pr.Verdict
+			if verdict == solver.Unsat && e.exp != nil {
+				e.lastSolve.unsatSlice = symbolic.PathConstraint(slice).StringNamed(e.varName)
+			}
+			if useCache {
+				// Promote the slice-level entry into the in-memory LRU so
+				// repeats within this search stay off the disk path.
+				if e.cache.Put(key, verdict, sol) {
+					e.report.SolveCacheEvictions++
+					e.metrics.Add(obs.CSolveCacheEvicts, 1)
+					e.lastSolve.evicted = true
+				}
+			}
+			if verdict == solver.Sat && pruned > 0 && !e.verifyTimed(pc, sol, hint) {
+				sol, verdict = nil, solver.Unsat
+				e.report.SolverComplete = false
+			}
+			e.countVerdict(verdict)
+			return sol, verdict, 0
+		}
+	}
+	if e.cache != nil {
+		// Both memo layers missed (during warmup a hit was impossible —
+		// that still counts: the accounting answers "how often did the
+		// fast path spare a solver call", and here it did not).
 		e.report.SolveCacheMisses++
 		e.metrics.Add(obs.CSolveCacheMisses, 1)
 		e.lastSolve.cache = "miss"
@@ -273,6 +312,12 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 			e.lastSolve.evicted = true
 		}
 	}
+	if e.persist != nil {
+		// Persist the same slice-level result under the portable key
+		// (already rendered by the failed lookup above) so the next
+		// process inherits this solve.
+		e.persist.PutPortable(pkey, verdict, e.namedModel(sol))
+	}
 	if verdict == solver.Sat && pruned > 0 && !e.verifyTimed(pc, sol, hint) {
 		// The slice's model fails the full conjunction under
 		// overflow-checked evaluation: the parent run's concrete values
@@ -289,6 +334,40 @@ func (e *engine) solveIsolated(pc []symbolic.Pred, depth int) (sol map[symbolic.
 	}
 	e.countVerdict(verdict)
 	return sol, verdict, work
+}
+
+// portableModel translates a persistent-cache model (keyed by stable
+// input names) into this search's Var numbering.  A name this search has
+// not registered means the entry cannot be applied here (it should not
+// happen — the portable key renders exactly the slice's variables — but
+// a corrupt or adversarial store must degrade to a miss, never to a
+// wrong model), so ok is false and the caller solves fresh.
+func (e *engine) portableModel(m map[string]int64) (map[symbolic.Var]int64, bool) {
+	if m == nil {
+		return nil, true
+	}
+	out := make(map[symbolic.Var]int64, len(m))
+	for name, val := range m {
+		v, ok := e.regs.lookup(name)
+		if !ok {
+			return nil, false
+		}
+		out[v] = val
+	}
+	return out, true
+}
+
+// namedModel renders a solver model under stable input-key names, the
+// form the persistent cache stores.
+func (e *engine) namedModel(sol map[symbolic.Var]int64) map[string]int64 {
+	if sol == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(sol))
+	for v, val := range sol {
+		out[e.regs.keyOf(v)] = val
+	}
+	return out
 }
 
 // verifyTimed is VerifyAssignment under the profiler's verify span (a

@@ -1,0 +1,330 @@
+package corpus
+
+// Robustness tests for the disk layer.  The contract under test: a
+// corpus can be made arbitrarily corrupt — flipped bytes, truncation,
+// wrong version tokens, junk lines — and every load degrades to a miss
+// (with a diagnostic note), never to a wrong or missing verdict.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dart/internal/concolic"
+	"dart/internal/machine"
+	"dart/internal/solver"
+)
+
+func testEntry() *Entry {
+	return &Entry{
+		Function:   "h",
+		IRHash:     "f:abc123",
+		OptionsSig: "audit-sig-v1 seed=2",
+		Suite:      []map[string]int64{{"d0.x": 10, "d0.y": 3}, {"d0.x": 0, "d0.y": 0}},
+		Bugs: []concolic.Bug{{
+			Kind:   machine.Aborted,
+			Msg:    "abort() reached",
+			Run:    2,
+			Inputs: map[string]int64{"d0.x": 10, "d0.y": 3},
+		}},
+		Cover: []SiteDir{
+			{Fn: "h", Ord: 0, Taken: false},
+			{Fn: "h", Ord: 0, Taken: true},
+			{Fn: "h", Ord: 1, Taken: true},
+		},
+		Flags: Flags{Complete: true, AllLinear: true, AllLocsDefinite: true, SolverComplete: true},
+		Runs:  7,
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEntry()
+	if err := c.StoreEntry(want); err != nil {
+		t.Fatal(err)
+	}
+	got, reason := c.LoadEntry("h")
+	if got == nil {
+		t.Fatalf("LoadEntry miss: %s", reason)
+	}
+	if got.Function != "h" || got.IRHash != want.IRHash || got.OptionsSig != want.OptionsSig ||
+		got.Runs != 7 || len(got.Suite) != 2 || len(got.Bugs) != 1 || len(got.Cover) != 3 ||
+		got.Flags != want.Flags {
+		t.Errorf("round trip mangled the entry: %+v", got)
+	}
+	if got.Suite[0]["d0.x"] != 10 || got.Bugs[0].Kind != machine.Aborted {
+		t.Errorf("payload detail lost: %+v", got)
+	}
+	if _, reason := c.LoadEntry("nothere"); reason != "absent" {
+		t.Errorf("missing entry reason %q, want absent", reason)
+	}
+}
+
+// TestEntryByteFlipFaultInjection flips every byte of a stored entry
+// file in turn; each flip must either keep the file verifiable (never
+// happens for sha256, but the property is what matters) or read as a
+// clean miss.  A wrong verdict — a load that "succeeds" with altered
+// content — fails the test.
+func TestEntryByteFlipFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreEntry(testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fn", "h.json")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, _ := c.LoadEntry("h")
+	if baseline == nil {
+		t.Fatal("pristine entry does not load")
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, reason := c.LoadEntry("h")
+		if got != nil {
+			// The only acceptable "success" is byte-identical content —
+			// i.e. the flip landed somewhere JSON-insignificant AND the
+			// checksum still passed, which sha256 makes impossible.
+			t.Fatalf("byte %d flipped: load succeeded on corrupt file", i)
+		}
+		if reason != "invalid" {
+			t.Fatalf("byte %d flipped: reason %q, want invalid", i, reason)
+		}
+	}
+	c.Notes() // drain; corruption must be noted, not fatal
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.LoadEntry("h"); got == nil {
+		t.Error("restored entry no longer loads")
+	}
+}
+
+func TestEntryTruncationAndVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreEntry(testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fn", "h.json")
+	orig, _ := os.ReadFile(path)
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"header-only-no-newline", []byte("dartcorpus1 abcdef")},
+		{"truncated-payload", orig[:len(orig)-5]},
+		{"future-version", append([]byte("dartcorpus999 "), orig[12:]...)},
+		{"junk", []byte("not a corpus file at all\nreally not")},
+	} {
+		if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, reason := c.LoadEntry("h"); got != nil || reason != "invalid" {
+			t.Errorf("%s: got entry=%v reason=%q, want nil/invalid", tc.name, got, reason)
+		}
+	}
+	if len(c.Notes()) == 0 {
+		t.Error("corruption left no diagnostic notes")
+	}
+
+	// A stored entry whose payload names a different function must not
+	// serve under this name (a rename/copy attack on the file level).
+	other := testEntry()
+	other.Function = "g"
+	if err := c.StoreEntry(other); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "fn", "g.json"))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, reason := c.LoadEntry("h"); got != nil || reason != "invalid" {
+		t.Errorf("cross-named entry served: %v %q", got, reason)
+	}
+}
+
+func TestSolveLogPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutPortable("key-a", solver.Sat, map[string]int64{"d0.x": 10})
+	c.PutPortable("key-b", solver.Unsat, nil)
+	if err := c.FlushSolves(); err != nil {
+		t.Fatal(err)
+	}
+	// Flushing twice must not duplicate lines.
+	if err := c.FlushSolves(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c2.SolveCount(); n != 2 {
+		t.Fatalf("reloaded SolveCount = %d, want 2", n)
+	}
+	r, ok := c2.GetPortable("key-a")
+	if !ok || r.Verdict != solver.Sat || r.Model["d0.x"] != 10 {
+		t.Errorf("key-a = %+v ok=%v", r, ok)
+	}
+	r, ok = c2.GetPortable("key-b")
+	if !ok || r.Verdict != solver.Unsat || r.Model != nil {
+		t.Errorf("key-b = %+v ok=%v", r, ok)
+	}
+}
+
+// TestSolveLogByteFlipFaultInjection flips each byte of a two-line log
+// in turn: every variant must load without error, never invent a
+// record that was not written, and never mutate a surviving record.
+func TestSolveLogByteFlipFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutPortable("key-a", solver.Sat, map[string]int64{"d0.x": 10})
+	c.PutPortable("key-b", solver.Unsat, nil)
+	if err := c.FlushSolves(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "solve.log")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cc, err := Open(dir)
+		if err != nil {
+			t.Fatalf("byte %d flipped: Open failed: %v", i, err)
+		}
+		if n := cc.SolveCount(); n > 2 {
+			t.Fatalf("byte %d flipped: %d records from a 2-record log", i, n)
+		}
+		// Any key that still resolves must resolve to the original value.
+		if r, ok := cc.GetPortable("key-a"); ok &&
+			(r.Verdict != solver.Sat || r.Model["d0.x"] != 10) {
+			t.Fatalf("byte %d flipped: key-a mutated to %+v", i, r)
+		}
+		if r, ok := cc.GetPortable("key-b"); ok && (r.Verdict != solver.Unsat || len(r.Model) != 0) {
+			t.Fatalf("byte %d flipped: key-b mutated to %+v", i, r)
+		}
+	}
+}
+
+// TestSolveLogTruncatedTail emulates a crash mid-append: the final line
+// is cut short, the earlier lines must survive.
+func TestSolveLogTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutPortable("key-a", solver.Sat, map[string]int64{"d0.x": 10})
+	c.PutPortable("key-b", solver.Unsat, nil)
+	if err := c.FlushSolves(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "solve.log")
+	orig, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, orig[:len(orig)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.GetPortable("key-a"); !ok {
+		t.Error("first record lost to a truncated tail")
+	}
+	if _, ok := c2.GetPortable("key-b"); ok {
+		t.Error("truncated final record was trusted")
+	}
+	notes := strings.Join(c2.Notes(), "\n")
+	if !strings.Contains(notes, "discarded") {
+		t.Errorf("no discard note for the truncated tail: %q", notes)
+	}
+}
+
+func TestReportSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"functions":2,"buggy":1}`)
+	if err := c.StoreReport("some-cache-key", body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.LoadReport("some-cache-key")
+	if !ok || string(got) != string(body) {
+		t.Fatalf("LoadReport = %q ok=%v", got, ok)
+	}
+	if _, ok := c.LoadReport("other-key"); ok {
+		t.Error("unknown key served a report")
+	}
+	// Corrupt the spill file: the load must miss, not serve bad bytes.
+	matches, _ := filepath.Glob(filepath.Join(dir, "reports", "*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("spill files: %v", matches)
+	}
+	raw, _ := os.ReadFile(matches[0])
+	raw[len(raw)-2] ^= 0x40
+	if err := os.WriteFile(matches[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LoadReport("some-cache-key"); ok {
+		t.Error("corrupt spill file served")
+	}
+}
+
+func TestEntryPathEscaping(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hostile names must neither collide nor escape the fn/ directory.
+	weird := &Entry{Function: "../evil"}
+	if err := c.StoreEntry(weird); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.LoadEntry("../evil")
+	if got == nil || got.Function != "../evil" {
+		t.Errorf("escaped name round trip: %+v", got)
+	}
+	p := c.entryPath("../evil")
+	if rel, err := filepath.Rel(filepath.Join(c.Dir(), "fn"), p); err != nil || strings.HasPrefix(rel, "..") {
+		t.Errorf("entry path %q escapes fn/", p)
+	}
+	if c.entryPath("a") == c.entryPath("x61") {
+		// "a" is identifier-safe; "x61" is too — distinct names must map
+		// to distinct files even though hex("a") == "61".
+		t.Error("escape scheme collides distinct names")
+	}
+}

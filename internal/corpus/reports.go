@@ -1,0 +1,33 @@
+// The serve-layer spill area: finished job reports, content-addressed
+// by the serve store's cache key, persisted under reports/ with the
+// same version+checksum envelope as function entries.  A restarted
+// server re-populates its in-memory LRU lazily from here and serves the
+// byte-identical report a pre-restart submission received; a corrupt
+// spill file is discarded and the job simply re-executes.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"path/filepath"
+)
+
+// reportPath hashes the store key into a fixed-length file name (the
+// key is itself a digest, but the corpus does not trust its format).
+func (c *Corpus) reportPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, "reports", hex.EncodeToString(sum[:])+".json")
+}
+
+// StoreReport persists one finished job report under key.
+func (c *Corpus) StoreReport(key string, report []byte) error {
+	return c.writeChecksummed(c.reportPath(key), report)
+}
+
+// LoadReport returns the spilled report for key, or false when absent
+// or when the file fails the version/checksum gate (it is then noted
+// and ignored — the job re-runs).
+func (c *Corpus) LoadReport(key string) ([]byte, bool) {
+	payload, _ := c.readChecksummed(c.reportPath(key))
+	return payload, payload != nil
+}

@@ -1,0 +1,102 @@
+// Package distill minimizes a search's recorded run log into a small
+// replayable suite — the incremental re-audit analogue of CTGEN-style
+// tools that emit their generated tests as artifacts.
+//
+// A directed search may execute thousands of runs; the recorder
+// (internal/concolic) already filters them online down to at most one
+// run per newly covered branch direction.  Distillation finishes the
+// job with greedy set-cover: pick the run covering the most directions
+// still uncovered, repeat until the target coverage is reconstructed.
+// Greedy set-cover is the classical ln(n)-approximation — optimal suite
+// minimization is NP-hard — and in practice collapses the log to a
+// handful of vectors.  The result is deterministic: ties break toward
+// the earliest recorded run, so the same log always distills to the
+// same suite.
+package distill
+
+import (
+	"dart/internal/concolic"
+	"dart/internal/coverage"
+)
+
+// Result is a distilled suite plus its provenance.
+type Result struct {
+	// Suite is the minimized input-vector sequence, in pick order.
+	// Replaying every vector reproduces exactly the covered directions
+	// of the target set (when Missing is empty).
+	Suite []map[string]int64
+	// Missing lists target directions no recorded run covered.  The
+	// recorder's union invariant makes this empty for a log and target
+	// taken from the same search; a non-empty Missing means the log
+	// cannot substitute for the search and must not be stored.
+	Missing []concolic.CovDir
+	// LogRuns and Picked count the distillation's input and output
+	// sizes, for telemetry.
+	LogRuns, Picked int
+}
+
+// Distill set-covers log against the covered directions of target.
+func Distill(log []concolic.RunRecord, target *coverage.Set) Result {
+	res := Result{LogRuns: len(log)}
+	// The universe: every direction the target set covers.
+	want := map[concolic.CovDir]bool{}
+	for site := 0; site < target.Sites(); site++ {
+		taken, notTaken := target.Site(site)
+		if taken {
+			want[concolic.CovDir{Site: site, Taken: true}] = true
+		}
+		if notTaken {
+			want[concolic.CovDir{Site: site, Taken: false}] = true
+		}
+	}
+	picked := make([]bool, len(log))
+	for len(want) > 0 {
+		best, gain := -1, 0
+		for i, rec := range log {
+			if picked[i] {
+				continue
+			}
+			g := 0
+			for _, d := range rec.Cover {
+				if want[d] {
+					g++
+				}
+			}
+			// Strict > breaks ties toward the earliest run: determinism.
+			if g > gain {
+				best, gain = i, g
+			}
+		}
+		if best < 0 {
+			break // no remaining run helps; leftovers are Missing
+		}
+		picked[best] = true
+		for _, d := range log[best].Cover {
+			delete(want, d)
+		}
+		res.Suite = append(res.Suite, log[best].Inputs)
+		res.Picked++
+	}
+	for d := range want {
+		res.Missing = append(res.Missing, d)
+	}
+	sortDirs(res.Missing)
+	return res
+}
+
+// sortDirs orders directions (site, then not-taken before taken) so
+// Missing is deterministic despite map iteration.
+func sortDirs(dirs []concolic.CovDir) {
+	for i := 1; i < len(dirs); i++ {
+		for j := i; j > 0 && dirLess(dirs[j], dirs[j-1]); j-- {
+			dirs[j], dirs[j-1] = dirs[j-1], dirs[j]
+		}
+	}
+}
+
+func dirLess(a, b concolic.CovDir) bool {
+	if a.Site != b.Site {
+		return a.Site < b.Site
+	}
+	return !a.Taken && b.Taken
+}

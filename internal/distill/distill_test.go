@@ -1,0 +1,86 @@
+package distill
+
+// Set-cover distillation tests: minimality on a known instance,
+// deterministic tie-breaking, and honest Missing reporting when the
+// log cannot reconstruct the target.
+
+import (
+	"reflect"
+	"testing"
+
+	"dart/internal/concolic"
+	"dart/internal/coverage"
+)
+
+func dir(site int, taken bool) concolic.CovDir {
+	return concolic.CovDir{Site: site, Taken: taken}
+}
+
+func target(sites int, dirs ...concolic.CovDir) *coverage.Set {
+	s := coverage.New(sites)
+	for _, d := range dirs {
+		s.Record(d.Site, d.Taken)
+	}
+	return s
+}
+
+func TestDistillGreedyCover(t *testing.T) {
+	// Run 1 covers {0F}, run 2 covers {0F,0T,1F}, run 3 covers {1T}.
+	// Greedy picks run 2 first (gain 3), then run 3; run 1 is redundant.
+	log := []concolic.RunRecord{
+		{Inputs: map[string]int64{"x": 1}, Cover: []concolic.CovDir{dir(0, false)}},
+		{Inputs: map[string]int64{"x": 2}, Cover: []concolic.CovDir{dir(0, false), dir(0, true), dir(1, false)}},
+		{Inputs: map[string]int64{"x": 3}, Cover: []concolic.CovDir{dir(1, true)}},
+	}
+	res := Distill(log, target(2, dir(0, false), dir(0, true), dir(1, false), dir(1, true)))
+	if len(res.Missing) != 0 {
+		t.Fatalf("Missing = %v, want none", res.Missing)
+	}
+	want := []map[string]int64{{"x": 2}, {"x": 3}}
+	if !reflect.DeepEqual(res.Suite, want) {
+		t.Errorf("Suite = %v, want %v", res.Suite, want)
+	}
+	if res.LogRuns != 3 || res.Picked != 2 {
+		t.Errorf("LogRuns=%d Picked=%d, want 3/2", res.LogRuns, res.Picked)
+	}
+}
+
+func TestDistillTieBreaksEarliest(t *testing.T) {
+	// Two runs with equal gain: the earlier one must win, every time.
+	log := []concolic.RunRecord{
+		{Inputs: map[string]int64{"a": 1}, Cover: []concolic.CovDir{dir(0, true)}},
+		{Inputs: map[string]int64{"a": 2}, Cover: []concolic.CovDir{dir(0, true)}},
+	}
+	for i := 0; i < 50; i++ {
+		res := Distill(log, target(1, dir(0, true)))
+		if len(res.Suite) != 1 || res.Suite[0]["a"] != 1 {
+			t.Fatalf("iteration %d: suite %v, want the earliest run", i, res.Suite)
+		}
+	}
+}
+
+func TestDistillReportsMissing(t *testing.T) {
+	log := []concolic.RunRecord{
+		{Inputs: map[string]int64{"x": 1}, Cover: []concolic.CovDir{dir(0, true)}},
+	}
+	res := Distill(log, target(2, dir(0, true), dir(1, false), dir(1, true)))
+	want := []concolic.CovDir{dir(1, false), dir(1, true)}
+	if !reflect.DeepEqual(res.Missing, want) {
+		t.Errorf("Missing = %v, want %v (sorted)", res.Missing, want)
+	}
+	if len(res.Suite) != 1 {
+		t.Errorf("Suite = %v, want the one useful run", res.Suite)
+	}
+}
+
+func TestDistillEmptyLog(t *testing.T) {
+	res := Distill(nil, target(1, dir(0, true)))
+	if len(res.Suite) != 0 || len(res.Missing) != 1 {
+		t.Errorf("empty log: suite=%v missing=%v", res.Suite, res.Missing)
+	}
+	// An empty target distills to an empty suite regardless of the log.
+	res = Distill([]concolic.RunRecord{{Inputs: map[string]int64{"x": 1}, Cover: []concolic.CovDir{dir(0, true)}}}, coverage.New(1))
+	if len(res.Suite) != 0 || len(res.Missing) != 0 {
+		t.Errorf("empty target: suite=%v missing=%v", res.Suite, res.Missing)
+	}
+}

@@ -1,0 +1,383 @@
+// Content hashing of compiled functions: the identity layer of the
+// incremental re-audit pipeline.
+//
+// A corpus entry must be keyed by what actually executes, not by where
+// it happens to sit in a source file.  FuncHashes therefore renders each
+// function into a canonical byte stream that excludes source positions
+// entirely and normalizes the one piece of program-global state a
+// function's instructions embed — the branch-site numbering, which is
+// assigned program-wide in compilation order and therefore shifts for
+// every function downstream of an edit — to function-local ordinals.
+// Editing one function (or only its comments and whitespace) changes
+// only that function's hash; every other entry in the corpus stays
+// valid.
+//
+// Because a function's behavior also depends on what it calls and on
+// the program environment (global layout and initializers, struct
+// layouts, extern signatures, library signatures), the hash folds both
+// in: an environment digest seeds every function's round-0 hash, and
+// callee hashes are folded in by fixpoint iteration — len(funcs) rounds
+// of h'(f) = H(h(f), h(callees...)) — which handles recursion and
+// call-graph cycles the way partition refinement does.  Two functions
+// get equal hashes only if their whole reachable behavior renders
+// equally; a spurious "changed" verdict merely costs a re-search, while
+// a spurious "unchanged" verdict would need a SHA-256 collision.
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sort"
+	"strconv"
+
+	"dart/internal/types"
+)
+
+// hashFormatVersion is bumped whenever the rendering below changes
+// meaning, so corpora written by older binaries can never alias.
+const hashFormatVersion = "dart-ir-hash-v1"
+
+// FuncHashes returns the content hash of every function in p, keyed by
+// function name, as lowercase hex SHA-256 strings.
+func FuncHashes(p *Prog) map[string]string {
+	env := envDigest(p)
+
+	// Round 0: each function's own structural rendering, seeded with the
+	// format version and the environment digest.  Callee names are part
+	// of the structural rendering (a retargeted call changes the caller
+	// even before callee folding), and the callee list is collected for
+	// the folding rounds.
+	type fnState struct {
+		sum     [sha256.Size]byte
+		callees []string
+	}
+	states := make(map[string]*fnState, len(p.Funcs))
+	for name, f := range p.Funcs {
+		h := sha256.New()
+		h.Write([]byte(hashFormatVersion))
+		h.Write(env[:])
+		r := renderer{h: h}
+		r.fn(f)
+		st := &fnState{callees: r.callees}
+		h.Sum(st.sum[:0])
+		states[name] = st
+	}
+
+	// Folding rounds: after k rounds a hash covers every call chain of
+	// length <= k, so len(funcs) rounds cover every acyclic chain and
+	// give every member of a call cycle a digest of the whole cycle.
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for round := 0; round < len(names); round++ {
+		next := make(map[string][sha256.Size]byte, len(states))
+		changed := false
+		for _, name := range names {
+			st := states[name]
+			if len(st.callees) == 0 {
+				next[name] = st.sum
+				continue
+			}
+			h := sha256.New()
+			h.Write(st.sum[:])
+			for _, callee := range st.callees {
+				if cs, ok := states[callee]; ok {
+					h.Write(cs.sum[:])
+				} else {
+					// An undefined callee (lib/extern calls carry their
+					// identity in the structural rendering already, and a
+					// truly missing function is a frontend error): mix the
+					// name so the state is still total.
+					h.Write([]byte(callee))
+				}
+			}
+			var sum [sha256.Size]byte
+			h.Sum(sum[:0])
+			if sum != st.sum {
+				changed = true
+			}
+			next[name] = sum
+		}
+		for name, sum := range next {
+			states[name].sum = sum
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := make(map[string]string, len(states))
+	for name, st := range states {
+		out[name] = hex.EncodeToString(st.sum[:])
+	}
+	return out
+}
+
+// envDigest hashes the program-level environment every function
+// executes under: globals (layout, externness, initializers), struct
+// layouts, extern-function signatures, and library signatures.  It
+// deliberately excludes NumSites and FuncOrder — pure bookkeeping that
+// shifts with unrelated edits.
+func envDigest(p *Prog) [sha256.Size]byte {
+	h := sha256.New()
+	r := renderer{h: h}
+	r.str("globals")
+	r.num(int64(p.GlobalSize))
+	for _, g := range p.Globals {
+		r.str(g.Name)
+		r.typ(g.Type)
+		r.num(g.Off)
+		r.bool(g.Extern)
+		r.bool(g.HasInit)
+		r.num(g.Init)
+	}
+	r.str("structs")
+	for _, name := range sortedKeys(p.Structs) {
+		s := p.Structs[name]
+		r.str(name)
+		r.bool(s.Complete)
+		for _, f := range s.Fields {
+			r.str(f.Name)
+			r.typ(f.Type)
+			r.num(f.Offset)
+		}
+	}
+	r.str("externs")
+	for _, name := range sortedKeys(p.Externs) {
+		r.str(name)
+		r.typ(p.Externs[name].Result)
+	}
+	r.str("lib")
+	for _, name := range sortedKeys(p.Lib) {
+		r.str(name)
+		r.typ(p.Lib[name])
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// renderer feeds a canonical, unambiguous byte rendering of IR into a
+// hash.  Every string is length-prefixed and every number fixed-width,
+// so distinct structures can never render to the same stream.
+type renderer struct {
+	h hash.Hash
+	// callees collects program-function call targets in code order.
+	callees []string
+	// siteOrd maps this function's global branch-site numbers to local
+	// ordinals (first appearance in code order).
+	siteOrd map[int]int
+	buf     [10]byte
+}
+
+func (r *renderer) str(s string) {
+	binary.LittleEndian.PutUint32(r.buf[:4], uint32(len(s)))
+	r.h.Write(r.buf[:4])
+	r.h.Write([]byte(s))
+}
+
+func (r *renderer) num(v int64) {
+	binary.LittleEndian.PutUint64(r.buf[:8], uint64(v))
+	r.h.Write(r.buf[:8])
+}
+
+func (r *renderer) bool(b bool) {
+	if b {
+		r.h.Write([]byte{1})
+	} else {
+		r.h.Write([]byte{0})
+	}
+}
+
+// typ renders a type.  Basic, pointer, and array types render
+// structurally; named structs render by name (their layout lives in the
+// environment digest, so a changed layout changes every function's
+// hash through the seed instead).
+func (r *renderer) typ(t types.Type) {
+	if t == nil {
+		r.str("<nil>")
+		return
+	}
+	switch tt := t.(type) {
+	case *types.Basic:
+		if tt == nil {
+			r.str("<nil>")
+			return
+		}
+		r.str("b" + strconv.Itoa(int(tt.Kind)))
+	case *types.Pointer:
+		if tt == nil {
+			r.str("<nil>")
+			return
+		}
+		r.str("ptr")
+		r.typ(tt.Elem)
+	case *types.Struct:
+		if tt == nil {
+			r.str("<nil>")
+			return
+		}
+		r.str("struct " + tt.Name)
+	case *types.Array:
+		if tt == nil {
+			r.str("<nil>")
+			return
+		}
+		r.str("arr" + strconv.FormatInt(tt.Len, 10))
+		r.typ(tt.Elem)
+	case *types.Func:
+		if tt == nil {
+			r.str("<nil>")
+			return
+		}
+		r.str("fn")
+		r.typ(tt.Result)
+		r.num(int64(len(tt.Params)))
+		for _, p := range tt.Params {
+			r.typ(p)
+		}
+	default:
+		// No further Type implementations exist; render the formatted
+		// value so an unexpected one still hashes deterministically.
+		r.str(fmt.Sprintf("%v", t))
+	}
+}
+
+func (r *renderer) fn(f *Func) {
+	r.str("func")
+	r.str(f.Name)
+	r.num(int64(len(f.Params)))
+	for _, p := range f.Params {
+		r.str(p.Name)
+		r.typ(p.Type)
+		r.num(p.Slot)
+	}
+	r.typ(f.Result)
+	r.num(f.FrameSize)
+	r.num(int64(len(f.Code)))
+	for _, ins := range f.Code {
+		r.instr(ins)
+	}
+}
+
+// localSite maps a global branch-site number to this function's local
+// ordinal: sites are numbered program-wide in compilation order, so the
+// global number of every site in f shifts when an earlier function
+// gains or loses a conditional — behavior-neutral for f itself.
+func (r *renderer) localSite(site int) int {
+	if site < 0 {
+		return site
+	}
+	if r.siteOrd == nil {
+		r.siteOrd = map[int]int{}
+	}
+	ord, ok := r.siteOrd[site]
+	if !ok {
+		ord = len(r.siteOrd)
+		r.siteOrd[site] = ord
+	}
+	return ord
+}
+
+func (r *renderer) instr(ins Instr) {
+	switch i := ins.(type) {
+	case *Assign:
+		r.str("assign")
+		r.expr(i.Dst)
+		r.expr(i.Src)
+		r.typ(i.StoreTy)
+	case *IfGoto:
+		r.str("if")
+		r.expr(i.Cond)
+		r.num(int64(i.Target))
+		r.num(int64(r.localSite(i.Site)))
+	case *Goto:
+		r.str("goto")
+		r.num(int64(i.Target))
+	case *Call:
+		r.str("call")
+		r.str(i.Fn)
+		r.callees = append(r.callees, i.Fn)
+		r.num(int64(len(i.Args)))
+		for _, a := range i.Args {
+			r.expr(a)
+		}
+		r.expr(i.Dst)
+	case *CallExt:
+		r.str("callext")
+		r.str(i.Fn)
+		r.typ(i.Result)
+		r.expr(i.Dst)
+	case *CallLib:
+		r.str("calllib")
+		r.str(i.Fn)
+		r.num(int64(len(i.Args)))
+		for _, a := range i.Args {
+			r.expr(a)
+		}
+		r.expr(i.Dst)
+	case *Ret:
+		r.str("ret")
+		r.expr(i.Val)
+	case *Alloc:
+		r.str("alloc")
+		r.expr(i.Dst)
+		r.expr(i.Size)
+	case *Free:
+		r.str("free")
+		r.expr(i.Ptr)
+	case *Abort:
+		r.str("abort")
+		r.str(i.Msg)
+	case *Halt:
+		r.str("halt")
+	default:
+		r.str(fmt.Sprintf("%T", ins))
+	}
+}
+
+func (r *renderer) expr(e Expr) {
+	if e == nil {
+		r.str("<nil>")
+		return
+	}
+	switch x := e.(type) {
+	case *Const:
+		r.str("c")
+		r.num(x.V)
+	case *FrameAddr:
+		r.str("fa")
+		r.num(x.Slot)
+	case *GlobalAddr:
+		r.str("ga")
+		r.num(x.Off)
+	case *Load:
+		r.str("ld")
+		r.expr(x.Addr)
+	case *Bin:
+		r.str("bin" + strconv.Itoa(int(x.Op)))
+		r.expr(x.A)
+		r.expr(x.B)
+		r.typ(x.Ty)
+	case *Un:
+		r.str("un" + strconv.Itoa(int(x.Op)))
+		r.expr(x.A)
+		r.typ(x.Ty)
+	default:
+		r.str(fmt.Sprintf("%T", e))
+	}
+}

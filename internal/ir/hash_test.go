@@ -1,0 +1,149 @@
+package ir
+
+import "testing"
+
+// hashes compiles src and returns its per-function content hashes.
+func hashes(t *testing.T, src string) map[string]string {
+	t.Helper()
+	return FuncHashes(compile(t, src))
+}
+
+const hashBase = `
+int helper(int x) {
+    if (x > 10) return x - 1;
+    return x + 1;
+}
+int target(int a, int b) {
+    if (a == 7) {
+        if (b < 0) abort();
+    }
+    return helper(a);
+}
+int bystander(int n) {
+    if (n == 3) return 99;
+    return 0;
+}
+`
+
+func TestFuncHashIgnoresTrivia(t *testing.T) {
+	a := hashes(t, hashBase)
+	// Same program, different positions for everything: leading blank
+	// lines, comments, and re-indentation.
+	b := hashes(t, `
+
+// a comment shifting every token position
+
+int helper(int x) {
+        if (x > 10) return x - 1;
+        return x + 1;
+}
+
+int target(int a, int b) {
+    if (a == 7) { if (b < 0) abort(); }
+    return helper(a);
+}
+int bystander(int n) { if (n == 3) return 99; return 0; }
+`)
+	for fn, h := range a {
+		if b[fn] != h {
+			t.Errorf("%s: hash changed on trivia-only edit:\n  %s\n  %s", fn, h, b[fn])
+		}
+	}
+}
+
+func TestFuncHashLocalSiteNormalization(t *testing.T) {
+	a := hashes(t, hashBase)
+	// Adding a conditional to helper shifts the program-wide site numbers
+	// of every function compiled after it; target and bystander must not
+	// notice through the site field (target still changes via callee
+	// folding; bystander calls nothing and must be byte-stable).
+	b := hashes(t, `
+int helper(int x) {
+    if (x > 100) return 0;
+    if (x > 10) return x - 1;
+    return x + 1;
+}
+int target(int a, int b) {
+    if (a == 7) {
+        if (b < 0) abort();
+    }
+    return helper(a);
+}
+int bystander(int n) {
+    if (n == 3) return 99;
+    return 0;
+}
+`)
+	if a["helper"] == b["helper"] {
+		t.Error("helper: hash unchanged after adding a conditional")
+	}
+	if a["bystander"] != b["bystander"] {
+		t.Error("bystander: hash changed by an edit to an unrelated earlier function")
+	}
+}
+
+func TestFuncHashFoldsCallees(t *testing.T) {
+	a := hashes(t, hashBase)
+	// Change only helper's body: target must change (it calls helper),
+	// bystander must not.
+	b := hashes(t, `
+int helper(int x) {
+    if (x > 10) return x - 2;
+    return x + 1;
+}
+int target(int a, int b) {
+    if (a == 7) {
+        if (b < 0) abort();
+    }
+    return helper(a);
+}
+int bystander(int n) {
+    if (n == 3) return 99;
+    return 0;
+}
+`)
+	if a["helper"] == b["helper"] {
+		t.Error("helper: hash unchanged after body edit")
+	}
+	if a["target"] == b["target"] {
+		t.Error("target: hash unchanged although its callee changed")
+	}
+	if a["bystander"] != b["bystander"] {
+		t.Error("bystander: hash changed although nothing it reaches changed")
+	}
+}
+
+func TestFuncHashEnvDigest(t *testing.T) {
+	a := hashes(t, "int g = 1;\nint f(int x) { return x + g; }")
+	b := hashes(t, "int g = 2;\nint f(int x) { return x + g; }")
+	if a["f"] == b["f"] {
+		t.Error("f: hash unchanged although a global initializer changed")
+	}
+}
+
+func TestFuncHashRecursion(t *testing.T) {
+	even := `
+int isEven(int n) { if (n == 0) return 1; return isOdd(n - 1); }
+int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }
+`
+	a := hashes(t, even)
+	// Editing one member of the cycle must change both (each folds the
+	// other), and hashing must terminate despite the cycle.
+	b := hashes(t, `
+int isEven(int n) { if (n == 0) return 2; return isOdd(n - 1); }
+int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }
+`)
+	if a["isEven"] == b["isEven"] {
+		t.Error("isEven: hash unchanged after its own edit")
+	}
+	if a["isOdd"] == b["isOdd"] {
+		t.Error("isOdd: hash unchanged although its mutually recursive callee changed")
+	}
+	// Determinism: hashing the same program twice is byte-identical.
+	c := hashes(t, even)
+	for fn, h := range a {
+		if c[fn] != h {
+			t.Errorf("%s: hash not deterministic", fn)
+		}
+	}
+}

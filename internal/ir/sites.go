@@ -1,0 +1,31 @@
+package ir
+
+// FuncSites returns, for every function, the global numbers of its
+// conditional branch sites in first-appearance code order.  A site's
+// index in the slice is its function-local ordinal — the same ordinal
+// FuncHashes renders — so (function, ordinal) identifies a branch site
+// stably across recompilations that shift the program-global numbering
+// (the corpus stores coverage in exactly that form).
+func FuncSites(p *Prog) map[string][]int {
+	out := make(map[string][]int, len(p.Funcs))
+	for name, f := range p.Funcs {
+		var sites []int
+		var seen map[int]bool
+		for _, ins := range f.Code {
+			br, ok := ins.(*IfGoto)
+			if !ok || br.Site < 0 {
+				continue
+			}
+			if seen == nil {
+				seen = map[int]bool{}
+			}
+			if seen[br.Site] {
+				continue
+			}
+			seen[br.Site] = true
+			sites = append(sites, br.Site)
+		}
+		out[name] = sites
+	}
+	return out
+}

@@ -142,7 +142,7 @@ func (m *Machine) evalSymbolic(e ir.Expr, frame int64) *symbolic.Lin {
 		return nil
 	}
 	if l == nil {
-		return symbolic.NewConst(k)
+		return m.lins.NewConst(k)
 	}
 	return l
 }
@@ -198,9 +198,9 @@ func (m *Machine) evalSym(e ir.Expr, frame int64) (l *symbolic.Lin, k int64, fau
 		case ir.Neg:
 			a := la
 			if a == nil {
-				a = symbolic.NewConst(ka)
+				a = m.lins.NewConst(ka)
 			}
-			if r := symbolic.Scale(a, -1); r != nil {
+			if r := m.lins.Scale(a, -1); r != nil {
 				return m.wrapK(r, e.Ty)
 			}
 			m.clearAllLinear()
@@ -237,41 +237,41 @@ func (m *Machine) evalSym(e ir.Expr, frame int64) (l *symbolic.Lin, k int64, fau
 		case ir.Add:
 			a, b := la, lb
 			if a == nil {
-				a = symbolic.NewConst(ka)
+				a = m.lins.NewConst(ka)
 			}
 			if b == nil {
-				b = symbolic.NewConst(kb)
+				b = m.lins.NewConst(kb)
 			}
-			if r := symbolic.Add(a, b); r != nil {
+			if r := m.lins.Add(a, b); r != nil {
 				return m.wrapK(r, e.Ty)
 			}
 		case ir.Sub:
 			a, b := la, lb
 			if a == nil {
-				a = symbolic.NewConst(ka)
+				a = m.lins.NewConst(ka)
 			}
 			if b == nil {
-				b = symbolic.NewConst(kb)
+				b = m.lins.NewConst(kb)
 			}
-			if r := symbolic.Sub(a, b); r != nil {
+			if r := m.lins.Sub(a, b); r != nil {
 				return m.wrapK(r, e.Ty)
 			}
 		case ir.Mul:
 			// Fig. 1: symbolic*symbolic is outside the theory; constant
 			// scaling stays inside.
 			if la == nil {
-				if r := symbolic.Scale(lb, ka); r != nil {
+				if r := m.lins.Scale(lb, ka); r != nil {
 					return m.wrapK(r, e.Ty)
 				}
 			} else if lb == nil {
-				if r := symbolic.Scale(la, kb); r != nil {
+				if r := m.lins.Scale(la, kb); r != nil {
 					return m.wrapK(r, e.Ty)
 				}
 			}
 		case ir.Shl:
 			// x << k with constant k is scaling by 2^k: still linear.
 			if lb == nil && kb >= 0 && kb < 62 {
-				if r := symbolic.Scale(la, int64(1)<<uint(kb)); r != nil {
+				if r := m.lins.Scale(la, int64(1)<<uint(kb)); r != nil {
 					return m.wrapK(r, e.Ty)
 				}
 			}

@@ -236,6 +236,12 @@ type Machine struct {
 	// re-initialize the same inputs thousands of times and the form is a
 	// pure function of the Var, so the cache survives Reset.
 	varLins map[symbolic.Var]*symbolic.Lin
+	// lins batch-allocates the Lin headers the shadow and branch-
+	// predicate paths produce (one chunk allocation per 512 forms).
+	// Chunks are never recycled — published forms escape into BranchRec
+	// snapshots — so Reset leaves the arena alone; the unused tail of
+	// the current chunk is still virgin and keeps serving the next run.
+	lins symbolic.Arena
 }
 
 // varLin returns the interned form 1·v + 0.
@@ -243,7 +249,7 @@ func (m *Machine) varLin(v symbolic.Var) *symbolic.Lin {
 	if l, ok := m.varLins[v]; ok {
 		return l
 	}
-	l := symbolic.NewVar(v)
+	l := m.lins.NewVar(v)
 	m.varLins[v] = l
 	return l
 }
@@ -889,12 +895,12 @@ func (m *Machine) branchPred(cond ir.Expr, frame int64, taken bool) (symbolic.Pr
 				return symbolic.Pred{}, false, m.constFallback(linBefore, locBefore)
 			}
 			if la == nil {
-				la = symbolic.NewConst(ka)
+				la = m.lins.NewConst(ka)
 			}
 			if lb == nil {
-				lb = symbolic.NewConst(kb)
+				lb = m.lins.NewConst(kb)
 			}
-			diff := symbolic.Sub(la, lb)
+			diff := m.lins.Sub(la, lb)
 			if diff == nil {
 				m.clearAllLinear()
 				return symbolic.Pred{}, false, FallbackNonlinear

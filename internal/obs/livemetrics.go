@@ -57,9 +57,10 @@ func (l *LiveMetrics) Event(ev Event) {
 		default:
 			l.m.Add(CSolverUnsat, 1)
 		}
-		if ev.Cache != "hit" {
-			// A cached verdict skips the work histogram in the registry
-			// too: the histogram measures the solver, not the memo.
+		if ev.Cache != "hit" && ev.Cache != "disk" {
+			// A cached verdict (memory or disk) skips the work histogram
+			// in the registry too: the histogram measures the solver, not
+			// the memo.
 			l.m.Observe(HSolverWork, ev.Work)
 		}
 		if ev.Sliced > 0 {
@@ -67,6 +68,9 @@ func (l *LiveMetrics) Event(ev Event) {
 		}
 		if ev.Cache == "miss" {
 			l.m.Add(CSolveCacheMisses, 1)
+		}
+		if ev.Cache == "disk" {
+			l.m.Add(CSolveCacheDisk, 1)
 		}
 		if ev.CacheEvict {
 			l.m.Add(CSolveCacheEvicts, 1)
@@ -93,6 +97,13 @@ func (l *LiveMetrics) Event(ev Event) {
 		if ev.Status == "cached" {
 			l.m.Add(CJobsCached, 1)
 		}
+	case CorpusHit:
+		l.m.Add(CCorpusHits, 1)
+		l.m.Add(CCorpusReplays, int64(ev.Count))
+	case CorpusMiss:
+		l.m.Add(CCorpusMisses, 1)
+	case CorpusStore:
+		l.m.Add(CCorpusStores, 1)
 	case CoverageStall:
 		l.m.Add(CStalls, 1)
 	case UncoveredReason:

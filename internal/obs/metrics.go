@@ -31,6 +31,18 @@ const (
 	CSolveCacheMisses = "solve_cache_misses"
 	CSolveCacheEvicts = "solve_cache_evictions"
 	CSlicedPreds      = "solver_sliced_preds"
+	// CSolveCacheDisk counts solves answered by the disk-backed
+	// persistent solve cache (consulted on in-memory misses when a
+	// corpus is attached); like an in-memory hit it spends no solver
+	// work and skips the work histograms.
+	CSolveCacheDisk = "solve_cache_disk_hits"
+	// Incremental re-audit: functions whose corpus entry replayed in
+	// place of a full search, functions that fell through to search,
+	// replayed suite fixtures, and entries written or refreshed.
+	CCorpusHits    = "corpus_hits"
+	CCorpusMisses  = "corpus_misses"
+	CCorpusReplays = "corpus_replayed_cases"
+	CCorpusStores  = "corpus_stores"
 	// Frontier scheduling: pending flips discarded on MaxFrontier
 	// overflow (a completeness loss, never silent), work-stealing
 	// transfers between parallel workers, and worker idle episodes

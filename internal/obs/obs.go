@@ -74,6 +74,19 @@ const (
 	// AuditFnStart / AuditFnEnd bracket one function of a library audit.
 	AuditFnStart Kind = "audit-fn-start"
 	AuditFnEnd   Kind = "audit-fn-end"
+	// CorpusHit: an audited function's corpus entry matched (same IR
+	// content hash, same search options) and its distilled suite
+	// replayed and validated, so the full search was skipped.  Count is
+	// the number of replayed fixtures (suite cases plus bug fixtures).
+	CorpusHit Kind = "corpus-hit"
+	// CorpusMiss: an audited function fell through to full search;
+	// Reason says why ("absent", "hash-changed", "options-changed",
+	// "invalid", "replay-mismatch").
+	CorpusMiss Kind = "corpus-miss"
+	// CorpusStore: a completed search distilled its run log and wrote
+	// (or refreshed) the function's corpus entry; Count is the distilled
+	// suite size.
+	CorpusStore Kind = "corpus-store"
 	// JobQueued: the serve layer admitted a submission into the bounded
 	// job queue (Job carries the id; Depth the queue depth after the
 	// enqueue).  A cache-served submission is also announced as

@@ -172,9 +172,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // inside the report — the report must stay byte-identical across
 // identical submissions.
 type jobEnvelope struct {
-	ID             string          `json:"id"`
-	State          string          `json:"state"`
-	Cached         bool            `json:"cached"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	// CacheSource says where a cached report came from: "store" (the
+	// in-memory LRU) or "corpus-disk" (the spill, surviving a restart).
+	CacheSource string `json:"cache_source,omitempty"`
+	// CorpusHits counts the functions this job answered from the
+	// incremental corpus (distilled-suite replay instead of search).
+	// Envelope-only, like all cache provenance: the report itself must
+	// stay byte-identical whether or not a corpus was attached.
+	CorpusHits     int             `json:"corpus_hits,omitempty"`
 	StopReason     string          `json:"stop_reason,omitempty"`
 	Error          string          `json:"error,omitempty"`
 	Retries        int             `json:"retries,omitempty"`
@@ -318,10 +326,12 @@ func (j *Job) envelope() jobEnvelope {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	env := jobEnvelope{
-		ID:         j.ID,
-		State:      string(j.state),
-		Cached:     j.cached,
-		StopReason: j.stopReason,
+		ID:          j.ID,
+		State:       string(j.state),
+		Cached:      j.cached,
+		CacheSource: j.cacheSrc,
+		CorpusHits:  j.corpusHits,
+		StopReason:  j.stopReason,
 		Error:      j.errMsg,
 		Retries:    j.retries,
 		Report:     json.RawMessage(j.report),

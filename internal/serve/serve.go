@@ -41,6 +41,7 @@ import (
 
 	"dart/internal/audit"
 	"dart/internal/concolic"
+	"dart/internal/corpus"
 	"dart/internal/iface"
 	"dart/internal/ir"
 	"dart/internal/machine"
@@ -90,6 +91,13 @@ type Config struct {
 	// StoreCap bounds the content-addressed result store in entries
 	// (0 = DefaultStoreCap, negative = caching off).
 	StoreCap int
+	// Corpus, when non-nil, makes the service incremental across
+	// restarts: finished job reports spill to the corpus's reports/
+	// area (an in-memory store miss re-loads and serves byte-identical
+	// bytes), and every job's audit runs with the corpus attached —
+	// unchanged functions replay their distilled suites and the
+	// persistent solve cache pre-answers repeated constraint systems.
+	Corpus *corpus.Corpus
 	// HistoryCap bounds how many completed job records are retained for
 	// GET /jobs/{id} (default 512); older completed jobs are evicted in
 	// completion order.
@@ -239,6 +247,8 @@ type Job struct {
 	mu         sync.Mutex
 	state      JobState
 	cached     bool
+	cacheSrc   string // where a cached report came from: "store"/"corpus-disk"
+	corpusHits int    // functions this job answered from the corpus fast path
 	report     []byte // deterministic report JSON, set at completion
 	// profile is the job's merged search-cost profile plus its queue
 	// wait, set at completion.  It lives on the job envelope only —
@@ -338,7 +348,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:       c,
 		sink:      obs.Guarded(c.Sink),
-		store:     newStore(c.StoreCap),
+		store:     newStore(c.StoreCap, c.Corpus),
 		queue:     make(chan *Job, c.QueueDepth),
 		jobs:      map[string]*Job{},
 		drainKill: make(chan struct{}),
@@ -418,9 +428,10 @@ func (s *Service) Submit(sub Submission) (*Job, error) {
 
 	// Served from the store: the job is born completed, its report the
 	// cached bytes — byte-identical to what a fresh run would produce.
-	if cached, ok := s.store.get(key); ok {
+	if cached, src := s.store.get(key); src != "" {
 		j.state = StateDone
 		j.cached = true
+		j.cacheSrc = src
 		j.report = cached
 		j.finished = j.created
 		close(j.done)
@@ -522,7 +533,7 @@ func (s *Service) Gauges() map[string]float64 {
 		draining = 1
 	}
 	s.mu.RUnlock()
-	hits, misses, evictions := s.store.stats()
+	hits, misses, evictions, diskHits := s.store.stats()
 	return map[string]float64{
 		"jobs_queue_depth":      float64(queueDepth),
 		"jobs_queue_capacity":   float64(queueCap),
@@ -532,6 +543,7 @@ func (s *Service) Gauges() map[string]float64 {
 		"jobs_store_hits":       float64(hits),
 		"jobs_store_misses":     float64(misses),
 		"jobs_store_evictions":  float64(evictions),
+		"jobs_store_disk_hits":  float64(diskHits),
 		"jobs_history_retained": float64(len(s.history)),
 	}
 }
@@ -681,6 +693,12 @@ func (s *Service) attempt(j *Job) (res *audit.Result, err error) {
 		// the cacheable report) because it is a derived view, not the
 		// report's identity.
 		CollectExplain: true,
+		// The incremental corpus, when configured: unchanged functions
+		// replay their distilled suites instead of re-searching, and
+		// repeated constraint systems hit the persistent solve cache.
+		// The result is byte-identical either way (tryWarm's gates),
+		// so the report stays cacheable; hit counts ride the envelope.
+		Corpus: s.cfg.Corpus,
 	})
 	return res, nil
 }
@@ -735,6 +753,9 @@ func (s *Service) finalize(j *Job, res *audit.Result, faultMsg string) {
 	j.mu.Lock()
 	j.state = StateDone
 	j.report = bytes
+	if res != nil {
+		j.corpusHits = res.CorpusHits
+	}
 	j.errMsg = faultMsg
 	j.profile = profile
 	j.explain = explain

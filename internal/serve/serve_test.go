@@ -543,30 +543,30 @@ func TestGauges(t *testing.T) {
 // TestStoreLRUBounds exercises the result store directly: capacity is a
 // hard bound and eviction is least-recently-used.
 func TestStoreLRUBounds(t *testing.T) {
-	st := newStore(2)
+	st := newStore(2, nil)
 	st.put("a", []byte("A"))
 	st.put("b", []byte("B"))
-	if _, ok := st.get("a"); !ok { // refresh a; b is now LRU
+	if _, src := st.get("a"); src != cacheSourceMemory { // refresh a; b is now LRU
 		t.Fatal("a missing")
 	}
 	st.put("c", []byte("C"))
-	if _, ok := st.get("b"); ok {
+	if _, src := st.get("b"); src != "" {
 		t.Error("b survived past capacity (not LRU eviction)")
 	}
-	if _, ok := st.get("a"); !ok {
+	if _, src := st.get("a"); src != cacheSourceMemory {
 		t.Error("recently used a was evicted")
 	}
 	if st.len() != 2 {
 		t.Errorf("len = %d, want 2", st.len())
 	}
-	_, _, evictions := st.stats()
+	_, _, evictions, _ := st.stats()
 	if evictions != 1 {
 		t.Errorf("evictions = %d, want 1", evictions)
 	}
 
-	off := newStore(-1)
+	off := newStore(-1, nil)
 	off.put("a", []byte("A"))
-	if _, ok := off.get("a"); ok || off.len() != 0 {
+	if _, src := off.get("a"); src != "" || off.len() != 0 {
 		t.Error("negative capacity must disable the store")
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dart/internal/corpus"
 )
 
 // DefaultStoreCap bounds the result store when Config.StoreCap is zero.
@@ -35,15 +37,23 @@ func cacheKey(src string, seed int64, runs, depth int, random bool, fnTimeout ti
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// store is the bounded LRU map from cache key to report bytes.
+// store is the bounded LRU map from cache key to report bytes, with an
+// optional disk spill (a corpus's reports/ area): every put is also
+// persisted, and an in-memory miss consults the spill before giving up
+// — so a restarted server still serves byte-identical cached reports
+// for submissions completed before the restart.  Spill files carry the
+// corpus's version+checksum envelope; a corrupt one reads as a miss and
+// the job simply re-executes.
 type store struct {
 	mu        sync.Mutex
 	cap       int
+	spill     *corpus.Corpus // nil = memory-only
 	entries   map[string]*list.Element
 	lru       *list.List // front = most recently used
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	diskHits  uint64
 }
 
 type storeEntry struct {
@@ -51,35 +61,62 @@ type storeEntry struct {
 	report []byte
 }
 
-// newStore returns a store holding at most cap reports; cap <= 0
-// disables caching entirely (every get misses, every put is dropped).
-func newStore(cap int) *store {
+// newStore returns a store holding at most cap reports in memory,
+// spilling to the corpus when one is attached; cap <= 0 disables
+// in-memory caching (gets still consult the spill when present).
+func newStore(cap int, spill *corpus.Corpus) *store {
 	return &store{
 		cap:     cap,
+		spill:   spill,
 		entries: map[string]*list.Element{},
 		lru:     list.New(),
 	}
 }
 
-// get returns the cached report for key, marking it most recently used.
-func (s *store) get(key string) ([]byte, bool) {
+// Cache-source labels returned by get (and surfaced on job envelopes).
+const (
+	cacheSourceMemory = "store"
+	cacheSourceDisk   = "corpus-disk"
+)
+
+// get returns the cached report for key and where it came from:
+// cacheSourceMemory (LRU hit), cacheSourceDisk (loaded from the spill
+// and promoted back into the LRU), or "" on a miss.
+func (s *store) get(key string) ([]byte, string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.entries[key]
-	if !ok {
-		s.misses++
-		return nil, false
+	if el, ok := s.entries[key]; ok {
+		s.hits++
+		s.lru.MoveToFront(el)
+		rep := el.Value.(*storeEntry).report
+		s.mu.Unlock()
+		return rep, cacheSourceMemory
 	}
-	s.hits++
-	s.lru.MoveToFront(el)
-	return el.Value.(*storeEntry).report, true
+	s.mu.Unlock()
+	if s.spill != nil {
+		if rep, ok := s.spill.LoadReport(key); ok {
+			s.mu.Lock()
+			s.diskHits++
+			s.insert(key, rep)
+			s.mu.Unlock()
+			return rep, cacheSourceDisk
+		}
+	}
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	return nil, ""
 }
 
 // put caches report under key, evicting the least recently used entry
-// when the store is full.  Re-putting an existing key refreshes its
-// recency and keeps the first bytes (equal by construction: equal keys
-// imply identical reports).
+// when the store is full, and persists it to the spill.  Re-putting an
+// existing key refreshes its recency and keeps the first bytes (equal
+// by construction: equal keys imply identical reports).
 func (s *store) put(key string, report []byte) {
+	if s.spill != nil {
+		// Spill even when the in-memory cache is off or full: disk is the
+		// restart-survival layer, and writes are atomic (tmp+rename).
+		_ = s.spill.StoreReport(key, report)
+	}
 	if s.cap <= 0 {
 		return
 	}
@@ -87,6 +124,17 @@ func (s *store) put(key string, report []byte) {
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
 		s.lru.MoveToFront(el)
+		return
+	}
+	s.insert(key, report)
+}
+
+// insert adds a fresh entry under the lock, evicting beyond cap.
+func (s *store) insert(key string, report []byte) {
+	if s.cap <= 0 {
+		return
+	}
+	if _, ok := s.entries[key]; ok {
 		return
 	}
 	for s.lru.Len() >= s.cap {
@@ -105,9 +153,9 @@ func (s *store) len() int {
 	return s.lru.Len()
 }
 
-// stats returns the lifetime hit/miss/eviction counters.
-func (s *store) stats() (hits, misses, evictions uint64) {
+// stats returns the lifetime hit/miss/eviction/disk-hit counters.
+func (s *store) stats() (hits, misses, evictions, diskHits uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.hits, s.misses, s.evictions
+	return s.hits, s.misses, s.evictions, s.diskHits
 }

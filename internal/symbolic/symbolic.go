@@ -74,6 +74,52 @@ func NewVar(v Var) *Lin {
 	return &Lin{Coeffs: map[Var]int64{v: 1}}
 }
 
+// Arena batch-allocates Lin headers for the machine's shadow and
+// branch-predicate paths.  Published Lins are immutable and escape into
+// BranchRec snapshots that outlive the run, so chunks are handed out
+// once and never recycled — the arena amortizes allocation (one chunk
+// allocation per arenaChunk forms), it does not reclaim memory; a chunk
+// is collected when the last form in it dies.  The zero Arena is ready
+// to use.  A nil *Arena falls back to individual heap allocation, which
+// is how the package-level Add/Sub/Scale share the arithmetic below.
+// Not safe for concurrent use; each machine owns one.
+type Arena struct {
+	chunk []Lin
+}
+
+const arenaChunk = 512
+
+// alloc returns a Lin header housing (coeffs, k).  The map is shared,
+// not copied — callers pass either a map they own or one borrowed from
+// an immutable published form.
+func (ar *Arena) alloc(coeffs map[Var]int64, k int64) *Lin {
+	if ar == nil {
+		return &Lin{Coeffs: coeffs, Const: k}
+	}
+	if len(ar.chunk) == 0 {
+		ar.chunk = make([]Lin, arenaChunk)
+	}
+	l := &ar.chunk[0]
+	ar.chunk = ar.chunk[1:]
+	l.Coeffs = coeffs
+	l.Const = k
+	return l
+}
+
+// NewConst is NewConst through the arena; interned forms still shared.
+func (ar *Arena) NewConst(k int64) *Lin {
+	if k >= internLo && k <= internHi {
+		return &internedConsts[k-internLo]
+	}
+	return ar.alloc(nil, k)
+}
+
+// NewVar is NewVar through the arena (the header; the coefficient map
+// is still an individual allocation).
+func (ar *Arena) NewVar(v Var) *Lin {
+	return ar.alloc(map[Var]int64{v: 1}, 0)
+}
+
 // IsConst reports whether the form has no variables.
 func (l *Lin) IsConst() bool { return len(l.Coeffs) == 0 }
 
@@ -114,7 +160,10 @@ func (l *Lin) set(v Var, k int64) {
 }
 
 // Add returns a+b, or nil on coefficient overflow.
-func Add(a, b *Lin) *Lin {
+func Add(a, b *Lin) *Lin { return (*Arena)(nil).Add(a, b) }
+
+// Add is the arena form of the package-level Add.
+func (ar *Arena) Add(a, b *Lin) *Lin {
 	// Constant operands share the other side's coefficient map (Lins
 	// are immutable once published; see Sub).
 	if len(b.Coeffs) == 0 {
@@ -122,29 +171,35 @@ func Add(a, b *Lin) *Lin {
 		if !ok {
 			return nil
 		}
-		return &Lin{Coeffs: a.Coeffs, Const: k}
+		return ar.alloc(a.Coeffs, k)
 	}
 	if len(a.Coeffs) == 0 {
 		k, ok := addOverflow(a.Const, b.Const)
 		if !ok {
 			return nil
 		}
-		return &Lin{Coeffs: b.Coeffs, Const: k}
+		return ar.alloc(b.Coeffs, k)
 	}
-	c := a.Clone()
-	for v, k := range b.Coeffs {
-		nk, ok := addOverflow(c.Coeff(v), k)
-		if !ok {
-			return nil
-		}
-		c.set(v, nk)
-	}
-	var ok bool
-	c.Const, ok = addOverflow(c.Const, b.Const)
+	kc, ok := addOverflow(a.Const, b.Const)
 	if !ok {
 		return nil
 	}
-	return c
+	coeffs := make(map[Var]int64, len(a.Coeffs)+len(b.Coeffs))
+	for v, k := range a.Coeffs {
+		coeffs[v] = k
+	}
+	for v, k := range b.Coeffs {
+		nk, ok := addOverflow(coeffs[v], k)
+		if !ok {
+			return nil
+		}
+		if nk == 0 {
+			delete(coeffs, v)
+		} else {
+			coeffs[v] = nk
+		}
+	}
+	return ar.alloc(coeffs, kc)
 }
 
 // Sub returns a-b, or nil on overflow.  This sits on the machine's
@@ -154,58 +209,62 @@ func Add(a, b *Lin) *Lin {
 // literals, the overwhelmingly common branch shape) it shares a's
 // coefficient map outright: published Lins are immutable, so two forms
 // may alias one map.
-func Sub(a, b *Lin) *Lin {
+func Sub(a, b *Lin) *Lin { return (*Arena)(nil).Sub(a, b) }
+
+// Sub is the arena form of the package-level Sub.
+func (ar *Arena) Sub(a, b *Lin) *Lin {
 	if len(b.Coeffs) == 0 {
 		k, ok := subOverflow(a.Const, b.Const)
 		if !ok {
 			return nil
 		}
-		return &Lin{Coeffs: a.Coeffs, Const: k}
+		return ar.alloc(a.Coeffs, k)
 	}
-	c := &Lin{Coeffs: make(map[Var]int64, len(a.Coeffs)+len(b.Coeffs))}
+	kc, ok := subOverflow(a.Const, b.Const)
+	if !ok {
+		return nil
+	}
+	coeffs := make(map[Var]int64, len(a.Coeffs)+len(b.Coeffs))
 	for v, k := range a.Coeffs {
-		c.Coeffs[v] = k
+		coeffs[v] = k
 	}
 	for v, k := range b.Coeffs {
-		nk, ok := subOverflow(c.Coeffs[v], k)
+		nk, ok := subOverflow(coeffs[v], k)
 		if !ok {
 			return nil
 		}
 		if nk == 0 {
-			delete(c.Coeffs, v)
+			delete(coeffs, v)
 		} else {
-			c.Coeffs[v] = nk
+			coeffs[v] = nk
 		}
 	}
-	var ok bool
-	c.Const, ok = subOverflow(a.Const, b.Const)
-	if !ok {
-		return nil
-	}
-	return c
+	return ar.alloc(coeffs, kc)
 }
 
 // Scale returns k·a, or nil on overflow.
-func Scale(a *Lin, k int64) *Lin {
+func Scale(a *Lin, k int64) *Lin { return (*Arena)(nil).Scale(a, k) }
+
+// Scale is the arena form of the package-level Scale.
+func (ar *Arena) Scale(a *Lin, k int64) *Lin {
 	if k == 1 {
 		return a
 	}
-	c := &Lin{Coeffs: make(map[Var]int64, len(a.Coeffs))}
+	kc, ok := mulOverflow(a.Const, k)
+	if !ok {
+		return nil
+	}
+	coeffs := make(map[Var]int64, len(a.Coeffs))
 	for v, cv := range a.Coeffs {
 		nk, ok := mulOverflow(cv, k)
 		if !ok {
 			return nil
 		}
 		if nk != 0 {
-			c.Coeffs[v] = nk
+			coeffs[v] = nk
 		}
 	}
-	var ok bool
-	c.Const, ok = mulOverflow(a.Const, k)
-	if !ok {
-		return nil
-	}
-	return c
+	return ar.alloc(coeffs, kc)
 }
 
 // Eval evaluates the form under the assignment.

@@ -44,6 +44,19 @@ go test -run '^$' \
     -bench 'BenchmarkWorkerScaling' \
     -count="$COUNT" . | tee -a "$OUT"
 
+# Incremental re-audit A/B (BENCH_pr10.json): a full miniSIP audit at
+# the paper's 1000-run budget, cold (search + distillation + corpus
+# store) against warm (IR-hash check + distilled-suite replay +
+# bug-fixture validation from a populated corpus).  Gate: warm ns/op
+# at least 10x below cold on per-side minimums; verdict equality is
+# TestIncrementalSIPWarmMatchesCold's job, not this benchmark's.
+# MachineThroughput above doubles as the PR 10 allocation gate: the
+# Lin arena must put compiled allocs/op past the 10x-vs-BENCH_pr7
+# reduction PR 9 missed, without moving ns/op.
+go test -run '^$' \
+    -bench 'BenchmarkIncrementalReaudit' \
+    -benchmem -count="$COUNT" . | tee -a "$OUT"
+
 # Job-service throughput (BENCH_pr6.json): jobs/sec through the full
 # admit→compile→audit→report pipeline (fresh) and the content-addressed
 # store fast path (cached).  Gate: cached must be orders of magnitude
@@ -59,3 +72,4 @@ echo "scaling curve: compare against BENCH_pr5.json (gate: runs/op constant acro
 echo "job service: compare jobs/s against BENCH_pr6.json (gate: cached >> fresh)"
 echo "profiler: compare ProfileOverhead/off against BENCH_pr7.json (gate: <2% vs pre-profiler baseline)"
 echo "execution engine: compare MachineThroughput/compiled against BENCH_pr9.json (gate: >=2x ns/op vs the BENCH_pr7 baseline, allocs/op down, compiled <= interp)"
+echo "incremental re-audit: compare IncrementalReaudit warm vs cold against BENCH_pr10.json (gate: warm >=10x below cold ns/op; MachineThroughput allocs/op >=10x below the BENCH_pr7 baseline)"

@@ -110,3 +110,45 @@ go test -count=1 -run 'TestNarrowStoreParity|TestResetClearsStepCounter|TestRese
 # signature divergence.
 go run ./cmd/dart -xcheck -top blend "$tmp/explain.mc"
 rm -rf "$tmp"
+# Incremental re-audit gate (PR 10): a warm audit answered from the
+# corpus — distilled-suite replay plus bug-fixture validation — must
+# reproduce the cold audit's verdict plane byte for byte (bug set,
+# per-function status and run counts, coverage, completeness flags),
+# staleness must re-search only the changed function, and corrupt
+# corpus artifacts must degrade to a full re-search, never a wrong
+# verdict.
+go test -count=1 -race -run 'TestAuditWarmMatchesCold|TestAuditStaleHash|TestAuditCorruptEntryDegrades|TestAuditOptionsSigGatesReplay|TestPersistentSolveCache' ./internal/audit/
+go test -count=1 -race ./internal/corpus/ ./internal/distill/
+go test -count=1 -race -run 'TestRestartServesFromCorpusDisk|TestRestartCorpusFastPath' ./internal/serve/
+go test -count=1 -race -run 'TestIncrementalSIPWarmMatchesCold' .
+# CLI warm-vs-cold plane equality: strip the timing and corpus
+# provenance fields (the only legitimately different ones) and the two
+# -json reports must be byte-identical; the warm run must actually be
+# answered from the corpus, and both runs must agree on the exit code.
+tmp="$(mktemp -d)"
+cat > "$tmp/incr.mc" <<'EOF'
+int f(int x) { return 2 * x; }
+
+int h(int x, int y) {
+    if (x != y)
+        if (f(x) == x + 10)
+            abort();
+    return 0;
+}
+EOF
+cold_rc=0; go run ./cmd/dart -audit -seed 1 -corpus "$tmp/corpus" -json "$tmp/incr.mc" > "$tmp/cold.json" || cold_rc=$?
+warm_rc=0; go run ./cmd/dart -audit -seed 1 -corpus "$tmp/corpus" -json "$tmp/incr.mc" > "$tmp/warm.json" || warm_rc=$?
+[ "$cold_rc" -eq 1 ] && [ "$warm_rc" -eq 1 ]
+grep -q '"cached_by_corpus": true' "$tmp/warm.json"
+grep -q '"corpus_stores": 2' "$tmp/cold.json"
+grep -q '"corpus_hits": 2' "$tmp/warm.json"
+# The metrics registry tallies work performed (solves, restarts, replay
+# counts) — legitimately different warm vs cold — so it is excluded
+# from the verdict plane along with timing and corpus provenance.
+for side in cold warm; do
+    sed '/^  "metrics": {$/,/^  },$/d' "$tmp/$side.json" \
+        | grep -v 'elapsed_seconds\|cached_by_corpus\|corpus_hits\|corpus_stores' \
+        > "$tmp/$side.plane"
+done
+diff "$tmp/cold.plane" "$tmp/warm.plane"
+rm -rf "$tmp"
